@@ -1,0 +1,104 @@
+// Design-choice ablations beyond the paper's Fig. 14 (DESIGN.md §4):
+//  (a) the Max N quality floor min_n (paper picks 0.85),
+//  (b) the link-budget headroom fraction,
+//  (c) DLion's synchronization policy (bounded staleness vs sync vs async).
+// These knobs are DLion implementation choices the paper fixes without a
+// sweep; this bench regenerates the sensitivity data behind them.
+#include "bench_util.h"
+
+#include "core/link_prioritizer.h"
+
+int main(int argc, char** argv) {
+  using namespace dlion;
+  const auto ctx = bench::BenchContext::from_args(argc, argv);
+  bench::print_header("Ablation: DLion design choices", ctx.scale);
+  const exp::Workload workload = exp::make_workload("cpu", ctx.scale);
+  const std::string env = "Hetero SYS A";
+
+  {
+    std::cout << "(a) Max N quality floor (min_n)\n";
+    common::Table table({"min_n", "accuracy", "GB sent"});
+    for (double min_n : {0.1, 0.85, 5.0, 25.0}) {
+      exp::RunSpec spec = bench::make_run_spec(ctx.scale, "dlion", env,
+                                               ctx.scale.duration_s);
+      spec.strategy_override = [min_n](std::size_t) -> core::StrategyPtr {
+        core::LinkPrioritizerConfig cfg;
+        cfg.min_n = min_n;
+        return std::make_unique<core::LinkPrioritizer>(cfg);
+      };
+      const exp::RunResult res = exp::run_experiment(spec, workload);
+      table.row()
+          .cell(min_n, 2)
+          .cell(res.final_accuracy, 3)
+          .cell(static_cast<double>(res.total_bytes) / 1e9, 2);
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  {
+    std::cout << "(b) link budget headroom fraction\n";
+    common::Table table({"budget fraction", "accuracy", "GB sent"});
+    for (double frac : {0.5, 0.7, 0.9, 1.0}) {
+      exp::RunSpec spec = bench::make_run_spec(ctx.scale, "dlion", env,
+                                               ctx.scale.duration_s);
+      spec.strategy_override = [frac](std::size_t) -> core::StrategyPtr {
+        core::LinkPrioritizerConfig cfg;
+        cfg.budget_fraction = frac;
+        return std::make_unique<core::LinkPrioritizer>(cfg);
+      };
+      const exp::RunResult res = exp::run_experiment(spec, workload);
+      table.row()
+          .cell(frac, 2)
+          .cell(res.final_accuracy, 3)
+          .cell(static_cast<double>(res.total_bytes) / 1e9, 2);
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  {
+    std::cout << "(c) DLion synchronization policy\n";
+    common::Table table({"policy", "accuracy", "iterations"});
+    struct Policy {
+      std::string label;
+      core::SyncPolicy policy;
+    };
+    for (const Policy& p :
+         {Policy{"synchronous", core::SyncPolicy::synchronous()},
+          Policy{"bounded(5,0) [default]", core::SyncPolicy::bounded(5, 0)},
+          Policy{"bounded(20,1)", core::SyncPolicy::bounded(20, 1)},
+          Policy{"asynchronous", core::SyncPolicy::asynchronous()}}) {
+      exp::RunSpec spec = bench::make_run_spec(ctx.scale, "dlion", env,
+                                               ctx.scale.duration_s);
+      spec.extra_configure = [policy = p.policy](core::WorkerOptions& o) {
+        o.sync = policy;
+      };
+      const exp::RunResult res = exp::run_experiment(spec, workload);
+      table.row()
+          .cell(p.label)
+          .cell(res.final_accuracy, 3)
+          .cell(static_cast<long long>(res.total_iterations));
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\n(d) Extension systems on the same environment\n";
+  {
+    common::Table table({"system", "accuracy", "GB sent"});
+    for (const std::string system : {"dgc", "prague", "dlion"}) {
+      const exp::RunResult res = exp::run_experiment(
+          bench::make_run_spec(ctx.scale, system, env, ctx.scale.duration_s),
+          workload);
+      table.row()
+          .cell(system)
+          .cell(res.final_accuracy, 3)
+          .cell(static_cast<double>(res.total_bytes) / 1e9, 2);
+    }
+    table.print(std::cout);
+    std::cout << "\n(dgc = error-feedback top-k compression, prague = "
+                 "randomized partial all-reduce; see DESIGN.md "
+                 "extensions.)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Shared boilerplate for the figure/table reproduction binaries.
+//
+// Every bench accepts --scale=bench|paper plus the individual knobs parsed
+// by exp::Scale (see src/exp/experiment.h) and prints the reproduced
+// table/figure rows to stdout.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "exp/experiment.h"
+#include "exp/report.h"
+
+namespace dlion::bench {
+
+struct BenchContext {
+  common::Config config;
+  exp::Scale scale;
+
+  static BenchContext from_args(int argc, char** argv) {
+    BenchContext ctx;
+    ctx.config = common::Config::from_args(argc, argv);
+    ctx.scale = exp::Scale::from_config(ctx.config);
+    return ctx;
+  }
+};
+
+inline void print_header(const std::string& title, const exp::Scale& scale) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "(scale=" << (scale.paper ? "paper" : "bench")
+            << ", seed=" << scale.seed << ", repeats=" << scale.repeats
+            << ")\n\n";
+}
+
+/// Builds a RunSpec carrying the scale's common knobs.
+inline exp::RunSpec make_run_spec(const exp::Scale& scale,
+                                  const std::string& system,
+                                  const std::string& environment,
+                                  double duration) {
+  exp::RunSpec spec;
+  spec.system = system;
+  spec.environment = environment;
+  spec.duration_s = duration;
+  spec.dynamic_phase_s = scale.dynamic_phase_s;
+  spec.seed = scale.seed;
+  spec.eval_period_iters = scale.eval_period_iters;
+  spec.dkt_period_iters = scale.dkt_period_iters;
+  return spec;
+}
+
+inline std::string fmt_time_or_inf(double seconds) {
+  if (!std::isfinite(seconds)) return "not reached";
+  return common::format_seconds(seconds);
+}
+
+/// When --csv-dir=<dir> is passed, export the run's cluster-mean accuracy
+/// curve as <dir>/<stem>.csv for external plotting; no-op otherwise.
+inline void maybe_export_curve(const BenchContext& ctx,
+                               const exp::RunResult& result,
+                               const std::string& stem) {
+  const std::string dir = ctx.config.get_string("csv-dir", "");
+  if (dir.empty()) return;
+  try {
+    exp::export_run_curve(result, dir, stem);
+    std::cout << "[csv] wrote " << dir << "/" << stem << ".csv\n";
+  } catch (const std::exception& e) {
+    std::cerr << "[csv] export failed (" << e.what()
+              << ") - does the directory exist?\n";
+  }
+}
+
+/// File-name-safe slug: lowercase, spaces -> '-'.
+inline std::string slug(std::string s) {
+  for (char& c : s) {
+    if (c == ' ') c = '-';
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+}  // namespace dlion::bench

@@ -1,0 +1,34 @@
+// Figure 7: final model accuracy of Max N integrated with DLion for
+// different (fixed) N values, trained to convergence on a homogeneous
+// environment. Larger N (more gradient entries) -> higher accuracy.
+#include "bench_util.h"
+
+#include "core/link_prioritizer.h"
+
+int main(int argc, char** argv) {
+  using namespace dlion;
+  const auto ctx = bench::BenchContext::from_args(argc, argv);
+  bench::print_header("Figure 7: accuracy vs Max N's N value", ctx.scale);
+  const exp::Workload workload = exp::make_workload("cpu", ctx.scale);
+
+  common::Table table({"N", "final accuracy", "GB sent"});
+  for (double n : {1.0, 5.0, 10.0, 25.0, 50.0, 100.0}) {
+    exp::RunSpec spec = bench::make_run_spec(ctx.scale, "dlion", "Homo A",
+                                             1.5 * ctx.scale.duration_s);
+    spec.strategy_override = [n](std::size_t) -> core::StrategyPtr {
+      core::LinkPrioritizerConfig cfg;
+      cfg.adaptive = false;  // fixed N, no transmission speed assurance
+      cfg.fixed_n = n;
+      return std::make_unique<core::LinkPrioritizer>(cfg);
+    };
+    const exp::RunResult res = exp::run_experiment(spec, workload);
+    table.row()
+        .cell(n, 2)
+        .cell(res.best_accuracy, 3)
+        .cell(static_cast<double>(res.total_bytes) / 1e9, 3);
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper: larger N values lead to higher accuracy; N=100 "
+               "equals exchanging whole gradients.\n";
+  return 0;
+}

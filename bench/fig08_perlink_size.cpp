@@ -1,0 +1,73 @@
+// Figure 8: per-link prioritized gradient exchange sends different partial
+// gradient sizes on links with different bandwidth (worker1->worker3 at
+// 50 Mbps vs worker1->worker5 at 20 Mbps; static bandwidths).
+#include "bench_util.h"
+
+#include "common/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace dlion;
+  const auto ctx = bench::BenchContext::from_args(argc, argv);
+  bench::print_header(
+      "Figure 8: partial gradient size per communication link", ctx.scale);
+  const exp::Workload workload = exp::make_workload("cpu", ctx.scale);
+
+  // Explicit link matrix: worker 0's links to peers 2 and 4 are shaped to
+  // 50 and 20 Mbps respectively; everything else stays LAN.
+  exp::Environment env;
+  env.name = "two shaped links";
+  for (std::size_t i = 0; i < exp::kWorkers; ++i) {
+    env.compute.push_back(exp::cpu_cores(24));
+  }
+  env.network_setup = [](sim::Network& net) {
+    net.set_link(0, 2, sim::Schedule(50.0));
+    net.set_link(0, 4, sim::Schedule(20.0));
+  };
+
+  exp::RunSpec spec = bench::make_run_spec(ctx.scale, "dlion", "",
+                                           ctx.scale.duration_s);
+  spec.env_override = env;
+
+  const systems::SystemSpec system = systems::make_system("dlion");
+  core::ClusterSpec cluster_spec;
+  cluster_spec.model = workload.model;
+  cluster_spec.seed = ctx.scale.seed;
+  cluster_spec.compute = env.compute;
+  cluster_spec.network_setup = env.network_setup;
+  cluster_spec.duration_s = ctx.scale.duration_s;
+  cluster_spec.strategy_factory = system.strategy_factory;
+  core::WorkerOptions options;
+  options.learning_rate = workload.learning_rate;
+  options.eval_period_iters = ctx.scale.eval_period_iters;
+  system.configure(options);
+  options.dkt.period_iters = ctx.scale.dkt_period_iters;
+  // Fixed LBS isolates the per-link adaptation: with the GBS controller
+  // growing batches, iterations slow down and every link's byte budget
+  // saturates at the full model, hiding the per-link difference.
+  options.dynamic_batching = false;
+  cluster_spec.worker_options = options;
+
+  core::Cluster cluster(cluster_spec, workload.data.train,
+                        workload.data.test);
+  cluster.run();
+
+  common::Table table({"link", "bandwidth", "mean gradients/iteration",
+                       "sends"});
+  for (const auto& [peer, mbps] :
+       std::vector<std::pair<std::size_t, double>>{{2, 50.0}, {4, 20.0}}) {
+    common::RunningStats entries;
+    for (const auto& p : cluster.worker(0).entries_trace(peer).points()) {
+      entries.add(p.value);
+    }
+    table.row()
+        .cell("worker0 -> worker" + std::to_string(peer))
+        .cell(std::to_string(static_cast<int>(mbps)) + " Mbps")
+        .cell(entries.mean(), 0)
+        .cell(static_cast<long long>(entries.count()));
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper: the 50 Mbps link carries ~2.5x the partial gradient "
+               "size of the 20 Mbps link; sizes are steady because "
+               "bandwidths are static.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 17: standard deviation of model accuracy across the six workers in
+// three heterogeneous environments (Hetero SYS B, Hetero NET B, Hetero
+// CPU B). DLion's DKT keeps replicas synchronized; Ako's asynchronous
+// training shows the largest spread.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dlion;
+  const auto ctx = bench::BenchContext::from_args(argc, argv);
+  bench::print_header("Figure 17: accuracy deviation across workers",
+                      ctx.scale);
+  const exp::Workload workload = exp::make_workload("cpu", ctx.scale);
+
+  common::Table table({"environment", "system", "accuracy stddev",
+                       "mean accuracy"});
+  for (const std::string env :
+       {"Hetero SYS B", "Hetero NET B", "Hetero CPU B"}) {
+    for (const std::string& system : systems::comparison_systems()) {
+      const exp::RunResult res = exp::run_experiment(
+          bench::make_run_spec(ctx.scale, system, env, ctx.scale.duration_s),
+          workload);
+      table.row()
+          .cell(env)
+          .cell(system)
+          .cell(res.accuracy_stddev, 4)
+          .cell(res.final_accuracy, 3);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper: DLion has much smaller deviation than the others "
+               "(DKT periodically synchronizes weights); Ako's is the "
+               "largest (asynchronous), Hop second (backup workers), Gaia "
+               "in between.\n";
+  return 0;
+}

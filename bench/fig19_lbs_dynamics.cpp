@@ -1,0 +1,76 @@
+// Figure 19: the LBS controller dynamically re-assigns local batch sizes as
+// available compute changes. GBS is fixed at 192 (6 x 32); available cores
+// follow the paper's four phases:
+//   0-100 s : 24/24/24/24/24/24   100-300 s : 24/24/12/12/4/4
+//   300-500 s : 12/12/12/12/12/12 500-800 s : 4/4/12/12/24/24
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dlion;
+  const auto ctx = bench::BenchContext::from_args(argc, argv);
+  bench::print_header("Figure 19: LBS adaptation under dynamic compute",
+                      ctx.scale);
+  const exp::Workload workload = exp::make_workload("cpu", ctx.scale);
+  // Paper phase boundaries at 100/300/500/800 s scale with the window.
+  const double unit = ctx.scale.paper ? 1.0 : ctx.scale.duration_s / 800.0;
+  const double duration = 800.0 * unit;
+
+  const std::vector<std::vector<double>> phase_cores = {
+      {24, 24, 24, 24, 24, 24},
+      {24, 24, 12, 12, 4, 4},
+      {12, 12, 12, 12, 12, 12},
+      {4, 4, 12, 12, 24, 24}};
+  const std::vector<double> boundaries = {0.0, 100.0 * unit, 300.0 * unit,
+                                          500.0 * unit};
+
+  core::ClusterSpec spec;
+  spec.model = workload.model;
+  spec.seed = ctx.scale.seed;
+  for (std::size_t w = 0; w < exp::kWorkers; ++w) {
+    std::vector<std::pair<double, double>> points;
+    for (std::size_t p = 0; p < phase_cores.size(); ++p) {
+      points.emplace_back(boundaries[p], phase_cores[p][w]);
+    }
+    spec.compute.push_back(exp::cpu_cores(sim::Schedule(points)));
+  }
+  spec.duration_s = duration;
+  const systems::SystemSpec system = systems::make_system("dlion");
+  spec.strategy_factory = system.strategy_factory;
+  core::WorkerOptions options;
+  options.learning_rate = workload.learning_rate;
+  options.eval_period_iters = ctx.scale.eval_period_iters;
+  system.configure(options);
+  options.dkt.period_iters = ctx.scale.dkt_period_iters;
+  // GBS fixed at 192: the LBS controller alone reacts to compute changes.
+  options.gbs_schedule = [](std::uint64_t, double) {
+    return std::size_t{192};
+  };
+  // Re-profile frequently enough to catch the phase changes.
+  options.batch_update_period_s = 10.0 * unit;
+  spec.worker_options = options;
+
+  core::Cluster cluster(spec, workload.data.train, workload.data.test);
+  cluster.run();
+
+  common::Table table({"time(s)", "w0", "w1", "w2", "w3", "w4", "w5",
+                       "cores w0..w5"});
+  for (double t = 50.0 * unit; t <= duration; t += 50.0 * unit) {
+    common::Table& row = table.row();
+    row.cell(t, 0);
+    for (std::size_t w = 0; w < cluster.size(); ++w) {
+      row.cell(cluster.worker(w).lbs_trace().value_at(t), 0);
+    }
+    std::string cores;
+    for (std::size_t w = 0; w < cluster.size(); ++w) {
+      if (w > 0) cores += "/";
+      cores += std::to_string(static_cast<int>(
+          spec.compute[w].units.at(t)));
+    }
+    row.cell(cores);
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper: LBS is even (32 each) in the homogeneous phases and "
+               "proportional to cores in the heterogeneous phases, flipping "
+               "when the core assignment flips at the 500 s boundary.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Tables 2 and 3: the measured Amazon 6-region WAN bandwidth matrix and the
+// emulated micro-cloud environment definitions, as encoded in
+// exp::environments (the configuration every other bench runs against).
+#include <iostream>
+
+#include "common/table.h"
+#include "exp/environments.h"
+#include "sim/engine.h"
+
+int main() {
+  using namespace dlion;
+  std::cout << "\n=== Table 2: measured bandwidth between Amazon regions "
+               "(Mbps) ===\n\n";
+  {
+    const auto& names = exp::wan_region_names();
+    std::vector<std::string> headers = {"(Mbps)"};
+    for (const auto& n : names) headers.push_back(n.substr(0, 2));
+    common::Table table(headers);
+    const auto& m = exp::wan_bandwidth_matrix();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      common::Table& row = table.row();
+      row.cell(names[i]);
+      for (std::size_t j = 0; j < names.size(); ++j) {
+        row.cell(i == j ? std::string("-")
+                        : std::to_string(static_cast<int>(m[i][j])));
+      }
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\n=== Table 3: emulated micro-cloud environments ===\n\n";
+  {
+    common::Table table({"environment", "compute (units w0..w5)",
+                         "network (Mbps w0..w5)", "type"});
+    for (const std::string& name : exp::environment_names()) {
+      const exp::Environment env = exp::make_environment(name, 500.0);
+      std::string compute;
+      for (std::size_t w = 0; w < env.compute.size(); ++w) {
+        if (w > 0) compute += "/";
+        compute += std::to_string(
+            static_cast<int>(env.compute[w].units.at(0.0)));
+        if (!env.compute[w].units.is_constant()) compute += "*";
+      }
+      std::string network = "LAN";
+      if (env.network_setup) {
+        sim::Engine engine;
+        sim::Network net(engine, exp::kWorkers);
+        env.network_setup(net);
+        network.clear();
+        for (std::size_t w = 0; w < exp::kWorkers; ++w) {
+          if (w > 0) network += "/";
+          network += std::to_string(static_cast<int>(net.egress_mbps(w)));
+        }
+      }
+      table.row()
+          .cell(name)
+          .cell(compute)
+          .cell(network)
+          .cell(env.gpu ? "GPU (AWS)" : "CPU");
+    }
+    table.print(std::cout);
+    std::cout << "\n('*' marks time-varying schedules; dynamic environments "
+                 "show their t=0 values. Homo C / Hetero SYS C units are "
+                 "GPUs, others CPU cores.)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Heterogeneous micro-clouds: build a custom geo-distributed deployment
+// (three micro-clouds with different hardware, WAN links from the paper's
+// Table 2 measurements between Amazon regions) and compare DLion against a
+// baseline on it.
+//
+// This is the paper's motivating scenario (Fig. 1/3): workers inside a
+// micro-cloud talk over LAN; micro-clouds are connected over WAN.
+//
+// Usage: hetero_microclouds [--duration=300] [--seed=42]
+#include <iostream>
+
+#include "common/config.h"
+#include "exp/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace dlion;
+  const common::Config cfg = common::Config::from_args(argc, argv);
+  const exp::Scale scale = exp::Scale::from_config(cfg);
+  const exp::Workload workload = exp::make_workload("cpu", scale);
+
+  // Three micro-clouds of two workers each: a beefy one (24-core servers),
+  // a mid-range one (12-core) and an edge-grade one (6-core).
+  exp::Environment env;
+  env.name = "3 micro-clouds (Virginia/Ireland/Mumbai)";
+  for (double cores : {24.0, 24.0, 12.0, 12.0, 6.0, 6.0}) {
+    env.compute.push_back(exp::cpu_cores(cores));
+  }
+  env.network_setup = [](sim::Network& net) {
+    const auto& wan = exp::wan_bandwidth_matrix();
+    // Workers 0-1 in Virginia (region 0), 2-3 in Ireland (2), 4-5 in
+    // Mumbai (3). Same-cloud links stay LAN; cross-cloud links use the
+    // measured WAN bandwidths and intercontinental latency.
+    const std::size_t region[6] = {0, 0, 2, 2, 3, 3};
+    for (std::size_t i = 0; i < 6; ++i) {
+      for (std::size_t j = 0; j < 6; ++j) {
+        if (i == j || region[i] == region[j]) continue;
+        net.set_link(i, j, sim::Schedule(wan[region[i]][region[j]]));
+        net.set_latency(i, j, 0.04);
+      }
+    }
+  };
+
+  std::cout << "Deployment: " << env.name << "\n"
+            << "  workers 0-1: 24 cores (Virginia)\n"
+            << "  workers 2-3: 12 cores (Ireland)\n"
+            << "  workers 4-5:  6 cores (Mumbai)\n"
+            << "  WAN links: paper Table 2 measurements, 40 ms latency\n\n";
+
+  for (const std::string system : {"baseline", "dlion"}) {
+    exp::RunSpec spec;
+    spec.system = system;
+    spec.env_override = env;
+    spec.duration_s = scale.duration_s;
+    spec.seed = scale.seed;
+    spec.eval_period_iters = scale.eval_period_iters;
+    spec.dkt_period_iters = scale.dkt_period_iters;
+    const exp::RunResult res = exp::run_experiment(spec, workload);
+    std::cout << system << ":\n"
+              << "  accuracy after " << scale.duration_s
+              << " s: " << res.final_accuracy << "\n"
+              << "  worker accuracy stddev: " << res.accuracy_stddev << "\n"
+              << "  iterations: " << res.total_iterations
+              << ", bytes on the WAN+LAN: " << res.total_bytes << "\n";
+  }
+  std::cout << "\nDLion's per-link prioritized exchange fits each WAN link's "
+               "capacity and its LBS controller matches batch sizes to each "
+               "micro-cloud's hardware.\n";
+  return 0;
+}

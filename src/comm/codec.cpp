@@ -1,0 +1,178 @@
+#include "comm/codec.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dlion::comm {
+
+namespace {
+
+constexpr common::Bytes kGradientHeader = 20;   // from+iter+lbs+var count
+constexpr common::Bytes kPerVarHeader = 16;     // index+dense_size+counts
+constexpr common::Bytes kSnapshotHeader = 24;   // from+iter+loss+var count
+constexpr common::Bytes kControlBytes = 64;     // loss/DKT/RCP messages
+
+class Writer {
+ public:
+  template <typename T>
+  void put(T v) {
+    const std::size_t off = buf_.size();
+    buf_.resize(off + sizeof(T));
+    std::memcpy(buf_.data() + off, &v, sizeof(T));
+  }
+  template <typename T>
+  void put_array(const std::vector<T>& vs) {
+    const std::size_t off = buf_.size();
+    buf_.resize(off + vs.size() * sizeof(T));
+    std::memcpy(buf_.data() + off, vs.data(), vs.size() * sizeof(T));
+  }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& buf) : buf_(&buf) {}
+  template <typename T>
+  T get() {
+    check(sizeof(T));
+    T v;
+    std::memcpy(&v, buf_->data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  template <typename T>
+  std::vector<T> get_array(std::size_t count) {
+    check(count * sizeof(T));
+    std::vector<T> vs(count);
+    std::memcpy(vs.data(), buf_->data() + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+    return vs;
+  }
+  bool exhausted() const { return pos_ == buf_->size(); }
+
+ private:
+  void check(std::size_t n) const {
+    if (pos_ + n > buf_->size()) {
+      throw std::out_of_range("codec: truncated buffer");
+    }
+  }
+  const std::vector<std::uint8_t>* buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const GradientUpdate& update) {
+  Writer w;
+  w.put<std::uint32_t>(update.from);
+  w.put<std::uint64_t>(update.iteration);
+  w.put<std::uint32_t>(update.lbs);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(update.vars.size()));
+  for (const auto& v : update.vars) {
+    w.put<std::uint32_t>(v.var_index);
+    w.put<std::uint32_t>(v.dense_size);
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(v.indices.size()));
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(v.values.size()));
+    w.put_array(v.indices);
+    w.put_array(v.values);
+  }
+  return w.take();
+}
+
+GradientUpdate decode_gradient_update(const std::vector<std::uint8_t>& buf) {
+  Reader r(buf);
+  GradientUpdate u;
+  u.from = r.get<std::uint32_t>();
+  u.iteration = r.get<std::uint64_t>();
+  u.lbs = r.get<std::uint32_t>();
+  const auto nvars = r.get<std::uint32_t>();
+  u.vars.reserve(nvars);
+  for (std::uint32_t i = 0; i < nvars; ++i) {
+    VariableGrad v;
+    v.var_index = r.get<std::uint32_t>();
+    v.dense_size = r.get<std::uint32_t>();
+    const auto nidx = r.get<std::uint32_t>();
+    const auto nval = r.get<std::uint32_t>();
+    if (nidx != 0 && nidx != nval) {
+      throw std::invalid_argument("codec: index/value count mismatch");
+    }
+    v.indices = r.get_array<std::uint32_t>(nidx);
+    v.values = r.get_array<float>(nval);
+    u.vars.push_back(std::move(v));
+  }
+  if (!r.exhausted()) {
+    throw std::invalid_argument("codec: trailing bytes");
+  }
+  return u;
+}
+
+std::vector<std::uint8_t> encode(const WeightSnapshot& snapshot) {
+  Writer w;
+  w.put<std::uint32_t>(snapshot.from);
+  w.put<std::uint64_t>(snapshot.iteration);
+  w.put<double>(snapshot.loss);
+  w.put<std::uint32_t>(
+      static_cast<std::uint32_t>(snapshot.weights.values.size()));
+  for (const auto& t : snapshot.weights.values) {
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(t.size()));
+    std::vector<float> data(t.data(), t.data() + t.size());
+    w.put_array(data);
+  }
+  return w.take();
+}
+
+WeightSnapshot decode_weight_snapshot(const std::vector<std::uint8_t>& buf) {
+  Reader r(buf);
+  WeightSnapshot s;
+  s.from = r.get<std::uint32_t>();
+  s.iteration = r.get<std::uint64_t>();
+  s.loss = r.get<double>();
+  const auto nvars = r.get<std::uint32_t>();
+  s.weights.values.reserve(nvars);
+  for (std::uint32_t i = 0; i < nvars; ++i) {
+    const auto n = r.get<std::uint32_t>();
+    auto data = r.get_array<float>(n);
+    s.weights.values.emplace_back(tensor::Shape{n}, std::move(data));
+  }
+  if (!r.exhausted()) {
+    throw std::invalid_argument("codec: trailing bytes");
+  }
+  return s;
+}
+
+common::Bytes wire_bytes(const GradientUpdate& update) {
+  common::Bytes bytes = kGradientHeader;
+  for (const auto& v : update.vars) {
+    bytes += kPerVarHeader + v.indices.size() * sizeof(std::uint32_t) +
+             v.values.size() * sizeof(float);
+  }
+  return bytes;
+}
+
+common::Bytes wire_bytes(const WeightSnapshot& snapshot) {
+  common::Bytes bytes = kSnapshotHeader;
+  for (const auto& t : snapshot.weights.values) {
+    bytes += sizeof(std::uint32_t) + t.size() * sizeof(float);
+  }
+  return bytes;
+}
+
+common::Bytes wire_bytes(const Message& msg) {
+  return std::visit(
+      [](const auto& m) -> common::Bytes {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, GradientUpdate>) {
+          return wire_bytes(m);
+        } else if constexpr (std::is_same_v<T, WeightSnapshot>) {
+          return wire_bytes(m);
+        } else {
+          return kControlBytes;
+        }
+      },
+      msg);
+}
+
+}  // namespace dlion::comm

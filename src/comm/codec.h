@@ -1,0 +1,28 @@
+// Wire codec for messages.
+//
+// encode/decode provide an exact byte representation (round-trip tested);
+// wire_bytes() computes the encoded size without materializing the buffer,
+// which is what the simulator charges to the network. Layout is
+// little-endian, fixed-width, no padding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/message.h"
+#include "common/units.h"
+
+namespace dlion::comm {
+
+std::vector<std::uint8_t> encode(const GradientUpdate& update);
+GradientUpdate decode_gradient_update(const std::vector<std::uint8_t>& buf);
+
+std::vector<std::uint8_t> encode(const WeightSnapshot& snapshot);
+WeightSnapshot decode_weight_snapshot(const std::vector<std::uint8_t>& buf);
+
+/// Encoded size of any message without encoding it.
+common::Bytes wire_bytes(const Message& msg);
+common::Bytes wire_bytes(const GradientUpdate& update);
+common::Bytes wire_bytes(const WeightSnapshot& snapshot);
+
+}  // namespace dlion::comm

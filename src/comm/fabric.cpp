@@ -1,0 +1,45 @@
+#include "comm/fabric.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlion::comm {
+
+Fabric::Fabric(sim::Network& network, double byte_scale)
+    : network_(&network),
+      byte_scale_(byte_scale),
+      handlers_(network.size()) {
+  if (byte_scale <= 0.0) {
+    throw std::invalid_argument("Fabric: byte_scale must be positive");
+  }
+}
+
+void Fabric::attach(std::size_t worker, Handler handler) {
+  handlers_.at(worker) = std::move(handler);
+}
+
+common::Bytes Fabric::charged_bytes(const Message& msg) const {
+  const common::Bytes raw = wire_bytes(msg);
+  if (is_control(msg)) return raw;  // control queue: no scaling
+  return static_cast<common::Bytes>(
+      std::llround(static_cast<double>(raw) * byte_scale_));
+}
+
+void Fabric::send(std::size_t from, std::size_t to, Message msg) {
+  if (!handlers_.at(to)) {
+    throw std::logic_error("Fabric::send: no handler attached at receiver");
+  }
+  auto ptr = std::make_shared<const Message>(std::move(msg));
+  const common::Bytes bytes = charged_bytes(*ptr);
+  network_->send(from, to, bytes, [this, from, to, ptr]() {
+    handlers_[to](from, ptr);
+  });
+}
+
+void Fabric::broadcast(std::size_t from, const Message& msg) {
+  for (std::size_t to = 0; to < size(); ++to) {
+    if (to != from) send(from, to, msg);
+  }
+}
+
+}  // namespace dlion::comm

@@ -1,0 +1,51 @@
+// The message fabric: typed message delivery between workers over the
+// simulated network.
+//
+// Plays the role of the prototype's Redis deployment. Data-queue messages
+// (gradients, weights) are charged to the network at their encoded size
+// multiplied by `byte_scale` - the ratio between the nominal model size
+// (5 MB Cipher / 17 MB MobileNet) and the actually-trained model, so traffic
+// volume matches the paper's regardless of bench scale (see DESIGN.md).
+// Control-queue messages are small and charged at their fixed size.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "comm/codec.h"
+#include "comm/message.h"
+#include "sim/network.h"
+
+namespace dlion::comm {
+
+class Fabric {
+ public:
+  using Handler = std::function<void(std::size_t from, MessagePtr msg)>;
+
+  /// `byte_scale` multiplies data-queue wire sizes (>= 0; 1 = exact).
+  Fabric(sim::Network& network, double byte_scale = 1.0);
+
+  std::size_t size() const { return network_->size(); }
+
+  /// Register worker `w`'s message handler (one per worker).
+  void attach(std::size_t worker, Handler handler);
+
+  /// Send `msg` from worker `from` to worker `to`.
+  void send(std::size_t from, std::size_t to, Message msg);
+
+  /// Send `msg` to every other worker.
+  void broadcast(std::size_t from, const Message& msg);
+
+  /// Simulated wire size this fabric charges for a message.
+  common::Bytes charged_bytes(const Message& msg) const;
+
+  sim::Network& network() { return *network_; }
+  double byte_scale() const { return byte_scale_; }
+
+ private:
+  sim::Network* network_;
+  double byte_scale_;
+  std::vector<Handler> handlers_;
+};
+
+}  // namespace dlion::comm

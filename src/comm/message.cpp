@@ -1,0 +1,23 @@
+#include "comm/message.h"
+
+namespace dlion::comm {
+
+std::size_t GradientUpdate::num_entries() const {
+  std::size_t n = 0;
+  for (const auto& v : vars) n += v.num_entries();
+  return n;
+}
+
+double GradientUpdate::density(std::size_t model_params) const {
+  if (model_params == 0) return 0.0;
+  return static_cast<double>(num_entries()) /
+         static_cast<double>(model_params);
+}
+
+bool is_control(const Message& msg) {
+  return std::holds_alternative<LossReport>(msg) ||
+         std::holds_alternative<DktRequest>(msg) ||
+         std::holds_alternative<RcpReport>(msg);
+}
+
+}  // namespace dlion::comm

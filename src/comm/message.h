@@ -1,0 +1,79 @@
+// Message types exchanged between DLion workers.
+//
+// Mirrors the prototype's Redis usage (§4.2): a *data queue* carries
+// gradients and weights, a *control queue* carries small signals (loss
+// reports, DKT requests, go-signals). The granularity of gradient exchange
+// is the individual weight variable, transmitted as (indices, values) pairs
+// exactly like the paper's `send_data`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace dlion::comm {
+
+/// Partial gradient of one named weight variable. `indices` empty means the
+/// values are dense (all `dense_size` entries in order).
+struct VariableGrad {
+  std::uint32_t var_index = 0;
+  std::uint32_t dense_size = 0;
+  std::vector<std::uint32_t> indices;  ///< sorted, empty if dense
+  std::vector<float> values;
+
+  bool is_dense() const {
+    return indices.empty() && values.size() == dense_size;
+  }
+  std::size_t num_entries() const { return values.size(); }
+};
+
+/// One worker's gradient contribution for one iteration.
+struct GradientUpdate {
+  std::uint32_t from = 0;
+  std::uint64_t iteration = 0;
+  std::uint32_t lbs = 0;  ///< sender's local batch size (for db weights)
+  std::vector<VariableGrad> vars;
+
+  std::size_t num_entries() const;
+  /// Fraction of the full model's parameters carried by this update.
+  double density(std::size_t model_params) const;
+};
+
+/// Full model weights (direct knowledge transfer, §3.4).
+struct WeightSnapshot {
+  std::uint32_t from = 0;
+  std::uint64_t iteration = 0;
+  double loss = 0.0;  ///< sender's smoothed loss when snapshotting
+  nn::Snapshot weights;
+};
+
+/// Periodic average-of-last-l losses broadcast (control queue).
+struct LossReport {
+  std::uint32_t from = 0;
+  std::uint64_t iteration = 0;
+  double avg_loss = 0.0;
+};
+
+/// Request to the current best worker to send its weights.
+struct DktRequest {
+  std::uint32_t from = 0;
+  std::uint64_t iteration = 0;
+};
+
+/// Relative-compute-power announcement used by the LBS controller (§3.2).
+struct RcpReport {
+  std::uint32_t from = 0;
+  double rcp = 0.0;  ///< max LBS this worker can process per unit time
+};
+
+using Message = std::variant<GradientUpdate, WeightSnapshot, LossReport,
+                             DktRequest, RcpReport>;
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// True for messages that ride the control queue (small, latency-bound).
+bool is_control(const Message& msg);
+
+}  // namespace dlion::comm

@@ -1,0 +1,85 @@
+#include "comm/queues.h"
+
+namespace dlion::comm {
+
+void KeyedQueue::push(const std::string& key, MessagePtr msg) {
+  queues_[key].push_back(std::move(msg));
+}
+
+std::optional<MessagePtr> KeyedQueue::pop(const std::string& key) {
+  auto it = queues_.find(key);
+  if (it == queues_.end() || it->second.empty()) return std::nullopt;
+  MessagePtr msg = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  return msg;
+}
+
+std::optional<MessagePtr> KeyedQueue::front(const std::string& key) const {
+  auto it = queues_.find(key);
+  if (it == queues_.end() || it->second.empty()) return std::nullopt;
+  return it->second.front();
+}
+
+std::size_t KeyedQueue::size(const std::string& key) const {
+  auto it = queues_.find(key);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+std::size_t KeyedQueue::total_size() const {
+  std::size_t n = 0;
+  for (const auto& [key, q] : queues_) n += q.size();
+  return n;
+}
+
+std::vector<std::string> KeyedQueue::keys() const {
+  std::vector<std::string> out;
+  out.reserve(queues_.size());
+  for (const auto& [key, q] : queues_) {
+    if (!q.empty()) out.push_back(key);
+  }
+  return out;
+}
+
+std::size_t KeyedQueue::clear(const std::string& key) {
+  auto it = queues_.find(key);
+  if (it == queues_.end()) return 0;
+  const std::size_t n = it->second.size();
+  queues_.erase(it);
+  return n;
+}
+
+PubSubBus::SubscriptionId PubSubBus::subscribe(const std::string& channel,
+                                               Handler handler) {
+  const SubscriptionId id = next_id_++;
+  subs_.emplace(id, Subscription{channel, std::move(handler)});
+  return id;
+}
+
+void PubSubBus::unsubscribe(SubscriptionId id) { subs_.erase(id); }
+
+std::size_t PubSubBus::publish(const std::string& channel, MessagePtr msg) {
+  // Collect handlers first: a handler may (un)subscribe during delivery.
+  std::vector<Handler> targets;
+  for (const auto& [id, sub] : subs_) {
+    if (sub.channel == channel) targets.push_back(sub.handler);
+  }
+  for (const auto& handler : targets) handler(channel, msg);
+  return targets.size();
+}
+
+std::size_t PubSubBus::subscriber_count(const std::string& channel) const {
+  std::size_t n = 0;
+  for (const auto& [id, sub] : subs_) {
+    if (sub.channel == channel) ++n;
+  }
+  return n;
+}
+
+std::string WorkerQueues::data_key(std::size_t from, std::uint64_t iteration,
+                                   std::uint32_t var_index) {
+  return "w" + std::to_string(from) + "/i" + std::to_string(iteration) +
+         "/v" + std::to_string(var_index);
+}
+
+}  // namespace dlion::comm

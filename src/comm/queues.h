@@ -1,0 +1,80 @@
+// Keyed message queues and a pub/sub bus - the in-process equivalents of
+// the prototype's Redis Lists and Redis PUB/SUB (§4.2).
+//
+// The prototype keeps two queues per worker: a *control queue* for
+// synchronization signals and a *data queue* where partial gradients are
+// pushed under unique keys, one entry per weight variable ("the granularity
+// of data transmission is ... individual weight variables"). These classes
+// reproduce those semantics for code that wants explicit queue handling
+// rather than the callback-based Fabric: KeyedQueue is a multimap-backed
+// LPUSH/RPOP store, PubSubBus delivers to all current subscribers of a
+// channel.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/message.h"
+
+namespace dlion::comm {
+
+/// FIFO queues addressed by string key (Redis List semantics: push to the
+/// tail, pop from the head; pop on a missing/empty key returns nullopt).
+class KeyedQueue {
+ public:
+  void push(const std::string& key, MessagePtr msg);
+  std::optional<MessagePtr> pop(const std::string& key);
+  /// Peek without removing.
+  std::optional<MessagePtr> front(const std::string& key) const;
+  std::size_t size(const std::string& key) const;
+  std::size_t total_size() const;
+  /// Keys that currently hold at least one message, sorted.
+  std::vector<std::string> keys() const;
+  /// Remove all entries under a key; returns how many were dropped.
+  std::size_t clear(const std::string& key);
+
+ private:
+  std::map<std::string, std::deque<MessagePtr>> queues_;
+};
+
+/// Publish/subscribe bus (Redis PUB/SUB semantics: a published message is
+/// delivered to every *current* subscriber of the channel and is not
+/// stored; subscribers added later miss it).
+class PubSubBus {
+ public:
+  using Handler = std::function<void(const std::string& channel,
+                                     const MessagePtr&)>;
+  using SubscriptionId = std::size_t;
+
+  SubscriptionId subscribe(const std::string& channel, Handler handler);
+  /// Removes the subscription; unknown ids are ignored.
+  void unsubscribe(SubscriptionId id);
+  /// Returns the number of subscribers the message was delivered to.
+  std::size_t publish(const std::string& channel, MessagePtr msg);
+  std::size_t subscriber_count(const std::string& channel) const;
+
+ private:
+  struct Subscription {
+    std::string channel;
+    Handler handler;
+  };
+  std::map<SubscriptionId, Subscription> subs_;
+  SubscriptionId next_id_ = 0;
+};
+
+/// The per-worker queue pair from §4.2.
+struct WorkerQueues {
+  KeyedQueue control;
+  KeyedQueue data;
+
+  /// The prototype's keying scheme: one data-queue key per (sender,
+  /// iteration, weight variable).
+  static std::string data_key(std::size_t from, std::uint64_t iteration,
+                              std::uint32_t var_index);
+};
+
+}  // namespace dlion::comm

@@ -1,0 +1,80 @@
+#include "common/config.h"
+
+#include <cstdlib>
+
+namespace dlion::common {
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) continue;
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      cfg.set(std::string(arg), "true");
+    } else {
+      cfg.set(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+    }
+  }
+  return cfg;
+}
+
+void Config::set(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+bool Config::contains(std::string_view key) const {
+  return lookup(key).has_value();
+}
+
+std::optional<std::string> Config::lookup(std::string_view key) const {
+  if (auto it = values_.find(key); it != values_.end()) return it->second;
+  std::string env_key = "DLION_";
+  for (char c : key) {
+    env_key.push_back(c == '-' ? '_'
+                               : static_cast<char>(std::toupper(
+                                     static_cast<unsigned char>(c))));
+  }
+  if (const char* env = std::getenv(env_key.c_str()); env != nullptr) {
+    return std::string(env);
+  }
+  return std::nullopt;
+}
+
+std::string Config::get_string(std::string_view key,
+                               std::string fallback) const {
+  if (auto v = lookup(key)) return *v;
+  return fallback;
+}
+
+long long Config::get_int(std::string_view key, long long fallback) const {
+  if (auto v = lookup(key)) {
+    try {
+      return std::stoll(*v);
+    } catch (...) {
+      return fallback;
+    }
+  }
+  return fallback;
+}
+
+double Config::get_double(std::string_view key, double fallback) const {
+  if (auto v = lookup(key)) {
+    try {
+      return std::stod(*v);
+    } catch (...) {
+      return fallback;
+    }
+  }
+  return fallback;
+}
+
+bool Config::get_bool(std::string_view key, bool fallback) const {
+  if (auto v = lookup(key)) {
+    return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+  }
+  return fallback;
+}
+
+}  // namespace dlion::common

@@ -1,0 +1,71 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace dlion::common {
+
+namespace {
+std::atomic<int> g_level{-1};  // -1 = not yet initialized
+
+LogLevel init_from_env() {
+  const char* env = std::getenv("DLION_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  return parse_log_level(env);
+}
+}  // namespace
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+LogLevel log_level() {
+  int lv = g_level.load(std::memory_order_relaxed);
+  if (lv < 0) {
+    lv = static_cast<int>(init_from_env());
+    g_level.store(lv, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(lv);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : enabled_(level >= log_level()) {
+  if (enabled_) {
+    std::string_view path(file);
+    const auto slash = path.find_last_of('/');
+    if (slash != std::string_view::npos) path.remove_prefix(slash + 1);
+    stream_ << "[" << level_name(level) << " " << path << ":" << line << "] ";
+  }
+}
+
+LogLine::~LogLine() {
+  if (enabled_) {
+    stream_ << '\n';
+    std::cerr << stream_.str();
+  }
+}
+
+}  // namespace detail
+}  // namespace dlion::common

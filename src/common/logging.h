@@ -1,0 +1,53 @@
+// Minimal leveled logger used across the library.
+//
+// Experiments are driven from bench binaries whose primary output is the
+// reproduced table/figure rows, so the default level is kWarn; set
+// DLION_LOG=debug|info|warn|error (env) or call set_level() to change it.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dlion::common {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log level accessor. Initialized from the DLION_LOG environment
+/// variable on first use.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+LogLevel parse_log_level(std::string_view name);
+
+namespace detail {
+/// Stream-style log line that flushes on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dlion::common
+
+#define DLION_LOG(level)                                                  \
+  ::dlion::common::detail::LogLine(::dlion::common::LogLevel::k##level, \
+                                   __FILE__, __LINE__)
+
+#define DLION_DEBUG DLION_LOG(Debug)
+#define DLION_INFO DLION_LOG(Info)
+#define DLION_WARN DLION_LOG(Warn)
+#define DLION_ERROR DLION_LOG(Error)

@@ -1,0 +1,70 @@
+// Small statistics toolkit: summary statistics with confidence intervals,
+// simple ordinary-least-squares linear regression (used by the LBS
+// controller's RCP estimation, §3.2 of the paper), and an EWMA smoother
+// (used by the network resource monitor).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dlion::common {
+
+/// Streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator). 0 if fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  /// Half-width of the 95% confidence interval on the mean assuming
+  /// normality (1.96 * stderr). 0 if fewer than 2 samples.
+  double ci95_halfwidth() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Result of ordinary least squares y = intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;          ///< coefficient of determination
+  std::size_t n = 0;        ///< number of points
+
+  double predict(double x) const { return intercept + slope * x; }
+};
+
+/// Fit y = a + b x by OLS. Requires xs.size() == ys.size() >= 2 and
+/// non-constant xs; otherwise returns a fit with n == 0.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Exponentially weighted moving average. alpha in (0, 1]; alpha = 1 keeps
+/// only the latest observation.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+  void add(double x);
+  bool empty() const { return !initialized_; }
+  double value() const { return value_; }
+  void reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Population standard deviation of a vector (n denominator); 0 if empty.
+double population_stddev(std::span<const double> xs);
+double mean_of(std::span<const double> xs);
+
+}  // namespace dlion::common

@@ -1,0 +1,83 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace dlion::common {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  assert(!rows_.empty());
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return cell(ss.str());
+}
+
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c])) << v << " | ";
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& r : rows_) print_row(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& r : rows_) print_row(r);
+}
+
+std::string format_seconds(double s) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(1) << s << "s";
+  return ss.str();
+}
+
+std::string format_percent(double fraction, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return ss.str();
+}
+
+}  // namespace dlion::common

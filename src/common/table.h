@@ -1,0 +1,44 @@
+// Console table / CSV reporting used by the bench harness to print the
+// reproduced rows of each paper table and figure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dlion::common {
+
+/// A simple column-aligned text table with an optional CSV dump. Cells are
+/// strings; numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add_* calls append cells to it.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(long long value);
+  Table& cell(int value) { return cell(static_cast<long long>(value)); }
+  Table& cell(std::size_t value) {
+    return cell(static_cast<long long>(value));
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render with aligned columns.
+  void print(std::ostream& os) const;
+  /// Render as CSV (header + rows).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format seconds as e.g. "1234.5s".
+std::string format_seconds(double s);
+/// Format a fraction as a percentage, e.g. 0.715 -> "71.5%".
+std::string format_percent(double fraction, int precision = 1);
+
+}  // namespace dlion::common

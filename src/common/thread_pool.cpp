@@ -1,0 +1,112 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace dlion::common {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 1 ? hw - 1 : 0;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t n = end - begin;
+  // Serial fast path: no workers, or too little work to amortize dispatch.
+  if (workers_.empty() || n <= grain) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  const std::size_t parties = workers_.size() + 1;  // pool + caller
+  const std::size_t chunk =
+      std::max(grain, (n + parties - 1) / parties);
+  struct Shared {
+    std::atomic<std::size_t> next;
+    std::atomic<std::size_t> remaining;
+    std::mutex m;
+    std::condition_variable done;
+    std::exception_ptr error;
+    std::mutex error_m;
+  } shared;
+  shared.next.store(begin);
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  shared.remaining.store(num_chunks);
+
+  auto run_chunk = [&shared, &fn, end, chunk] {
+    const std::size_t start =
+        shared.next.fetch_add(chunk, std::memory_order_relaxed);
+    if (start < end) {
+      const std::size_t stop = std::min(end, start + chunk);
+      try {
+        for (std::size_t i = start; i < stop; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared.error_m);
+        if (!shared.error) shared.error = std::current_exception();
+      }
+    }
+    if (shared.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(shared.m);
+      shared.done.notify_one();
+    }
+  };
+
+  // The caller executes one chunk itself; the rest go to the pool.
+  for (std::size_t c = 1; c < num_chunks; ++c) enqueue(run_chunk);
+  run_chunk();
+  {
+    std::unique_lock<std::mutex> lock(shared.m);
+    shared.done.wait(lock, [&shared] {
+      return shared.remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (shared.error) std::rethrow_exception(shared.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace dlion::common

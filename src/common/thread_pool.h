@@ -1,0 +1,57 @@
+// Minimal fixed-size thread pool with a blocking parallel_for.
+//
+// The simulation core is deliberately single-threaded (determinism - see
+// DESIGN.md), but the numeric substrate benefits from data parallelism on
+// multi-core hosts: Model::compute_gradients over a large batch, dataset
+// synthesis, and repeated-experiment sweeps are all embarrassingly
+// parallel. parallel_for partitions [begin, end) into contiguous chunks,
+// runs them on the pool plus the calling thread, and rethrows the first
+// worker exception - per the Core Guidelines (CP.21 ff.): RAII-joined
+// threads, no detach, tasks not raw threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dlion::common {
+
+class ThreadPool {
+ public:
+  /// `threads` = 0 uses hardware_concurrency() - 1 (at least 1 worker when
+  /// the hardware reports more than one core; otherwise the pool is empty
+  /// and parallel_for degrades to a serial loop on the caller).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [begin, end), partitioned into ~grain-sized chunks
+  /// across the pool and the calling thread. Blocks until every index has
+  /// run. The first exception thrown by any chunk is rethrown here.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+  /// Shared process-wide pool (sized from the hardware).
+  static ThreadPool& global();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace dlion::common

@@ -1,0 +1,30 @@
+// Unit helpers. Simulated time is a plain double in seconds; bandwidths are
+// expressed in megabits per second as in the paper's Tables 2 and 3. These
+// helpers keep conversions explicit at call sites.
+#pragma once
+
+#include <cstdint>
+
+namespace dlion::common {
+
+/// Simulated time, seconds.
+using SimTime = double;
+
+/// Bytes transferred over the simulated network.
+using Bytes = std::uint64_t;
+
+constexpr double kBitsPerByte = 8.0;
+
+/// Seconds to transfer `bytes` over a link of `mbps` megabits/second.
+constexpr double transfer_seconds(Bytes bytes, double mbps) {
+  if (mbps <= 0.0) return 1e18;  // effectively unreachable link
+  return static_cast<double>(bytes) * kBitsPerByte / (mbps * 1e6);
+}
+
+constexpr Bytes kib(std::uint64_t n) { return n * 1024ULL; }
+constexpr Bytes mib(std::uint64_t n) { return n * 1024ULL * 1024ULL; }
+
+/// Megabytes (10^6) — the paper quotes model sizes in MB.
+constexpr Bytes mb(std::uint64_t n) { return n * 1000ULL * 1000ULL; }
+
+}  // namespace dlion::common

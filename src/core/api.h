@@ -1,0 +1,28 @@
+// Public facade of the DLion library.
+//
+// Mirrors the prototype's API surface (§4.2):
+//   build_model                 -> nn::make_model / nn::make_*      (model zoo)
+//   generate_partial_gradients  -> core::PartialGradientStrategy    (plugin)
+//   send_data / enqueue         -> comm::Fabric::send / broadcast
+//   synch_training              -> core::SyncPolicy + can_start_iteration
+//
+// A downstream user typically:
+//   1. builds a ClusterSpec (model, per-worker compute, network setup,
+//      WorkerOptions, strategy factory),
+//   2. constructs a core::Cluster over a data::TrainTest,
+//   3. calls run() and reads traces/metrics.
+// See examples/quickstart.cpp for the canonical walk-through and
+// systems/registry.h for turn-key configurations of DLion and the four
+// comparison systems.
+#pragma once
+
+#include "core/cluster.h"
+#include "core/dkt.h"
+#include "core/gbs_controller.h"
+#include "core/gradient_select.h"
+#include "core/lbs_controller.h"
+#include "core/link_prioritizer.h"
+#include "core/strategy.h"
+#include "core/sync_strategy.h"
+#include "core/weighted_update.h"
+#include "core/worker.h"

@@ -1,0 +1,105 @@
+#include "core/gradient_select.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace dlion::core {
+
+namespace {
+void check_n(double n) {
+  if (!(n > 0.0) || n > 100.0) {
+    throw std::invalid_argument("Max N: N must be in (0, 100]");
+  }
+}
+
+comm::VariableGrad dense_grad(std::span<const float> grad,
+                              std::uint32_t var_index) {
+  comm::VariableGrad v;
+  v.var_index = var_index;
+  v.dense_size = static_cast<std::uint32_t>(grad.size());
+  v.values.assign(grad.begin(), grad.end());
+  return v;
+}
+}  // namespace
+
+double max_n_threshold(double n, float max_abs) {
+  check_n(n);
+  return (1.0 - n / 100.0) * static_cast<double>(max_abs);
+}
+
+comm::VariableGrad select_max_n(std::span<const float> grad,
+                                std::uint32_t var_index, double n) {
+  check_n(n);
+  if (n == 100.0) return dense_grad(grad, var_index);
+  const float mx = tensor::max_abs(grad);
+  const double thr = max_n_threshold(n, mx);
+  comm::VariableGrad v;
+  v.var_index = var_index;
+  v.dense_size = static_cast<std::uint32_t>(grad.size());
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (std::fabs(grad[i]) >= thr) {
+      v.indices.push_back(static_cast<std::uint32_t>(i));
+      v.values.push_back(grad[i]);
+    }
+  }
+  return v;
+}
+
+std::size_t count_max_n(std::span<const float> grad, double n) {
+  check_n(n);
+  if (n == 100.0) return grad.size();
+  const float mx = tensor::max_abs(grad);
+  const double thr = max_n_threshold(n, mx);
+  std::size_t count = 0;
+  for (float g : grad) {
+    if (std::fabs(g) >= thr) ++count;
+  }
+  return count;
+}
+
+comm::VariableGrad select_top_k(std::span<const float> grad,
+                                std::uint32_t var_index, std::size_t k) {
+  if (k >= grad.size()) return dense_grad(grad, var_index);
+  comm::VariableGrad v;
+  v.var_index = var_index;
+  v.dense_size = static_cast<std::uint32_t>(grad.size());
+  if (k == 0) return v;
+  // Partial sort of indices by |g| descending, index ascending on ties.
+  std::vector<std::uint32_t> idx(grad.size());
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    idx[i] = static_cast<std::uint32_t>(i);
+  }
+  auto cmp = [&](std::uint32_t a, std::uint32_t b) {
+    const float fa = std::fabs(grad[a]), fb = std::fabs(grad[b]);
+    if (fa != fb) return fa > fb;
+    return a < b;
+  };
+  std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                   idx.end(), cmp);
+  idx.resize(k);
+  std::sort(idx.begin(), idx.end());
+  v.indices = std::move(idx);
+  v.values.reserve(k);
+  for (std::uint32_t i : v.indices) v.values.push_back(grad[i]);
+  return v;
+}
+
+double equivalent_n(std::span<const float> grad, std::size_t k) {
+  if (grad.empty() || k >= grad.size()) return 100.0;
+  if (k == 0) return 0.0;
+  const float mx = tensor::max_abs(grad);
+  if (mx == 0.0f) return 100.0;
+  // k-th largest magnitude is the effective threshold.
+  std::vector<float> mags(grad.size());
+  for (std::size_t i = 0; i < grad.size(); ++i) mags[i] = std::fabs(grad[i]);
+  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   mags.end(), std::greater<>());
+  const double thr = mags[k - 1];
+  return (1.0 - thr / static_cast<double>(mx)) * 100.0;
+}
+
+}  // namespace dlion::core

@@ -1,0 +1,41 @@
+// Max N gradient selection (§3.3, data quality assurance module).
+//
+// Max N keeps the entries of a gradient vector whose absolute value is
+// within N% of the vector's maximum absolute value, i.e. |g| >=
+// (1 - N/100) * max|g|. N = 100 keeps everything (dense exchange); small N
+// keeps only the statistically most significant sliver. The paper's text
+// ("greater than or equal to N% of the maximum") reads ambiguously, but its
+// two anchors fix the semantics: N=1 sends only values within 1% of the max,
+// N=100 sends whole gradients - hence the (1 - N/100) threshold.
+//
+// Selection is applied per weight variable because "each weight variable has
+// their own value distribution and convergence speed".
+#pragma once
+
+#include <span>
+
+#include "comm/message.h"
+
+namespace dlion::core {
+
+/// Threshold implied by Max N for a vector whose max-abs is `max_abs`.
+double max_n_threshold(double n, float max_abs);
+
+/// Select entries of `grad` with |g| >= (1 - n/100) * max|g|. n in (0, 100].
+/// n == 100 returns a dense VariableGrad.
+comm::VariableGrad select_max_n(std::span<const float> grad,
+                                std::uint32_t var_index, double n);
+
+/// Select the k largest-magnitude entries (ties broken by lower index).
+/// k >= grad.size() returns a dense VariableGrad.
+comm::VariableGrad select_top_k(std::span<const float> grad,
+                                std::uint32_t var_index, std::size_t k);
+
+/// Number of entries Max N would select, without materializing them.
+std::size_t count_max_n(std::span<const float> grad, double n);
+
+/// The N value whose Max N threshold equals selecting the top-k entries of
+/// `grad` (for reporting the "equivalent N" of a size-driven selection).
+double equivalent_n(std::span<const float> grad, std::size_t k);
+
+}  // namespace dlion::core

@@ -1,0 +1,70 @@
+#include "core/link_prioritizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/gradient_select.h"
+
+namespace dlion::core {
+
+LinkPrioritizer::LinkPrioritizer(LinkPrioritizerConfig config)
+    : config_(config) {}
+
+std::vector<comm::VariableGrad> LinkPrioritizer::generate(
+    const nn::Model& model, const LinkContext& ctx) {
+  const auto& vars = model.variables();
+  std::vector<comm::VariableGrad> out;
+  out.reserve(vars.size());
+
+  if (!config_.adaptive) {
+    // Data quality assurance only: fixed Max N on every link.
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      out.push_back(select_max_n(vars[v]->grad().span(),
+                                 static_cast<std::uint32_t>(v),
+                                 config_.fixed_n));
+    }
+    last_n_ = config_.fixed_n;
+    last_entries_ = 0;
+    for (const auto& vg : out) last_entries_ += vg.num_entries();
+    return out;
+  }
+
+  // Transmission speed assurance: per-iteration byte budget of this link is
+  // BW_net_j / Iter_com_i (§3.3).
+  const double budget_bytes = config_.budget_fraction *
+                              (ctx.available_mbps * 1e6 / 8.0) /
+                              std::max(ctx.iterations_per_sec, 1e-9);
+  // A sparse entry costs (index + value) = 8 bytes, scaled to nominal size.
+  const double entry_bytes = 8.0 * std::max(ctx.byte_scale, 1e-12);
+  const double entries_budget = std::max(0.0, budget_bytes / entry_bytes);
+
+  const std::size_t total_params = model.num_params();
+  double weighted_n = 0.0;
+  std::size_t total_entries = 0;
+  for (std::size_t v = 0; v < vars.size(); ++v) {
+    const auto grad = vars[v]->grad().span();
+    // The budget is split across weight variables proportionally to size;
+    // Max N is applied per variable (§3.3).
+    const double share = total_params == 0
+                             ? 0.0
+                             : entries_budget * static_cast<double>(grad.size()) /
+                                   static_cast<double>(total_params);
+    const auto k_budget = static_cast<std::size_t>(std::floor(share));
+    // Quality floor: never select less than Max N at min_n would.
+    const std::size_t k_floor = count_max_n(grad, config_.min_n);
+    const std::size_t k = std::max<std::size_t>(
+        std::max(k_budget, k_floor), grad.empty() ? 0 : 1);
+    comm::VariableGrad vg =
+        select_top_k(grad, static_cast<std::uint32_t>(v), k);
+    weighted_n += equivalent_n(grad, std::min(k, grad.size())) *
+                  static_cast<double>(grad.size());
+    total_entries += vg.num_entries();
+    out.push_back(std::move(vg));
+  }
+  last_n_ = total_params == 0 ? 100.0
+                              : weighted_n / static_cast<double>(total_params);
+  last_entries_ = total_entries;
+  return out;
+}
+
+}  // namespace dlion::core

@@ -1,0 +1,51 @@
+// Per-link prioritized gradient exchange (§3.3): DLion's own
+// PartialGradientStrategy combining the data quality assurance module
+// (Max N selection) with the transmission speed assurance module (per-link
+// automatic choice of the largest N that fits the link).
+//
+// The per-iteration byte budget of link i->j is BW_net_j / Iter_com_i: the
+// bytes the link can absorb during one of the sender's iterations. The
+// strategy picks the largest N whose Max N selection fits that budget,
+// implemented as a top-k selection with k derived from the budget (these
+// coincide: the k-th largest magnitude is exactly the Max N threshold). A
+// configurable floor `min_n` (paper: 0.85) guarantees a minimum data
+// quality even on starved links.
+#pragma once
+
+#include "core/strategy.h"
+#include "sim/trace.h"
+
+namespace dlion::core {
+
+struct LinkPrioritizerConfig {
+  /// Lower bound on N (paper evaluation: 0.85).
+  double min_n = 0.85;
+  /// If false, transmission speed assurance is disabled and `fixed_n` is
+  /// used on every link (used for the Max N-only experiments, Fig. 16).
+  bool adaptive = true;
+  double fixed_n = 10.0;
+  /// Fraction of the link budget usable for gradient payload (headroom for
+  /// headers/control traffic).
+  double budget_fraction = 0.9;
+};
+
+class LinkPrioritizer : public PartialGradientStrategy {
+ public:
+  explicit LinkPrioritizer(LinkPrioritizerConfig config);
+
+  std::vector<comm::VariableGrad> generate(const nn::Model& model,
+                                           const LinkContext& ctx) override;
+  const char* name() const override { return "dlion-perlink"; }
+
+  /// Equivalent N chosen for the most recent generate() call (for traces).
+  double last_n() const { return last_n_; }
+  /// Entries selected in the most recent generate() call.
+  std::size_t last_entries() const { return last_entries_; }
+
+ private:
+  LinkPrioritizerConfig config_;
+  double last_n_ = 100.0;
+  std::size_t last_entries_ = 0;
+};
+
+}  // namespace dlion::core

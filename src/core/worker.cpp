@@ -1,0 +1,299 @@
+#include "core/worker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/link_prioritizer.h"
+#include "core/weighted_update.h"
+
+namespace dlion::core {
+
+namespace {
+constexpr double kRcpChangeThreshold = 0.05;  // re-broadcast if >5% change
+}
+
+Worker::Worker(std::size_t id, sim::Engine& engine, comm::Fabric& fabric,
+               sim::ComputeResource compute, nn::BuiltModel built,
+               data::Dataset shard, const data::Dataset* test_set,
+               StrategyPtr strategy, WorkerOptions options, std::uint64_t seed)
+    : id_(id),
+      engine_(&engine),
+      fabric_(&fabric),
+      compute_(std::move(compute)),
+      built_(std::move(built)),
+      shard_(std::move(shard)),
+      test_set_(test_set),
+      strategy_(std::move(strategy)),
+      options_(std::move(options)),
+      sampler_(shard_, seed),
+      gbs_ctrl_(options_.gbs),
+      dkt_(options_.dkt, id, fabric.size()),
+      rcp_table_(fabric.size(), 1.0),
+      peer_latest_(fabric.size(), -1),
+      current_lbs_(options_.fixed_lbs),
+      scheduled_gbs_(options_.gbs.initial_gbs),
+      compute_rate_(0.3),
+      iter_interval_(0.3),
+      accuracy_trace_("accuracy"),
+      loss_trace_("loss"),
+      lbs_trace_("lbs"),
+      gbs_trace_("gbs"),
+      chosen_n_trace_("chosen_n"),
+      entries_traces_(fabric.size()) {
+  // Fixed evaluation subset: deterministic, shared across the run.
+  if (test_set_ != nullptr && test_set_->size() > 0) {
+    const std::size_t n = std::min(options_.eval_subset, test_set_->size());
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    eval_batch_ = data::gather(*test_set_, idx);
+  }
+  fabric_->attach(id_, [this](std::size_t from, comm::MessagePtr msg) {
+    on_message(from, std::move(msg));
+  });
+}
+
+std::size_t Worker::current_gbs() const {
+  if (options_.gbs_schedule) return scheduled_gbs_;
+  return gbs_ctrl_.gbs();
+}
+
+std::size_t Worker::effective_gbs() const {
+  if (options_.dynamic_batching || options_.gbs_schedule) {
+    return std::max<std::size_t>(1, current_gbs());
+  }
+  return std::max<std::size_t>(1, options_.fixed_lbs * fabric_->size());
+}
+
+void Worker::start(common::SimTime until) {
+  end_time_ = until;
+  if (options_.dynamic_batching || options_.gbs_schedule) {
+    profile_rcp(/*broadcast_if_changed=*/false);
+    fabric_->broadcast(id_, comm::RcpReport{static_cast<std::uint32_t>(id_),
+                                            rcp_table_[id_]});
+    recompute_lbs();
+  } else {
+    current_lbs_ = options_.fixed_lbs;
+    lbs_trace_.record(engine_->now(), static_cast<double>(current_lbs_));
+  }
+  gbs_trace_.record(engine_->now(), static_cast<double>(current_gbs()));
+  // Batch size update module: periodic profiling + GBS controller ticks.
+  engine_->after(options_.batch_update_period_s, [this] { batch_tick(); });
+  try_start_iteration();
+}
+
+void Worker::batch_tick() {
+  // Periodic LBS-controller work only: re-profile the (possibly changed)
+  // compute capacity and re-derive LBS. GBS controller ticks are driven by
+  // epoch progress in finish_iteration(), not by wall time.
+  if (engine_->now() >= end_time_) return;
+  if (options_.gbs_schedule) {
+    scheduled_gbs_ = options_.gbs_schedule(iteration_, engine_->now());
+    profile_rcp(/*broadcast_if_changed=*/true);
+    recompute_lbs();
+  } else if (options_.dynamic_batching) {
+    profile_rcp(/*broadcast_if_changed=*/true);
+    recompute_lbs();
+  }
+  gbs_trace_.record(engine_->now(), static_cast<double>(current_gbs()));
+  engine_->after(options_.batch_update_period_s, [this] { batch_tick(); });
+}
+
+void Worker::profile_rcp(bool broadcast_if_changed) {
+  // The LBS controller measures iteration time at several probe batch sizes
+  // and fits time = a + b*LBS (§3.2). Probes read the compute model's
+  // nominal timing - the simulated analogue of running short timing probes.
+  std::vector<double> xs, ys;
+  xs.reserve(options_.lbs.probe_sizes.size());
+  ys.reserve(options_.lbs.probe_sizes.size());
+  for (std::size_t lbs : options_.lbs.probe_sizes) {
+    xs.push_back(static_cast<double>(lbs));
+    ys.push_back(compute_.nominal_iteration_seconds(lbs, engine_->now()));
+  }
+  const double rcp = estimate_rcp(xs, ys, options_.lbs.unit_time_s);
+  const double old = rcp_table_[id_];
+  rcp_table_[id_] = rcp;
+  if (broadcast_if_changed &&
+      std::fabs(rcp - old) > kRcpChangeThreshold * std::max(old, 1.0)) {
+    fabric_->broadcast(id_, comm::RcpReport{static_cast<std::uint32_t>(id_),
+                                            rcp});
+  }
+}
+
+void Worker::recompute_lbs() {
+  const auto allocation =
+      allocate_lbs(current_gbs(), rcp_table_, options_.lbs.min_lbs);
+  const std::size_t lbs = std::max<std::size_t>(1, allocation[id_]);
+  if (lbs != current_lbs_) {
+    current_lbs_ = lbs;
+  }
+  lbs_trace_.record(engine_->now(), static_cast<double>(current_lbs_));
+}
+
+void Worker::try_start_iteration() {
+  if (running_ || engine_->now() >= end_time_ ||
+      iteration_ >= options_.max_iterations) {
+    return;
+  }
+  if (!can_start_iteration(options_.sync, iteration_, peer_latest_, id_)) {
+    waiting_ = true;
+    return;
+  }
+  waiting_ = false;
+  running_ = true;
+  const std::size_t lbs = current_lbs_;
+  // Real gradient math on the local shard; simulated time charged below.
+  const data::Batch batch = sampler_.next(lbs);
+  const nn::LossResult res =
+      built_.model.compute_gradients(batch.images, batch.labels);
+  dkt_.record_loss(res.loss);
+  loss_trace_.record(engine_->now(), res.loss);
+  const double dt = compute_.iteration_seconds(lbs, engine_->now());
+  compute_rate_.add(dt);
+  engine_->after(dt, [this, lbs, dt] { finish_iteration(lbs, dt); });
+}
+
+void Worker::finish_iteration(std::size_t lbs, double compute_seconds) {
+  // Apply own gradients (Eq. 7's j = k term: db = 1 literal, n*LBS_k/GBS
+  // normalized).
+  double own_db = 1.0;
+  if (options_.weighted_update && options_.db_normalized) {
+    own_db = normalized_batching_weight(lbs, effective_gbs(), fabric_->size());
+  }
+  apply_own_gradients(built_.model, options_.learning_rate, fabric_->size(),
+                      own_db);
+
+  // Iter_com_i (§3.3) is the worker's achieved iteration rate - the full
+  // cycle including synchronization waits, not just gradient compute - so
+  // the per-link byte budget self-regulates under congestion.
+  const double interval = last_finish_ < 0.0
+                              ? compute_seconds
+                              : engine_->now() - last_finish_;
+  last_finish_ = engine_->now();
+  iter_interval_.add(std::max(interval, 1e-9));
+
+  // Partial gradients generation module: per-link selection + send.
+  strategy_->begin_iteration(built_.model, iteration_);
+  const double iters_per_sec = 1.0 / std::max(iter_interval_.value(), 1e-9);
+  for (std::size_t peer = 0; peer < fabric_->size(); ++peer) {
+    if (peer == id_) continue;
+    LinkContext ctx;
+    ctx.self = id_;
+    ctx.peer = peer;
+    ctx.iteration = iteration_;
+    // The network monitor reports the link's effective rate: the fair share
+    // of the sender's shaped uplink across its n-1 peers, capped by the
+    // explicit link matrix entry (WAN paths).
+    ctx.available_mbps = fabric_->network().available_mbps(id_, peer);
+    ctx.iterations_per_sec = iters_per_sec;
+    ctx.byte_scale = fabric_->byte_scale();
+    ctx.learning_rate = options_.learning_rate;
+    ctx.n_workers = fabric_->size();
+    comm::GradientUpdate update;
+    update.from = static_cast<std::uint32_t>(id_);
+    update.iteration = iteration_;
+    update.lbs = static_cast<std::uint32_t>(lbs);
+    update.vars = strategy_->generate(built_.model, ctx);
+    entries_traces_[peer].record(engine_->now(),
+                                 static_cast<double>(update.num_entries()));
+    if (auto* lp = dynamic_cast<LinkPrioritizer*>(strategy_.get())) {
+      chosen_n_trace_.record(engine_->now(), lp->last_n());
+    }
+    fabric_->send(id_, peer, std::move(update));
+  }
+
+  ++iteration_;
+
+  // GBS controller (§3.2): one tick per epoch of estimated cluster-wide
+  // training progress. Every iteration consumes about one GBS of samples
+  // across the cluster.
+  if (options_.dynamic_batching && !options_.gbs_schedule &&
+      options_.gbs.dataset_size > 0) {
+    epoch_progress_ += static_cast<double>(effective_gbs()) /
+                       static_cast<double>(options_.gbs.dataset_size);
+    if (epoch_progress_ >= epochs_ticked_ + 1.0) {
+      epochs_ticked_ += 1.0;
+      gbs_ctrl_.tick();
+      profile_rcp(/*broadcast_if_changed=*/false);
+      recompute_lbs();
+      gbs_trace_.record(engine_->now(), static_cast<double>(current_gbs()));
+    }
+  }
+
+  // Model accuracy measured every eval_period iterations (§5.1.3).
+  if (test_set_ != nullptr && iteration_ % options_.eval_period_iters == 0) {
+    evaluate_accuracy();
+  }
+
+  // Model synchronization module (§3.4).
+  if (dkt_.is_boundary(iteration_)) run_dkt_boundary();
+
+  running_ = false;
+  engine_->after(0.0, [this] { try_start_iteration(); });
+}
+
+void Worker::run_dkt_boundary() {
+  fabric_->broadcast(
+      id_, comm::LossReport{static_cast<std::uint32_t>(id_), iteration_,
+                            dkt_.avg_loss()});
+  if (dkt_.should_request(iteration_)) {
+    const std::size_t best = dkt_.best_worker();
+    fabric_->send(id_, best,
+                  comm::DktRequest{static_cast<std::uint32_t>(id_),
+                                   iteration_});
+  }
+}
+
+double Worker::evaluate_accuracy() {
+  if (eval_batch_.size() == 0) return 0.0;
+  const nn::LossResult res =
+      built_.model.evaluate(eval_batch_.images, eval_batch_.labels);
+  accuracy_trace_.record(engine_->now(), res.accuracy);
+  return res.accuracy;
+}
+
+void Worker::on_message(std::size_t from, comm::MessagePtr msg) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, comm::GradientUpdate>) {
+          peer_latest_[from] =
+              std::max(peer_latest_[from],
+                       static_cast<std::int64_t>(m.iteration));
+          const double db =
+              options_.db_normalized
+                  ? normalized_batching_weight(std::max<std::size_t>(1, m.lbs),
+                                               effective_gbs(),
+                                               fabric_->size(),
+                                               options_.weighted_update)
+                  : dynamic_batching_weight(std::max<std::size_t>(1, m.lbs),
+                                            std::max<std::size_t>(
+                                                1, current_lbs_),
+                                            options_.weighted_update);
+          apply_gradient_update(built_.model, m, options_.learning_rate,
+                                fabric_->size(), db);
+          if (waiting_) {
+            engine_->after(0.0, [this] { try_start_iteration(); });
+          }
+        } else if constexpr (std::is_same_v<T, comm::LossReport>) {
+          dkt_.record_peer_loss(from, m.avg_loss, m.iteration);
+        } else if constexpr (std::is_same_v<T, comm::DktRequest>) {
+          comm::WeightSnapshot snap;
+          snap.from = static_cast<std::uint32_t>(id_);
+          snap.iteration = iteration_;
+          snap.loss = dkt_.avg_loss();
+          snap.weights = built_.model.weights();
+          fabric_->send(id_, from, std::move(snap));
+        } else if constexpr (std::is_same_v<T, comm::WeightSnapshot>) {
+          dkt_.merge(built_.model, m.weights);
+        } else if constexpr (std::is_same_v<T, comm::RcpReport>) {
+          rcp_table_[from] = m.rcp;
+          if (options_.dynamic_batching || options_.gbs_schedule) {
+            recompute_lbs();
+          }
+        }
+      },
+      *msg);
+}
+
+}  // namespace dlion::core

@@ -1,0 +1,148 @@
+// A DLion worker: the event-driven embodiment of the paper's Fig. 10.
+//
+// The main training workflow computes gradients over the current LBS,
+// generates per-link partial gradients, and periodically updates batch
+// sizes. The modules the prototype runs as separate threads - model update,
+// model synchronization (DKT), network resource monitor - become message
+// handlers and periodic events on the simulation engine, preserving the
+// paper's module boundaries while keeping runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "comm/fabric.h"
+#include "common/stats.h"
+#include "core/dkt.h"
+#include "core/gbs_controller.h"
+#include "core/lbs_controller.h"
+#include "core/strategy.h"
+#include "core/sync_strategy.h"
+#include "data/dataset.h"
+#include "nn/model_zoo.h"
+#include "sim/compute_model.h"
+#include "sim/trace.h"
+
+namespace dlion::core {
+
+struct WorkerOptions {
+  double learning_rate = 0.05;
+  /// Weighted dynamic batching (§3.2): GBS + LBS controllers. When false,
+  /// every worker uses `fixed_lbs` (the traditional even split).
+  bool dynamic_batching = true;
+  /// Weighted model update (Eq. 7 db weights). When false, db = 1.
+  bool weighted_update = true;
+  /// Use the normalized batching weights n*LBS_j/GBS instead of the literal
+  /// Eq. 7 LBS_j/LBS_k (same direction, receiver-independent magnitude; see
+  /// weighted_update.h).
+  bool db_normalized = true;
+  std::size_t fixed_lbs = 32;
+  GbsConfig gbs;
+  LbsConfig lbs;
+  DktConfig dkt;
+  SyncPolicy sync = SyncPolicy::bounded(5, 0);
+  /// Batch size update module tick period (profiling + GBS controller).
+  double batch_update_period_s = 20.0;
+  /// Evaluate model accuracy every this many iterations (paper: 20).
+  std::uint64_t eval_period_iters = 20;
+  /// Test samples used per evaluation (subset keeps wall time bounded).
+  std::size_t eval_subset = 512;
+  std::uint64_t max_iterations = UINT64_MAX;
+  /// Optional externally-scripted GBS (used by the Fig. 5 study); when set
+  /// it replaces the GBS controller. Called at every batch tick.
+  std::function<std::size_t(std::uint64_t iteration, double now)> gbs_schedule;
+};
+
+class Worker {
+ public:
+  Worker(std::size_t id, sim::Engine& engine, comm::Fabric& fabric,
+         sim::ComputeResource compute, nn::BuiltModel built,
+         data::Dataset shard, const data::Dataset* test_set,
+         StrategyPtr strategy, WorkerOptions options, std::uint64_t seed);
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Begin training; the worker stops starting iterations at `until`.
+  void start(common::SimTime until);
+
+  std::size_t id() const { return id_; }
+  std::uint64_t iterations() const { return iteration_; }
+  std::size_t current_lbs() const { return current_lbs_; }
+  std::size_t current_gbs() const;
+  /// The global batch size in effect: the controller's GBS under dynamic
+  /// batching, n * fixed_lbs otherwise.
+  std::size_t effective_gbs() const;
+  double current_rcp() const { return rcp_table_[id_]; }
+
+  const sim::Trace& accuracy_trace() const { return accuracy_trace_; }
+  const sim::Trace& loss_trace() const { return loss_trace_; }
+  const sim::Trace& lbs_trace() const { return lbs_trace_; }
+  const sim::Trace& gbs_trace() const { return gbs_trace_; }
+  /// Partial-gradient entries sent to each peer, one trace per peer id.
+  const sim::Trace& entries_trace(std::size_t peer) const {
+    return entries_traces_.at(peer);
+  }
+  /// Equivalent Max N values chosen per send (only meaningful for DLion).
+  const sim::Trace& chosen_n_trace() const { return chosen_n_trace_; }
+
+  nn::Model& model() { return built_.model; }
+  const nn::ModelProfile& profile() const { return built_.profile; }
+  PartialGradientStrategy& strategy() { return *strategy_; }
+  const WorkerOptions& options() const { return options_; }
+
+  /// Evaluate accuracy on the held-out subset right now (also recorded on
+  /// the accuracy trace when called internally).
+  double evaluate_accuracy();
+
+ private:
+  void on_message(std::size_t from, comm::MessagePtr msg);
+  void try_start_iteration();
+  void finish_iteration(std::size_t lbs, double compute_seconds);
+  void batch_tick();
+  void profile_rcp(bool broadcast_if_changed);
+  void recompute_lbs();
+  void run_dkt_boundary();
+
+  std::size_t id_;
+  sim::Engine* engine_;
+  comm::Fabric* fabric_;
+  sim::ComputeResource compute_;
+  nn::BuiltModel built_;
+  data::Dataset shard_;
+  const data::Dataset* test_set_;
+  StrategyPtr strategy_;
+  WorkerOptions options_;
+  data::MinibatchSampler sampler_;
+  data::Batch eval_batch_;
+
+  GbsController gbs_ctrl_;
+  DktModule dkt_;
+  std::vector<double> rcp_table_;
+  std::vector<std::int64_t> peer_latest_;
+
+  std::uint64_t iteration_ = 0;
+  /// Cluster-level epoch progress estimate: sum over own iterations of
+  /// GBS/dataset_size (each iteration, the cluster as a whole consumes
+  /// about one GBS worth of samples). Drives GBS controller ticks.
+  double epoch_progress_ = 0.0;
+  double epochs_ticked_ = 0.0;
+  std::size_t current_lbs_;
+  std::size_t scheduled_gbs_;  // from gbs_schedule override, if any
+  bool running_ = false;
+  bool waiting_ = false;
+  common::SimTime end_time_ = 0.0;
+  common::Ewma compute_rate_;    // EWMA of iteration compute seconds
+  common::Ewma iter_interval_;   // EWMA of full iteration cycle seconds
+  common::SimTime last_finish_ = -1.0;
+
+  sim::Trace accuracy_trace_;
+  sim::Trace loss_trace_;
+  sim::Trace lbs_trace_;
+  sim::Trace gbs_trace_;
+  sim::Trace chosen_n_trace_;
+  std::vector<sim::Trace> entries_traces_;
+};
+
+}  // namespace dlion::core

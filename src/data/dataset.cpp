@@ -1,0 +1,61 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace dlion::data {
+
+std::size_t Dataset::num_classes() const {
+  std::int32_t mx = -1;
+  for (std::int32_t l : labels) mx = std::max(mx, l);
+  return static_cast<std::size_t>(mx + 1);
+}
+
+Batch gather(const Dataset& dataset, std::span<const std::size_t> indices) {
+  if (dataset.size() == 0) throw std::invalid_argument("gather: empty dataset");
+  const auto& shape = dataset.images.shape();
+  const std::size_t elems = dataset.sample_elems();
+  std::vector<std::size_t> dims = shape.dims();
+  dims[0] = indices.size();
+  Batch batch;
+  batch.images = tensor::Tensor(tensor::Shape(dims));
+  batch.labels.reserve(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t src = indices[i];
+    if (src >= dataset.size()) throw std::out_of_range("gather: bad index");
+    std::memcpy(batch.images.data() + i * elems,
+                dataset.images.data() + src * elems, elems * sizeof(float));
+    batch.labels.push_back(dataset.labels[src]);
+  }
+  return batch;
+}
+
+Dataset shard(const Dataset& dataset, std::size_t n_workers,
+              std::size_t worker) {
+  if (n_workers == 0 || worker >= n_workers) {
+    throw std::invalid_argument("shard: bad worker index");
+  }
+  const std::size_t n = dataset.size();
+  const std::size_t base = n / n_workers;
+  const std::size_t extra = n % n_workers;
+  const std::size_t begin = worker * base + std::min(worker, extra);
+  const std::size_t count = base + (worker < extra ? 1 : 0);
+  Dataset out;
+  out.images = dataset.images.slice_rows(begin, begin + count);
+  out.labels.assign(dataset.labels.begin() + static_cast<std::ptrdiff_t>(begin),
+                    dataset.labels.begin() +
+                        static_cast<std::ptrdiff_t>(begin + count));
+  return out;
+}
+
+Batch MinibatchSampler::next(std::size_t batch_size) {
+  if (dataset_->size() == 0) {
+    throw std::logic_error("MinibatchSampler: empty dataset");
+  }
+  std::vector<std::size_t> idx(batch_size);
+  for (auto& i : idx) i = rng_.uniform_index(dataset_->size());
+  return gather(*dataset_, idx);
+}
+
+}  // namespace dlion::data

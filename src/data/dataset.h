@@ -1,0 +1,57 @@
+// In-memory labeled image dataset and minibatch extraction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace dlion::data {
+
+/// A dataset of images (N, C, H, W) with integer class labels.
+struct Dataset {
+  tensor::Tensor images;             ///< rank-4 (N, C, H, W)
+  std::vector<std::int32_t> labels;  ///< length N
+
+  std::size_t size() const { return labels.size(); }
+  std::size_t num_classes() const;
+  std::size_t sample_elems() const {
+    return size() == 0 ? 0 : images.size() / size();
+  }
+};
+
+/// A minibatch ready for Model::compute_gradients.
+struct Batch {
+  tensor::Tensor images;             ///< (B, C, H, W)
+  std::vector<std::int32_t> labels;  ///< length B
+
+  std::size_t size() const { return labels.size(); }
+};
+
+/// Gather the given sample indices into a batch.
+Batch gather(const Dataset& dataset, std::span<const std::size_t> indices);
+
+/// Contiguous shard `worker` of `n_workers` (sizes differ by at most one).
+/// This models the paper's partitioned training data: each micro-cloud
+/// worker trains on its local shard.
+Dataset shard(const Dataset& dataset, std::size_t n_workers,
+              std::size_t worker);
+
+/// Uniform with-replacement minibatch sampler over a dataset. Each worker
+/// owns one sampler seeded from its worker id, so runs are deterministic.
+class MinibatchSampler {
+ public:
+  MinibatchSampler(const Dataset& dataset, std::uint64_t seed)
+      : dataset_(&dataset), rng_(seed) {}
+
+  /// Draw a batch of the requested size.
+  Batch next(std::size_t batch_size);
+
+ private:
+  const Dataset* dataset_;
+  common::Rng rng_;
+};
+
+}  // namespace dlion::data

@@ -1,0 +1,159 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+namespace dlion::data {
+
+namespace {
+
+/// A coarse grid of Gaussian values bilinearly upsampled to (h, w). This
+/// produces smooth, image-like low-frequency structure.
+std::vector<float> smooth_field(common::Rng& rng, std::size_t grid,
+                                std::size_t h, std::size_t w, double std) {
+  std::vector<float> coarse(grid * grid);
+  for (auto& v : coarse) v = static_cast<float>(rng.normal(0.0, std));
+  std::vector<float> out(h * w);
+  for (std::size_t y = 0; y < h; ++y) {
+    const double gy = (h == 1) ? 0.0
+                               : static_cast<double>(y) / (h - 1) * (grid - 1);
+    const auto y0 = static_cast<std::size_t>(gy);
+    const std::size_t y1 = std::min(y0 + 1, grid - 1);
+    const double fy = gy - static_cast<double>(y0);
+    for (std::size_t x = 0; x < w; ++x) {
+      const double gx =
+          (w == 1) ? 0.0 : static_cast<double>(x) / (w - 1) * (grid - 1);
+      const auto x0 = static_cast<std::size_t>(gx);
+      const std::size_t x1 = std::min(x0 + 1, grid - 1);
+      const double fx = gx - static_cast<double>(x0);
+      const double v = (1 - fy) * ((1 - fx) * coarse[y0 * grid + x0] +
+                                   fx * coarse[y0 * grid + x1]) +
+                       fy * ((1 - fx) * coarse[y1 * grid + x0] +
+                             fx * coarse[y1 * grid + x1]);
+      out[y * w + x] = static_cast<float>(v);
+    }
+  }
+  return out;
+}
+
+Dataset generate_split(const SyntheticSpec& spec,
+                       const std::vector<std::vector<float>>& prototypes,
+                       std::size_t count, common::Rng& rng) {
+  Dataset ds;
+  ds.images = tensor::Tensor(
+      tensor::Shape{count, spec.channels, spec.height, spec.width});
+  ds.labels.resize(count);
+  const std::size_t plane = spec.height * spec.width;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto cls = rng.uniform_index(spec.classes);
+    std::int32_t label = static_cast<std::int32_t>(cls);
+    if (spec.label_noise > 0.0 && rng.bernoulli(spec.label_noise)) {
+      label = static_cast<std::int32_t>(rng.uniform_index(spec.classes));
+    }
+    ds.labels[i] = label;
+    for (std::size_t c = 0; c < spec.channels; ++c) {
+      const auto& proto = prototypes[cls * spec.channels + c];
+      const auto distortion =
+          smooth_field(rng, 3, spec.height, spec.width, spec.distortion_std);
+      float* dst = ds.images.data() + (i * spec.channels + c) * plane;
+      for (std::size_t p = 0; p < plane; ++p) {
+        const double v = proto[p] + distortion[p] +
+                         rng.normal(0.0, spec.noise_std);
+        dst[p] = static_cast<float>(std::tanh(v));
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+TrainTest make_synthetic(const SyntheticSpec& spec) {
+  common::Rng rng(spec.seed);
+  // Class prototypes: one smooth field per (class, channel), scaled so
+  // classes are distinguishable but overlapping under noise.
+  std::vector<std::vector<float>> prototypes;
+  prototypes.reserve(spec.classes * spec.channels);
+  for (std::size_t k = 0; k < spec.classes * spec.channels; ++k) {
+    prototypes.push_back(smooth_field(rng, 4, spec.height, spec.width, 1.0));
+  }
+  TrainTest tt;
+  common::Rng train_rng = rng.fork();
+  common::Rng test_rng = rng.fork();
+  tt.train = generate_split(spec, prototypes, spec.num_train, train_rng);
+  tt.test = generate_split(spec, prototypes, spec.num_test, test_rng);
+  return tt;
+}
+
+TrainTest make_synth_cipher(std::uint64_t seed, bool paper_scale) {
+  SyntheticSpec spec;
+  spec.seed = seed;
+  if (paper_scale) {
+    spec.num_train = 60000;
+    spec.num_test = 10000;
+    spec.height = spec.width = 28;
+  } else {
+    spec.num_train = 6000;
+    spec.num_test = 1000;
+    spec.height = spec.width = 8;
+  }
+  return make_synthetic(spec);
+}
+
+TrainTest make_synth_imagenet100(std::uint64_t seed, bool paper_scale) {
+  SyntheticSpec spec;
+  spec.seed = seed;
+  spec.channels = 3;
+  // Many classes are harder to separate; keep noise moderate so training
+  // makes visible progress within the simulated window.
+  spec.noise_std = 1.5;
+  spec.distortion_std = 0.9;
+  spec.label_noise = 0.05;
+  if (paper_scale) {
+    spec.classes = 100;  // the paper's randomly selected 100-class subset
+    spec.num_train = 120000;
+    spec.num_test = 5000;
+    spec.height = spec.width = 32;
+  } else {
+    // Bench scale trades class count and resolution for wall-clock time;
+    // the simulated cost profile stays ImageNet/MobileNet-sized.
+    spec.classes = 20;
+    spec.num_train = 20000;
+    spec.num_test = 1000;
+    spec.height = spec.width = 12;
+  }
+  return make_synthetic(spec);
+}
+
+TrainTest make_blobs(std::uint64_t seed, std::size_t features,
+                     std::size_t classes, std::size_t num_train,
+                     std::size_t num_test, double spread) {
+  common::Rng rng(seed);
+  std::vector<std::vector<float>> centers(classes,
+                                          std::vector<float>(features));
+  for (auto& c : centers) {
+    for (auto& v : c) v = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  auto gen = [&](std::size_t count, common::Rng& r) {
+    Dataset ds;
+    ds.images = tensor::Tensor(tensor::Shape{count, 1, 1, features});
+    ds.labels.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto cls = r.uniform_index(classes);
+      ds.labels[i] = static_cast<std::int32_t>(cls);
+      float* dst = ds.images.data() + i * features;
+      for (std::size_t f = 0; f < features; ++f) {
+        dst[f] = centers[cls][f] + static_cast<float>(r.normal(0.0, spread));
+      }
+    }
+    return ds;
+  };
+  TrainTest tt;
+  common::Rng train_rng = rng.fork();
+  common::Rng test_rng = rng.fork();
+  tt.train = gen(num_train, train_rng);
+  tt.test = gen(num_test, test_rng);
+  return tt;
+}
+
+}  // namespace dlion::data

@@ -1,0 +1,64 @@
+// Synthetic dataset generators.
+//
+// The paper trains on CIFAR10 ("Cipher": 28x28 grayscale, 60K/10K, 10
+// classes) and a 100-class ImageNet subset. Neither is available offline, so
+// these generators synthesize classification tasks with the properties the
+// experiments depend on: (1) accuracy rises steeply then saturates below
+// 100% (so "time to 70%" and "converged accuracy" are meaningful), (2)
+// difficulty is tunable via sample noise / label noise / class confusability,
+// and (3) everything is deterministic given a seed.
+//
+// Generation model: each class gets a smooth random prototype image; a
+// sample is prototype + per-sample smooth distortion + pixel noise, squashed
+// through tanh. A fraction of labels is flipped uniformly (irreducible
+// error), which caps the best achievable accuracy like real datasets do.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace dlion::data {
+
+struct SyntheticSpec {
+  std::size_t num_train = 6000;
+  std::size_t num_test = 1000;
+  std::size_t classes = 10;
+  std::size_t channels = 1;
+  std::size_t height = 8;
+  std::size_t width = 8;
+  /// Standard deviation of per-pixel Gaussian noise added to prototypes.
+  double noise_std = 1.4;
+  /// Standard deviation of the smooth (low-frequency) per-sample distortion.
+  double distortion_std = 0.8;
+  /// Fraction of labels flipped uniformly at random (irreducible error).
+  double label_noise = 0.06;
+  std::uint64_t seed = 42;
+};
+
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+/// Generate a train/test pair from one spec (test shares prototypes with
+/// train but uses fresh samples).
+TrainTest make_synthetic(const SyntheticSpec& spec);
+
+/// The default "SynthCipher" task used by CPU-cluster experiments at bench
+/// scale: 10 classes, 8x8 grayscale. At `paper_scale`, 28x28 with 60K/10K
+/// samples (matching the paper's description of the Cipher dataset).
+TrainTest make_synth_cipher(std::uint64_t seed, bool paper_scale = false);
+
+/// The "SynthImageNet100" task used by GPU-cluster experiments: 100 classes,
+/// RGB. Bench scale is 16x16 with 10K samples; paper scale 32x32 / 120K.
+TrainTest make_synth_imagenet100(std::uint64_t seed, bool paper_scale = false);
+
+/// Linearly separable Gaussian blobs (features = height*width, channels=1):
+/// logistic regression reaches ~100%; used by convergence property tests.
+TrainTest make_blobs(std::uint64_t seed, std::size_t features,
+                     std::size_t classes, std::size_t num_train,
+                     std::size_t num_test, double spread = 0.25);
+
+}  // namespace dlion::data

@@ -1,0 +1,55 @@
+// Emulated micro-cloud environments: the paper's Table 3 (all eleven
+// environments) and Table 2 (the measured Amazon 6-region WAN bandwidth
+// matrix).
+//
+// Compute values are CPU cores per worker (CPU cluster) or GPU units
+// (p2.xlarge = 1, p2.8xlarge = 8). Network values are per-worker egress
+// Mbps, exactly as listed in Table 3; "LAN" means unshaped 1 Gbps.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/compute_model.h"
+#include "sim/network.h"
+
+namespace dlion::exp {
+
+struct Environment {
+  std::string name;
+  std::vector<sim::ComputeSpec> compute;
+  std::function<void(sim::Network&)> network_setup;  ///< may be empty (LAN)
+  bool gpu = false;  ///< uses GPU-calibrated compute (Homo C, Hetero SYS C)
+};
+
+/// Number of workers in every paper environment.
+constexpr std::size_t kWorkers = 6;
+
+/// Build a Table 3 environment by name: "Homo A", "Homo B", "Homo C",
+/// "Hetero CPU A", "Hetero CPU B", "Hetero NET A", "Hetero NET B",
+/// "Hetero SYS A", "Hetero SYS B", "Hetero SYS C",
+/// "Dynamic SYS A", "Dynamic SYS B".
+/// `phase_s` sets the per-phase duration of the dynamic environments
+/// (paper: 500 s; default scales of benches pass smaller values).
+Environment make_environment(const std::string& name, double phase_s = 500.0);
+
+/// All Table 3 environment names, in the table's order.
+std::vector<std::string> environment_names();
+
+/// Table 2: measured bandwidth (Mbps) between six Amazon regions
+/// (V, O, I, M, S1, S2). row = source, col = destination; diagonal is LAN.
+const std::vector<std::vector<double>>& wan_bandwidth_matrix();
+const std::vector<std::string>& wan_region_names();
+
+/// An environment whose 6 workers sit in the six Amazon regions with the
+/// Table 2 matrix as per-link bandwidth (used by the §3 exploratory
+/// studies' "emulated 6-worker cluster").
+Environment make_wan_matrix_environment();
+
+/// Per-worker compute spec helpers.
+sim::ComputeSpec cpu_cores(double cores);
+sim::ComputeSpec cpu_cores(sim::Schedule cores);
+sim::ComputeSpec gpu_units(double units);
+
+}  // namespace dlion::exp

@@ -1,0 +1,55 @@
+#include "exp/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace dlion::exp {
+
+void write_trace_csv(const sim::Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_trace_csv: cannot open " + path);
+  out << "time," << (trace.name().empty() ? "value" : trace.name()) << "\n";
+  for (const auto& p : trace.points()) {
+    out << p.time << "," << p.value << "\n";
+  }
+  if (!out) throw std::runtime_error("write_trace_csv: write failed");
+}
+
+void write_curves_csv(const std::vector<std::string>& names,
+                      const std::vector<const sim::Trace*>& traces,
+                      const std::string& path) {
+  if (names.size() != traces.size()) {
+    throw std::invalid_argument("write_curves_csv: name/trace mismatch");
+  }
+  std::vector<double> times;
+  for (const sim::Trace* t : traces) {
+    for (const auto& p : t->points()) times.push_back(p.time);
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_curves_csv: cannot open " + path);
+  out << "time";
+  for (const auto& n : names) out << "," << n;
+  out << "\n";
+  for (double t : times) {
+    out << t;
+    for (const sim::Trace* trace : traces) {
+      const double v = trace->value_at(t);
+      out << ",";
+      if (!std::isnan(v)) out << v;
+    }
+    out << "\n";
+  }
+  if (!out) throw std::runtime_error("write_curves_csv: write failed");
+}
+
+void export_run_curve(const RunResult& result, const std::string& dir,
+                      const std::string& stem) {
+  write_trace_csv(result.mean_curve, dir + "/" + stem + ".csv");
+}
+
+}  // namespace dlion::exp

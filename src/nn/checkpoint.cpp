@@ -1,0 +1,83 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace dlion::nn {
+
+namespace {
+constexpr char kMagic[4] = {'D', 'L', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("checkpoint: truncated file");
+  return v;
+}
+}  // namespace
+
+void save_checkpoint(const Model& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_u32(out, kVersion);
+  write_u32(out, static_cast<std::uint32_t>(model.num_variables()));
+  for (const Variable* var : model.variables()) {
+    const auto& shape = var->value().shape();
+    write_u32(out, static_cast<std::uint32_t>(var->name().size()));
+    out.write(var->name().data(),
+              static_cast<std::streamsize>(var->name().size()));
+    write_u32(out, static_cast<std::uint32_t>(shape.rank()));
+    for (std::size_t d = 0; d < shape.rank(); ++d) {
+      write_u32(out, static_cast<std::uint32_t>(shape[d]));
+    }
+    out.write(reinterpret_cast<const char*>(var->value().data()),
+              static_cast<std::streamsize>(var->size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("checkpoint: write failed on " + path);
+}
+
+void load_checkpoint(Model& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  const std::uint32_t version = read_u32(in);
+  if (version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version");
+  }
+  const std::uint32_t count = read_u32(in);
+  if (count != model.num_variables()) {
+    throw std::invalid_argument("checkpoint: variable count mismatch");
+  }
+  for (Variable* var : model.variables()) {
+    const std::uint32_t name_len = read_u32(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (!in || name != var->name()) {
+      throw std::invalid_argument("checkpoint: variable name mismatch (" +
+                                  name + " vs " + var->name() + ")");
+    }
+    const std::uint32_t rank = read_u32(in);
+    std::vector<std::size_t> dims(rank);
+    for (auto& d : dims) d = read_u32(in);
+    if (!(tensor::Shape(dims) == var->value().shape())) {
+      throw std::invalid_argument("checkpoint: shape mismatch at " + name);
+    }
+    in.read(reinterpret_cast<char*>(var->value().data()),
+            static_cast<std::streamsize>(var->size() * sizeof(float)));
+    if (!in) throw std::runtime_error("checkpoint: truncated tensor data");
+  }
+}
+
+}  // namespace dlion::nn

@@ -1,0 +1,21 @@
+// Model checkpointing: save/load weight snapshots to a simple binary file
+// format ("DLCK"), so long training runs and examples can persist and
+// resume models. The format stores per-variable shapes, so loading into a
+// mismatched architecture fails loudly.
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace dlion::nn {
+
+/// Write the model's weights to `path`. Throws std::runtime_error on I/O
+/// failure.
+void save_checkpoint(const Model& model, const std::string& path);
+
+/// Load weights from `path` into the model. Throws std::runtime_error on
+/// I/O failure and std::invalid_argument on architecture mismatch.
+void load_checkpoint(Model& model, const std::string& path);
+
+}  // namespace dlion::nn

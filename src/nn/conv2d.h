@@ -1,0 +1,49 @@
+// GEMM-based 2-D convolution (NCHW) via im2col, plus the depthwise variant
+// used by the MobileNet-style model in the zoo.
+#pragma once
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace dlion::nn {
+
+class Conv2D : public Layer {
+ public:
+  Conv2D(std::string name, std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride = 1, std::size_t pad = 0);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Variable*> variables() override;
+  void init_weights(common::Rng& rng) override;
+  const char* kind() const override { return "Conv2D"; }
+
+ private:
+  std::size_t in_c_, out_c_, k_, stride_, pad_;
+  Variable weight_;  // (out_c, in_c * k * k)
+  Variable bias_;    // (out_c)
+  tensor::Tensor cached_input_;
+  tensor::Tensor cached_cols_;  // im2col per batch element, concatenated
+};
+
+/// Depthwise convolution: each input channel convolved with its own kernel.
+class DepthwiseConv2D : public Layer {
+ public:
+  DepthwiseConv2D(std::string name, std::size_t channels, std::size_t kernel,
+                  std::size_t stride = 1, std::size_t pad = 0);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Variable*> variables() override;
+  void init_weights(common::Rng& rng) override;
+  const char* kind() const override { return "DepthwiseConv2D"; }
+
+ private:
+  std::size_t c_, k_, stride_, pad_;
+  Variable weight_;  // (c, k*k)
+  Variable bias_;    // (c)
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace dlion::nn

@@ -1,0 +1,32 @@
+// Fully-connected layer: y = x W + b.
+#pragma once
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace dlion::nn {
+
+class Dense : public Layer {
+ public:
+  /// `name` prefixes the variable names ("<name>/W", "<name>/b").
+  Dense(std::string name, std::size_t in_features, std::size_t out_features);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Variable*> variables() override;
+  void init_weights(common::Rng& rng) override;
+  const char* kind() const override { return "Dense"; }
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Variable weight_;  // (in, out)
+  Variable bias_;    // (out)
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace dlion::nn

@@ -1,0 +1,63 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dlion::nn {
+
+tensor::Tensor softmax(const tensor::Tensor& logits) {
+  if (logits.shape().rank() != 2) {
+    throw std::invalid_argument("softmax: expected (batch, classes)");
+  }
+  const std::size_t batch = logits.shape()[0], classes = logits.shape()[1];
+  tensor::Tensor probs(logits.shape());
+  for (std::size_t i = 0; i < batch; ++i) {
+    const float* row = logits.data() + i * classes;
+    float* out = probs.data() + i * classes;
+    const float mx = *std::max_element(row, row + classes);
+    float denom = 0.0f;
+    for (std::size_t c = 0; c < classes; ++c) {
+      out[c] = std::exp(row[c] - mx);
+      denom += out[c];
+    }
+    const float inv = 1.0f / denom;
+    for (std::size_t c = 0; c < classes; ++c) out[c] *= inv;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 std::span<const std::int32_t> labels) {
+  if (logits.shape().rank() != 2 || logits.shape()[0] != labels.size()) {
+    throw std::invalid_argument(
+        "softmax_cross_entropy: logits/labels mismatch");
+  }
+  const std::size_t batch = logits.shape()[0], classes = logits.shape()[1];
+  LossResult res;
+  res.grad_logits = softmax(logits);
+  double loss = 0.0;
+  std::size_t correct = 0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto label = static_cast<std::size_t>(labels[i]);
+    if (label >= classes) {
+      throw std::out_of_range("softmax_cross_entropy: label out of range");
+    }
+    float* prow = res.grad_logits.data() + i * classes;
+    const float p = std::max(prow[label], 1e-12f);
+    loss -= std::log(p);
+    const float* lrow = logits.data() + i * classes;
+    const std::size_t argmax = static_cast<std::size_t>(
+        std::max_element(lrow, lrow + classes) - lrow);
+    if (argmax == label) ++correct;
+    // dL/dlogits = (softmax - onehot) / batch
+    prow[label] -= 1.0f;
+    for (std::size_t c = 0; c < classes; ++c) prow[c] *= inv_batch;
+  }
+  res.loss = loss / static_cast<double>(batch);
+  res.accuracy = static_cast<double>(correct) / static_cast<double>(batch);
+  return res;
+}
+
+}  // namespace dlion::nn

@@ -1,0 +1,25 @@
+// Softmax cross-entropy loss over integer class labels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace dlion::nn {
+
+struct LossResult {
+  double loss = 0.0;              ///< mean cross-entropy over the batch
+  double accuracy = 0.0;          ///< fraction of argmax-correct predictions
+  tensor::Tensor grad_logits;     ///< dL/dlogits, already divided by batch
+};
+
+/// Computes mean softmax cross-entropy and its gradient w.r.t. logits.
+/// `logits` is (batch, classes); `labels` holds batch class indices.
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 std::span<const std::int32_t> labels);
+
+/// Softmax probabilities (row-wise), numerically stabilized.
+tensor::Tensor softmax(const tensor::Tensor& logits);
+
+}  // namespace dlion::nn

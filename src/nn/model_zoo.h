@@ -1,0 +1,65 @@
+// Model zoo: the two models the paper evaluates (Cipher CNN, MobileNet) plus
+// reduced "lite" variants used at default bench scale, and trivial models for
+// tests.
+//
+// Each model carries a nominal cost profile (model bytes on the wire,
+// training FLOPs per sample). The simulator charges time and network bytes
+// from the *nominal* profile so experiments reproduce the paper's
+// compute/communication ratios even when the lite model is the one actually
+// being trained (see DESIGN.md, Substitutions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "nn/model.h"
+
+namespace dlion::nn {
+
+/// Nominal cost profile of a model, used by the simulator's cost model.
+struct ModelProfile {
+  std::string name;
+  /// Serialized model/gradient size on the wire (full exchange), bytes.
+  /// Paper: Cipher = 5 MB, MobileNet = 17 MB.
+  std::uint64_t nominal_bytes = 0;
+  /// Forward+backward FLOPs to process one training sample.
+  double nominal_flops_per_sample = 0.0;
+  /// Input image geometry (channels, height, width) and class count.
+  std::size_t channels = 1, height = 0, width = 0, classes = 10;
+};
+
+struct BuiltModel {
+  Model model;
+  ModelProfile profile;
+};
+
+/// The paper's Cipher model: 3 convolutional layers (10/20/100 kernels) and
+/// 2 fully-connected layers (200 neurons, 10 classes) with ReLU and max
+/// pooling, over 28x28 grayscale input. ~5 MB of parameters.
+BuiltModel make_cipher_cnn(common::Rng& rng);
+
+/// Reduced Cipher used at default bench scale: an MLP over 8x8 grayscale
+/// input with the Cipher nominal cost profile, so simulated time and traffic
+/// match the full model while wall-clock math stays cheap.
+BuiltModel make_cipher_lite(common::Rng& rng);
+
+/// MobileNet-style model: stem conv + depthwise-separable blocks + global
+/// average pooling + classifier. Nominal profile 17 MB / ImageNet-scale
+/// FLOPs. 100 classes at paper scale; bench scale uses fewer (the class
+/// count of the SynthImageNet dataset it is paired with).
+BuiltModel make_mobilenet_lite(common::Rng& rng, std::size_t classes = 100);
+
+/// Logistic regression over `features` inputs (test model with a convex
+/// loss; SGD provably converges, which the property tests rely on).
+BuiltModel make_logistic_regression(common::Rng& rng, std::size_t features,
+                                    std::size_t classes);
+
+/// Generic 2-hidden-layer MLP (test/example model).
+BuiltModel make_mlp(common::Rng& rng, std::size_t in, std::size_t hidden,
+                    std::size_t classes);
+
+/// Factory by name: "cipher", "cipher-lite", "mobilenet", "logreg", "mlp".
+BuiltModel make_model(const std::string& name, common::Rng& rng);
+
+}  // namespace dlion::nn

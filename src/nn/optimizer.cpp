@@ -1,0 +1,82 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlion::nn {
+
+namespace {
+void ensure_state(std::vector<std::vector<float>>& state, Model& model) {
+  if (!state.empty()) {
+    if (state.size() != model.num_variables()) {
+      throw std::invalid_argument(
+          "Optimizer: model changed between steps");
+    }
+    return;
+  }
+  state.resize(model.num_variables());
+  for (std::size_t i = 0; i < model.num_variables(); ++i) {
+    state[i].assign(model.variables()[i]->size(), 0.0f);
+  }
+}
+}  // namespace
+
+Sgd::Sgd(double lr, double momentum, double weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {
+  if (lr <= 0.0) throw std::invalid_argument("Sgd: lr must be positive");
+  if (momentum < 0.0 || momentum >= 1.0) {
+    throw std::invalid_argument("Sgd: momentum must be in [0, 1)");
+  }
+}
+
+void Sgd::step(Model& model) {
+  ensure_state(velocity_, model);
+  for (std::size_t i = 0; i < model.num_variables(); ++i) {
+    Variable& var = *model.variables()[i];
+    float* w = var.value().data();
+    const float* g = var.grad().data();
+    float* v = velocity_[i].data();
+    const float mu = static_cast<float>(momentum_);
+    const float wd = static_cast<float>(weight_decay_);
+    const float lr = static_cast<float>(lr_);
+    for (std::size_t j = 0; j < var.size(); ++j) {
+      const float grad = g[j] + wd * w[j];
+      v[j] = mu * v[j] + grad;
+      w[j] -= lr * v[j];
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  if (lr <= 0.0) throw std::invalid_argument("Adam: lr must be positive");
+  if (beta1 < 0.0 || beta1 >= 1.0 || beta2 < 0.0 || beta2 >= 1.0) {
+    throw std::invalid_argument("Adam: betas must be in [0, 1)");
+  }
+}
+
+void Adam::step(Model& model) {
+  ensure_state(m_, model);
+  ensure_state(v_, model);
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const float alpha = static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
+  for (std::size_t i = 0; i < model.num_variables(); ++i) {
+    Variable& var = *model.variables()[i];
+    float* w = var.value().data();
+    const float* g = var.grad().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const float b1 = static_cast<float>(beta1_);
+    const float b2 = static_cast<float>(beta2_);
+    const float eps = static_cast<float>(eps_);
+    for (std::size_t j = 0; j < var.size(); ++j) {
+      m[j] = b1 * m[j] + (1.0f - b1) * g[j];
+      v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
+      w[j] -= alpha * m[j] / (std::sqrt(v[j]) + eps);
+    }
+  }
+}
+
+}  // namespace dlion::nn

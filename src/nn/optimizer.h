@@ -1,0 +1,56 @@
+// Stateful optimizers for single-machine training (tests, examples, and the
+// local half of distributed updates when experimenting beyond plain SGD).
+//
+// The distributed systems in core/ apply Eq. 7 directly (plain SGD with
+// weighted aggregation, as the paper does); these optimizers are the
+// conventional alternatives a downstream user of the nn library expects.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace dlion::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Apply one update step from the gradients currently stored in the
+  /// model's variables.
+  virtual void step(Model& model) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// SGD with optional momentum and weight decay:
+///   v <- mu * v + g + wd * w ;  w <- w - lr * v
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0, double weight_decay = 0.0);
+  void step(Model& model) override;
+  const char* name() const override { return "sgd"; }
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<std::vector<float>> velocity_;  // lazily sized per variable
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+  void step(Model& model) override;
+  const char* name() const override { return "adam"; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::uint64_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace dlion::nn

@@ -1,0 +1,34 @@
+// A named trainable weight variable with its gradient buffer.
+//
+// DLion transmits, selects and updates gradients at the granularity of
+// individual weight variables (paper §4.2), so the variable - not the flat
+// parameter vector - is the unit the whole system operates on.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace dlion::nn {
+
+class Variable {
+ public:
+  Variable(std::string name, tensor::Shape shape)
+      : name_(std::move(name)), value_(shape), grad_(shape) {}
+
+  const std::string& name() const { return name_; }
+  tensor::Tensor& value() { return value_; }
+  const tensor::Tensor& value() const { return value_; }
+  tensor::Tensor& grad() { return grad_; }
+  const tensor::Tensor& grad() const { return grad_; }
+  std::size_t size() const { return value_.size(); }
+
+  void zero_grad() { grad_.fill(0.0f); }
+
+ private:
+  std::string name_;
+  tensor::Tensor value_;
+  tensor::Tensor grad_;
+};
+
+}  // namespace dlion::nn

@@ -1,0 +1,35 @@
+#include "sim/compute_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlion::sim {
+
+ComputeResource::ComputeResource(ComputeSpec spec,
+                                 const nn::ModelProfile& profile,
+                                 std::uint64_t seed)
+    : spec_(std::move(spec)),
+      flops_per_sample_(profile.nominal_flops_per_sample),
+      rng_(seed) {
+  if (flops_per_sample_ <= 0.0 || spec_.flops_per_unit <= 0.0) {
+    throw std::invalid_argument("ComputeResource: non-positive rates");
+  }
+}
+
+double ComputeResource::nominal_iteration_seconds(std::size_t lbs,
+                                                  common::SimTime t) const {
+  const double units = std::max(spec_.units.at(t), 1e-9);
+  return spec_.iteration_overhead_s +
+         static_cast<double>(lbs) * flops_per_sample_ /
+             (units * spec_.flops_per_unit);
+}
+
+double ComputeResource::iteration_seconds(std::size_t lbs, common::SimTime t) {
+  double s = nominal_iteration_seconds(lbs, t);
+  if (spec_.jitter_frac > 0.0) {
+    s *= 1.0 + rng_.uniform(-spec_.jitter_frac, spec_.jitter_frac);
+  }
+  return s;
+}
+
+}  // namespace dlion::sim

@@ -1,0 +1,55 @@
+// Compute cost model: maps (model profile, local batch size, available
+// capacity at time t) to simulated iteration time.
+//
+// This replaces the paper's physical heterogeneity emulation (`stress` on a
+// 24-core box, p2.xlarge vs p2.8xlarge instances). Capacity is expressed in
+// "units" (CPU cores or GPUs); each unit sustains a calibrated FLOP rate.
+// Iteration compute time = overhead + LBS * flops_per_sample /
+// (units(t) * flops_per_unit). Calibration constants are chosen so that the
+// paper's setups land in the paper's regimes: Cipher/24-core LAN iterations
+// take ~0.2-0.5 s and a full 5 MB gradient exchange is comparable, while
+// MobileNet on GPUs is strongly network-bound (§5.2.2).
+#pragma once
+
+#include "common/rng.h"
+#include "nn/model_zoo.h"
+#include "sim/resource_schedule.h"
+
+namespace dlion::sim {
+
+/// Per-unit sustained training throughput, FLOP/s.
+constexpr double kCpuCoreFlops = 1.0e8;   ///< one 2016-era CPU core under TF
+constexpr double kGpuUnitFlops = 1.0e11;  ///< one K80 GPU (p2.xlarge has 1)
+
+struct ComputeSpec {
+  Schedule units = Schedule(1.0);       ///< capacity units over time
+  double flops_per_unit = kCpuCoreFlops;
+  double iteration_overhead_s = 0.25;   ///< fixed per-iteration cost
+  double jitter_frac = 0.0;             ///< +/- uniform noise on durations
+};
+
+/// One worker's compute resource.
+class ComputeResource {
+ public:
+  ComputeResource(ComputeSpec spec, const nn::ModelProfile& profile,
+                  std::uint64_t seed);
+
+  /// Simulated seconds to compute gradients over `lbs` samples at time `t`.
+  double iteration_seconds(std::size_t lbs, common::SimTime t);
+
+  /// Capacity units currently available (for traces/tests).
+  double units_at(common::SimTime t) const { return spec_.units.at(t); }
+
+  /// Deterministic (jitter-free) iteration time; used by controllers that
+  /// model the relationship between LBS and time.
+  double nominal_iteration_seconds(std::size_t lbs, common::SimTime t) const;
+
+  const ComputeSpec& spec() const { return spec_; }
+
+ private:
+  ComputeSpec spec_;
+  double flops_per_sample_;
+  common::Rng rng_;
+};
+
+}  // namespace dlion::sim

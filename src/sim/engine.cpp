@@ -1,0 +1,40 @@
+#include "sim/engine.h"
+
+#include <stdexcept>
+
+namespace dlion::sim {
+
+EventId Engine::at(common::SimTime t, EventFn fn) {
+  if (t < now_) {
+    throw std::invalid_argument("Engine::at: time in the past");
+  }
+  return queue_.push(t, std::move(fn));
+}
+
+EventId Engine::after(common::SimTime delay, EventFn fn) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("Engine::after: negative delay");
+  }
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+void Engine::run_until(common::SimTime t_end) {
+  while (!queue_.empty() && queue_.next_time() <= t_end) {
+    auto [time, fn] = queue_.pop();
+    now_ = time;
+    ++executed_;
+    fn();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    auto [time, fn] = queue_.pop();
+    now_ = time;
+    ++executed_;
+    fn();
+  }
+}
+
+}  // namespace dlion::sim

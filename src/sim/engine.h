@@ -1,0 +1,41 @@
+// The discrete-event simulation engine: a virtual clock plus the event
+// queue. All distributed-training "threads" from the paper's Fig. 10 are
+// expressed as events scheduled on one engine, which makes runs
+// deterministic and decouples simulated time (the x-axis of every figure)
+// from wall-clock time.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+
+namespace dlion::sim {
+
+class Engine {
+ public:
+  common::SimTime now() const { return now_; }
+
+  /// Schedule at an absolute time (must be >= now()).
+  EventId at(common::SimTime t, EventFn fn);
+  /// Schedule after a relative delay (delay >= 0).
+  EventId after(common::SimTime delay, EventFn fn);
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run events until the queue is empty or the clock would pass `t_end`.
+  /// The clock is left at min(t_end, time of last executed event); events
+  /// scheduled beyond t_end remain pending.
+  void run_until(common::SimTime t_end);
+
+  /// Run until the queue drains completely.
+  void run();
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  common::SimTime now_ = 0.0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace dlion::sim

@@ -1,0 +1,31 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace dlion::sim {
+
+EventId EventQueue::push(common::SimTime t, EventFn fn) {
+  const EventId id = next_id_++;
+  events_.emplace(Key{t, id}, std::move(fn));
+  alive_.emplace(id, t);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = alive_.find(id);
+  if (it == alive_.end()) return false;
+  events_.erase(Key{it->second, id});
+  alive_.erase(it);
+  return true;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  assert(!events_.empty());
+  auto it = events_.begin();
+  Popped popped{it->first.first, std::move(it->second)};
+  alive_.erase(it->first.second);
+  events_.erase(it);
+  return popped;
+}
+
+}  // namespace dlion::sim

@@ -1,0 +1,49 @@
+// Time-ordered event queue for the discrete-event engine.
+//
+// Ties on time are broken by insertion sequence number, which makes every
+// simulation fully deterministic (same seed -> same event interleaving).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "common/units.h"
+
+namespace dlion::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `t`. Returns an id usable with cancel().
+  EventId push(common::SimTime t, EventFn fn);
+
+  /// Cancel a pending event. Cancelling an id that already ran (or was
+  /// already cancelled) is a no-op. Returns true if something was removed.
+  bool cancel(EventId id);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Time of the earliest pending event; only valid if !empty().
+  common::SimTime next_time() const { return events_.begin()->first.first; }
+
+  struct Popped {
+    common::SimTime time;
+    EventFn fn;
+  };
+  /// Pop and return the earliest event. Only valid if !empty().
+  Popped pop();
+
+ private:
+  using Key = std::pair<common::SimTime, EventId>;
+  std::map<Key, EventFn> events_;
+  std::unordered_map<EventId, common::SimTime> alive_;
+  EventId next_id_ = 0;
+};
+
+}  // namespace dlion::sim

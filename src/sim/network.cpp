@@ -1,0 +1,109 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlion::sim {
+
+namespace {
+constexpr double kDefaultLanMbps = 1000.0;  // paper: 1 Gbps cluster links
+constexpr double kDefaultLatency = 0.0002;  // 0.2 ms LAN RTT/2
+}  // namespace
+
+Network::Network(Engine& engine, std::size_t n_workers)
+    : engine_(&engine),
+      n_(n_workers),
+      egress_(n_workers, Schedule(kDefaultLanMbps)),
+      link_(n_workers, std::vector<Schedule>(n_workers,
+                                             Schedule(kDefaultLanMbps))),
+      latency_(n_workers, std::vector<double>(n_workers, kDefaultLatency)),
+      queue_(n_workers, std::vector<std::deque<Pending>>(n_workers)),
+      busy_(n_workers, std::vector<bool>(n_workers, false)),
+      backlog_(n_workers, 0),
+      stats_(n_workers) {}
+
+void Network::set_egress(std::size_t worker, Schedule mbps) {
+  egress_.at(worker) = std::move(mbps);
+}
+
+void Network::set_link(std::size_t from, std::size_t to, Schedule mbps) {
+  link_.at(from).at(to) = std::move(mbps);
+}
+
+void Network::set_latency(std::size_t from, std::size_t to, double seconds) {
+  latency_.at(from).at(to) = seconds;
+}
+
+void Network::set_all_latency(double seconds) {
+  for (auto& row : latency_) {
+    std::fill(row.begin(), row.end(), seconds);
+  }
+}
+
+double Network::available_mbps(std::size_t from, std::size_t to) const {
+  const common::SimTime t = engine_->now();
+  const double peers = static_cast<double>(n_ > 1 ? n_ - 1 : 1);
+  return std::min(egress_.at(from).at(t) / peers,
+                  link_.at(from).at(to).at(t));
+}
+
+double Network::egress_mbps(std::size_t from) const {
+  return egress_.at(from).at(engine_->now());
+}
+
+double Network::link_mbps(std::size_t from, std::size_t to) const {
+  return link_.at(from).at(to).at(engine_->now());
+}
+
+common::Bytes Network::backlog_bytes(std::size_t from) const {
+  return backlog_.at(from);
+}
+
+void Network::send(std::size_t from, std::size_t to, common::Bytes bytes,
+                   std::function<void()> on_delivered) {
+  if (from >= n_ || to >= n_) throw std::out_of_range("Network::send");
+  if (from == to) {
+    // Local delivery is immediate (intra-worker queues are in-memory).
+    engine_->after(0.0, std::move(on_delivered));
+    return;
+  }
+  backlog_[from] += bytes;
+  queue_[from][to].push_back(Pending{bytes, std::move(on_delivered)});
+  if (!busy_[from][to]) start_next(from, to);
+}
+
+void Network::start_next(std::size_t from, std::size_t to) {
+  auto& q = queue_[from][to];
+  if (q.empty()) {
+    busy_[from][to] = false;
+    return;
+  }
+  busy_[from][to] = true;
+  Pending msg = std::move(q.front());
+  q.pop_front();
+  const double mbps = available_mbps(from, to);
+  const double tx = common::transfer_seconds(msg.bytes, mbps);
+  const double latency = latency_[from][to];
+  stats_[from].bytes_sent += msg.bytes;
+  stats_[from].messages_sent += 1;
+  const common::Bytes bytes = msg.bytes;
+  // Deliver after transmission + propagation; free the link after
+  // transmission only.
+  engine_->after(tx, [this, from, to, bytes, latency,
+                      deliver = std::move(msg.on_delivered)]() mutable {
+    backlog_[from] -= bytes;
+    engine_->after(latency, std::move(deliver));
+    start_next(from, to);
+  });
+}
+
+NetworkStats Network::total_stats() const {
+  NetworkStats total;
+  for (const auto& s : stats_) {
+    total.bytes_sent += s.bytes_sent;
+    total.messages_sent += s.messages_sent;
+  }
+  return total;
+}
+
+}  // namespace dlion::sim

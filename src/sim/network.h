@@ -1,0 +1,87 @@
+// Simulated network connecting n workers.
+//
+// Replaces the paper's LAN/WAN fabric and its `tc`-based shaping. Bandwidth
+// is modelled two ways, matching the paper's two emulation styles:
+//  - per-worker egress shaping (Table 3's per-worker Mbps values), and
+//  - an explicit per-directed-link matrix (Table 2's Amazon region matrix).
+//
+// Transfers to different peers proceed in parallel (as parallel TCP streams
+// do under tc shaping); transfers to the same peer queue FIFO on that link.
+// A worker fanning out to its n-1 peers shares its shaped egress fairly, so
+// the effective rate of link i->j is
+//   min(egress_i(t) / (n-1), link_matrix[i][j](t)).
+// A system that floods all peers with full gradients therefore saturates
+// its uplink - the congestion behaviour the paper's techniques react to.
+// Transfer duration is computed from the rate at transmission start;
+// latency is added after transmission and does not occupy the link.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/resource_schedule.h"
+
+namespace dlion::sim {
+
+struct NetworkStats {
+  common::Bytes bytes_sent = 0;
+  std::uint64_t messages_sent = 0;
+};
+
+class Network {
+ public:
+  Network(Engine& engine, std::size_t n_workers);
+
+  std::size_t size() const { return n_; }
+
+  /// Per-worker egress shaping (Mbps). Default: unshaped (1 Gbps LAN).
+  void set_egress(std::size_t worker, Schedule mbps);
+  /// Explicit directed-link bandwidth (Mbps); overrides the default.
+  void set_link(std::size_t from, std::size_t to, Schedule mbps);
+  /// One-way propagation latency for a directed link (seconds).
+  void set_latency(std::size_t from, std::size_t to, double seconds);
+  /// Set every link's latency.
+  void set_all_latency(double seconds);
+
+  /// Effective rate of i->j right now, Mbps: the fair egress share capped
+  /// by the link matrix (what the paper's network resource monitor reports
+  /// to the partial gradient generation module).
+  double available_mbps(std::size_t from, std::size_t to) const;
+
+  /// Current egress shaping of a worker (Mbps) and raw link rate.
+  double egress_mbps(std::size_t from) const;
+  double link_mbps(std::size_t from, std::size_t to) const;
+
+  /// Bytes queued (or in flight) across all of a sender's links.
+  common::Bytes backlog_bytes(std::size_t from) const;
+
+  /// Enqueue a message of `bytes` on the i->j link; `on_delivered` runs at
+  /// the receiver when the transfer (plus latency) completes.
+  void send(std::size_t from, std::size_t to, common::Bytes bytes,
+            std::function<void()> on_delivered);
+
+  const NetworkStats& stats(std::size_t from) const { return stats_[from]; }
+  NetworkStats total_stats() const;
+
+ private:
+  struct Pending {
+    common::Bytes bytes;
+    std::function<void()> on_delivered;
+  };
+
+  void start_next(std::size_t from, std::size_t to);
+
+  Engine* engine_;
+  std::size_t n_;
+  std::vector<Schedule> egress_;
+  std::vector<std::vector<Schedule>> link_;     // [from][to]
+  std::vector<std::vector<double>> latency_;    // [from][to]
+  std::vector<std::vector<std::deque<Pending>>> queue_;  // per-link FIFO
+  std::vector<std::vector<bool>> busy_;         // link currently transmitting
+  std::vector<common::Bytes> backlog_;          // queued + in-flight bytes
+  std::vector<NetworkStats> stats_;
+};
+
+}  // namespace dlion::sim

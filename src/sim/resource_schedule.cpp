@@ -1,0 +1,83 @@
+#include "sim/resource_schedule.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dlion::sim {
+
+Schedule::Schedule(
+    std::initializer_list<std::pair<common::SimTime, double>> points)
+    : points_(points) {
+  validate();
+}
+
+Schedule::Schedule(std::vector<std::pair<common::SimTime, double>> points)
+    : points_(std::move(points)) {
+  validate();
+}
+
+void Schedule::validate() const {
+  if (points_.empty() || points_.front().first != 0.0) {
+    throw std::invalid_argument("Schedule: must start at t=0");
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].first <= points_[i - 1].first) {
+      throw std::invalid_argument("Schedule: breakpoints must be ascending");
+    }
+  }
+}
+
+double Schedule::at(common::SimTime t) const {
+  // Last breakpoint with time <= t.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](common::SimTime v, const auto& p) { return v < p.first; });
+  if (it == points_.begin()) return points_.front().second;
+  return std::prev(it)->second;
+}
+
+common::SimTime Schedule::next_change_after(common::SimTime t) const {
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](common::SimTime v, const auto& p) { return v < p.first; });
+  if (it == points_.end()) return std::numeric_limits<double>::infinity();
+  return it->first;
+}
+
+Schedule Schedule::shifted(common::SimTime offset) const {
+  std::vector<std::pair<common::SimTime, double>> pts;
+  pts.reserve(points_.size() + 1);
+  pts.emplace_back(0.0, points_.front().second);
+  for (const auto& [t, v] : points_) {
+    const common::SimTime shifted_t = t + offset;
+    if (shifted_t <= 0.0) {
+      pts.front().second = v;
+    } else {
+      pts.emplace_back(shifted_t, v);
+    }
+  }
+  return Schedule(std::move(pts));
+}
+
+Schedule concat_phases(
+    const std::vector<std::pair<Schedule, common::SimTime>>& phases) {
+  if (phases.empty()) throw std::invalid_argument("concat_phases: empty");
+  std::vector<std::pair<common::SimTime, double>> pts;
+  common::SimTime offset = 0.0;
+  for (const auto& [sched, duration] : phases) {
+    for (const auto& [t, v] : sched.points()) {
+      if (t >= duration) break;
+      const common::SimTime at = offset + t;
+      if (!pts.empty() && pts.back().first == at) {
+        pts.back().second = v;
+      } else {
+        pts.emplace_back(at, v);
+      }
+    }
+    offset += duration;
+  }
+  return Schedule(std::move(pts));
+}
+
+}  // namespace dlion::sim

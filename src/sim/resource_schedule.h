@@ -1,0 +1,48 @@
+// Piecewise-constant time-varying resource values.
+//
+// Every heterogeneity/dynamism knob in the paper's Table 3 (CPU cores per
+// worker, per-worker bandwidth, the Dynamic SYS A/B phase changes) is a
+// schedule: a value that holds until the next breakpoint.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dlion::sim {
+
+class Schedule {
+ public:
+  /// Constant forever.
+  explicit Schedule(double value) : points_{{0.0, value}} {}
+
+  /// Breakpoints (time, value); times must be ascending and start at 0.
+  Schedule(std::initializer_list<std::pair<common::SimTime, double>> points);
+  explicit Schedule(std::vector<std::pair<common::SimTime, double>> points);
+
+  double at(common::SimTime t) const;
+
+  /// Earliest breakpoint strictly after `t`, or +inf if none.
+  common::SimTime next_change_after(common::SimTime t) const;
+
+  bool is_constant() const { return points_.size() == 1; }
+  const std::vector<std::pair<common::SimTime, double>>& points() const {
+    return points_;
+  }
+
+  /// Shift all breakpoints by `offset` (the value before the first shifted
+  /// breakpoint is the original t=0 value). Used to compose phase sequences.
+  Schedule shifted(common::SimTime offset) const;
+
+ private:
+  void validate() const;
+  std::vector<std::pair<common::SimTime, double>> points_;
+};
+
+/// Concatenate phases: each (schedule, duration) pair plays in order; the
+/// last phase's final value holds forever. Used for Dynamic SYS A/B.
+Schedule concat_phases(
+    const std::vector<std::pair<Schedule, common::SimTime>>& phases);
+
+}  // namespace dlion::sim

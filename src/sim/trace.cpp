@@ -1,0 +1,35 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlion::sim {
+
+double Trace::last() const {
+  return points_.empty() ? std::nan("") : points_.back().value;
+}
+
+double Trace::max() const {
+  if (points_.empty()) return std::nan("");
+  double m = points_.front().value;
+  for (const auto& p : points_) m = std::max(m, p.value);
+  return m;
+}
+
+double Trace::value_at(common::SimTime t) const {
+  double v = std::nan("");
+  for (const auto& p : points_) {
+    if (p.time > t) break;
+    v = p.value;
+  }
+  return v;
+}
+
+common::SimTime Trace::time_to_reach(double threshold) const {
+  for (const auto& p : points_) {
+    if (p.value >= threshold) return p.time;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace dlion::sim

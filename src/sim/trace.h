@@ -1,0 +1,42 @@
+// Metric traces: time series recorded during a simulation, used to produce
+// figure series (accuracy-vs-time curves, LBS traces, gradient-size traces).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dlion::sim {
+
+struct TracePoint {
+  common::SimTime time;
+  double value;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string name) : name_(std::move(name)) {}
+
+  void record(common::SimTime t, double v) { points_.push_back({t, v}); }
+  const std::vector<TracePoint>& points() const { return points_; }
+  const std::string& name() const { return name_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Last recorded value (NaN if empty).
+  double last() const;
+  /// Maximum value (NaN if empty).
+  double max() const;
+  /// Value at the last point with time <= t (NaN if none).
+  double value_at(common::SimTime t) const;
+  /// Earliest time at which the trace reaches `threshold` (+inf if never).
+  common::SimTime time_to_reach(double threshold) const;
+
+ private:
+  std::string name_;
+  std::vector<TracePoint> points_;
+};
+
+}  // namespace dlion::sim

@@ -1,0 +1,20 @@
+#include "systems/baseline.h"
+
+#include "core/gradient_select.h"
+
+namespace dlion::systems {
+
+std::vector<comm::VariableGrad> BaselineStrategy::generate(
+    const nn::Model& model, const core::LinkContext& /*ctx*/) {
+  // generate_partial_gradients == whole gradients (Table 1: 1 line).
+  std::vector<comm::VariableGrad> out;
+  const auto& vars = model.variables();
+  out.reserve(vars.size());
+  for (std::size_t v = 0; v < vars.size(); ++v) {
+    out.push_back(core::select_max_n(vars[v]->grad().span(),
+                                     static_cast<std::uint32_t>(v), 100.0));
+  }
+  return out;
+}
+
+}  // namespace dlion::systems

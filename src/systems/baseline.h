@@ -1,0 +1,17 @@
+// Baseline system (§5.1.4): exchange whole gradients with all workers every
+// iteration, synchronous training. The "generate_partial_gradients" plugin
+// is one line of algorithm: everything, dense.
+#pragma once
+
+#include "core/strategy.h"
+
+namespace dlion::systems {
+
+class BaselineStrategy : public core::PartialGradientStrategy {
+ public:
+  std::vector<comm::VariableGrad> generate(
+      const nn::Model& model, const core::LinkContext& ctx) override;
+  const char* name() const override { return "baseline"; }
+};
+
+}  // namespace dlion::systems

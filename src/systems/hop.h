@@ -1,0 +1,24 @@
+// Hop (Luo et al., ASPLOS '19) emulated in the DLion framework (§5.1.4):
+// workers exchange whole gradients but advance iterations without waiting
+// for straggler ("backup") workers, under a bounded-staleness synchronization
+// policy. The gradient side is the Baseline strategy; the distinguishing
+// behaviour lives in the `synch_training` policy (Table 1: ~20 lines of
+// synchronization code, 1 line of gradient selection).
+#pragma once
+
+#include "core/sync_strategy.h"
+#include "systems/baseline.h"
+
+namespace dlion::systems {
+
+class HopStrategy : public BaselineStrategy {
+ public:
+  const char* name() const override { return "hop"; }
+};
+
+/// The paper's Hop evaluation settings: 1 backup worker, staleness bound 5.
+inline core::SyncPolicy hop_sync_policy() {
+  return core::SyncPolicy::bounded(/*staleness=*/5, /*backup=*/1);
+}
+
+}  // namespace dlion::systems

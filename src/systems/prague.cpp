@@ -1,0 +1,54 @@
+#include "systems/prague.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/gradient_select.h"
+
+namespace dlion::systems {
+
+PragueStrategy::PragueStrategy(std::size_t group_size, std::uint64_t seed)
+    : group_size_(group_size), rng_(seed) {
+  if (group_size == 0) {
+    throw std::invalid_argument("PragueStrategy: group_size must be >= 1");
+  }
+}
+
+void PragueStrategy::draw_group(std::size_t self, std::size_t n_workers) {
+  // Draw this iteration's randomized peer group from the worker's own
+  // stream (group choices are independent across workers, as in Prague's
+  // decentralized group generator).
+  group_.clear();
+  std::vector<std::size_t> peers;
+  for (std::size_t p = 0; p < n_workers; ++p) {
+    if (p != self) peers.push_back(p);
+  }
+  const std::size_t k = std::min(group_size_, peers.size());
+  for (std::size_t picked = 0; picked < k; ++picked) {
+    const std::size_t j = picked + rng_.uniform_index(peers.size() - picked);
+    std::swap(peers[picked], peers[j]);
+    group_.push_back(peers[picked]);
+  }
+  std::sort(group_.begin(), group_.end());
+}
+
+std::vector<comm::VariableGrad> PragueStrategy::generate(
+    const nn::Model& model, const core::LinkContext& ctx) {
+  if (group_iteration_ != ctx.iteration) {
+    group_iteration_ = ctx.iteration;
+    draw_group(ctx.self, ctx.n_workers);
+  }
+  std::vector<comm::VariableGrad> out;
+  if (!std::binary_search(group_.begin(), group_.end(), ctx.peer)) {
+    return out;  // header-only update: progress signal only
+  }
+  const auto& vars = model.variables();
+  out.reserve(vars.size());
+  for (std::size_t v = 0; v < vars.size(); ++v) {
+    out.push_back(core::select_max_n(vars[v]->grad().span(),
+                                     static_cast<std::uint32_t>(v), 100.0));
+  }
+  return out;
+}
+
+}  // namespace dlion::systems

@@ -1,0 +1,197 @@
+#include "systems/registry.h"
+
+#include <stdexcept>
+
+#include "core/link_prioritizer.h"
+#include "systems/ako.h"
+#include "systems/baseline.h"
+#include "systems/dgc.h"
+#include "systems/gaia.h"
+#include "systems/hop.h"
+#include "systems/prague.h"
+
+namespace dlion::systems {
+
+namespace {
+
+SystemSpec dlion_spec() {
+  SystemSpec spec;
+  spec.name = "dlion";
+  spec.strategy_factory = [](std::size_t) -> core::StrategyPtr {
+    core::LinkPrioritizerConfig cfg;
+    cfg.min_n = 0.85;  // §5.1.4: minimum N for the Max N algorithm
+    return std::make_unique<core::LinkPrioritizer>(cfg);
+  };
+  spec.configure = [](core::WorkerOptions& o) {
+    o.dynamic_batching = true;
+    o.weighted_update = true;
+    o.sync = core::SyncPolicy::bounded(5, 0);
+    o.dkt.mode = core::DktMode::kBest2All;
+    o.dkt.period_iters = 100;  // §5.1.4
+    o.dkt.lambda = 0.75;       // §5.1.4
+  };
+  return spec;
+}
+
+SystemSpec baseline_spec() {
+  SystemSpec spec;
+  spec.name = "baseline";
+  spec.strategy_factory = [](std::size_t) -> core::StrategyPtr {
+    return std::make_unique<BaselineStrategy>();
+  };
+  spec.configure = [](core::WorkerOptions& o) {
+    o.dynamic_batching = false;
+    o.weighted_update = false;
+    o.sync = core::SyncPolicy::synchronous();
+    o.dkt.mode = core::DktMode::kNone;
+  };
+  return spec;
+}
+
+SystemSpec hop_spec() {
+  SystemSpec spec;
+  spec.name = "hop";
+  spec.strategy_factory = [](std::size_t) -> core::StrategyPtr {
+    return std::make_unique<HopStrategy>();
+  };
+  spec.configure = [](core::WorkerOptions& o) {
+    o.dynamic_batching = false;
+    o.weighted_update = false;
+    o.sync = hop_sync_policy();
+    o.dkt.mode = core::DktMode::kNone;
+  };
+  return spec;
+}
+
+SystemSpec gaia_spec() {
+  SystemSpec spec;
+  spec.name = "gaia";
+  spec.strategy_factory = [](std::size_t) -> core::StrategyPtr {
+    return std::make_unique<GaiaStrategy>(/*significance_percent=*/1.0);
+  };
+  spec.configure = [](core::WorkerOptions& o) {
+    o.dynamic_batching = false;
+    o.weighted_update = false;
+    // Gaia blocks progress until significant gradients are delivered to all
+    // workers (§5.2.5) - synchronous from the iteration-advance viewpoint.
+    o.sync = core::SyncPolicy::synchronous();
+    o.dkt.mode = core::DktMode::kNone;
+  };
+  return spec;
+}
+
+SystemSpec ako_spec() {
+  SystemSpec spec;
+  spec.name = "ako";
+  spec.strategy_factory = [](std::size_t) -> core::StrategyPtr {
+    return std::make_unique<AkoStrategy>();
+  };
+  spec.configure = [](core::WorkerOptions& o) {
+    o.dynamic_batching = false;
+    o.weighted_update = false;
+    o.sync = core::SyncPolicy::asynchronous();  // §5.2.5
+    o.dkt.mode = core::DktMode::kNone;
+  };
+  return spec;
+}
+
+SystemSpec maxn_spec() {
+  SystemSpec spec;
+  spec.name = "maxn";
+  spec.strategy_factory = [](std::size_t) -> core::StrategyPtr {
+    core::LinkPrioritizerConfig cfg;
+    cfg.adaptive = false;
+    cfg.fixed_n = 10.0;  // Fig. 16: Max10
+    return std::make_unique<core::LinkPrioritizer>(cfg);
+  };
+  spec.configure = [](core::WorkerOptions& o) {
+    o.dynamic_batching = false;
+    o.weighted_update = false;
+    o.sync = core::SyncPolicy::synchronous();
+    o.dkt.mode = core::DktMode::kNone;
+  };
+  return spec;
+}
+
+SystemSpec dlion_no_wu_spec() {
+  // Fig. 14 ablation: dynamic batching on, weighted model update off.
+  SystemSpec spec = dlion_spec();
+  spec.name = "dlion-no-wu";
+  auto base = spec.configure;
+  spec.configure = [base](core::WorkerOptions& o) {
+    base(o);
+    o.weighted_update = false;
+  };
+  return spec;
+}
+
+SystemSpec dlion_no_dbwu_spec() {
+  // Fig. 14 ablation: neither dynamic batching nor weighted update.
+  SystemSpec spec = dlion_spec();
+  spec.name = "dlion-no-dbwu";
+  auto base = spec.configure;
+  spec.configure = [base](core::WorkerOptions& o) {
+    base(o);
+    o.dynamic_batching = false;
+    o.weighted_update = false;
+  };
+  return spec;
+}
+
+SystemSpec dgc_spec() {
+  // Extension: DGC-style error-feedback top-k compression plugged into the
+  // data quality assurance slot (the paper's related work [3, 43] calls
+  // this out as complementary).
+  SystemSpec spec;
+  spec.name = "dgc";
+  spec.strategy_factory = [](std::size_t) -> core::StrategyPtr {
+    return std::make_unique<DgcStrategy>(/*density=*/0.01);
+  };
+  spec.configure = [](core::WorkerOptions& o) {
+    o.dynamic_batching = false;
+    o.weighted_update = false;
+    o.sync = core::SyncPolicy::bounded(5, 0);
+    o.dkt.mode = core::DktMode::kNone;
+  };
+  return spec;
+}
+
+SystemSpec prague_spec() {
+  // Extension: Prague-style randomized partial all-reduce (Luo et al.,
+  // ASPLOS '20), the fourth related decentralized system in §6.
+  SystemSpec spec;
+  spec.name = "prague";
+  spec.strategy_factory = [](std::size_t worker) -> core::StrategyPtr {
+    return std::make_unique<PragueStrategy>(/*group_size=*/2,
+                                            /*seed=*/0x9143 + worker);
+  };
+  spec.configure = [](core::WorkerOptions& o) {
+    o.dynamic_batching = false;
+    o.weighted_update = false;
+    o.sync = core::SyncPolicy::asynchronous();
+    o.dkt.mode = core::DktMode::kNone;
+  };
+  return spec;
+}
+
+}  // namespace
+
+SystemSpec make_system(const std::string& name) {
+  if (name == "dlion") return dlion_spec();
+  if (name == "baseline") return baseline_spec();
+  if (name == "hop") return hop_spec();
+  if (name == "gaia") return gaia_spec();
+  if (name == "ako") return ako_spec();
+  if (name == "maxn") return maxn_spec();
+  if (name == "dlion-no-wu") return dlion_no_wu_spec();
+  if (name == "dlion-no-dbwu") return dlion_no_dbwu_spec();
+  if (name == "dgc") return dgc_spec();
+  if (name == "prague") return prague_spec();
+  throw std::invalid_argument("make_system: unknown system '" + name + "'");
+}
+
+std::vector<std::string> comparison_systems() {
+  return {"baseline", "hop", "gaia", "ako", "dlion"};
+}
+
+}  // namespace dlion::systems

@@ -1,0 +1,39 @@
+// System registry: turn-key configurations of DLion and the four
+// state-of-the-art comparison systems implemented in the DLion framework
+// (§4.2, §5.1.4). Each SystemSpec bundles a partial-gradient strategy
+// factory with the worker-option overrides (sync policy, DKT, batching)
+// the paper's evaluation uses for that system.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "core/worker.h"
+
+namespace dlion::systems {
+
+struct SystemSpec {
+  std::string name;
+  /// Creates the per-worker partial gradient strategy.
+  std::function<core::StrategyPtr(std::size_t worker)> strategy_factory;
+  /// Applies the system's option overrides on top of base WorkerOptions.
+  std::function<void(core::WorkerOptions&)> configure;
+};
+
+/// Build a system by name:
+///   "dlion"    - all three techniques enabled (paper defaults: min N 0.85,
+///                DKT every 100 iterations with lambda 0.75, Best2All)
+///   "baseline" - whole gradients, synchronous
+///   "hop"      - whole gradients, bounded staleness 5 + 1 backup worker
+///   "gaia"     - significance filter S=1%, synchronous
+///   "ako"      - round-robin partitioned partial gradients, asynchronous
+///   "maxn"     - fixed Max N=10 selection only, no other DLion technique
+///                (the Fig. 16 configuration)
+SystemSpec make_system(const std::string& name);
+
+/// The five systems compared throughout §5.2, in the paper's order.
+std::vector<std::string> comparison_systems();
+
+}  // namespace dlion::systems

@@ -1,0 +1,236 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+
+namespace dlion::tensor {
+
+namespace {
+// Above this many FLOPs, the row-disjoint kernels fan out over the global
+// thread pool. Rows are processed independently and each row's additions
+// keep their serial order, so results are bit-identical at any thread count.
+constexpr double kParallelFlopThreshold = 8e6;
+
+// One output row of the non-transposed kernel: C.row(i) += alpha *
+// A.row(i) * B, jp order so the innermost loop streams through B and C.
+inline void gemm_nn_row(std::size_t i, std::size_t n, std::size_t k,
+                        float alpha, const float* a, const float* b,
+                        float* c) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const float av = alpha * a[i * k + p];
+    if (av == 0.0f) continue;
+    const float* brow = b + p * n;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  }
+}
+
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, float alpha,
+             const float* a, const float* b, float* c) {
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  if (flops > kParallelFlopThreshold) {
+    common::ThreadPool::global().parallel_for(
+        0, m, [=](std::size_t i) { gemm_nn_row(i, n, k, alpha, a, b, c); },
+        /*grain=*/4);
+  } else {
+    for (std::size_t i = 0; i < m; ++i) gemm_nn_row(i, n, k, alpha, a, b, c);
+  }
+}
+
+inline void gemm_nt_row(std::size_t i, std::size_t n, std::size_t k,
+                        float alpha, const float* a, const float* b,
+                        float* c) {
+  const float* arow = a + i * k;
+  for (std::size_t j = 0; j < n; ++j) {
+    const float* brow = b + j * k;
+    float acc = 0.0f;
+    for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+    c[i * n + j] += alpha * acc;
+  }
+}
+
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, float alpha,
+             const float* a, const float* b, float* c) {
+  // B is (n x k): C[i][j] += alpha * dot(A.row(i), B.row(j))
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  if (flops > kParallelFlopThreshold) {
+    common::ThreadPool::global().parallel_for(
+        0, m, [=](std::size_t i) { gemm_nt_row(i, n, k, alpha, a, b, c); },
+        /*grain=*/4);
+  } else {
+    for (std::size_t i = 0; i < m; ++i) gemm_nt_row(i, n, k, alpha, a, b, c);
+  }
+}
+
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, float alpha,
+             const float* a, const float* b, float* c) {
+  // A is (k x m): C[i][j] += alpha * sum_p A[p][i] * B[p][j]
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = alpha * arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_tt(std::size_t m, std::size_t n, std::size_t k, float alpha,
+             const float* a, const float* b, float* c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a[p * m + i] * b[j * k + p];
+      c[i * n + j] += alpha * acc;
+    }
+  }
+}
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, const float* b,
+          float beta, float* c) {
+  if (beta == 0.0f) {
+    std::memset(c, 0, m * n * sizeof(float));
+  } else if (beta != 1.0f) {
+    for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  if (!trans_a && !trans_b) {
+    gemm_nn(m, n, k, alpha, a, b, c);
+  } else if (!trans_a && trans_b) {
+    gemm_nt(m, n, k, alpha, a, b, c);
+  } else if (trans_a && !trans_b) {
+    gemm_tn(m, n, k, alpha, a, b, c);
+  } else {
+    gemm_tt(m, n, k, alpha, a, b, c);
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.shape().rank() != 2 || b.shape().rank() != 2 ||
+      a.shape()[1] != b.shape()[0]) {
+    throw std::invalid_argument("matmul: incompatible shapes " +
+                                a.shape().to_string() + " x " +
+                                b.shape().to_string());
+  }
+  const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  Tensor c(Shape{m, n});
+  gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  return c;
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(float alpha, std::span<float> x) {
+  for (float& v : x) v *= alpha;
+}
+
+double sum(std::span<const float> x) {
+  double s = 0;
+  for (float v : x) s += v;
+  return s;
+}
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("dot: size mismatch");
+  double s = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    s += static_cast<double>(x[i]) * y[i];
+  }
+  return s;
+}
+
+double l2_norm(std::span<const float> x) { return std::sqrt(dot(x, x)); }
+
+float max_abs(std::span<const float> x) {
+  float m = 0.0f;
+  for (float v : x) {
+    const float a = std::fabs(v);
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+void add_bias_rows(Tensor& m_by_n, const Tensor& bias) {
+  if (m_by_n.shape().rank() != 2 || bias.size() != m_by_n.shape()[1]) {
+    throw std::invalid_argument("add_bias_rows: shape mismatch");
+  }
+  const std::size_t rows = m_by_n.shape()[0], cols = m_by_n.shape()[1];
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = m_by_n.data() + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) row[c] += bias[c];
+  }
+}
+
+void im2col(const float* img, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kh, std::size_t kw,
+            std::size_t stride, std::size_t pad, float* col) {
+  const std::size_t out_h = conv_out_dim(height, kh, stride, pad);
+  const std::size_t out_w = conv_out_dim(width, kw, stride, pad);
+  std::size_t idx = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ky = 0; ky < kh; ++ky) {
+      for (std::size_t kx = 0; kx < kw; ++kx) {
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride + ky) -
+              static_cast<std::ptrdiff_t>(pad);
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                static_cast<std::ptrdiff_t>(pad);
+            const bool inside = iy >= 0 &&
+                                iy < static_cast<std::ptrdiff_t>(height) &&
+                                ix >= 0 &&
+                                ix < static_cast<std::ptrdiff_t>(width);
+            col[idx++] =
+                inside
+                    ? img[(c * height + static_cast<std::size_t>(iy)) * width +
+                          static_cast<std::size_t>(ix)]
+                    : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kh, std::size_t kw,
+            std::size_t stride, std::size_t pad, float* img) {
+  const std::size_t out_h = conv_out_dim(height, kh, stride, pad);
+  const std::size_t out_w = conv_out_dim(width, kw, stride, pad);
+  std::size_t idx = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ky = 0; ky < kh; ++ky) {
+      for (std::size_t kx = 0; kx < kw; ++kx) {
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride + ky) -
+              static_cast<std::ptrdiff_t>(pad);
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                static_cast<std::ptrdiff_t>(pad);
+            const float v = col[idx++];
+            if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(height) &&
+                ix >= 0 && ix < static_cast<std::ptrdiff_t>(width)) {
+              img[(c * height + static_cast<std::size_t>(iy)) * width +
+                  static_cast<std::size_t>(ix)] += v;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dlion::tensor

@@ -1,0 +1,54 @@
+// Numeric kernels over Tensor: GEMM, elementwise ops, reductions, and the
+// im2col/col2im transforms used by the convolution layers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace dlion::tensor {
+
+/// C = alpha * op(A) * op(B) + beta * C, row-major.
+/// A is (m x k) if !trans_a else (k x m); B is (k x n) if !trans_b else (n x k).
+void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, const float* b,
+          float beta, float* c);
+
+/// out = A * B for rank-2 tensors; shapes checked.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// y += alpha * x (sizes must match).
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+/// x *= alpha.
+void scale(float alpha, std::span<float> x);
+/// Elementwise sum reduction.
+double sum(std::span<const float> x);
+/// Dot product.
+double dot(std::span<const float> x, std::span<const float> y);
+/// L2 norm.
+double l2_norm(std::span<const float> x);
+/// Max of |x_i|; 0 for empty input.
+float max_abs(std::span<const float> x);
+
+/// Add row vector `bias` (length n) to each row of matrix `m_by_n`.
+void add_bias_rows(Tensor& m_by_n, const Tensor& bias);
+
+/// im2col for NCHW input: expands (C, H, W) patches of one image into a
+/// matrix of shape (C*kh*kw, out_h*out_w) for GEMM-based convolution.
+void im2col(const float* img, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kh, std::size_t kw,
+            std::size_t stride, std::size_t pad, float* col);
+
+/// Inverse of im2col: accumulates columns back into image gradients.
+void col2im(const float* col, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kh, std::size_t kw,
+            std::size_t stride, std::size_t pad, float* img);
+
+/// Output spatial size of a convolution/pool along one dimension.
+constexpr std::size_t conv_out_dim(std::size_t in, std::size_t k,
+                                   std::size_t stride, std::size_t pad) {
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+}  // namespace dlion::tensor

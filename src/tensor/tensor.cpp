@@ -1,0 +1,62 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace dlion::tensor {
+
+std::size_t Shape::num_elements() const {
+  std::size_t n = 1;
+  for (std::size_t d : dims_) n *= d;
+  return n;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream ss;
+  ss << "(";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) ss << ", ";
+    ss << dims_[i];
+  }
+  ss << ")";
+  return ss.str();
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_.num_elements(), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (shape_.num_elements() != data_.size()) {
+    throw std::invalid_argument("Tensor: shape " + shape_.to_string() +
+                                " does not match data size " +
+                                std::to_string(data_.size()));
+  }
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::reshape(Shape new_shape) {
+  if (new_shape.num_elements() != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: element count mismatch (" +
+                                shape_.to_string() + " -> " +
+                                new_shape.to_string() + ")");
+  }
+  shape_ = std::move(new_shape);
+}
+
+Tensor Tensor::slice_rows(std::size_t begin, std::size_t end) const {
+  if (shape_.rank() < 1 || begin > end || end > shape_[0]) {
+    throw std::out_of_range("Tensor::slice_rows: bad range");
+  }
+  std::vector<std::size_t> dims = shape_.dims();
+  const std::size_t row_elems = shape_.num_elements() / (dims[0] ? dims[0] : 1);
+  dims[0] = end - begin;
+  std::vector<float> out(data_.begin() + static_cast<std::ptrdiff_t>(begin * row_elems),
+                         data_.begin() + static_cast<std::ptrdiff_t>(end * row_elems));
+  return Tensor(Shape(std::move(dims)), std::move(out));
+}
+
+}  // namespace dlion::tensor

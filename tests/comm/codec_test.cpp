@@ -1,0 +1,139 @@
+#include "comm/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dlion::comm {
+namespace {
+
+GradientUpdate sample_update() {
+  GradientUpdate u;
+  u.from = 3;
+  u.iteration = 12345;
+  u.lbs = 64;
+  VariableGrad sparse;
+  sparse.var_index = 0;
+  sparse.dense_size = 100;
+  sparse.indices = {1, 17, 99};
+  sparse.values = {0.5f, -2.0f, 3.25f};
+  VariableGrad dense;
+  dense.var_index = 1;
+  dense.dense_size = 4;
+  dense.values = {1, 2, 3, 4};
+  u.vars = {sparse, dense};
+  return u;
+}
+
+TEST(Codec, GradientUpdateRoundTrip) {
+  const GradientUpdate u = sample_update();
+  const auto buf = encode(u);
+  const GradientUpdate d = decode_gradient_update(buf);
+  EXPECT_EQ(d.from, u.from);
+  EXPECT_EQ(d.iteration, u.iteration);
+  EXPECT_EQ(d.lbs, u.lbs);
+  ASSERT_EQ(d.vars.size(), 2u);
+  EXPECT_EQ(d.vars[0].indices, u.vars[0].indices);
+  EXPECT_EQ(d.vars[0].values, u.vars[0].values);
+  EXPECT_TRUE(d.vars[1].is_dense());
+  EXPECT_EQ(d.vars[1].values, u.vars[1].values);
+}
+
+TEST(Codec, WireBytesMatchesEncodedSize) {
+  const GradientUpdate u = sample_update();
+  EXPECT_EQ(wire_bytes(u), encode(u).size());
+}
+
+TEST(Codec, EmptyUpdateRoundTrip) {
+  GradientUpdate u;
+  u.from = 1;
+  u.iteration = 7;
+  u.lbs = 32;
+  const GradientUpdate d = decode_gradient_update(encode(u));
+  EXPECT_EQ(d.iteration, 7u);
+  EXPECT_TRUE(d.vars.empty());
+}
+
+TEST(Codec, TruncatedBufferThrows) {
+  auto buf = encode(sample_update());
+  buf.resize(buf.size() - 4);
+  EXPECT_THROW(decode_gradient_update(buf), std::out_of_range);
+}
+
+TEST(Codec, TrailingBytesThrow) {
+  auto buf = encode(sample_update());
+  buf.push_back(0);
+  EXPECT_THROW(decode_gradient_update(buf), std::invalid_argument);
+}
+
+TEST(Codec, WeightSnapshotRoundTrip) {
+  WeightSnapshot s;
+  s.from = 2;
+  s.iteration = 99;
+  s.loss = 0.123;
+  s.weights.values.emplace_back(tensor::Shape{3}, std::vector<float>{1, 2, 3});
+  s.weights.values.emplace_back(tensor::Shape{2}, std::vector<float>{4, 5});
+  const WeightSnapshot d = decode_weight_snapshot(encode(s));
+  EXPECT_EQ(d.from, 2u);
+  EXPECT_EQ(d.iteration, 99u);
+  EXPECT_DOUBLE_EQ(d.loss, 0.123);
+  ASSERT_EQ(d.weights.values.size(), 2u);
+  EXPECT_FLOAT_EQ(d.weights.values[0][1], 2.0f);
+  EXPECT_FLOAT_EQ(d.weights.values[1][1], 5.0f);
+}
+
+TEST(Codec, SnapshotWireBytesMatchesEncoding) {
+  WeightSnapshot s;
+  s.weights.values.emplace_back(tensor::Shape{10});
+  EXPECT_EQ(wire_bytes(s), encode(s).size());
+}
+
+TEST(Codec, ControlMessagesHaveFixedSize) {
+  const Message loss = LossReport{1, 2, 0.5};
+  const Message req = DktRequest{1, 2};
+  const Message rcp = RcpReport{1, 64.0};
+  EXPECT_EQ(wire_bytes(loss), 64u);
+  EXPECT_EQ(wire_bytes(req), 64u);
+  EXPECT_EQ(wire_bytes(rcp), 64u);
+}
+
+TEST(Message, DensityAndEntries) {
+  const GradientUpdate u = sample_update();
+  EXPECT_EQ(u.num_entries(), 7u);
+  EXPECT_DOUBLE_EQ(u.density(104), 7.0 / 104.0);
+}
+
+TEST(Message, ControlClassification) {
+  EXPECT_TRUE(is_control(Message(LossReport{})));
+  EXPECT_TRUE(is_control(Message(DktRequest{})));
+  EXPECT_TRUE(is_control(Message(RcpReport{})));
+  EXPECT_FALSE(is_control(Message(GradientUpdate{})));
+  EXPECT_FALSE(is_control(Message(WeightSnapshot{})));
+}
+
+TEST(Codec, LargeRandomUpdateRoundTrip) {
+  common::Rng rng(6);
+  GradientUpdate u;
+  u.from = 0;
+  u.iteration = 1;
+  u.lbs = 16;
+  for (std::uint32_t v = 0; v < 5; ++v) {
+    VariableGrad vg;
+    vg.var_index = v;
+    vg.dense_size = 1000;
+    for (std::uint32_t i = 0; i < 1000; i += 7) {
+      vg.indices.push_back(i);
+      vg.values.push_back(static_cast<float>(rng.normal()));
+    }
+    u.vars.push_back(std::move(vg));
+  }
+  const GradientUpdate d = decode_gradient_update(encode(u));
+  ASSERT_EQ(d.vars.size(), 5u);
+  for (std::size_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(d.vars[v].indices, u.vars[v].indices);
+    EXPECT_EQ(d.vars[v].values, u.vars[v].values);
+  }
+}
+
+}  // namespace
+}  // namespace dlion::comm

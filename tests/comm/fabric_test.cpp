@@ -1,0 +1,96 @@
+#include "comm/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dlion::comm {
+namespace {
+
+struct Received {
+  std::size_t from;
+  MessagePtr msg;
+  double time;
+};
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest() : net_(engine_, 3), fabric_(net_, 2.0) {
+    for (std::size_t w = 0; w < 3; ++w) {
+      fabric_.attach(w, [this, w](std::size_t from, MessagePtr msg) {
+        inbox_[w].push_back({from, std::move(msg), engine_.now()});
+      });
+    }
+  }
+
+  sim::Engine engine_;
+  sim::Network net_;
+  Fabric fabric_;
+  std::vector<Received> inbox_[3];
+};
+
+TEST_F(FabricTest, DeliversTypedMessage) {
+  fabric_.send(0, 1, LossReport{0, 5, 0.25});
+  engine_.run();
+  ASSERT_EQ(inbox_[1].size(), 1u);
+  EXPECT_EQ(inbox_[1][0].from, 0u);
+  const auto& report = std::get<LossReport>(*inbox_[1][0].msg);
+  EXPECT_DOUBLE_EQ(report.avg_loss, 0.25);
+}
+
+TEST_F(FabricTest, BroadcastReachesAllOthers) {
+  fabric_.broadcast(1, LossReport{1, 0, 0.5});
+  engine_.run();
+  EXPECT_EQ(inbox_[0].size(), 1u);
+  EXPECT_EQ(inbox_[1].size(), 0u);  // no self-delivery
+  EXPECT_EQ(inbox_[2].size(), 1u);
+}
+
+TEST_F(FabricTest, DataMessagesScaledControlNot) {
+  GradientUpdate u;
+  u.vars.push_back(VariableGrad{0, 4, {}, {1, 2, 3, 4}});
+  const Message data(u);
+  const Message control(LossReport{});
+  EXPECT_EQ(fabric_.charged_bytes(data), 2 * wire_bytes(data));
+  EXPECT_EQ(fabric_.charged_bytes(control), wire_bytes(control));
+}
+
+TEST_F(FabricTest, ChargedBytesReachNetworkStats) {
+  GradientUpdate u;
+  u.vars.push_back(VariableGrad{0, 4, {}, {1, 2, 3, 4}});
+  const common::Bytes expected = fabric_.charged_bytes(Message(u));
+  fabric_.send(0, 1, u);
+  engine_.run();
+  EXPECT_EQ(net_.stats(0).bytes_sent, expected);
+}
+
+TEST_F(FabricTest, TransferTimeScalesWithChargedSize) {
+  net_.set_egress(0, sim::Schedule(8.0));  // 1 MB/s
+  net_.set_all_latency(0.0);
+  GradientUpdate u;
+  u.vars.push_back(VariableGrad{0, 125000,
+                                {}, std::vector<float>(125000, 1.0f)});
+  // 500016 raw bytes * 2.0 scale ~ 1.0 MB over the fair egress share
+  // 8 Mbps / 2 peers = 4 Mbps -> ~2 s.
+  fabric_.send(0, 1, u);
+  engine_.run();
+  ASSERT_EQ(inbox_[1].size(), 1u);
+  EXPECT_NEAR(inbox_[1][0].time, 2.0, 0.01);
+}
+
+TEST_F(FabricTest, SendWithoutHandlerThrows) {
+  sim::Engine e2;
+  sim::Network n2(e2, 2);
+  Fabric f2(n2, 1.0);
+  EXPECT_THROW(f2.send(0, 1, LossReport{}), std::logic_error);
+}
+
+TEST(Fabric, InvalidScaleThrows) {
+  sim::Engine e;
+  sim::Network n(e, 2);
+  EXPECT_THROW(Fabric(n, 0.0), std::invalid_argument);
+  EXPECT_THROW(Fabric(n, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dlion::comm

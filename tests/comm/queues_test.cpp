@@ -1,0 +1,123 @@
+#include "comm/queues.h"
+
+#include <gtest/gtest.h>
+
+namespace dlion::comm {
+namespace {
+
+MessagePtr make_loss(double v) {
+  return std::make_shared<const Message>(LossReport{0, 0, v});
+}
+
+double loss_of(const MessagePtr& msg) {
+  return std::get<LossReport>(*msg).avg_loss;
+}
+
+TEST(KeyedQueue, FifoPerKey) {
+  KeyedQueue q;
+  q.push("a", make_loss(1.0));
+  q.push("a", make_loss(2.0));
+  q.push("b", make_loss(9.0));
+  EXPECT_DOUBLE_EQ(loss_of(*q.pop("a")), 1.0);
+  EXPECT_DOUBLE_EQ(loss_of(*q.pop("a")), 2.0);
+  EXPECT_DOUBLE_EQ(loss_of(*q.pop("b")), 9.0);
+}
+
+TEST(KeyedQueue, PopOnEmptyReturnsNullopt) {
+  KeyedQueue q;
+  EXPECT_FALSE(q.pop("missing").has_value());
+  q.push("k", make_loss(1.0));
+  (void)q.pop("k");
+  EXPECT_FALSE(q.pop("k").has_value());
+}
+
+TEST(KeyedQueue, FrontDoesNotRemove) {
+  KeyedQueue q;
+  q.push("k", make_loss(3.0));
+  EXPECT_DOUBLE_EQ(loss_of(*q.front("k")), 3.0);
+  EXPECT_EQ(q.size("k"), 1u);
+}
+
+TEST(KeyedQueue, SizesAndKeys) {
+  KeyedQueue q;
+  EXPECT_EQ(q.total_size(), 0u);
+  q.push("b", make_loss(1.0));
+  q.push("a", make_loss(2.0));
+  q.push("a", make_loss(3.0));
+  EXPECT_EQ(q.size("a"), 2u);
+  EXPECT_EQ(q.size("b"), 1u);
+  EXPECT_EQ(q.total_size(), 3u);
+  EXPECT_EQ(q.keys(), (std::vector<std::string>{"a", "b"}));  // sorted
+}
+
+TEST(KeyedQueue, ClearDropsAllEntries) {
+  KeyedQueue q;
+  q.push("k", make_loss(1.0));
+  q.push("k", make_loss(2.0));
+  EXPECT_EQ(q.clear("k"), 2u);
+  EXPECT_EQ(q.total_size(), 0u);
+  EXPECT_EQ(q.clear("k"), 0u);
+}
+
+TEST(PubSubBus, DeliversToAllSubscribers) {
+  PubSubBus bus;
+  int a = 0, b = 0;
+  bus.subscribe("grad", [&](const std::string&, const MessagePtr&) { ++a; });
+  bus.subscribe("grad", [&](const std::string&, const MessagePtr&) { ++b; });
+  bus.subscribe("other", [&](const std::string&, const MessagePtr&) {
+    FAIL() << "wrong channel";
+  });
+  EXPECT_EQ(bus.publish("grad", make_loss(1.0)), 2u);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(PubSubBus, NoSubscribersMeansDropped) {
+  PubSubBus bus;
+  EXPECT_EQ(bus.publish("void", make_loss(1.0)), 0u);
+}
+
+TEST(PubSubBus, UnsubscribeStopsDelivery) {
+  PubSubBus bus;
+  int count = 0;
+  const auto id = bus.subscribe(
+      "c", [&](const std::string&, const MessagePtr&) { ++count; });
+  bus.publish("c", make_loss(1.0));
+  bus.unsubscribe(id);
+  bus.publish("c", make_loss(1.0));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(bus.subscriber_count("c"), 0u);
+}
+
+TEST(PubSubBus, LateSubscribersMissEarlierMessages) {
+  PubSubBus bus;
+  bus.publish("c", make_loss(1.0));
+  int count = 0;
+  bus.subscribe("c", [&](const std::string&, const MessagePtr&) { ++count; });
+  EXPECT_EQ(count, 0);  // pub/sub does not store
+}
+
+TEST(PubSubBus, HandlerMaySubscribeDuringDelivery) {
+  PubSubBus bus;
+  int late = 0;
+  bus.subscribe("c", [&](const std::string&, const MessagePtr&) {
+    bus.subscribe("c",
+                  [&](const std::string&, const MessagePtr&) { ++late; });
+  });
+  bus.publish("c", make_loss(1.0));  // must not invalidate iteration
+  EXPECT_EQ(late, 0);
+  bus.publish("c", make_loss(2.0));
+  EXPECT_EQ(late, 1);
+}
+
+TEST(WorkerQueues, DataKeyEncodesSenderIterationVariable) {
+  EXPECT_EQ(WorkerQueues::data_key(3, 17, 2), "w3/i17/v2");
+  WorkerQueues wq;
+  wq.data.push(WorkerQueues::data_key(0, 0, 0), make_loss(1.0));
+  wq.control.push("go", make_loss(0.0));
+  EXPECT_EQ(wq.data.total_size(), 1u);
+  EXPECT_EQ(wq.control.total_size(), 1u);
+}
+
+}  // namespace
+}  // namespace dlion::comm

@@ -1,0 +1,120 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dlion::common {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  RunningStats small, big;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) big.add(i % 2);
+  EXPECT_GT(small.ci95_halfwidth(), big.ci95_halfwidth());
+}
+
+TEST(LinearFit, ExactLine) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LinearFit fit = linear_fit(xs, ys);
+  ASSERT_EQ(fit.n, 5u);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.predict(10.0), 21.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineRecoversSlope) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(0.5 * i + ((i % 2 == 0) ? 0.1 : -0.1));
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-3);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(LinearFit, DegenerateInputsReturnEmptyFit) {
+  std::vector<double> one = {1.0};
+  EXPECT_EQ(linear_fit(one, one).n, 0u);
+  std::vector<double> xs = {2.0, 2.0, 2.0};
+  std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_EQ(linear_fit(xs, ys).n, 0u);  // constant x
+  std::vector<double> mismatched = {1.0, 2.0};
+  EXPECT_EQ(linear_fit(xs, mismatched).n, 0u);
+}
+
+TEST(Ewma, FirstValuePassesThrough) {
+  Ewma e(0.5);
+  EXPECT_TRUE(e.empty());
+  e.add(10.0);
+  EXPECT_FALSE(e.empty());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesTowardConstant) {
+  Ewma e(0.3);
+  e.add(0.0);
+  for (int i = 0; i < 100; ++i) e.add(4.0);
+  EXPECT_NEAR(e.value(), 4.0, 1e-9);
+}
+
+TEST(Ewma, AlphaOneKeepsLatest) {
+  Ewma e(1.0);
+  e.add(1.0);
+  e.add(7.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.0);
+}
+
+TEST(Ewma, ResetClears) {
+  Ewma e(0.5);
+  e.add(3.0);
+  e.reset();
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(PopulationStddev, KnownValues) {
+  std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(population_stddev(xs), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mean_of(xs), 5.0);
+}
+
+TEST(PopulationStddev, EmptyAndConstant) {
+  EXPECT_EQ(population_stddev({}), 0.0);
+  std::vector<double> same = {3, 3, 3};
+  EXPECT_EQ(population_stddev(same), 0.0);
+}
+
+}  // namespace
+}  // namespace dlion::common

@@ -1,0 +1,55 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dlion::common {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"system", "accuracy"});
+  t.row().cell("dlion").cell(0.7156, 3);
+  t.row().cell("baseline").cell(0.31, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("system"), std::string::npos);
+  EXPECT_NE(out.find("dlion"), std::string::npos);
+  EXPECT_NE(out.find("0.716"), std::string::npos);
+  EXPECT_NE(out.find("0.31"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell(1).cell(2);
+  t.row().cell("x").cell("y");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(Table, NumRows) {
+  Table t({"h"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row().cell("v");
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, IntegerCells) {
+  Table t({"n"});
+  t.row().cell(static_cast<std::size_t>(12345));
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("12345"), std::string::npos);
+}
+
+TEST(Formatting, Seconds) { EXPECT_EQ(format_seconds(12.34), "12.3s"); }
+
+TEST(Formatting, Percent) {
+  EXPECT_EQ(format_percent(0.715), "71.5%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace dlion::common

@@ -1,0 +1,90 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace dlion::common {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsSerially) {
+  // hardware_concurrency may be 1 on this host; an explicit zero-worker
+  // pool must still complete all work on the caller.
+  ThreadPool pool(0);
+  std::vector<int> hits(64, 0);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ThreadPool, SumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<long long> partial(10000);
+  pool.parallel_for(0, partial.size(),
+                    [&](std::size_t i) {
+                      partial[i] = static_cast<long long>(i) * i;
+                    },
+                    /*grain=*/64);
+  long long total = std::accumulate(partial.begin(), partial.end(), 0LL);
+  long long expected = 0;
+  for (long long i = 0; i < 10000; ++i) expected += i * i;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeStillRuns) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { calls.fetch_add(1); },
+                    /*grain=*/1000);
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> calls{0};
+    pool.parallel_for(0, 50, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 50);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ThreadPool, WorkerCountMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+}  // namespace
+}  // namespace dlion::common

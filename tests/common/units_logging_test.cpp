@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace dlion::common {
+namespace {
+
+TEST(Units, TransferSeconds) {
+  // 1 MB over 8 Mbps = 1 s.
+  EXPECT_DOUBLE_EQ(transfer_seconds(1'000'000, 8.0), 1.0);
+  // 5 MB over 1 Gbps = 40 ms.
+  EXPECT_DOUBLE_EQ(transfer_seconds(5'000'000, 1000.0), 0.04);
+}
+
+TEST(Units, ZeroBandwidthIsUnreachable) {
+  EXPECT_GT(transfer_seconds(1, 0.0), 1e15);
+  EXPECT_GT(transfer_seconds(1, -5.0), 1e15);
+}
+
+TEST(Units, SizeHelpers) {
+  EXPECT_EQ(kib(2), 2048u);
+  EXPECT_EQ(mib(1), 1048576u);
+  EXPECT_EQ(mb(5), 5'000'000u);
+}
+
+TEST(Logging, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kWarn);  // fallback
+}
+
+TEST(Logging, SetLevelRoundTrip) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(original);
+}
+
+TEST(Logging, MacroCompilesAndRespectsLevel) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  // Should not crash and should be filtered (no observable output check
+  // here; the point is the streaming path executes).
+  DLION_DEBUG << "hidden " << 42;
+  DLION_ERROR << "visible-at-error " << 3.14;
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace dlion::common

@@ -1,0 +1,143 @@
+// Failure-injection tests: resource collapses mid-training (a worker's
+// compute drops to near zero, a link starves) and the synchronization
+// strategies' behaviour under them - the paper's motivating scenario where
+// co-located applications steal capacity (`stress`) or bandwidth (`tc`).
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "data/synthetic.h"
+#include "exp/environments.h"
+#include "systems/registry.h"
+
+namespace dlion::core {
+namespace {
+
+data::TrainTest blobs_data() { return data::make_blobs(21, 16, 4, 2048, 512); }
+
+ClusterSpec spec_for(const std::string& system_name, double duration) {
+  const systems::SystemSpec system = systems::make_system(system_name);
+  ClusterSpec spec;
+  spec.model = "logreg";
+  spec.seed = 9;
+  spec.duration_s = duration;
+  spec.strategy_factory = system.strategy_factory;
+  WorkerOptions options;
+  options.learning_rate = 0.4;
+  options.eval_period_iters = 10;
+  options.gbs.initial_gbs = 48;
+  options.fixed_lbs = 16;
+  options.dkt.period_iters = 25;
+  system.configure(options);
+  spec.worker_options = options;
+  return spec;
+}
+
+// A worker whose compute collapses 1000x at t = 30 s (a co-located job
+// grabbing the machine).
+sim::ComputeSpec collapsing_worker() {
+  sim::ComputeSpec spec;
+  spec.units = sim::Schedule{{0.0, 4.0}, {30.0, 0.004}};
+  spec.flops_per_unit = 1e5;
+  spec.iteration_overhead_s = 0.05;
+  return spec;
+}
+
+sim::ComputeSpec healthy_worker() {
+  sim::ComputeSpec spec;
+  spec.units = sim::Schedule(4.0);
+  spec.flops_per_unit = 1e5;
+  spec.iteration_overhead_s = 0.05;
+  return spec;
+}
+
+TEST(FailureInjection, SynchronousClusterStallsWithFrozenWorker) {
+  const data::TrainTest data = blobs_data();
+  ClusterSpec spec = spec_for("baseline", 90.0);  // synchronous
+  spec.compute = {healthy_worker(), healthy_worker(), collapsing_worker()};
+  Cluster cluster(spec, data.train, data.test);
+  cluster.run();
+  // Fully synchronous training is gated by the frozen worker: healthy
+  // workers cannot run ahead more than one iteration.
+  EXPECT_LE(cluster.worker(0).iterations(),
+            cluster.worker(2).iterations() + 1);
+}
+
+TEST(FailureInjection, BackupWorkerPolicyKeepsClusterMoving) {
+  const data::TrainTest data = blobs_data();
+  ClusterSpec spec = spec_for("hop", 90.0);  // bounded(5, 1): skip 1 straggler
+  spec.compute = {healthy_worker(), healthy_worker(), collapsing_worker()};
+  Cluster cluster(spec, data.train, data.test);
+  cluster.run();
+  // Hop's backup-worker technique lets the healthy majority run far ahead
+  // of the frozen straggler.
+  EXPECT_GT(cluster.worker(0).iterations(),
+            cluster.worker(2).iterations() + 20);
+  EXPECT_GT(cluster.mean_accuracy(), 0.8);
+}
+
+TEST(FailureInjection, HopOutlivesBaselineUnderStraggler) {
+  const data::TrainTest data = blobs_data();
+  ClusterSpec base = spec_for("baseline", 90.0);
+  base.compute = {healthy_worker(), healthy_worker(), collapsing_worker()};
+  ClusterSpec hop = spec_for("hop", 90.0);
+  hop.compute = base.compute;
+  Cluster baseline_cluster(base, data.train, data.test);
+  Cluster hop_cluster(hop, data.train, data.test);
+  baseline_cluster.run();
+  hop_cluster.run();
+  EXPECT_GT(hop_cluster.total_iterations(),
+            baseline_cluster.total_iterations());
+}
+
+TEST(FailureInjection, DlionRebalancesAwayFromDyingWorker) {
+  const data::TrainTest data = blobs_data();
+  ClusterSpec spec = spec_for("dlion", 120.0);
+  spec.compute = {healthy_worker(), healthy_worker(), collapsing_worker()};
+  spec.worker_options.batch_update_period_s = 5.0;
+  Cluster cluster(spec, data.train, data.test);
+  cluster.run();
+  // After the collapse, the LBS controller starves the dying worker of
+  // batch and shifts it to the healthy ones.
+  const double dying_lbs = cluster.worker(2).lbs_trace().last();
+  const double healthy_lbs = cluster.worker(0).lbs_trace().last();
+  EXPECT_GT(healthy_lbs, 4 * dying_lbs);
+}
+
+TEST(FailureInjection, StarvedLinkDoesNotWedgeDlion) {
+  const data::TrainTest data = blobs_data();
+  ClusterSpec spec = spec_for("dlion", 90.0);
+  spec.compute = {healthy_worker(), healthy_worker(), healthy_worker()};
+  // Worker 1's uplink collapses to 1 kbps at t = 30 s.
+  spec.network_setup = [](sim::Network& net) {
+    net.set_egress(1, sim::Schedule{{0.0, 1000.0}, {30.0, 0.001}});
+  };
+  Cluster cluster(spec, data.train, data.test);
+  cluster.run();
+  // Bounded staleness + budget adaptation keep everyone iterating; the
+  // cluster still converges on what flows through the healthy links.
+  EXPECT_GT(cluster.worker(0).iterations(), 50u);
+  EXPECT_GT(cluster.mean_accuracy(), 0.8);
+}
+
+TEST(FailureInjection, JitteredComputeStaysDeterministic) {
+  const data::TrainTest data = blobs_data();
+  auto jittered = [] {
+    sim::ComputeSpec spec;
+    spec.units = sim::Schedule(4.0);
+    spec.flops_per_unit = 1e5;
+    spec.iteration_overhead_s = 0.05;
+    spec.jitter_frac = 0.2;  // +/-20% noisy iteration times
+    return spec;
+  };
+  ClusterSpec spec = spec_for("dlion", 60.0);
+  spec.compute = {jittered(), jittered(), jittered()};
+  Cluster a(spec, data.train, data.test);
+  Cluster b(spec, data.train, data.test);
+  a.run();
+  b.run();
+  EXPECT_EQ(a.total_iterations(), b.total_iterations());
+  EXPECT_DOUBLE_EQ(a.mean_accuracy(), b.mean_accuracy());
+}
+
+}  // namespace
+}  // namespace dlion::core

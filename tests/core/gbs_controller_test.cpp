@@ -1,0 +1,107 @@
+#include "core/gbs_controller.h"
+
+#include <gtest/gtest.h>
+
+namespace dlion::core {
+namespace {
+
+GbsConfig small_config() {
+  GbsConfig cfg;
+  cfg.initial_gbs = 100;
+  cfg.dataset_size = 10000;  // warm-up cap 100, speed-up cap 1000
+  cfg.c_warmup = 50;
+  cfg.c_speedup = 2.0;
+  cfg.warmup_ticks = 3;
+  return cfg;
+}
+
+TEST(GbsController, WarmupIsArithmetic) {
+  GbsConfig cfg = small_config();
+  cfg.dataset_size = 100000;  // warm-up cap 1000: no cap interference
+  GbsController c(cfg);
+  EXPECT_EQ(c.tick(), 150u);
+  EXPECT_EQ(c.tick(), 200u);
+  EXPECT_EQ(c.tick(), 250u);
+}
+
+TEST(GbsController, WarmupStopsAboveOnePercent) {
+  GbsController c(small_config());  // warm-up cap = 100 = initial
+  // initial 100 <= 100 so one increment happens, then 150 > 100 stops.
+  EXPECT_EQ(c.tick(), 150u);
+  EXPECT_EQ(c.tick(), 150u);
+  EXPECT_EQ(c.tick(), 150u);
+  EXPECT_TRUE(!c.in_warmup());
+}
+
+TEST(GbsController, SpeedupIsGeometric) {
+  GbsConfig cfg = small_config();
+  cfg.warmup_ticks = 0;  // straight to speed-up
+  GbsController c(cfg);
+  EXPECT_EQ(c.tick(), 200u);
+  EXPECT_EQ(c.tick(), 400u);
+  EXPECT_EQ(c.tick(), 800u);
+}
+
+TEST(GbsController, SpeedupStopsAboveTenPercent) {
+  GbsConfig cfg = small_config();
+  cfg.warmup_ticks = 0;
+  GbsController c(cfg);
+  for (int i = 0; i < 10; ++i) c.tick();
+  // 100 -> 200 -> 400 -> 800 -> 1600 (> 1000) and stays.
+  EXPECT_EQ(c.gbs(), 1600u);
+  EXPECT_TRUE(c.saturated());
+}
+
+TEST(GbsController, DisabledNeverChanges) {
+  GbsConfig cfg = small_config();
+  cfg.enabled = false;
+  GbsController c(cfg);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(c.tick(), 100u);
+}
+
+TEST(GbsController, PhaseIndicator) {
+  GbsController c(small_config());
+  EXPECT_TRUE(c.in_warmup());
+  c.tick();
+  c.tick();
+  c.tick();
+  EXPECT_FALSE(c.in_warmup());
+}
+
+TEST(GbsController, TickCountAdvances) {
+  GbsController c(small_config());
+  EXPECT_EQ(c.ticks(), 0u);
+  c.tick();
+  c.tick();
+  EXPECT_EQ(c.ticks(), 2u);
+}
+
+TEST(GbsController, InvalidConfigThrows) {
+  GbsConfig zero = small_config();
+  zero.initial_gbs = 0;
+  EXPECT_THROW(GbsController{zero}, std::invalid_argument);
+  GbsConfig flat = small_config();
+  flat.c_speedup = 1.0;
+  EXPECT_THROW(GbsController{flat}, std::invalid_argument);
+  GbsConfig nodata = small_config();
+  nodata.dataset_size = 0;
+  EXPECT_THROW(GbsController{nodata}, std::invalid_argument);
+}
+
+TEST(GbsController, PaperDefaultsTrajectory) {
+  // Paper-style run: 60K dataset, initial GBS 192.
+  GbsConfig cfg;
+  cfg.dataset_size = 60000;  // warm-up cap 600, speed-up cap 6000
+  GbsController c(cfg);
+  std::size_t last = cfg.initial_gbs;
+  for (int i = 0; i < 12; ++i) {
+    const std::size_t g = c.tick();
+    EXPECT_GE(g, last);  // monotone non-decreasing
+    last = g;
+  }
+  EXPECT_GT(c.gbs(), 6000u);           // passed the 10% cap once
+  EXPECT_LE(c.gbs(), 6000u * 2);       // but by at most one factor
+}
+
+}  // namespace
+}  // namespace dlion::core

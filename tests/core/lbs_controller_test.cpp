@@ -1,0 +1,122 @@
+#include "core/lbs_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace dlion::core {
+namespace {
+
+TEST(EstimateRcp, ExactLinearTiming) {
+  // time = 0.1 + 0.01 * lbs; in 1 s the worker can process (1-0.1)/0.01 = 90.
+  std::vector<double> lbs = {8, 16, 32, 64};
+  std::vector<double> times;
+  for (double b : lbs) times.push_back(0.1 + 0.01 * b);
+  EXPECT_NEAR(estimate_rcp(lbs, times, 1.0), 90.0, 1e-9);
+}
+
+TEST(EstimateRcp, ScalesWithUnitTime) {
+  std::vector<double> lbs = {8, 16, 32};
+  std::vector<double> times = {0.18, 0.26, 0.42};  // 0.1 + 0.01 * lbs
+  const double rcp1 = estimate_rcp(lbs, times, 1.0);
+  const double rcp2 = estimate_rcp(lbs, times, 2.0);
+  EXPECT_GT(rcp2, rcp1);
+}
+
+TEST(EstimateRcp, DegenerateReturnsOne) {
+  std::vector<double> one = {8};
+  EXPECT_DOUBLE_EQ(estimate_rcp(one, one, 1.0), 1.0);
+  std::vector<double> lbs = {8, 16, 32};
+  std::vector<double> flat = {1.0, 1.0, 1.0};  // zero slope
+  EXPECT_DOUBLE_EQ(estimate_rcp(lbs, flat, 1.0), 1.0);
+}
+
+TEST(EstimateRcp, NeverBelowOne) {
+  // Overhead larger than the unit time: raw RCP would be negative.
+  std::vector<double> lbs = {8, 16, 32};
+  std::vector<double> times = {5.08, 5.16, 5.32};
+  EXPECT_DOUBLE_EQ(estimate_rcp(lbs, times, 1.0), 1.0);
+}
+
+TEST(AllocateLbs, SumsToGbs) {
+  std::vector<double> rcps = {60, 60, 30, 30, 15, 15};
+  const auto alloc = allocate_lbs(600, rcps);
+  EXPECT_EQ(std::accumulate(alloc.begin(), alloc.end(), 0ull), 600u);
+}
+
+TEST(AllocateLbs, ProportionalToRcp) {
+  std::vector<double> rcps = {60, 30, 15, 15};  // total 120
+  const auto alloc = allocate_lbs(120, rcps);
+  EXPECT_EQ(alloc[0], 60u);
+  EXPECT_EQ(alloc[1], 30u);
+  EXPECT_EQ(alloc[2], 15u);
+  EXPECT_EQ(alloc[3], 15u);
+}
+
+TEST(AllocateLbs, EqualRcpsMeansEvenSplit) {
+  std::vector<double> rcps(6, 10.0);
+  const auto alloc = allocate_lbs(192, rcps);
+  for (std::size_t v : alloc) EXPECT_EQ(v, 32u);
+}
+
+TEST(AllocateLbs, RoundingPreservesSum) {
+  std::vector<double> rcps = {1.0, 1.0, 1.0};
+  const auto alloc = allocate_lbs(100, rcps);  // not divisible by 3
+  EXPECT_EQ(std::accumulate(alloc.begin(), alloc.end(), 0ull), 100u);
+  for (std::size_t v : alloc) {
+    EXPECT_GE(v, 33u);
+    EXPECT_LE(v, 34u);
+  }
+}
+
+TEST(AllocateLbs, MinimumLbsRespected) {
+  std::vector<double> rcps = {1000.0, 1.0, 1.0};
+  const auto alloc = allocate_lbs(100, rcps, 5);
+  EXPECT_GE(alloc[1], 5u);
+  EXPECT_GE(alloc[2], 5u);
+  EXPECT_EQ(std::accumulate(alloc.begin(), alloc.end(), 0ull), 100u);
+}
+
+TEST(AllocateLbs, DegenerateGbsGivesStrongestWorkersFirst) {
+  std::vector<double> rcps = {1.0, 10.0, 5.0};
+  const auto alloc = allocate_lbs(4, rcps, 2);  // 4 < 3 workers * 2 min
+  EXPECT_EQ(std::accumulate(alloc.begin(), alloc.end(), 0ull), 4u);
+  EXPECT_EQ(alloc[1], 2u);  // strongest gets the minimum first
+  EXPECT_EQ(alloc[2], 2u);
+  EXPECT_EQ(alloc[0], 0u);
+}
+
+TEST(AllocateLbs, DeterministicTieBreaking) {
+  std::vector<double> rcps = {1.0, 1.0, 1.0, 1.0};
+  const auto a = allocate_lbs(10, rcps);
+  const auto b = allocate_lbs(10, rcps);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AllocateLbs, InvalidInputsThrow) {
+  EXPECT_THROW(allocate_lbs(10, {}), std::invalid_argument);
+  std::vector<double> bad = {1.0, 0.0};
+  EXPECT_THROW(allocate_lbs(10, bad), std::invalid_argument);
+}
+
+class AllocationSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(AllocationSweep, SumInvariantHoldsAcrossShapes) {
+  const auto [gbs, n] = GetParam();
+  std::vector<double> rcps;
+  for (std::size_t i = 0; i < n; ++i) {
+    rcps.push_back(1.0 + static_cast<double>(i * i));
+  }
+  const auto alloc = allocate_lbs(gbs, rcps);
+  EXPECT_EQ(alloc.size(), n);
+  EXPECT_EQ(std::accumulate(alloc.begin(), alloc.end(), 0ull), gbs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AllocationSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(6, 97, 192, 600, 6000),
+                       ::testing::Values<std::size_t>(2, 3, 6, 13)));
+
+}  // namespace
+}  // namespace dlion::core

@@ -1,0 +1,138 @@
+// Protocol-level Worker tests: drive a single Worker through the message
+// fabric with a scripted peer and observe its responses - the request/
+// response behaviour of the Fig. 10 modules in isolation.
+#include <gtest/gtest.h>
+
+#include "core/worker.h"
+#include "data/synthetic.h"
+#include "exp/environments.h"
+#include "systems/baseline.h"
+
+namespace dlion::core {
+namespace {
+
+class WorkerMessagesTest : public ::testing::Test {
+ protected:
+  WorkerMessagesTest()
+      : network_(engine_, 2),
+        fabric_(network_, 1.0),
+        data_(data::make_blobs(3, 16, 4, 128, 32)) {
+    fabric_.attach(1, [this](std::size_t from, comm::MessagePtr msg) {
+      peer_inbox_.emplace_back(from, std::move(msg));
+    });
+    common::Rng rng(1);
+    nn::BuiltModel built = nn::make_logistic_regression(rng, 16, 4);
+    WorkerOptions options;
+    options.learning_rate = 0.1;
+    options.weighted_update = false;  // plain Eq. 4 for exact-step checks
+    options.dkt.period_iters = 4;
+    options.dkt.mode = DktMode::kBest2All;
+    options.dkt.lambda = 1.0;  // replace-merge for exact-value checks
+    options.sync = SyncPolicy::asynchronous();
+    options.eval_period_iters = 100;
+    worker_ = std::make_unique<Worker>(
+        0, engine_, fabric_, sim::ComputeResource(exp::cpu_cores(4),
+                                                  built.profile, 7),
+        std::move(built), data::shard(data_.train, 2, 0), &data_.test,
+        std::make_unique<systems::BaselineStrategy>(), options, 11);
+  }
+
+  template <typename T>
+  std::size_t count_received() const {
+    std::size_t n = 0;
+    for (const auto& [from, msg] : peer_inbox_) {
+      if (std::holds_alternative<T>(*msg)) ++n;
+    }
+    return n;
+  }
+
+  sim::Engine engine_;
+  sim::Network network_;
+  comm::Fabric fabric_;
+  data::TrainTest data_;
+  std::unique_ptr<Worker> worker_;
+  std::vector<std::pair<std::size_t, comm::MessagePtr>> peer_inbox_;
+};
+
+TEST_F(WorkerMessagesTest, GradientUpdateMovesWeights) {
+  const nn::Snapshot before = worker_->model().weights();
+  comm::GradientUpdate update;
+  update.from = 1;
+  update.iteration = 0;
+  update.lbs = 32;
+  comm::VariableGrad vg;
+  vg.var_index = 0;
+  vg.dense_size =
+      static_cast<std::uint32_t>(worker_->model().variables()[0]->size());
+  vg.values.assign(vg.dense_size, 1.0f);
+  update.vars.push_back(std::move(vg));
+  fabric_.send(1, 0, update);
+  engine_.run();
+  const nn::Snapshot after = worker_->model().weights();
+  // w -= eta/n * db * 1 with eta=0.1, n=2, db=1 (fixed LBS matches).
+  EXPECT_NEAR(after.values[0][0], before.values[0][0] - 0.05f, 1e-5);
+}
+
+TEST_F(WorkerMessagesTest, DktRequestAnsweredWithWeights) {
+  fabric_.send(1, 0, comm::DktRequest{1, 5});
+  engine_.run();
+  ASSERT_EQ(count_received<comm::WeightSnapshot>(), 1u);
+  for (const auto& [from, msg] : peer_inbox_) {
+    if (const auto* snap = std::get_if<comm::WeightSnapshot>(msg.get())) {
+      EXPECT_EQ(snap->from, 0u);
+      EXPECT_EQ(snap->weights.values.size(),
+                worker_->model().num_variables());
+    }
+  }
+}
+
+TEST_F(WorkerMessagesTest, WeightSnapshotMergesIntoModel) {
+  comm::WeightSnapshot snap;
+  snap.from = 1;
+  snap.loss = 0.01;
+  snap.weights = worker_->model().weights();
+  for (auto& t : snap.weights.values) t.fill(2.0f);
+  fabric_.send(1, 0, snap);
+  engine_.run();
+  // lambda = 1: the snapshot replaces the local weights.
+  const nn::Snapshot after = worker_->model().weights();
+  for (const auto& t : after.values) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      EXPECT_FLOAT_EQ(t[i], 2.0f);
+    }
+  }
+}
+
+TEST_F(WorkerMessagesTest, TrainingBroadcastsGradientsAndDkt) {
+  worker_->start(/*until=*/40.0);
+  engine_.run_until(40.0);
+  EXPECT_GT(worker_->iterations(), 4u);
+  EXPECT_GT(count_received<comm::GradientUpdate>(), 4u);
+  // DKT boundary every 4 iterations: loss reports must have been shared.
+  EXPECT_GE(count_received<comm::LossReport>(), 1u);
+}
+
+TEST_F(WorkerMessagesTest, RcpReportRebalancesLbs) {
+  // Enable dynamic batching behaviour through a fresh worker.
+  common::Rng rng(2);
+  nn::BuiltModel built = nn::make_logistic_regression(rng, 16, 4);
+  WorkerOptions options;
+  options.dynamic_batching = true;
+  options.gbs.initial_gbs = 64;
+  options.gbs.dataset_size = 128;
+  options.sync = SyncPolicy::asynchronous();
+  Worker dyn(0, engine_, fabric_,
+             sim::ComputeResource(exp::cpu_cores(4), built.profile, 8),
+             std::move(built), data::shard(data_.train, 2, 0), &data_.test,
+             std::make_unique<systems::BaselineStrategy>(), options, 12);
+  dyn.start(1.0);
+  engine_.run_until(0.5);
+  const std::size_t before = dyn.current_lbs();
+  // A peer reporting enormous compute power should shrink our share.
+  fabric_.send(1, 0, comm::RcpReport{1, 1e6});
+  engine_.run_until(1.0);
+  EXPECT_LT(dyn.current_lbs(), before);
+}
+
+}  // namespace
+}  // namespace dlion::core

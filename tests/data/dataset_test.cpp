@@ -1,0 +1,115 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace dlion::data {
+namespace {
+
+Dataset tiny_dataset(std::size_t n) {
+  Dataset ds;
+  ds.images = tensor::Tensor(tensor::Shape{n, 1, 1, 2});
+  ds.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.images[i * 2] = static_cast<float>(i);
+    ds.images[i * 2 + 1] = static_cast<float>(i) + 0.5f;
+    ds.labels[i] = static_cast<std::int32_t>(i % 3);
+  }
+  return ds;
+}
+
+TEST(Dataset, NumClasses) {
+  const Dataset ds = tiny_dataset(7);
+  EXPECT_EQ(ds.num_classes(), 3u);
+}
+
+TEST(Dataset, SampleElems) {
+  const Dataset ds = tiny_dataset(4);
+  EXPECT_EQ(ds.sample_elems(), 2u);
+}
+
+TEST(Gather, PicksRequestedSamples) {
+  const Dataset ds = tiny_dataset(10);
+  std::vector<std::size_t> idx = {3, 7};
+  const Batch b = gather(ds, idx);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_FLOAT_EQ(b.images[0], 3.0f);
+  EXPECT_FLOAT_EQ(b.images[2], 7.0f);
+  EXPECT_EQ(b.labels[0], 0);
+  EXPECT_EQ(b.labels[1], 1);
+}
+
+TEST(Gather, BadIndexThrows) {
+  const Dataset ds = tiny_dataset(3);
+  std::vector<std::size_t> idx = {5};
+  EXPECT_THROW(gather(ds, idx), std::out_of_range);
+}
+
+TEST(Shard, SizesDifferByAtMostOne) {
+  const Dataset ds = tiny_dataset(10);
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < 3; ++w) {
+    const Dataset s = shard(ds, 3, w);
+    EXPECT_GE(s.size(), 3u);
+    EXPECT_LE(s.size(), 4u);
+    total += s.size();
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(Shard, ShardsAreDisjointAndOrdered) {
+  const Dataset ds = tiny_dataset(9);
+  const Dataset s0 = shard(ds, 3, 0);
+  const Dataset s1 = shard(ds, 3, 1);
+  const Dataset s2 = shard(ds, 3, 2);
+  EXPECT_FLOAT_EQ(s0.images[0], 0.0f);
+  EXPECT_FLOAT_EQ(s1.images[0], 3.0f);
+  EXPECT_FLOAT_EQ(s2.images[0], 6.0f);
+}
+
+TEST(Shard, SingleWorkerGetsEverything) {
+  const Dataset ds = tiny_dataset(5);
+  const Dataset s = shard(ds, 1, 0);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(Shard, BadArgsThrow) {
+  const Dataset ds = tiny_dataset(5);
+  EXPECT_THROW(shard(ds, 0, 0), std::invalid_argument);
+  EXPECT_THROW(shard(ds, 2, 2), std::invalid_argument);
+}
+
+TEST(MinibatchSampler, ProducesRequestedSize) {
+  const Dataset ds = tiny_dataset(20);
+  MinibatchSampler sampler(ds, 1);
+  const Batch b = sampler.next(8);
+  EXPECT_EQ(b.size(), 8u);
+}
+
+TEST(MinibatchSampler, DeterministicBySeed) {
+  const Dataset ds = tiny_dataset(20);
+  MinibatchSampler a(ds, 42), b(ds, 42);
+  const Batch ba = a.next(16), bb = b.next(16);
+  for (std::size_t i = 0; i < ba.images.size(); ++i) {
+    EXPECT_FLOAT_EQ(ba.images[i], bb.images[i]);
+  }
+}
+
+TEST(MinibatchSampler, DifferentSeedsDiffer) {
+  const Dataset ds = tiny_dataset(100);
+  MinibatchSampler a(ds, 1), b(ds, 2);
+  const Batch ba = a.next(16), bb = b.next(16);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < ba.images.size(); ++i) {
+    if (ba.images[i] != bb.images[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MinibatchSampler, EmptyDatasetThrows) {
+  Dataset empty;
+  MinibatchSampler sampler(empty, 1);
+  EXPECT_THROW(sampler.next(4), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dlion::data

@@ -1,0 +1,108 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dlion::data {
+namespace {
+
+TEST(Synthetic, DeterministicBySeed) {
+  SyntheticSpec spec;
+  spec.num_train = 50;
+  spec.num_test = 10;
+  spec.seed = 77;
+  const TrainTest a = make_synthetic(spec);
+  const TrainTest b = make_synthetic(spec);
+  for (std::size_t i = 0; i < a.train.images.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.train.images[i], b.train.images[i]);
+  }
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticSpec s1, s2;
+  s1.num_train = s2.num_train = 50;
+  s1.num_test = s2.num_test = 10;
+  s1.seed = 1;
+  s2.seed = 2;
+  const TrainTest a = make_synthetic(s1);
+  const TrainTest b = make_synthetic(s2);
+  bool differ = false;
+  for (std::size_t i = 0; i < a.train.images.size(); ++i) {
+    if (a.train.images[i] != b.train.images[i]) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Synthetic, ShapesAndLabelRanges) {
+  SyntheticSpec spec;
+  spec.num_train = 30;
+  spec.num_test = 20;
+  spec.classes = 7;
+  spec.channels = 3;
+  spec.height = 5;
+  spec.width = 6;
+  const TrainTest tt = make_synthetic(spec);
+  EXPECT_TRUE(tt.train.images.shape() == tensor::Shape({30, 3, 5, 6}));
+  EXPECT_TRUE(tt.test.images.shape() == tensor::Shape({20, 3, 5, 6}));
+  for (auto l : tt.train.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 7);
+  }
+}
+
+TEST(Synthetic, PixelsBoundedByTanh) {
+  SyntheticSpec spec;
+  spec.num_train = 20;
+  spec.num_test = 1;
+  const TrainTest tt = make_synthetic(spec);
+  for (std::size_t i = 0; i < tt.train.images.size(); ++i) {
+    EXPECT_GE(tt.train.images[i], -1.0f);
+    EXPECT_LE(tt.train.images[i], 1.0f);
+  }
+}
+
+TEST(Synthetic, AllClassesRepresented) {
+  SyntheticSpec spec;
+  spec.num_train = 500;
+  spec.num_test = 10;
+  spec.classes = 10;
+  const TrainTest tt = make_synthetic(spec);
+  std::set<std::int32_t> seen(tt.train.labels.begin(),
+                              tt.train.labels.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(SynthCipher, BenchScaleDimensions) {
+  const TrainTest tt = make_synth_cipher(1, /*paper_scale=*/false);
+  EXPECT_EQ(tt.train.size(), 6000u);
+  EXPECT_EQ(tt.test.size(), 1000u);
+  EXPECT_EQ(tt.train.images.shape()[2], 8u);
+  EXPECT_EQ(tt.train.num_classes(), 10u);
+}
+
+TEST(SynthImageNet, BenchScaleDimensions) {
+  const TrainTest tt = make_synth_imagenet100(1, /*paper_scale=*/false);
+  EXPECT_EQ(tt.train.size(), 20000u);
+  EXPECT_EQ(tt.train.images.shape()[1], 3u);  // RGB
+  EXPECT_EQ(tt.train.num_classes(), 20u);
+}
+
+TEST(Blobs, GeneratesSeparableClasses) {
+  const TrainTest tt = make_blobs(3, 8, 4, 100, 50, 0.1);
+  EXPECT_EQ(tt.train.size(), 100u);
+  EXPECT_EQ(tt.train.num_classes(), 4u);
+  EXPECT_TRUE(tt.train.images.shape() == tensor::Shape({100, 1, 1, 8}));
+}
+
+TEST(Blobs, DeterministicBySeed) {
+  const TrainTest a = make_blobs(9, 4, 2, 20, 5);
+  const TrainTest b = make_blobs(9, 4, 2, 20, 5);
+  for (std::size_t i = 0; i < a.train.images.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.train.images[i], b.train.images[i]);
+  }
+}
+
+}  // namespace
+}  // namespace dlion::data

@@ -1,0 +1,129 @@
+#include "exp/environments.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+
+namespace dlion::exp {
+namespace {
+
+TEST(Environments, AllNamedEnvironmentsBuild) {
+  for (const std::string& name : environment_names()) {
+    const Environment env = make_environment(name, 100.0);
+    EXPECT_EQ(env.name, name);
+    EXPECT_EQ(env.compute.size(), kWorkers);
+  }
+}
+
+TEST(Environments, UnknownNameThrows) {
+  EXPECT_THROW(make_environment("Mars DC"), std::invalid_argument);
+}
+
+TEST(Environments, HeteroCpuAValuesMatchTable3) {
+  const Environment env = make_environment("Hetero CPU A");
+  const std::vector<double> expected = {24, 24, 12, 12, 6, 6};
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    EXPECT_DOUBLE_EQ(env.compute[i].units.at(0.0), expected[i]);
+  }
+  EXPECT_FALSE(env.network_setup);  // LAN
+  EXPECT_FALSE(env.gpu);
+}
+
+TEST(Environments, HeteroCpuBHasDistinctStraggler) {
+  const Environment env = make_environment("Hetero CPU B");
+  EXPECT_DOUBLE_EQ(env.compute[5].units.at(0.0), 4.0);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(env.compute[i].units.at(0.0), 24.0);
+  }
+}
+
+TEST(Environments, NetworkShapingAppliesTable3Bandwidths) {
+  const Environment env = make_environment("Hetero NET A");
+  sim::Engine engine;
+  sim::Network net(engine, kWorkers);
+  ASSERT_TRUE(env.network_setup);
+  env.network_setup(net);
+  const std::vector<double> expected = {50, 50, 35, 35, 20, 20};
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    EXPECT_DOUBLE_EQ(net.egress_mbps(i), expected[i]);
+  }
+}
+
+TEST(Environments, HeteroSysBReversesBandwidth) {
+  const Environment env = make_environment("Hetero SYS B");
+  sim::Engine engine;
+  sim::Network net(engine, kWorkers);
+  env.network_setup(net);
+  EXPECT_DOUBLE_EQ(net.egress_mbps(0), 20.0);
+  EXPECT_DOUBLE_EQ(net.egress_mbps(5), 50.0);
+  EXPECT_DOUBLE_EQ(env.compute[0].units.at(0.0), 24.0);
+  EXPECT_DOUBLE_EQ(env.compute[5].units.at(0.0), 6.0);
+}
+
+TEST(Environments, GpuEnvironmentsUseGpuCalibration) {
+  const Environment homo_c = make_environment("Homo C");
+  EXPECT_TRUE(homo_c.gpu);
+  for (const auto& c : homo_c.compute) {
+    EXPECT_DOUBLE_EQ(c.units.at(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(c.flops_per_unit, sim::kGpuUnitFlops);
+  }
+  const Environment sys_c = make_environment("Hetero SYS C");
+  EXPECT_DOUBLE_EQ(sys_c.compute[0].units.at(0.0), 8.0);  // p2.8xlarge
+  EXPECT_DOUBLE_EQ(sys_c.compute[5].units.at(0.0), 1.0);  // p2.xlarge
+}
+
+TEST(Environments, DynamicSysAPhasesFollowTable3) {
+  const double phase = 100.0;
+  const Environment env = make_environment("Dynamic SYS A", phase);
+  // Phase 1 = Homo B (24 cores), phase 2-3 = Hetero cores.
+  EXPECT_DOUBLE_EQ(env.compute[4].units.at(50.0), 24.0);
+  EXPECT_DOUBLE_EQ(env.compute[4].units.at(150.0), 6.0);
+  sim::Engine engine;
+  sim::Network net(engine, kWorkers);
+  env.network_setup(net);
+  // Worker 0 egress: 50 (Homo B) -> 50 (SYS A) -> 20 (SYS B).
+  EXPECT_DOUBLE_EQ(net.egress_mbps(0), 50.0);
+  engine.at(150.0, [] {});
+  engine.run();
+  EXPECT_DOUBLE_EQ(net.egress_mbps(0), 50.0);
+  engine.at(250.0, [] {});
+  engine.run();
+  EXPECT_DOUBLE_EQ(net.egress_mbps(0), 20.0);
+}
+
+TEST(Environments, DynamicSysBIsReversed) {
+  const double phase = 100.0;
+  const Environment env = make_environment("Dynamic SYS B", phase);
+  // Worker 4: Hetero cores 6 -> 6 -> 24.
+  EXPECT_DOUBLE_EQ(env.compute[4].units.at(50.0), 6.0);
+  EXPECT_DOUBLE_EQ(env.compute[4].units.at(250.0), 24.0);
+}
+
+TEST(WanMatrix, MatchesTable2Values) {
+  const auto& m = wan_bandwidth_matrix();
+  ASSERT_EQ(m.size(), 6u);
+  // Spot-check the paper's Table 2 entries.
+  EXPECT_DOUBLE_EQ(m[0][1], 190.0);  // Virginia -> Oregon
+  EXPECT_DOUBLE_EQ(m[0][3], 53.0);   // Virginia -> Mumbai
+  EXPECT_DOUBLE_EQ(m[2][4], 30.0);   // Ireland -> Seoul
+  EXPECT_DOUBLE_EQ(m[5][2], 36.0);   // Sydney -> Ireland
+  EXPECT_DOUBLE_EQ(m[3][0], 53.0);   // Mumbai -> Virginia
+}
+
+TEST(WanMatrix, EnvironmentAppliesLinks) {
+  const Environment env = make_wan_matrix_environment();
+  sim::Engine engine;
+  sim::Network net(engine, kWorkers);
+  env.network_setup(net);
+  EXPECT_DOUBLE_EQ(net.link_mbps(0, 1), 190.0);
+  EXPECT_DOUBLE_EQ(net.link_mbps(2, 4), 30.0);
+}
+
+TEST(WanMatrix, RegionNames) {
+  ASSERT_EQ(wan_region_names().size(), 6u);
+  EXPECT_EQ(wan_region_names()[0], "Virginia");
+  EXPECT_EQ(wan_region_names()[5], "Sydney");
+}
+
+}  // namespace
+}  // namespace dlion::exp

@@ -1,0 +1,137 @@
+#include "exp/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace dlion::exp {
+namespace {
+
+Workload tiny_cpu_workload() {
+  Scale scale;
+  scale.seed = 3;
+  Workload w = make_workload("cpu", scale);
+  return w;
+}
+
+TEST(Scale, BenchDefaults) {
+  common::Config cfg;
+  const Scale s = Scale::from_config(cfg);
+  EXPECT_FALSE(s.paper);
+  EXPECT_DOUBLE_EQ(s.duration_s, 300.0);
+  EXPECT_EQ(s.repeats, 1u);
+  EXPECT_EQ(s.eval_period_iters, 5u);
+  EXPECT_EQ(s.dkt_period_iters, 25u);
+}
+
+TEST(Scale, PaperOverrides) {
+  common::Config cfg;
+  cfg.set("scale", "paper");
+  const Scale s = Scale::from_config(cfg);
+  EXPECT_TRUE(s.paper);
+  EXPECT_DOUBLE_EQ(s.duration_s, 1500.0);   // §5.2.1
+  EXPECT_DOUBLE_EQ(s.gpu_duration_s, 7200.0);
+  EXPECT_DOUBLE_EQ(s.dynamic_phase_s, 500.0);
+  EXPECT_EQ(s.repeats, 3u);
+  EXPECT_EQ(s.eval_period_iters, 20u);      // §5.1.3
+  EXPECT_EQ(s.dkt_period_iters, 100u);      // §5.1.4
+}
+
+TEST(Scale, FlagsOverrideDefaults) {
+  common::Config cfg;
+  cfg.set("duration", "42.5");
+  cfg.set("seed", "9");
+  cfg.set("repeats", "2");
+  const Scale s = Scale::from_config(cfg);
+  EXPECT_DOUBLE_EQ(s.duration_s, 42.5);
+  EXPECT_EQ(s.seed, 9u);
+  EXPECT_EQ(s.repeats, 2u);
+}
+
+TEST(Workload, CpuWorkloadShapes) {
+  const Workload w = tiny_cpu_workload();
+  EXPECT_EQ(w.model, "cipher-lite");
+  EXPECT_EQ(w.data.train.size(), 6000u);
+  EXPECT_GT(w.learning_rate, 0.0);
+}
+
+TEST(Workload, GpuWorkloadShapes) {
+  Scale scale;
+  const Workload w = make_workload("gpu", scale);
+  EXPECT_EQ(w.model, "mobilenet-20");
+  EXPECT_EQ(w.data.train.images.shape()[1], 3u);
+}
+
+TEST(Workload, UnknownKindThrows) {
+  Scale scale;
+  EXPECT_THROW(make_workload("tpu", scale), std::invalid_argument);
+}
+
+TEST(RunExperiment, ShortRunProducesMetrics) {
+  const Workload w = tiny_cpu_workload();
+  RunSpec spec;
+  spec.system = "dlion";
+  spec.environment = "Homo A";
+  spec.duration_s = 40.0;
+  const RunResult res = run_experiment(spec, w);
+  EXPECT_EQ(res.system, "dlion");
+  EXPECT_EQ(res.environment, "Homo A");
+  EXPECT_GT(res.total_iterations, 0u);
+  EXPECT_GT(res.total_bytes, 0u);
+  EXPECT_GE(res.final_accuracy, 0.0);
+  EXPECT_LE(res.final_accuracy, 1.0);
+  EXPECT_FALSE(res.mean_curve.empty());
+}
+
+TEST(RunExperiment, EnvOverrideWins) {
+  const Workload w = tiny_cpu_workload();
+  RunSpec spec;
+  spec.system = "baseline";
+  spec.environment = "Homo A";
+  spec.env_override = make_wan_matrix_environment();
+  spec.duration_s = 20.0;
+  const RunResult res = run_experiment(spec, w);
+  EXPECT_EQ(res.environment, "WAN Table2");
+}
+
+TEST(RunExperiment, ExtraConfigureApplies) {
+  const Workload w = tiny_cpu_workload();
+  RunSpec spec;
+  spec.system = "dlion";
+  spec.environment = "Homo A";
+  spec.duration_s = 20.0;
+  bool called = false;
+  spec.extra_configure = [&](core::WorkerOptions& o) {
+    called = true;
+    o.max_iterations = 3;
+  };
+  const RunResult res = run_experiment(spec, w);
+  EXPECT_TRUE(called);
+  EXPECT_LE(res.total_iterations, 6u * 3u);
+}
+
+TEST(RunRepeated, AggregatesAcrossSeeds) {
+  const Workload w = tiny_cpu_workload();
+  RunSpec spec;
+  spec.system = "baseline";
+  spec.environment = "Homo A";
+  spec.duration_s = 25.0;
+  const Aggregate agg = run_repeated(spec, w, 2);
+  EXPECT_EQ(agg.runs.size(), 2u);
+  EXPECT_EQ(agg.final_accuracy.count(), 2u);
+  EXPECT_EQ(agg.system, "baseline");
+}
+
+TEST(RunExperiment, DeterministicForSameSpec) {
+  const Workload w = tiny_cpu_workload();
+  RunSpec spec;
+  spec.system = "gaia";
+  spec.environment = "Hetero CPU A";
+  spec.duration_s = 30.0;
+  const RunResult a = run_experiment(spec, w);
+  const RunResult b = run_experiment(spec, w);
+  EXPECT_DOUBLE_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.total_iterations, b.total_iterations);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+}
+
+}  // namespace
+}  // namespace dlion::exp

@@ -1,0 +1,72 @@
+// Shape regression tests: the headline qualitative results of the paper's
+// evaluation, pinned as assertions. Every run is deterministic (fixed
+// seeds), so these are stable regression tests, not flaky statistics.
+#include <gtest/gtest.h>
+
+#include "exp/experiment.h"
+
+namespace dlion::exp {
+namespace {
+
+class ShapesTest : public ::testing::Test {
+ protected:
+  static RunResult run(const std::string& system, const std::string& env,
+                       double duration) {
+    static Scale scale;  // bench defaults, seed 42
+    static Workload workload = make_workload("cpu", scale);
+    RunSpec spec;
+    spec.system = system;
+    spec.environment = env;
+    spec.duration_s = duration;
+    spec.seed = scale.seed;
+    return run_experiment(spec, workload);
+  }
+};
+
+TEST_F(ShapesTest, DlionBeatsDenseSystemsInHeteroSys) {
+  // Fig. 11: in Hetero SYS A, DLion > {Baseline, Hop} by a wide margin.
+  const RunResult dlion = run("dlion", "Hetero SYS A", 200.0);
+  const RunResult baseline = run("baseline", "Hetero SYS A", 200.0);
+  const RunResult hop = run("hop", "Hetero SYS A", 200.0);
+  EXPECT_GT(dlion.final_accuracy, baseline.final_accuracy * 1.1);
+  EXPECT_GT(dlion.final_accuracy, hop.final_accuracy * 1.1);
+}
+
+TEST_F(ShapesTest, ConstrainedNetworkHurtsDenseSystemsMost) {
+  // Fig. 15: moving from LAN (Homo A) to a 50 Mbps WAN (Homo B) costs the
+  // full-gradient Baseline far more accuracy than DLion.
+  const double baseline_drop = run("baseline", "Homo A", 150.0).final_accuracy -
+                               run("baseline", "Homo B", 150.0).final_accuracy;
+  const double dlion_drop = run("dlion", "Homo A", 150.0).final_accuracy -
+                            run("dlion", "Homo B", 150.0).final_accuracy;
+  EXPECT_GT(baseline_drop, dlion_drop);
+}
+
+TEST_F(ShapesTest, DktShrinksAccuracyDeviation) {
+  // Fig. 17: DLion's cross-worker accuracy deviation is below async Ako's.
+  const RunResult dlion = run("dlion", "Hetero SYS B", 150.0);
+  const RunResult ako = run("ako", "Hetero SYS B", 150.0);
+  EXPECT_LT(dlion.accuracy_stddev, ako.accuracy_stddev);
+}
+
+TEST_F(ShapesTest, SparsifiedSystemsSendFarFewerBytes) {
+  // §5.2.4: Max N-style exchange moves an order of magnitude less data than
+  // dense exchange over the same window.
+  const RunResult maxn = run("maxn", "Homo B", 100.0);
+  const RunResult baseline = run("baseline", "Homo B", 100.0);
+  EXPECT_LT(maxn.total_bytes * 5, baseline.total_bytes);
+  // ... while iterating faster (less time blocked on the network).
+  EXPECT_GT(maxn.total_iterations, baseline.total_iterations);
+}
+
+TEST_F(ShapesTest, DynamicBatchingSpeedsUpHeteroCompute) {
+  // Fig. 14: dynamic batching cuts time-to-target in Hetero CPU A.
+  const RunResult with_db = run("dlion-no-wu", "Hetero CPU A", 250.0);
+  const RunResult without_db = run("dlion-no-dbwu", "Hetero CPU A", 250.0);
+  const double t_with = with_db.mean_curve.time_to_reach(0.6);
+  const double t_without = without_db.mean_curve.time_to_reach(0.6);
+  EXPECT_LT(t_with, t_without);
+}
+
+}  // namespace
+}  // namespace dlion::exp

@@ -1,0 +1,94 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace dlion::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  tensor::Tensor logits(tensor::Shape{3, 4}, {1, 2, 3,  4, -1, 0, 1, 2,
+                                              100, 100, 100, 100});
+  const tensor::Tensor p = softmax(logits);
+  for (std::size_t r = 0; r < 3; ++r) {
+    double s = 0;
+    for (std::size_t c = 0; c < 4; ++c) s += p.at(r, c);
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, NumericallyStableAtLargeLogits) {
+  tensor::Tensor logits(tensor::Shape{1, 2}, {1000.0f, 999.0f});
+  const tensor::Tensor p = softmax(logits);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(Softmax, UniformLogitsGiveUniformProbs) {
+  tensor::Tensor logits(tensor::Shape{1, 5}, 0.0f);
+  const tensor::Tensor p = softmax(logits);
+  for (std::size_t c = 0; c < 5; ++c) EXPECT_NEAR(p[c], 0.2, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogitsLossIsLogC) {
+  tensor::Tensor logits(tensor::Shape{2, 10}, 0.0f);
+  std::vector<std::int32_t> labels = {3, 7};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(res.loss, std::log(10.0), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, AccuracyCountsArgmax) {
+  tensor::Tensor logits(tensor::Shape{2, 3}, {5, 0, 0, 0, 0, 5});
+  std::vector<std::int32_t> labels = {0, 0};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+  EXPECT_DOUBLE_EQ(res.accuracy, 0.5);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerRow) {
+  common::Rng rng(4);
+  tensor::Tensor logits(tensor::Shape{3, 5});
+  for (auto& v : logits.span()) v = static_cast<float>(rng.normal());
+  std::vector<std::int32_t> labels = {0, 2, 4};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+  for (std::size_t r = 0; r < 3; ++r) {
+    double s = 0;
+    for (std::size_t c = 0; c < 5; ++c) s += res.grad_logits.at(r, c);
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesNumerical) {
+  common::Rng rng(11);
+  tensor::Tensor logits(tensor::Shape{2, 4});
+  for (auto& v : logits.span()) v = static_cast<float>(rng.normal());
+  std::vector<std::int32_t> labels = {1, 3};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    tensor::Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const double num = (softmax_cross_entropy(lp, labels).loss -
+                        softmax_cross_entropy(lm, labels).loss) /
+                       (2.0 * eps);
+    EXPECT_NEAR(res.grad_logits[i], num, 1e-3) << "at " << i;
+  }
+}
+
+TEST(SoftmaxCrossEntropy, LabelOutOfRangeThrows) {
+  tensor::Tensor logits(tensor::Shape{1, 3});
+  std::vector<std::int32_t> labels = {3};
+  EXPECT_THROW(softmax_cross_entropy(logits, labels), std::out_of_range);
+}
+
+TEST(SoftmaxCrossEntropy, BatchMismatchThrows) {
+  tensor::Tensor logits(tensor::Shape{2, 3});
+  std::vector<std::int32_t> labels = {0};
+  EXPECT_THROW(softmax_cross_entropy(logits, labels), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dlion::nn

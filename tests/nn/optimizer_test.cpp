@@ -1,0 +1,118 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/model_zoo.h"
+
+namespace dlion::nn {
+namespace {
+
+BuiltModel quadratic_model(std::uint64_t seed) {
+  common::Rng rng(seed);
+  return make_logistic_regression(rng, 8, 2);
+}
+
+double train_blobs(Optimizer& opt, int iterations) {
+  common::Rng rng(1);
+  BuiltModel bm = make_logistic_regression(rng, 16, 4);
+  data::TrainTest data = data::make_blobs(3, 16, 4, 512, 256);
+  data::MinibatchSampler sampler(data.train, 7);
+  for (int i = 0; i < iterations; ++i) {
+    const data::Batch batch = sampler.next(32);
+    (void)bm.model.compute_gradients(batch.images, batch.labels);
+    opt.step(bm.model);
+  }
+  std::vector<std::size_t> all(data.test.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const data::Batch test = data::gather(data.test, all);
+  return bm.model.evaluate(test.images, test.labels).accuracy;
+}
+
+TEST(Sgd, PlainStepMatchesManualUpdate) {
+  BuiltModel bm = quadratic_model(1);
+  for (Variable* v : bm.model.variables()) v->grad().fill(2.0f);
+  const Snapshot before = bm.model.weights();
+  Sgd opt(0.5);
+  opt.step(bm.model);
+  const Snapshot after = bm.model.weights();
+  for (std::size_t v = 0; v < before.values.size(); ++v) {
+    for (std::size_t i = 0; i < before.values[v].size(); ++i) {
+      EXPECT_NEAR(after.values[v][i], before.values[v][i] - 1.0f, 1e-6);
+    }
+  }
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  BuiltModel bm = quadratic_model(2);
+  for (Variable* v : bm.model.variables()) v->value().fill(0.0f);
+  Sgd opt(1.0, /*momentum=*/0.5);
+  for (Variable* v : bm.model.variables()) v->grad().fill(1.0f);
+  opt.step(bm.model);  // v=1, w=-1
+  for (Variable* v : bm.model.variables()) v->grad().fill(1.0f);
+  opt.step(bm.model);  // v=1.5, w=-2.5
+  for (Variable* var : bm.model.variables()) {
+    EXPECT_NEAR(var->value()[0], -2.5f, 1e-6);
+  }
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  BuiltModel bm = quadratic_model(3);
+  for (Variable* v : bm.model.variables()) {
+    v->value().fill(1.0f);
+    v->zero_grad();
+  }
+  Sgd opt(0.1, 0.0, /*weight_decay=*/0.5);
+  opt.step(bm.model);
+  // w -= lr * wd * w = 1 - 0.05
+  for (Variable* var : bm.model.variables()) {
+    EXPECT_NEAR(var->value()[0], 0.95f, 1e-6);
+  }
+}
+
+TEST(Sgd, TrainsBlobs) {
+  Sgd opt(0.2, 0.9);
+  EXPECT_GT(train_blobs(opt, 150), 0.9);
+}
+
+TEST(Sgd, InvalidConfigThrows) {
+  EXPECT_THROW(Sgd(0.0), std::invalid_argument);
+  EXPECT_THROW(Sgd(0.1, 1.0), std::invalid_argument);
+}
+
+TEST(Adam, TrainsBlobs) {
+  Adam opt(0.02);
+  EXPECT_GT(train_blobs(opt, 200), 0.9);
+}
+
+TEST(Adam, FirstStepIsLrSizedRegardlessOfGradScale) {
+  // Adam's bias-corrected first step is ~lr * sign(g).
+  for (float scale : {1e-3f, 1.0f, 1e3f}) {
+    BuiltModel bm = quadratic_model(4);
+    for (Variable* v : bm.model.variables()) {
+      v->value().fill(0.0f);
+      v->grad().fill(scale);
+    }
+    Adam opt(0.1);
+    opt.step(bm.model);
+    for (Variable* var : bm.model.variables()) {
+      EXPECT_NEAR(var->value()[0], -0.1f, 1e-3) << "scale " << scale;
+    }
+  }
+}
+
+TEST(Adam, InvalidConfigThrows) {
+  EXPECT_THROW(Adam(-1.0), std::invalid_argument);
+  EXPECT_THROW(Adam(0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(Adam(0.1, 0.9, 1.5), std::invalid_argument);
+}
+
+TEST(Optimizer, Names) {
+  Sgd sgd(0.1);
+  Adam adam(0.1);
+  EXPECT_STREQ(sgd.name(), "sgd");
+  EXPECT_STREQ(adam.name(), "adam");
+}
+
+}  // namespace
+}  // namespace dlion::nn

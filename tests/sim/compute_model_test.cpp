@@ -1,0 +1,87 @@
+#include "sim/compute_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dlion::sim {
+namespace {
+
+nn::ModelProfile test_profile() {
+  nn::ModelProfile p;
+  p.name = "test";
+  p.nominal_bytes = 1000;
+  p.nominal_flops_per_sample = 1e6;
+  return p;
+}
+
+TEST(ComputeResource, NominalTimeFormula) {
+  ComputeSpec spec;
+  spec.units = Schedule(4.0);
+  spec.flops_per_unit = 1e6;
+  spec.iteration_overhead_s = 0.5;
+  ComputeResource res(spec, test_profile(), 1);
+  // 0.5 + 8 * 1e6 / (4 * 1e6) = 0.5 + 2 = 2.5
+  EXPECT_DOUBLE_EQ(res.nominal_iteration_seconds(8, 0.0), 2.5);
+}
+
+TEST(ComputeResource, TimeScalesInverselyWithUnits) {
+  ComputeSpec spec;
+  spec.units = Schedule{{0.0, 2.0}, {100.0, 8.0}};
+  spec.flops_per_unit = 1e6;
+  spec.iteration_overhead_s = 0.0;
+  ComputeResource res(spec, test_profile(), 1);
+  const double before = res.nominal_iteration_seconds(16, 50.0);
+  const double after = res.nominal_iteration_seconds(16, 150.0);
+  EXPECT_DOUBLE_EQ(before, 4.0 * after);
+  EXPECT_DOUBLE_EQ(res.units_at(150.0), 8.0);
+}
+
+TEST(ComputeResource, TimeGrowsLinearlyWithBatch) {
+  ComputeSpec spec;
+  spec.units = Schedule(1.0);
+  spec.flops_per_unit = 1e6;
+  spec.iteration_overhead_s = 1.0;
+  ComputeResource res(spec, test_profile(), 1);
+  const double t8 = res.nominal_iteration_seconds(8, 0.0);
+  const double t16 = res.nominal_iteration_seconds(16, 0.0);
+  // Linear in LBS: t16 - overhead == 2 * (t8 - overhead).
+  EXPECT_DOUBLE_EQ(t16 - 1.0, 2.0 * (t8 - 1.0));
+}
+
+TEST(ComputeResource, JitterStaysBounded) {
+  ComputeSpec spec;
+  spec.units = Schedule(1.0);
+  spec.flops_per_unit = 1e6;
+  spec.iteration_overhead_s = 0.0;
+  spec.jitter_frac = 0.1;
+  ComputeResource res(spec, test_profile(), 42);
+  const double nominal = res.nominal_iteration_seconds(10, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    const double t = res.iteration_seconds(10, 0.0);
+    EXPECT_GE(t, nominal * 0.9 - 1e-12);
+    EXPECT_LE(t, nominal * 1.1 + 1e-12);
+  }
+}
+
+TEST(ComputeResource, NoJitterIsDeterministic) {
+  ComputeSpec spec;
+  spec.units = Schedule(1.0);
+  spec.flops_per_unit = 1e6;
+  ComputeResource res(spec, test_profile(), 1);
+  EXPECT_DOUBLE_EQ(res.iteration_seconds(10, 0.0),
+                   res.nominal_iteration_seconds(10, 0.0));
+}
+
+TEST(ComputeResource, InvalidRatesThrow) {
+  ComputeSpec spec;
+  spec.flops_per_unit = 0.0;
+  EXPECT_THROW(ComputeResource(spec, test_profile(), 1),
+               std::invalid_argument);
+  nn::ModelProfile bad = test_profile();
+  bad.nominal_flops_per_sample = 0.0;
+  ComputeSpec ok;
+  ok.flops_per_unit = 1e6;
+  EXPECT_THROW(ComputeResource(ok, bad, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dlion::sim

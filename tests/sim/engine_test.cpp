@@ -1,0 +1,89 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dlion::sim {
+namespace {
+
+TEST(Engine, ClockAdvancesWithEvents) {
+  Engine e;
+  double seen = -1;
+  e.at(2.0, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 2.0);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+}
+
+TEST(Engine, AfterSchedulesRelative) {
+  Engine e;
+  std::vector<double> times;
+  e.at(1.0, [&] {
+    times.push_back(e.now());
+    e.after(0.5, [&] { times.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine e;
+  int count = 0;
+  e.at(1.0, [&] { ++count; });
+  e.at(5.0, [&] { ++count; });
+  e.run_until(2.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  EXPECT_EQ(e.events_pending(), 1u);
+  e.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, EventAtBoundaryRuns) {
+  Engine e;
+  bool ran = false;
+  e.at(2.0, [&] { ran = true; });
+  e.run_until(2.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, PastSchedulingThrows) {
+  Engine e;
+  e.at(5.0, [] {});
+  e.run();
+  EXPECT_THROW(e.at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(e.after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, CancelPending) {
+  Engine e;
+  bool ran = false;
+  const EventId id = e.at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, CountsExecutedEvents) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.at(i, [] {});
+  e.run();
+  EXPECT_EQ(e.events_executed(), 5u);
+}
+
+TEST(Engine, ZeroDelayEventsRunInOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.at(1.0, [&] {
+    order.push_back(0);
+    e.after(0.0, [&] { order.push_back(2); });
+    order.push_back(1);
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace dlion::sim

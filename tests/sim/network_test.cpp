@@ -1,0 +1,147 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dlion::sim {
+namespace {
+
+TEST(Network, TransferTimeMatchesBandwidth) {
+  Engine e;
+  Network net(e, 2);  // one peer: the egress share is the full egress
+  net.set_egress(0, Schedule(8.0));  // 8 Mbps = 1 MB/s
+  net.set_latency(0, 1, 0.0);
+  double delivered_at = -1;
+  net.send(0, 1, 1'000'000, [&] { delivered_at = e.now(); });
+  e.run();
+  EXPECT_NEAR(delivered_at, 1.0, 1e-9);
+}
+
+TEST(Network, LatencyAddsAfterTransmission) {
+  Engine e;
+  Network net(e, 2);
+  net.set_egress(0, Schedule(8.0));
+  net.set_latency(0, 1, 0.5);
+  double delivered_at = -1;
+  net.send(0, 1, 1'000'000, [&] { delivered_at = e.now(); });
+  e.run();
+  EXPECT_NEAR(delivered_at, 1.5, 1e-9);
+}
+
+TEST(Network, ParallelLinksShareEgressFairly) {
+  Engine e;
+  Network net(e, 3);  // two peers: each link gets egress/2
+  net.set_egress(0, Schedule(8.0));
+  net.set_all_latency(0.0);
+  std::vector<std::pair<int, double>> deliveries;
+  net.send(0, 1, 1'000'000, [&] { deliveries.push_back({1, e.now()}); });
+  net.send(0, 2, 1'000'000, [&] { deliveries.push_back({2, e.now()}); });
+  e.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  // Both transfers run in parallel at 4 Mbps = 0.5 MB/s -> 2 s each.
+  EXPECT_NEAR(deliveries[0].second, 2.0, 1e-9);
+  EXPECT_NEAR(deliveries[1].second, 2.0, 1e-9);
+}
+
+TEST(Network, SameLinkTransfersSerializeFifo) {
+  Engine e;
+  Network net(e, 2);
+  net.set_egress(0, Schedule(8.0));
+  net.set_all_latency(0.0);
+  std::vector<double> deliveries;
+  net.send(0, 1, 1'000'000, [&] { deliveries.push_back(e.now()); });
+  net.send(0, 1, 1'000'000, [&] { deliveries.push_back(e.now()); });
+  e.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_NEAR(deliveries[0], 1.0, 1e-9);
+  EXPECT_NEAR(deliveries[1], 2.0, 1e-9);  // waited for the first
+}
+
+TEST(Network, LinkMatrixLimitsRate) {
+  Engine e;
+  Network net(e, 2);
+  net.set_egress(0, Schedule(1000.0));
+  net.set_link(0, 1, Schedule(8.0));  // slow WAN path
+  net.set_all_latency(0.0);
+  double delivered_at = -1;
+  net.send(0, 1, 1'000'000, [&] { delivered_at = e.now(); });
+  e.run();
+  EXPECT_NEAR(delivered_at, 1.0, 1e-9);
+}
+
+TEST(Network, AvailableMbpsIsMinOfEgressShareAndLink) {
+  Engine e;
+  Network net(e, 2);
+  net.set_egress(0, Schedule(50.0));
+  net.set_link(0, 1, Schedule(30.0));
+  EXPECT_DOUBLE_EQ(net.available_mbps(0, 1), 30.0);
+  EXPECT_DOUBLE_EQ(net.egress_mbps(0), 50.0);
+  EXPECT_DOUBLE_EQ(net.link_mbps(0, 1), 30.0);
+  // With more peers, the egress share divides by n-1.
+  Network net3(e, 3);
+  net3.set_egress(0, Schedule(50.0));
+  EXPECT_DOUBLE_EQ(net3.available_mbps(0, 1), 25.0);
+}
+
+TEST(Network, BandwidthScheduleChangesOverTime) {
+  Engine e;
+  Network net(e, 2);
+  net.set_egress(0, Schedule{{0.0, 8.0}, {10.0, 80.0}});
+  net.set_all_latency(0.0);
+  std::vector<double> deliveries;
+  // First transfer starts at t=0 at 8 Mbps -> 1 s.
+  net.send(0, 1, 1'000'000, [&] { deliveries.push_back(e.now()); });
+  // Second transfer scheduled after the schedule change: starts at 10 s at
+  // 80 Mbps -> 0.1 s.
+  e.at(10.0, [&] {
+    net.send(0, 1, 1'000'000, [&] { deliveries.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_NEAR(deliveries[0], 1.0, 1e-9);
+  EXPECT_NEAR(deliveries[1], 10.1, 1e-9);
+}
+
+TEST(Network, SelfSendDeliversImmediately) {
+  Engine e;
+  Network net(e, 2);
+  bool delivered = false;
+  net.send(0, 0, 1'000'000'000, [&] { delivered = true; });
+  e.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+}
+
+TEST(Network, BacklogTracksQueuedBytes) {
+  Engine e;
+  Network net(e, 2);
+  net.set_egress(0, Schedule(8.0));
+  net.send(0, 1, 500'000, [] {});
+  net.send(0, 1, 300'000, [] {});
+  EXPECT_EQ(net.backlog_bytes(0), 800'000u);
+  e.run();
+  EXPECT_EQ(net.backlog_bytes(0), 0u);
+}
+
+TEST(Network, StatsCountBytesAndMessages) {
+  Engine e;
+  Network net(e, 3);
+  net.send(0, 1, 100, [] {});
+  net.send(0, 2, 200, [] {});
+  net.send(1, 2, 300, [] {});
+  e.run();
+  EXPECT_EQ(net.stats(0).bytes_sent, 300u);
+  EXPECT_EQ(net.stats(0).messages_sent, 2u);
+  EXPECT_EQ(net.total_stats().bytes_sent, 600u);
+  EXPECT_EQ(net.total_stats().messages_sent, 3u);
+}
+
+TEST(Network, OutOfRangeThrows) {
+  Engine e;
+  Network net(e, 2);
+  EXPECT_THROW(net.send(0, 5, 1, [] {}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dlion::sim

@@ -1,0 +1,83 @@
+#include "sim/resource_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dlion::sim {
+namespace {
+
+TEST(Schedule, ConstantValue) {
+  const Schedule s(42.0);
+  EXPECT_DOUBLE_EQ(s.at(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.at(1e9), 42.0);
+  EXPECT_TRUE(s.is_constant());
+  EXPECT_TRUE(std::isinf(s.next_change_after(0.0)));
+}
+
+TEST(Schedule, PiecewiseLookup) {
+  const Schedule s{{0.0, 10.0}, {100.0, 20.0}, {200.0, 5.0}};
+  EXPECT_DOUBLE_EQ(s.at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.at(99.9), 10.0);
+  EXPECT_DOUBLE_EQ(s.at(100.0), 20.0);
+  EXPECT_DOUBLE_EQ(s.at(150.0), 20.0);
+  EXPECT_DOUBLE_EQ(s.at(200.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.at(1e6), 5.0);
+}
+
+TEST(Schedule, NextChangeAfter) {
+  const Schedule s{{0.0, 1.0}, {10.0, 2.0}, {20.0, 3.0}};
+  EXPECT_DOUBLE_EQ(s.next_change_after(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.next_change_after(10.0), 20.0);
+  EXPECT_TRUE(std::isinf(s.next_change_after(20.0)));
+}
+
+TEST(Schedule, MustStartAtZero) {
+  EXPECT_THROW(Schedule({{1.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(Schedule(std::vector<std::pair<double, double>>{}),
+               std::invalid_argument);
+}
+
+TEST(Schedule, BreakpointsMustAscend) {
+  EXPECT_THROW(Schedule({{0.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(Schedule({{0.0, 1.0}, {5.0, 2.0}, {3.0, 3.0}}),
+               std::invalid_argument);
+}
+
+TEST(Schedule, ShiftedMovesBreakpoints) {
+  const Schedule s{{0.0, 1.0}, {10.0, 2.0}};
+  const Schedule shifted = s.shifted(5.0);
+  EXPECT_DOUBLE_EQ(shifted.at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(shifted.at(14.9), 1.0);
+  EXPECT_DOUBLE_EQ(shifted.at(15.0), 2.0);
+}
+
+TEST(ConcatPhases, SequencesSchedules) {
+  const Schedule phase1(10.0);
+  const Schedule phase2(20.0);
+  const Schedule phase3(5.0);
+  const Schedule s = concat_phases({{phase1, 100.0},
+                                    {phase2, 100.0},
+                                    {phase3, 100.0}});
+  EXPECT_DOUBLE_EQ(s.at(50.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.at(150.0), 20.0);
+  EXPECT_DOUBLE_EQ(s.at(250.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.at(1000.0), 5.0);  // last phase holds
+}
+
+TEST(ConcatPhases, InnerBreakpointsRespectDuration) {
+  const Schedule dynamic{{0.0, 1.0}, {50.0, 2.0}, {150.0, 3.0}};
+  // Only the first 100 s of `dynamic` plays, so the 150 s point is cut.
+  const Schedule s = concat_phases({{dynamic, 100.0}, {Schedule(9.0), 100.0}});
+  EXPECT_DOUBLE_EQ(s.at(25.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(75.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.at(125.0), 9.0);
+}
+
+TEST(ConcatPhases, EmptyThrows) {
+  EXPECT_THROW(concat_phases({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dlion::sim

@@ -1,0 +1,53 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dlion::sim {
+namespace {
+
+TEST(Trace, EmptyTraceReturnsNan) {
+  const Trace t("empty");
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(std::isnan(t.last()));
+  EXPECT_TRUE(std::isnan(t.max()));
+  EXPECT_TRUE(std::isnan(t.value_at(1.0)));
+}
+
+TEST(Trace, LastAndMax) {
+  Trace t("acc");
+  t.record(1.0, 0.2);
+  t.record(2.0, 0.9);
+  t.record(3.0, 0.5);
+  EXPECT_DOUBLE_EQ(t.last(), 0.5);
+  EXPECT_DOUBLE_EQ(t.max(), 0.9);
+}
+
+TEST(Trace, ValueAtStepFunction) {
+  Trace t("acc");
+  t.record(1.0, 0.1);
+  t.record(5.0, 0.5);
+  EXPECT_TRUE(std::isnan(t.value_at(0.5)));
+  EXPECT_DOUBLE_EQ(t.value_at(1.0), 0.1);
+  EXPECT_DOUBLE_EQ(t.value_at(4.0), 0.1);
+  EXPECT_DOUBLE_EQ(t.value_at(100.0), 0.5);
+}
+
+TEST(Trace, TimeToReach) {
+  Trace t("acc");
+  t.record(1.0, 0.3);
+  t.record(2.0, 0.6);
+  t.record(3.0, 0.8);
+  EXPECT_DOUBLE_EQ(t.time_to_reach(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(t.time_to_reach(0.8), 3.0);
+  EXPECT_TRUE(std::isinf(t.time_to_reach(0.9)));
+}
+
+TEST(Trace, NamePreserved) {
+  const Trace t("loss");
+  EXPECT_EQ(t.name(), "loss");
+}
+
+}  // namespace
+}  // namespace dlion::sim

@@ -1,0 +1,169 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dlion::tensor {
+namespace {
+
+// Reference GEMM, obviously-correct triple loop over logical matrices.
+std::vector<float> ref_gemm(bool ta, bool tb, std::size_t m, std::size_t n,
+                            std::size_t k, const std::vector<float>& a,
+                            const std::vector<float>& b) {
+  std::vector<float> c(m * n, 0.0f);
+  auto A = [&](std::size_t i, std::size_t p) {
+    return ta ? a[p * m + i] : a[i * k + p];
+  };
+  auto B = [&](std::size_t p, std::size_t j) {
+    return tb ? b[j * k + p] : b[p * n + j];
+  };
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += A(i, p) * B(p, j);
+      c[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+class GemmTransposeTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(GemmTransposeTest, MatchesReference) {
+  const auto [ta, tb] = GetParam();
+  const std::size_t m = 5, n = 7, k = 4;
+  common::Rng rng(1);
+  std::vector<float> a(m * k), b(k * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  const auto expected = ref_gemm(ta, tb, m, n, k, a, b);
+  std::vector<float> c(m * n, 0.0f);
+  gemm(ta, tb, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-4) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, GemmTransposeTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(Gemm, AlphaBetaScaling) {
+  // C = 2*A*B + 3*C
+  std::vector<float> a = {1, 0, 0, 1};  // identity 2x2
+  std::vector<float> b = {5, 6, 7, 8};
+  std::vector<float> c = {1, 1, 1, 1};
+  gemm(false, false, 2, 2, 2, 2.0f, a.data(), b.data(), 3.0f, c.data());
+  EXPECT_FLOAT_EQ(c[0], 13.0f);
+  EXPECT_FLOAT_EQ(c[3], 19.0f);
+}
+
+TEST(Matmul, ShapeCheckThrows) {
+  Tensor a(Shape{2, 3}), b(Shape{2, 3});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Matmul, IdentityPreserves) {
+  Tensor eye(Shape{2, 2}, {1, 0, 0, 1});
+  Tensor x(Shape{2, 2}, {1, 2, 3, 4});
+  const Tensor y = matmul(eye, x);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Axpy, AddsScaled) {
+  std::vector<float> x = {1, 2, 3}, y = {10, 10, 10};
+  axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[2], 16.0f);
+}
+
+TEST(Axpy, SizeMismatchThrows) {
+  std::vector<float> x = {1}, y = {1, 2};
+  EXPECT_THROW(axpy(1.0f, x, y), std::invalid_argument);
+}
+
+TEST(Scale, MultipliesInPlace) {
+  std::vector<float> x = {2, -4};
+  scale(0.5f, x);
+  EXPECT_FLOAT_EQ(x[0], 1.0f);
+  EXPECT_FLOAT_EQ(x[1], -2.0f);
+}
+
+TEST(Reductions, SumDotNorm) {
+  std::vector<float> x = {3, 4};
+  EXPECT_DOUBLE_EQ(sum(x), 7.0);
+  EXPECT_DOUBLE_EQ(dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(l2_norm(x), 5.0);
+}
+
+TEST(MaxAbs, FindsLargestMagnitude) {
+  std::vector<float> x = {1, -7, 3};
+  EXPECT_FLOAT_EQ(max_abs(x), 7.0f);
+  EXPECT_FLOAT_EQ(max_abs(std::span<const float>{}), 0.0f);
+}
+
+TEST(AddBiasRows, BroadcastsAcrossRows) {
+  Tensor m(Shape{2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor bias(Shape{3}, {1, 2, 3});
+  add_bias_rows(m, bias);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 2), 3.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 1), 3.0f);
+}
+
+TEST(ConvOutDim, KnownValues) {
+  EXPECT_EQ(conv_out_dim(28, 5, 1, 2), 28u);
+  EXPECT_EQ(conv_out_dim(28, 2, 2, 0), 14u);
+  EXPECT_EQ(conv_out_dim(8, 3, 1, 0), 6u);
+  EXPECT_EQ(conv_out_dim(3, 3, 2, 1), 2u);
+}
+
+TEST(Im2Col, IdentityKernelLayout) {
+  // 1 channel, 2x2 image, 1x1 kernel: col should equal the image.
+  std::vector<float> img = {1, 2, 3, 4};
+  std::vector<float> col(4);
+  im2col(img.data(), 1, 2, 2, 1, 1, 1, 0, col.data());
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(col[i], img[i]);
+}
+
+TEST(Im2Col, PaddingProducesZeros) {
+  // 1x1 image, 3x3 kernel, pad 1: only the center tap sees the pixel.
+  std::vector<float> img = {5};
+  std::vector<float> col(9);
+  im2col(img.data(), 1, 1, 1, 3, 3, 1, 1, col.data());
+  float total = 0;
+  for (float v : col) total += v;
+  EXPECT_FLOAT_EQ(total, 5.0f);
+  EXPECT_FLOAT_EQ(col[4], 5.0f);  // center tap
+}
+
+TEST(Col2Im, IsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y - the defining
+  // property that makes the convolution backward pass correct.
+  common::Rng rng(3);
+  const std::size_t c = 2, h = 5, w = 4, kh = 3, kw = 3, stride = 1, pad = 1;
+  const std::size_t oh = conv_out_dim(h, kh, stride, pad);
+  const std::size_t ow = conv_out_dim(w, kw, stride, pad);
+  const std::size_t col_size = c * kh * kw * oh * ow;
+  std::vector<float> x(c * h * w), y(col_size);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  for (auto& v : y) v = static_cast<float>(rng.normal());
+
+  std::vector<float> col(col_size);
+  im2col(x.data(), c, h, w, kh, kw, stride, pad, col.data());
+  std::vector<float> back(c * h * w, 0.0f);
+  col2im(y.data(), c, h, w, kh, kw, stride, pad, back.data());
+
+  double lhs = 0, rhs = 0;
+  for (std::size_t i = 0; i < col_size; ++i) lhs += col[i] * y[i];
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += x[i] * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+}  // namespace
+}  // namespace dlion::tensor

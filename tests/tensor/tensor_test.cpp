@@ -1,0 +1,93 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dlion::tensor {
+namespace {
+
+TEST(Shape, NumElements) {
+  EXPECT_EQ(Shape({2, 3, 4}).num_elements(), 24u);
+  EXPECT_EQ(Shape({}).num_elements(), 1u);  // scalar
+  EXPECT_EQ(Shape({0, 5}).num_elements(), 0u);
+}
+
+TEST(Shape, EqualityAndToString) {
+  EXPECT_TRUE(Shape({2, 3}) == Shape({2, 3}));
+  EXPECT_FALSE(Shape({2, 3}) == Shape({3, 2}));
+  EXPECT_EQ(Shape({2, 3}).to_string(), "(2, 3)");
+}
+
+TEST(Tensor, ConstructWithFill) {
+  Tensor t(Shape{2, 2}, 1.5f);
+  EXPECT_EQ(t.size(), 4u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_FLOAT_EQ(t[i], 1.5f);
+}
+
+TEST(Tensor, ConstructFromData) {
+  Tensor t(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(Tensor, DataShapeMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, ScalarHelper) {
+  Tensor s = Tensor::scalar(3.0f);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_FLOAT_EQ(s[0], 3.0f);
+}
+
+TEST(Tensor, FillOverwrites) {
+  Tensor t(Shape{3}, {1, 2, 3});
+  t.fill(0.0f);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  t.reshape(Shape{3, 2});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(2, 1), 6.0f);
+}
+
+TEST(Tensor, ReshapeBadCountThrows) {
+  Tensor t(Shape{2, 3});
+  EXPECT_THROW(t.reshape(Shape{5}), std::invalid_argument);
+}
+
+TEST(Tensor, At4Indexing) {
+  Tensor t(Shape{1, 2, 2, 2});
+  t.at4(0, 1, 1, 0) = 9.0f;
+  // (((0*2+1)*2+1)*2+0) = 6
+  EXPECT_FLOAT_EQ(t[6], 9.0f);
+}
+
+TEST(Tensor, SliceRows) {
+  Tensor t(Shape{4, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  const Tensor s = t.slice_rows(1, 3);
+  EXPECT_TRUE(s.shape() == Shape({2, 2}));
+  EXPECT_FLOAT_EQ(s.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(s.at(1, 1), 5.0f);
+}
+
+TEST(Tensor, SliceRowsBadRangeThrows) {
+  Tensor t(Shape{4, 2});
+  EXPECT_THROW(t.slice_rows(3, 2), std::out_of_range);
+  EXPECT_THROW(t.slice_rows(0, 5), std::out_of_range);
+}
+
+TEST(Tensor, SpanViews) {
+  Tensor t(Shape{3}, {1, 2, 3});
+  auto s = t.span();
+  s[0] = 10.0f;
+  EXPECT_FLOAT_EQ(t[0], 10.0f);
+  const Tensor& ct = t;
+  EXPECT_EQ(ct.span().size(), 3u);
+}
+
+}  // namespace
+}  // namespace dlion::tensor
