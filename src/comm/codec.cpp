@@ -22,6 +22,7 @@ class Writer {
   }
   template <typename T>
   void put_array(const std::vector<T>& vs) {
+    if (vs.empty()) return;  // empty vectors may have a null data()
     const std::size_t off = buf_.size();
     buf_.resize(off + vs.size() * sizeof(T));
     std::memcpy(buf_.data() + off, vs.data(), vs.size() * sizeof(T));
@@ -45,6 +46,7 @@ class Reader {
   }
   template <typename T>
   std::vector<T> get_array(std::size_t count) {
+    if (count == 0) return {};
     check(count * sizeof(T));
     std::vector<T> vs(count);
     std::memcpy(vs.data(), buf_->data() + pos_, count * sizeof(T));

@@ -2,13 +2,16 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace dlion::comm {
 
 Fabric::Fabric(sim::Network& network, double byte_scale)
     : network_(&network),
       byte_scale_(byte_scale),
-      handlers_(network.size()) {
+      handlers_(network.size()),
+      dead_letters_to_(network.size(), 0),
+      delivered_seqs_(network.size()) {
   if (byte_scale <= 0.0) {
     throw std::invalid_argument("Fabric: byte_scale must be positive");
   }
@@ -18,6 +21,12 @@ void Fabric::attach(std::size_t worker, Handler handler) {
   handlers_.at(worker) = std::move(handler);
 }
 
+void Fabric::detach(std::size_t worker) { handlers_.at(worker) = nullptr; }
+
+bool Fabric::attached(std::size_t worker) const {
+  return static_cast<bool>(handlers_.at(worker));
+}
+
 common::Bytes Fabric::charged_bytes(const Message& msg) const {
   const common::Bytes raw = wire_bytes(msg);
   if (is_control(msg)) return raw;  // control queue: no scaling
@@ -25,21 +34,127 @@ common::Bytes Fabric::charged_bytes(const Message& msg) const {
       std::llround(static_cast<double>(raw) * byte_scale_));
 }
 
-void Fabric::send(std::size_t from, std::size_t to, Message msg) {
-  if (!handlers_.at(to)) {
-    throw std::logic_error("Fabric::send: no handler attached at receiver");
+bool Fabric::deliver(std::size_t from, std::size_t to, const MessagePtr& msg) {
+  if (!handlers_[to]) {
+    // Receiver is detached (crashed or never joined): dead-letter.
+    ++dead_letters_;
+    ++dead_letters_to_[to];
+    return false;
   }
+  handlers_[to](from, msg);
+  return true;
+}
+
+void Fabric::transmit(std::size_t from, std::size_t to, MessagePtr msg,
+                      common::Bytes bytes, Kind kind, std::uint64_t seq) {
+  switch (kind) {
+    case Kind::kPlain:
+      network_->send(from, to, bytes, [this, from, to, msg] {
+        deliver(from, to, msg);
+      });
+      break;
+    case Kind::kReliable:
+      network_->send(from, to, bytes, [this, from, to, msg, seq] {
+        if (delivered_seqs_[to].count(seq) != 0) {
+          // Duplicate attempt (our earlier ack was lost): suppress the
+          // re-delivery but re-acknowledge so the sender stops retrying.
+          send_ack(to, from, seq);
+          return;
+        }
+        if (deliver(from, to, msg)) {
+          delivered_seqs_[to].insert(seq);
+          send_ack(to, from, seq);
+        }
+        // A detached receiver sends no ack: the sender keeps retrying and
+        // succeeds iff the worker reattaches within its retry budget.
+      });
+      break;
+    case Kind::kAck:
+      network_->send(from, to, bytes, [this, msg] {
+        on_ack(std::get<Ack>(*msg).seq);
+      });
+      break;
+  }
+}
+
+void Fabric::send(std::size_t from, std::size_t to, Message msg) {
   auto ptr = std::make_shared<const Message>(std::move(msg));
   const common::Bytes bytes = charged_bytes(*ptr);
-  network_->send(from, to, bytes, [this, from, to, ptr]() {
-    handlers_[to](from, ptr);
-  });
+  transmit(from, to, std::move(ptr), bytes, Kind::kPlain, 0);
 }
 
 void Fabric::broadcast(std::size_t from, const Message& msg) {
+  // Encode-size once, share one immutable message across all n-1 sends.
+  auto ptr = std::make_shared<const Message>(msg);
+  const common::Bytes bytes = charged_bytes(*ptr);
   for (std::size_t to = 0; to < size(); ++to) {
-    if (to != from) send(from, to, msg);
+    if (to != from) transmit(from, to, ptr, bytes, Kind::kPlain, 0);
   }
+}
+
+void Fabric::send_ack(std::size_t from, std::size_t to, std::uint64_t seq) {
+  auto ptr = std::make_shared<const Message>(
+      Ack{static_cast<std::uint32_t>(from), seq});
+  const common::Bytes bytes = charged_bytes(*ptr);
+  transmit(from, to, std::move(ptr), bytes, Kind::kAck, seq);
+}
+
+std::uint64_t Fabric::send_reliable(std::size_t from, std::size_t to,
+                                    Message msg, const RetryPolicy& policy,
+                                    ReliableCallback done) {
+  if (policy.max_attempts == 0 || policy.timeout_s <= 0.0 ||
+      policy.backoff < 1.0) {
+    throw std::invalid_argument("Fabric::send_reliable: bad RetryPolicy");
+  }
+  const std::uint64_t seq = next_seq_++;
+  PendingReliable pending;
+  pending.from = from;
+  pending.to = to;
+  pending.msg = std::make_shared<const Message>(std::move(msg));
+  pending.bytes = charged_bytes(*pending.msg);
+  pending.policy = policy;
+  pending.done = std::move(done);
+  pending_.emplace(seq, std::move(pending));
+  start_attempt(seq);
+  return seq;
+}
+
+void Fabric::start_attempt(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  PendingReliable& p = it->second;
+  const double timeout =
+      p.policy.timeout_s *
+      std::pow(p.policy.backoff, static_cast<double>(p.attempt));
+  ++p.attempt;
+  transmit(p.from, p.to, p.msg, p.bytes, Kind::kReliable, seq);
+  p.timer = engine().after(timeout, [this, seq] { on_timeout(seq); });
+}
+
+void Fabric::on_timeout(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // acked in the meantime
+  PendingReliable& p = it->second;
+  if (p.attempt >= p.policy.max_attempts) {
+    ++reliable_failures_;
+    ++dead_letters_;
+    ++dead_letters_to_[p.to];
+    ReliableCallback done = std::move(p.done);
+    pending_.erase(it);
+    if (done) done(false);
+    return;
+  }
+  ++reliable_retries_;
+  start_attempt(seq);
+}
+
+void Fabric::on_ack(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // duplicate ack
+  engine().cancel(it->second.timer);
+  ReliableCallback done = std::move(it->second.done);
+  pending_.erase(it);
+  if (done) done(true);
 }
 
 }  // namespace dlion::comm

@@ -7,9 +7,22 @@
 // (5 MB Cipher / 17 MB MobileNet) and the actually-trained model, so traffic
 // volume matches the paper's regardless of bench scale (see DESIGN.md).
 // Control-queue messages are small and charged at their fixed size.
+//
+// Fault-tolerance semantics:
+//  - Workers attach/detach dynamically (crash = detach, recover = attach).
+//    A message arriving at a detached worker is counted as a *dead letter*
+//    and silently discarded - delivery never throws.
+//  - `send_reliable` implements an at-most-once-delivered, at-least-once-
+//    attempted control-plane channel: each attempt is acknowledged at the
+//    transport level (Ack messages, never surfaced to worker handlers),
+//    unacked attempts are retried with exponential backoff, duplicates are
+//    suppressed at the receiver, and callers learn the final outcome via a
+//    callback (used by DKT weight pulls to fall back to the next-best peer).
 #pragma once
 
 #include <functional>
+#include <map>
+#include <unordered_set>
 #include <vector>
 
 #include "comm/codec.h"
@@ -18,9 +31,20 @@
 
 namespace dlion::comm {
 
+/// Retry behaviour of the reliable control-plane channel. Attempt i
+/// (0-based) times out after timeout_s * backoff^i.
+struct RetryPolicy {
+  double timeout_s = 1.0;
+  double backoff = 2.0;
+  std::size_t max_attempts = 4;
+};
+
 class Fabric {
  public:
   using Handler = std::function<void(std::size_t from, MessagePtr msg)>;
+  /// Outcome callback for reliable sends: acked = true once the receiver's
+  /// ack arrives; false when every attempt timed out.
+  using ReliableCallback = std::function<void(bool acked)>;
 
   /// `byte_scale` multiplies data-queue wire sizes (>= 0; 1 = exact).
   Fabric(sim::Network& network, double byte_scale = 1.0);
@@ -29,12 +53,34 @@ class Fabric {
 
   /// Register worker `w`'s message handler (one per worker).
   void attach(std::size_t worker, Handler handler);
+  /// Unregister worker `w` (crash). In-flight messages to it dead-letter.
+  void detach(std::size_t worker);
+  bool attached(std::size_t worker) const;
 
-  /// Send `msg` from worker `from` to worker `to`.
+  /// Send `msg` from worker `from` to worker `to` (fire-and-forget).
   void send(std::size_t from, std::size_t to, Message msg);
 
-  /// Send `msg` to every other worker.
+  /// Send `msg` to every other worker. The message is materialized and its
+  /// wire size computed exactly once; all n-1 sends share one MessagePtr.
   void broadcast(std::size_t from, const Message& msg);
+
+  /// Reliable control-plane send (ack + timeout + exponential backoff).
+  /// Returns the request's sequence number. `done` (optional) fires exactly
+  /// once with the final outcome.
+  std::uint64_t send_reliable(std::size_t from, std::size_t to, Message msg,
+                              const RetryPolicy& policy = {},
+                              ReliableCallback done = {});
+
+  /// Messages that arrived at a worker with no handler attached.
+  std::uint64_t dead_letters() const { return dead_letters_; }
+  std::uint64_t dead_letters(std::size_t to) const {
+    return dead_letters_to_.at(to);
+  }
+  /// Reliable-channel retransmissions and failures so far.
+  std::uint64_t reliable_retries() const { return reliable_retries_; }
+  std::uint64_t reliable_failures() const { return reliable_failures_; }
+  /// Reliable requests still awaiting an ack.
+  std::size_t reliable_pending() const { return pending_.size(); }
 
   /// Simulated wire size this fabric charges for a message.
   common::Bytes charged_bytes(const Message& msg) const;
@@ -43,9 +89,40 @@ class Fabric {
   double byte_scale() const { return byte_scale_; }
 
  private:
+  enum class Kind { kPlain, kReliable, kAck };
+
+  struct PendingReliable {
+    std::size_t from = 0;
+    std::size_t to = 0;
+    MessagePtr msg;
+    common::Bytes bytes = 0;
+    RetryPolicy policy;
+    std::size_t attempt = 0;  // attempts already transmitted
+    ReliableCallback done;
+    sim::EventId timer = 0;
+  };
+
+  sim::Engine& engine() { return network_->engine(); }
+  /// Hand `msg` to the receiver's handler; dead-letters if detached.
+  bool deliver(std::size_t from, std::size_t to, const MessagePtr& msg);
+  void transmit(std::size_t from, std::size_t to, MessagePtr msg,
+                common::Bytes bytes, Kind kind, std::uint64_t seq);
+  void send_ack(std::size_t from, std::size_t to, std::uint64_t seq);
+  void on_ack(std::uint64_t seq);
+  void start_attempt(std::uint64_t seq);
+  void on_timeout(std::uint64_t seq);
+
   sim::Network* network_;
   double byte_scale_;
   std::vector<Handler> handlers_;
+  std::vector<std::uint64_t> dead_letters_to_;
+  std::uint64_t dead_letters_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::map<std::uint64_t, PendingReliable> pending_;
+  /// Per-receiver reliable seqs already delivered (duplicate suppression).
+  std::vector<std::unordered_set<std::uint64_t>> delivered_seqs_;
+  std::uint64_t reliable_retries_ = 0;
+  std::uint64_t reliable_failures_ = 0;
 };
 
 }  // namespace dlion::comm

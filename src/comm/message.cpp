@@ -17,7 +17,9 @@ double GradientUpdate::density(std::size_t model_params) const {
 bool is_control(const Message& msg) {
   return std::holds_alternative<LossReport>(msg) ||
          std::holds_alternative<DktRequest>(msg) ||
-         std::holds_alternative<RcpReport>(msg);
+         std::holds_alternative<RcpReport>(msg) ||
+         std::holds_alternative<Heartbeat>(msg) ||
+         std::holds_alternative<Ack>(msg);
 }
 
 }  // namespace dlion::comm

@@ -69,8 +69,23 @@ struct RcpReport {
   double rcp = 0.0;  ///< max LBS this worker can process per unit time
 };
 
+/// Periodic liveness beacon (control queue). Peers that stop emitting
+/// heartbeats become *suspected* after a timeout and are excluded from
+/// synchronization wait-sets and update renormalization.
+struct Heartbeat {
+  std::uint32_t from = 0;
+  std::uint64_t iteration = 0;  ///< sender's training progress
+};
+
+/// Transport-level acknowledgement for reliable control-plane sends
+/// (Fabric::send_reliable). Never surfaced to worker handlers.
+struct Ack {
+  std::uint32_t from = 0;
+  std::uint64_t seq = 0;
+};
+
 using Message = std::variant<GradientUpdate, WeightSnapshot, LossReport,
-                             DktRequest, RcpReport>;
+                             DktRequest, RcpReport, Heartbeat, Ack>;
 using MessagePtr = std::shared_ptr<const Message>;
 
 /// True for messages that ride the control queue (small, latency-bound).

@@ -18,6 +18,13 @@ Cluster::Cluster(const ClusterSpec& spec, const data::Dataset& train,
   network_ = std::make_unique<sim::Network>(engine_, n);
   if (spec.network_setup) spec.network_setup(*network_);
 
+  // Fault injection: attach only for non-empty schedules, so fault-free
+  // runs execute exactly the code they always did (byte-identical traces).
+  if (!spec.faults.empty()) {
+    faults_ = std::make_unique<sim::FaultInjector>(spec.faults);
+    network_->set_fault_injector(faults_.get());
+  }
+
   // All workers start from identical weights (decentralized training with a
   // common initialization), so one seed builds every replica; samplers and
   // compute jitter fork per worker.
@@ -37,12 +44,27 @@ Cluster::Cluster(const ClusterSpec& spec, const data::Dataset& train,
     nn::BuiltModel built = nn::make_model(spec.model, model_rng);
     WorkerOptions options = spec.worker_options;
     options.gbs.dataset_size = train.size();
+    if (faults_ != nullptr && spec.auto_fault_tolerance) {
+      options.fault_tolerance.enabled = true;
+    }
     workers_.push_back(std::make_unique<Worker>(
         i, engine_, *fabric_,
         sim::ComputeResource(spec.compute[i], built.profile,
                              seeder.next()),
         std::move(built), data::shard(train, n, i), &test,
         spec.strategy_factory(i), std::move(options), seeder.next()));
+  }
+
+  // Crash windows drive the workers directly: the worker object crashes
+  // (detaches, loses post-checkpoint state) at window start and runs its
+  // recovery protocol at window end.
+  if (faults_ != nullptr) {
+    for (const auto& cw : spec.faults.crashes) {
+      if (cw.worker >= workers_.size()) continue;
+      Worker* w = workers_[cw.worker].get();
+      engine_.at(cw.start, [w] { w->crash(); });
+      engine_.at(cw.end, [w] { w->recover(); });
+    }
   }
 }
 

@@ -10,6 +10,7 @@
 
 #include "core/worker.h"
 #include "data/synthetic.h"
+#include "sim/fault_injector.h"
 
 namespace dlion::core {
 
@@ -28,6 +29,15 @@ struct ClusterSpec {
   std::function<StrategyPtr(std::size_t worker)> strategy_factory;
   /// Simulated training duration (seconds).
   double duration_s = 300.0;
+  /// Deterministic fault schedule (worker crashes, link blackouts /
+  /// partitions, lossy links). Empty (the default) attaches no injector and
+  /// leaves every event trace bit-identical to a fault-free build.
+  sim::FaultSchedule faults;
+  /// Auto-enable the workers' fault-tolerance layer whenever `faults` is
+  /// non-empty. Set false to study an undefended system under churn (the
+  /// bench's "no-FT" baseline); explicit worker_options.fault_tolerance
+  /// settings always win.
+  bool auto_fault_tolerance = true;
 };
 
 class Cluster {
@@ -47,6 +57,8 @@ class Cluster {
   sim::Engine& engine() { return engine_; }
   sim::Network& network() { return *network_; }
   comm::Fabric& fabric() { return *fabric_; }
+  /// The attached fault injector, or nullptr when the schedule is empty.
+  sim::FaultInjector* fault_injector() { return faults_.get(); }
   double duration() const { return spec_duration_; }
 
   /// Ratio nominal-model-bytes / trained-model-bytes charged by the fabric.
@@ -71,6 +83,7 @@ class Cluster {
   bool started_ = false;
   sim::Engine engine_;
   std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<sim::FaultInjector> faults_;
   std::unique_ptr<comm::Fabric> fabric_;
   std::vector<std::unique_ptr<Worker>> workers_;
 };

@@ -9,7 +9,8 @@ namespace dlion::core {
 DktModule::DktModule(DktConfig config, std::size_t self, std::size_t n_workers)
     : config_(config),
       self_(self),
-      peer_loss_(n_workers, std::numeric_limits<double>::infinity()) {
+      peer_loss_(n_workers, std::numeric_limits<double>::infinity()),
+      peer_stamp_(n_workers, -1) {
   if (self >= n_workers) throw std::invalid_argument("DktModule: bad self id");
   if (config_.period_iters == 0) {
     throw std::invalid_argument("DktModule: zero period");
@@ -33,8 +34,19 @@ double DktModule::avg_loss() const {
 }
 
 void DktModule::record_peer_loss(std::size_t peer, double loss,
-                                 std::uint64_t /*iteration*/) {
+                                 std::uint64_t local_iteration) {
   peer_loss_.at(peer) = loss;
+  peer_stamp_.at(peer) = static_cast<std::int64_t>(local_iteration);
+}
+
+bool DktModule::usable(std::size_t i, std::optional<std::uint64_t> now_iter,
+                       const std::vector<bool>& excluded) const {
+  if (i < excluded.size() && excluded[i]) return false;
+  if (i == self_) return true;  // own window is always fresh
+  if (config_.peer_loss_expiry_iters == 0 || !now_iter) return true;
+  if (peer_stamp_[i] < 0) return true;  // +inf loss never wins anyway
+  const auto age = static_cast<std::int64_t>(*now_iter) - peer_stamp_[i];
+  return age <= static_cast<std::int64_t>(config_.peer_loss_expiry_iters);
 }
 
 bool DktModule::is_boundary(std::uint64_t iter) const {
@@ -45,18 +57,28 @@ bool DktModule::is_boundary(std::uint64_t iter) const {
   return iter % config_.period_iters == 0;
 }
 
-std::size_t DktModule::best_worker() const {
-  return static_cast<std::size_t>(
-      std::min_element(peer_loss_.begin(), peer_loss_.end()) -
-      peer_loss_.begin());
+std::size_t DktModule::best_worker(std::optional<std::uint64_t> now_iter,
+                                   const std::vector<bool>& excluded) const {
+  std::size_t best = self_;
+  double best_loss = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < peer_loss_.size(); ++i) {
+    if (!usable(i, now_iter, excluded)) continue;
+    if (peer_loss_[i] < best_loss) {
+      best_loss = peer_loss_[i];
+      best = i;
+    }
+  }
+  return best;
 }
 
-std::size_t DktModule::worst_worker() const {
+std::size_t DktModule::worst_worker(std::optional<std::uint64_t> now_iter,
+                                    const std::vector<bool>& excluded) const {
   // Workers that never reported (+inf) are not "worst" in a meaningful
   // sense; prefer the largest finite loss, falling back to index 0.
   std::size_t worst = 0;
   double worst_loss = -std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < peer_loss_.size(); ++i) {
+    if (!usable(i, now_iter, excluded)) continue;
     const double l = peer_loss_[i];
     if (std::isfinite(l) && l > worst_loss) {
       worst_loss = l;
@@ -68,7 +90,7 @@ std::size_t DktModule::worst_worker() const {
 
 bool DktModule::should_request(std::uint64_t iter) const {
   if (!is_boundary(iter)) return false;
-  const std::size_t best = best_worker();
+  const std::size_t best = best_worker(iter);
   if (best == self_) return false;  // already have the best weights
   switch (config_.mode) {
     case DktMode::kNone:
@@ -76,7 +98,7 @@ bool DktModule::should_request(std::uint64_t iter) const {
     case DktMode::kBest2All:
       return true;
     case DktMode::kBest2Worst:
-      return worst_worker() == self_;
+      return worst_worker(iter) == self_;
   }
   return false;
 }

@@ -38,6 +38,11 @@ struct DktConfig {
   /// If set, DKT only runs during the first `early_only_iters` iterations
   /// (the "frequent exchange early in learning" variant of Fig. 9a).
   std::optional<std::uint64_t> early_only_iters;
+  /// Peer loss reports older than this many (receiver-local) iterations are
+  /// ignored by best/worst selection, so a silent (crashed or partitioned)
+  /// peer stops being "best" forever. 0 disables expiry (seed behaviour);
+  /// the fault-tolerance layer enables it.
+  std::uint64_t peer_loss_expiry_iters = 0;
 };
 
 class DktModule {
@@ -51,17 +56,27 @@ class DktModule {
   /// Average of the last l local losses (+inf until any loss recorded).
   double avg_loss() const;
 
-  /// Record a peer's reported average loss.
+  /// Record a peer's reported average loss. `local_iteration` is the
+  /// *receiver's* current iteration, used as the freshness stamp for
+  /// peer_loss_expiry_iters (receiver-local stamps give one coherent clock
+  /// even when peers' own iteration counts diverge under heterogeneity).
   void record_peer_loss(std::size_t peer, double avg_loss,
-                        std::uint64_t iteration);
+                        std::uint64_t local_iteration);
 
   /// True when iteration `iter` is a DKT boundary for this worker.
   bool is_boundary(std::uint64_t iter) const;
 
-  /// Worker with the smallest known average loss (self included).
-  std::size_t best_worker() const;
+  /// Worker with the smallest known average loss (self included). When
+  /// `now_iter` is provided and expiry is configured, reports staler than
+  /// peer_loss_expiry_iters are skipped; workers flagged in `excluded`
+  /// (e.g. suspected dead, or a peer whose pull just timed out) are skipped
+  /// too. Falls back to self if nobody qualifies.
+  std::size_t best_worker(std::optional<std::uint64_t> now_iter = std::nullopt,
+                          const std::vector<bool>& excluded = {}) const;
   /// Worker with the largest known average loss (self included).
-  std::size_t worst_worker() const;
+  std::size_t worst_worker(
+      std::optional<std::uint64_t> now_iter = std::nullopt,
+      const std::vector<bool>& excluded = {}) const;
 
   /// Whether this worker should request the best weights at a boundary.
   bool should_request(std::uint64_t iter) const;
@@ -70,10 +85,16 @@ class DktModule {
   void merge(nn::Model& model, const nn::Snapshot& best_weights) const;
 
  private:
+  /// True when entry `i` may participate in best/worst selection at
+  /// (optional) local iteration `now_iter`.
+  bool usable(std::size_t i, std::optional<std::uint64_t> now_iter,
+              const std::vector<bool>& excluded) const;
+
   DktConfig config_;
   std::size_t self_;
   std::deque<double> window_;
-  std::vector<double> peer_loss_;  // +inf until first report
+  std::vector<double> peer_loss_;        // +inf until first report
+  std::vector<std::int64_t> peer_stamp_; // local iter of last report; -1 none
 };
 
 }  // namespace dlion::core

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 namespace dlion::core {
 
@@ -39,5 +40,15 @@ struct SyncPolicy {
 bool can_start_iteration(const SyncPolicy& policy, std::uint64_t next_iter,
                          std::span<const std::int64_t> peer_latest,
                          std::size_t self);
+
+/// Liveness-aware variant: peers flagged in `suspected` (crash-suspected by
+/// the heartbeat failure detector) are excluded from the wait-set entirely -
+/// they neither count toward the required quorum nor can satisfy it. This is
+/// what keeps synchronous and bounded-staleness training from deadlocking on
+/// a dead peer: with every peer suspected the worker trains solo. An empty
+/// or all-false `suspected` span reproduces the basic overload exactly.
+bool can_start_iteration(const SyncPolicy& policy, std::uint64_t next_iter,
+                         std::span<const std::int64_t> peer_latest,
+                         std::size_t self, const std::vector<bool>& suspected);
 
 }  // namespace dlion::core

@@ -6,12 +6,27 @@
 #include "common/logging.h"
 #include "core/link_prioritizer.h"
 #include "core/weighted_update.h"
+#include "nn/checkpoint.h"
 
 namespace dlion::core {
 
 namespace {
 constexpr double kRcpChangeThreshold = 0.05;  // re-broadcast if >5% change
+/// RCP substituted for suspected peers when renormalizing LBS allocation:
+/// allocate_lbs rejects non-positive compute powers, so "dead" is modeled as
+/// vanishingly small instead of zero.
+constexpr double kDeadRcp = 1e-12;
+
+/// When fault tolerance is enabled but the caller left DKT peer-loss expiry
+/// at its disabled default, age reports out after a few DKT periods so a
+/// silent (crashed or partitioned) peer cannot stay "best" forever.
+DktConfig with_ft_expiry(DktConfig cfg, const FaultToleranceOptions& ft) {
+  if (ft.enabled && cfg.peer_loss_expiry_iters == 0) {
+    cfg.peer_loss_expiry_iters = 3 * cfg.period_iters;
+  }
+  return cfg;
 }
+}  // namespace
 
 Worker::Worker(std::size_t id, sim::Engine& engine, comm::Fabric& fabric,
                sim::ComputeResource compute, nn::BuiltModel built,
@@ -28,7 +43,8 @@ Worker::Worker(std::size_t id, sim::Engine& engine, comm::Fabric& fabric,
       options_(std::move(options)),
       sampler_(shard_, seed),
       gbs_ctrl_(options_.gbs),
-      dkt_(options_.dkt, id, fabric.size()),
+      dkt_(with_ft_expiry(options_.dkt, options_.fault_tolerance), id,
+           fabric.size()),
       rcp_table_(fabric.size(), 1.0),
       peer_latest_(fabric.size(), -1),
       current_lbs_(options_.fixed_lbs),
@@ -40,7 +56,9 @@ Worker::Worker(std::size_t id, sim::Engine& engine, comm::Fabric& fabric,
       lbs_trace_("lbs"),
       gbs_trace_("gbs"),
       chosen_n_trace_("chosen_n"),
-      entries_traces_(fabric.size()) {
+      entries_traces_(fabric.size()),
+      last_heard_(fabric.size(), 0.0),
+      suspected_(fabric.size(), false) {
   // Fixed evaluation subset: deterministic, shared across the run.
   if (test_set_ != nullptr && test_set_->size() > 0) {
     const std::size_t n = std::min(options_.eval_subset, test_set_->size());
@@ -58,15 +76,24 @@ std::size_t Worker::current_gbs() const {
   return gbs_ctrl_.gbs();
 }
 
+std::size_t Worker::live_worker_count() const {
+  std::size_t live = 0;
+  for (std::size_t j = 0; j < suspected_.size(); ++j) {
+    if (j == id_ || !suspected_[j]) ++live;
+  }
+  return live;
+}
+
 std::size_t Worker::effective_gbs() const {
   if (options_.dynamic_batching || options_.gbs_schedule) {
     return std::max<std::size_t>(1, current_gbs());
   }
-  return std::max<std::size_t>(1, options_.fixed_lbs * fabric_->size());
+  return std::max<std::size_t>(1, options_.fixed_lbs * live_worker_count());
 }
 
 void Worker::start(common::SimTime until) {
   end_time_ = until;
+  std::fill(last_heard_.begin(), last_heard_.end(), engine_->now());
   if (options_.dynamic_batching || options_.gbs_schedule) {
     profile_rcp(/*broadcast_if_changed=*/false);
     fabric_->broadcast(id_, comm::RcpReport{static_cast<std::uint32_t>(id_),
@@ -77,9 +104,25 @@ void Worker::start(common::SimTime until) {
     lbs_trace_.record(engine_->now(), static_cast<double>(current_lbs_));
   }
   gbs_trace_.record(engine_->now(), static_cast<double>(current_gbs()));
-  // Batch size update module: periodic profiling + GBS controller ticks.
-  engine_->after(options_.batch_update_period_s, [this] { batch_tick(); });
+  // Batch size update module: periodic profiling + GBS controller ticks
+  // (plus the fault-tolerance heartbeat/checkpoint modules when enabled).
+  schedule_ticks();
   try_start_iteration();
+}
+
+void Worker::schedule_ticks() {
+  const std::uint64_t inc = incarnation_;
+  engine_->after(options_.batch_update_period_s, [this, inc] {
+    if (inc == incarnation_) batch_tick();
+  });
+  if (ft().enabled) {
+    engine_->after(ft().heartbeat_period_s, [this, inc] {
+      if (inc == incarnation_) heartbeat_tick();
+    });
+    engine_->after(ft().checkpoint_period_s, [this, inc] {
+      if (inc == incarnation_) checkpoint_tick();
+    });
+  }
 }
 
 void Worker::batch_tick() {
@@ -96,7 +139,115 @@ void Worker::batch_tick() {
     recompute_lbs();
   }
   gbs_trace_.record(engine_->now(), static_cast<double>(current_gbs()));
-  engine_->after(options_.batch_update_period_s, [this] { batch_tick(); });
+  const std::uint64_t inc = incarnation_;
+  engine_->after(options_.batch_update_period_s, [this, inc] {
+    if (inc == incarnation_) batch_tick();
+  });
+}
+
+void Worker::heartbeat_tick() {
+  if (engine_->now() >= end_time_) return;
+  fabric_->broadcast(id_, comm::Heartbeat{static_cast<std::uint32_t>(id_),
+                                          iteration_});
+  // Suspicion sweep: a peer unheard-from past the timeout is excluded from
+  // wait-sets, renormalization, and weight-pull targeting until it speaks
+  // again (on_message clears suspicion on any received message).
+  const common::SimTime now = engine_->now();
+  bool changed = false;
+  for (std::size_t j = 0; j < suspected_.size(); ++j) {
+    if (j == id_) continue;
+    const bool sus = (now - last_heard_[j]) > ft().suspicion_timeout_s;
+    if (sus != suspected_[j]) {
+      suspected_[j] = sus;
+      changed = true;
+    }
+  }
+  if (changed) {
+    // Degrade gracefully: reallocate batch shares across live workers and
+    // re-check the (possibly shrunken) synchronization wait-set.
+    if (options_.dynamic_batching || options_.gbs_schedule) recompute_lbs();
+    if (waiting_) {
+      const std::uint64_t inc0 = incarnation_;
+      engine_->after(0.0, [this, inc0] {
+        if (inc0 == incarnation_) try_start_iteration();
+      });
+    }
+  }
+  const std::uint64_t inc = incarnation_;
+  engine_->after(ft().heartbeat_period_s, [this, inc] {
+    if (inc == incarnation_) heartbeat_tick();
+  });
+}
+
+void Worker::checkpoint_tick() {
+  if (engine_->now() >= end_time_) return;
+  take_checkpoint();
+  const std::uint64_t inc = incarnation_;
+  engine_->after(ft().checkpoint_period_s, [this, inc] {
+    if (inc == incarnation_) checkpoint_tick();
+  });
+}
+
+void Worker::take_checkpoint() {
+  checkpoint_buf_ = nn::serialize_checkpoint(built_.model);
+  checkpoint_iteration_ = iteration_;
+  checkpoint_valid_ = true;
+  ++checkpoints_taken_;
+}
+
+void Worker::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++crash_count_;
+  ++incarnation_;  // cancels every lambda scheduled by the old incarnation
+  running_ = false;
+  waiting_ = false;
+  catching_up_ = false;
+  fabric_->detach(id_);  // in-flight messages to this worker dead-letter
+}
+
+void Worker::recover() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++recover_count_;
+  fabric_->attach(id_, [this](std::size_t from, comm::MessagePtr msg) {
+    on_message(from, std::move(msg));
+  });
+  // Restore the last pre-crash snapshot; training state between the
+  // checkpoint and the crash is lost (that is the point of catch-up below).
+  if (checkpoint_valid_) {
+    nn::restore_checkpoint(built_.model, checkpoint_buf_);
+    iteration_ = checkpoint_iteration_;
+  }
+  compute_rate_.reset();
+  iter_interval_.reset();
+  last_finish_ = -1.0;
+  // Grace period: give every peer a fresh liveness stamp so the recovering
+  // worker does not instantly suspect the whole cluster.
+  std::fill(last_heard_.begin(), last_heard_.end(), engine_->now());
+  std::fill(suspected_.begin(), suspected_.end(), false);
+  // Re-announce compute power and liveness to peers.
+  if (options_.dynamic_batching || options_.gbs_schedule) {
+    profile_rcp(/*broadcast_if_changed=*/false);
+    fabric_->broadcast(id_, comm::RcpReport{static_cast<std::uint32_t>(id_),
+                                            rcp_table_[id_]});
+    recompute_lbs();
+  }
+  if (ft().enabled) {
+    fabric_->broadcast(id_, comm::Heartbeat{static_cast<std::uint32_t>(id_),
+                                            iteration_});
+  }
+  schedule_ticks();
+  request_catch_up();
+  try_start_iteration();
+}
+
+void Worker::request_catch_up() {
+  if (!ft().enabled) return;
+  // Pull fresh weights + iteration state from a live peer; until the
+  // snapshot arrives the worker trains from its (stale) checkpoint.
+  catching_up_ = true;
+  send_weight_pull(suspected_, fabric_->size(), /*catch_up=*/true);
 }
 
 void Worker::profile_rcp(bool broadcast_if_changed) {
@@ -121,8 +272,14 @@ void Worker::profile_rcp(bool broadcast_if_changed) {
 }
 
 void Worker::recompute_lbs() {
-  const auto allocation =
-      allocate_lbs(current_gbs(), rcp_table_, options_.lbs.min_lbs);
+  // Suspected peers contribute (effectively) zero compute power, so their
+  // batch share is redistributed across live workers. With no suspicion the
+  // table is used verbatim - identical to the non-fault-tolerant path.
+  std::vector<double> rcp = rcp_table_;
+  for (std::size_t j = 0; j < rcp.size(); ++j) {
+    if (j != id_ && suspected_[j]) rcp[j] = kDeadRcp;
+  }
+  const auto allocation = allocate_lbs(current_gbs(), rcp, options_.lbs.min_lbs);
   const std::size_t lbs = std::max<std::size_t>(1, allocation[id_]);
   if (lbs != current_lbs_) {
     current_lbs_ = lbs;
@@ -131,11 +288,14 @@ void Worker::recompute_lbs() {
 }
 
 void Worker::try_start_iteration() {
-  if (running_ || engine_->now() >= end_time_ ||
+  if (crashed_ || running_ || engine_->now() >= end_time_ ||
       iteration_ >= options_.max_iterations) {
     return;
   }
-  if (!can_start_iteration(options_.sync, iteration_, peer_latest_, id_)) {
+  // Suspected peers are excluded from the wait-set entirely, so a crashed
+  // peer cannot deadlock synchronous or bounded-staleness training.
+  if (!can_start_iteration(options_.sync, iteration_, peer_latest_, id_,
+                           suspected_)) {
     waiting_ = true;
     return;
   }
@@ -150,18 +310,22 @@ void Worker::try_start_iteration() {
   loss_trace_.record(engine_->now(), res.loss);
   const double dt = compute_.iteration_seconds(lbs, engine_->now());
   compute_rate_.add(dt);
-  engine_->after(dt, [this, lbs, dt] { finish_iteration(lbs, dt); });
+  const std::uint64_t inc = incarnation_;
+  engine_->after(dt, [this, inc, lbs, dt] {
+    if (inc == incarnation_) finish_iteration(lbs, dt);
+  });
 }
 
 void Worker::finish_iteration(std::size_t lbs, double compute_seconds) {
   // Apply own gradients (Eq. 7's j = k term: db = 1 literal, n*LBS_k/GBS
-  // normalized).
+  // normalized). Averaging runs over *live* workers so updates keep their
+  // magnitude when peers die (n = fabric size when nothing is suspected).
+  const std::size_t n_live = live_worker_count();
   double own_db = 1.0;
   if (options_.weighted_update && options_.db_normalized) {
-    own_db = normalized_batching_weight(lbs, effective_gbs(), fabric_->size());
+    own_db = normalized_batching_weight(lbs, effective_gbs(), n_live);
   }
-  apply_own_gradients(built_.model, options_.learning_rate, fabric_->size(),
-                      own_db);
+  apply_own_gradients(built_.model, options_.learning_rate, n_live, own_db);
 
   // Iter_com_i (§3.3) is the worker's achieved iteration rate - the full
   // cycle including synchronization waits, not just gradient compute - so
@@ -173,10 +337,13 @@ void Worker::finish_iteration(std::size_t lbs, double compute_seconds) {
   iter_interval_.add(std::max(interval, 1e-9));
 
   // Partial gradients generation module: per-link selection + send.
+  // Suspected peers get nothing (their link budget is reclaimed); they
+  // re-enter the loop as soon as a message from them clears suspicion.
   strategy_->begin_iteration(built_.model, iteration_);
   const double iters_per_sec = 1.0 / std::max(iter_interval_.value(), 1e-9);
   for (std::size_t peer = 0; peer < fabric_->size(); ++peer) {
     if (peer == id_) continue;
+    if (suspected_[peer]) continue;
     LinkContext ctx;
     ctx.self = id_;
     ctx.peer = peer;
@@ -188,7 +355,7 @@ void Worker::finish_iteration(std::size_t lbs, double compute_seconds) {
     ctx.iterations_per_sec = iters_per_sec;
     ctx.byte_scale = fabric_->byte_scale();
     ctx.learning_rate = options_.learning_rate;
-    ctx.n_workers = fabric_->size();
+    ctx.n_workers = n_live;
     comm::GradientUpdate update;
     update.from = static_cast<std::uint32_t>(id_);
     update.iteration = iteration_;
@@ -229,19 +396,70 @@ void Worker::finish_iteration(std::size_t lbs, double compute_seconds) {
   if (dkt_.is_boundary(iteration_)) run_dkt_boundary();
 
   running_ = false;
-  engine_->after(0.0, [this] { try_start_iteration(); });
+  const std::uint64_t inc = incarnation_;
+  engine_->after(0.0, [this, inc] {
+    if (inc == incarnation_) try_start_iteration();
+  });
 }
 
 void Worker::run_dkt_boundary() {
   fabric_->broadcast(
       id_, comm::LossReport{static_cast<std::uint32_t>(id_), iteration_,
                             dkt_.avg_loss()});
-  if (dkt_.should_request(iteration_)) {
-    const std::size_t best = dkt_.best_worker();
+  if (!dkt_.should_request(iteration_)) return;
+  if (ft().enabled) {
+    // Reliable pull with next-best fallback: an unacked request (crashed or
+    // partitioned best worker) falls through to the next-best candidate.
+    send_weight_pull(suspected_, fabric_->size(), /*catch_up=*/false);
+  } else {
+    const std::size_t best = dkt_.best_worker(iteration_);
     fabric_->send(id_, best,
                   comm::DktRequest{static_cast<std::uint32_t>(id_),
                                    iteration_});
   }
+}
+
+void Worker::send_weight_pull(std::vector<bool> excluded,
+                              std::size_t attempts_left, bool catch_up) {
+  if (excluded.size() < fabric_->size()) {
+    excluded.resize(fabric_->size(), false);
+  }
+  excluded[id_] = true;  // never pull from ourselves
+  if (attempts_left == 0) {
+    if (catch_up) catching_up_ = false;
+    return;
+  }
+  std::size_t target = dkt_.best_worker(iteration_, excluded);
+  if (target == id_) {
+    // DKT knows no usable better peer. A DKT boundary simply skips the
+    // exchange; a catch-up pull takes any live peer (anyone's state is
+    // fresher than our checkpoint).
+    if (!catch_up) return;
+    target = fabric_->size();
+    for (std::size_t j = 0; j < fabric_->size(); ++j) {
+      if (!excluded[j]) {
+        target = j;
+        break;
+      }
+    }
+    if (target == fabric_->size()) {
+      catching_up_ = false;  // nobody reachable; keep training from snapshot
+      return;
+    }
+  }
+  const std::uint64_t inc = incarnation_;
+  fabric_->send_reliable(
+      id_, target,
+      comm::DktRequest{static_cast<std::uint32_t>(id_), iteration_},
+      ft().control_retry,
+      [this, inc, excluded = std::move(excluded), attempts_left, catch_up,
+       target](bool acked) mutable {
+        if (inc != incarnation_) return;
+        if (acked) return;  // the WeightSnapshot reply is on its way
+        ++pull_fallbacks_;
+        excluded[target] = true;
+        send_weight_pull(std::move(excluded), attempts_left - 1, catch_up);
+      });
 }
 
 double Worker::evaluate_accuracy() {
@@ -253,6 +471,12 @@ double Worker::evaluate_accuracy() {
 }
 
 void Worker::on_message(std::size_t from, comm::MessagePtr msg) {
+  // Any message is proof of life: refresh the liveness stamp and clear
+  // suspicion (a no-op whenever fault tolerance is disabled).
+  if (from < last_heard_.size()) {
+    last_heard_[from] = engine_->now();
+    suspected_[from] = false;
+  }
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
@@ -260,37 +484,64 @@ void Worker::on_message(std::size_t from, comm::MessagePtr msg) {
           peer_latest_[from] =
               std::max(peer_latest_[from],
                        static_cast<std::int64_t>(m.iteration));
+          const std::size_t n_live = live_worker_count();
           const double db =
               options_.db_normalized
                   ? normalized_batching_weight(std::max<std::size_t>(1, m.lbs),
-                                               effective_gbs(),
-                                               fabric_->size(),
+                                               effective_gbs(), n_live,
                                                options_.weighted_update)
                   : dynamic_batching_weight(std::max<std::size_t>(1, m.lbs),
                                             std::max<std::size_t>(
                                                 1, current_lbs_),
                                             options_.weighted_update);
           apply_gradient_update(built_.model, m, options_.learning_rate,
-                                fabric_->size(), db);
+                                n_live, db);
           if (waiting_) {
-            engine_->after(0.0, [this] { try_start_iteration(); });
+            const std::uint64_t inc = incarnation_;
+            engine_->after(0.0, [this, inc] {
+              if (inc == incarnation_) try_start_iteration();
+            });
           }
         } else if constexpr (std::is_same_v<T, comm::LossReport>) {
-          dkt_.record_peer_loss(from, m.avg_loss, m.iteration);
+          // Stamped with the *receiver's* iteration: one coherent freshness
+          // clock even when peers' own iteration counts diverge.
+          dkt_.record_peer_loss(from, m.avg_loss, iteration_);
         } else if constexpr (std::is_same_v<T, comm::DktRequest>) {
           comm::WeightSnapshot snap;
           snap.from = static_cast<std::uint32_t>(id_);
           snap.iteration = iteration_;
           snap.loss = dkt_.avg_loss();
           snap.weights = built_.model.weights();
-          fabric_->send(id_, from, std::move(snap));
+          if (ft().enabled) {
+            fabric_->send_reliable(id_, from, std::move(snap),
+                                   ft().control_retry);
+          } else {
+            fabric_->send(id_, from, std::move(snap));
+          }
         } else if constexpr (std::is_same_v<T, comm::WeightSnapshot>) {
-          dkt_.merge(built_.model, m.weights);
+          if (catching_up_) {
+            // Post-recovery catch-up: adopt the peer's weights and jump to
+            // its iteration so peers' staleness bounds see us as current.
+            built_.model.set_weights(m.weights);
+            iteration_ = std::max(iteration_, m.iteration);
+            catching_up_ = false;
+            take_checkpoint();  // fresh restore point post-rejoin
+            if (waiting_) {
+              const std::uint64_t inc = incarnation_;
+              engine_->after(0.0, [this, inc] {
+                if (inc == incarnation_) try_start_iteration();
+              });
+            }
+          } else {
+            dkt_.merge(built_.model, m.weights);
+          }
         } else if constexpr (std::is_same_v<T, comm::RcpReport>) {
           rcp_table_[from] = m.rcp;
           if (options_.dynamic_batching || options_.gbs_schedule) {
             recompute_lbs();
           }
+        } else if constexpr (std::is_same_v<T, comm::Heartbeat>) {
+          // Liveness handled above; the beacon carries no training payload.
         }
       },
       *msg);

@@ -26,6 +26,31 @@
 
 namespace dlion::core {
 
+/// Fault-tolerance / graceful-degradation layer (DESIGN.md §4).
+///
+/// When enabled the worker broadcasts periodic heartbeats, suspects peers it
+/// has not heard from within `suspicion_timeout_s`, excludes suspected peers
+/// from synchronization wait-sets and weighted-update renormalization, takes
+/// periodic in-memory DLCK checkpoints for crash recovery, and sends DKT
+/// weight pulls over the reliable (ack + retry) control channel with
+/// fallback to the next-best peer on timeout.
+///
+/// Disabled (the default) the worker's event sequence is bit-identical to a
+/// build without this layer: no heartbeats, no checkpoints, no retries, and
+/// every liveness structure stays in its all-live state.
+struct FaultToleranceOptions {
+  bool enabled = false;
+  /// Heartbeat broadcast + suspicion sweep period.
+  double heartbeat_period_s = 2.0;
+  /// A peer unheard-from for longer than this is suspected crashed.
+  double suspicion_timeout_s = 6.0;
+  /// Period of in-memory crash-recovery checkpoints (DLCK buffers).
+  double checkpoint_period_s = 20.0;
+  /// Retry policy for reliable control-plane sends (DKT weight pulls and
+  /// post-recovery catch-up requests).
+  comm::RetryPolicy control_retry;
+};
+
 struct WorkerOptions {
   double learning_rate = 0.05;
   /// Weighted dynamic batching (§3.2): GBS + LBS controllers. When false,
@@ -52,6 +77,8 @@ struct WorkerOptions {
   /// Optional externally-scripted GBS (used by the Fig. 5 study); when set
   /// it replaces the GBS controller. Called at every batch tick.
   std::function<std::size_t(std::uint64_t iteration, double now)> gbs_schedule;
+  /// Fault-tolerance layer; disabled by default (see FaultToleranceOptions).
+  FaultToleranceOptions fault_tolerance;
 };
 
 class Worker {
@@ -96,6 +123,26 @@ class Worker {
   /// the accuracy trace when called internally).
   double evaluate_accuracy();
 
+  // --- Fault-tolerance layer (DESIGN.md §4) ---
+
+  /// Crash this worker now: detach from the fabric (messages to it dead-
+  /// letter), cancel all scheduled activity, freeze training state.
+  void crash();
+  /// Recover from a crash: restore the last in-memory checkpoint, reattach
+  /// to the fabric, re-announce RCP + liveness, pull fresh state from a live
+  /// peer (catch-up), and resume training.
+  void recover();
+  bool crashed() const { return crashed_; }
+  /// Workers not currently suspected crashed, self included. Equals the
+  /// fabric size whenever fault tolerance is disabled.
+  std::size_t live_worker_count() const;
+  const std::vector<bool>& suspected_peers() const { return suspected_; }
+  std::uint64_t crash_count() const { return crash_count_; }
+  std::uint64_t recover_count() const { return recover_count_; }
+  std::uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+  /// DKT / catch-up weight pulls re-targeted after an unacked request.
+  std::uint64_t pull_fallbacks() const { return pull_fallbacks_; }
+
  private:
   void on_message(std::size_t from, comm::MessagePtr msg);
   void try_start_iteration();
@@ -104,6 +151,20 @@ class Worker {
   void profile_rcp(bool broadcast_if_changed);
   void recompute_lbs();
   void run_dkt_boundary();
+
+  const FaultToleranceOptions& ft() const { return options_.fault_tolerance; }
+  /// Schedule the periodic modules (batch tick; plus heartbeat + checkpoint
+  /// ticks when fault tolerance is enabled) under the current incarnation.
+  void schedule_ticks();
+  void heartbeat_tick();
+  void checkpoint_tick();
+  void take_checkpoint();
+  /// Reliable weight pull with next-best fallback: request weights from the
+  /// best non-excluded worker; on ack timeout exclude it and retry with the
+  /// next best. `catch_up` pulls adopt iteration state too (post-recovery).
+  void send_weight_pull(std::vector<bool> excluded, std::size_t attempts_left,
+                        bool catch_up);
+  void request_catch_up();
 
   std::size_t id_;
   sim::Engine* engine_;
@@ -136,6 +197,24 @@ class Worker {
   common::Ewma compute_rate_;    // EWMA of iteration compute seconds
   common::Ewma iter_interval_;   // EWMA of full iteration cycle seconds
   common::SimTime last_finish_ = -1.0;
+
+  // Fault-tolerance state. All of it stays in its initial "everything live"
+  // configuration when ft().enabled is false, so the training path reads it
+  // without branching on the flag.
+  bool crashed_ = false;
+  bool catching_up_ = false;
+  /// Bumped on crash(); scheduled lambdas capture the incarnation they were
+  /// created under and become no-ops when it no longer matches.
+  std::uint64_t incarnation_ = 0;
+  std::vector<common::SimTime> last_heard_;  // per peer; self unused
+  std::vector<bool> suspected_;              // per peer; self always false
+  std::vector<std::uint8_t> checkpoint_buf_;  // DLCK bytes, crash restore
+  std::uint64_t checkpoint_iteration_ = 0;
+  bool checkpoint_valid_ = false;
+  std::uint64_t crash_count_ = 0;
+  std::uint64_t recover_count_ = 0;
+  std::uint64_t checkpoints_taken_ = 0;
+  std::uint64_t pull_fallbacks_ = 0;
 
   sim::Trace accuracy_trace_;
   sim::Trace loss_trace_;

@@ -144,6 +144,40 @@ const std::vector<std::vector<double>>& wan_bandwidth_matrix() {
   return matrix;
 }
 
+Environment make_churn_environment(const std::string& base,
+                                   const ChurnSpec& churn, double phase_s) {
+  Environment env = make_environment(base, phase_s);
+  env.name = base + " +churn";
+  const std::size_t n = env.compute.size();
+  // Crash the highest-id workers first: in the heterogeneous environments
+  // those are the weakest machines, the most plausible preemption victims.
+  const std::size_t crashed = std::min(churn.crashed_workers, n);
+  for (std::size_t k = 0; k < crashed; ++k) {
+    const std::size_t worker = n - 1 - k;
+    const double start =
+        churn.crash_start_s + static_cast<double>(k) * churn.stagger_s;
+    env.faults.crash(worker, start, start + churn.downtime_s);
+  }
+  if (churn.partition_end_s > churn.partition_start_s && n >= 2) {
+    std::vector<std::size_t> group_a, group_b;
+    for (std::size_t i = 0; i < n; ++i) {
+      (i < n / 2 ? group_a : group_b).push_back(i);
+    }
+    env.faults.partition(group_a, group_b, churn.partition_start_s,
+                         churn.partition_end_s);
+  }
+  if (churn.loss_probability > 0.0 && churn.loss_end_s > churn.loss_start_s) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        env.faults.lossy(i, j, churn.loss_probability, churn.loss_start_s,
+                         churn.loss_end_s);
+      }
+    }
+  }
+  return env;
+}
+
 Environment make_wan_matrix_environment() {
   Environment env;
   env.name = "WAN Table2";

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/compute_model.h"
+#include "sim/fault_injector.h"
 #include "sim/network.h"
 
 namespace dlion::exp {
@@ -21,6 +22,9 @@ struct Environment {
   std::vector<sim::ComputeSpec> compute;
   std::function<void(sim::Network&)> network_setup;  ///< may be empty (LAN)
   bool gpu = false;  ///< uses GPU-calibrated compute (Homo C, Hetero SYS C)
+  /// Deterministic fault schedule (empty for all Table 3 environments;
+  /// non-empty in the churn environments below).
+  sim::FaultSchedule faults;
 };
 
 /// Number of workers in every paper environment.
@@ -46,6 +50,35 @@ const std::vector<std::string>& wan_region_names();
 /// Table 2 matrix as per-link bandwidth (used by the §3 exploratory
 /// studies' "emulated 6-worker cluster").
 Environment make_wan_matrix_environment();
+
+/// Churn scenario knobs for make_churn_environment. All times are simulated
+/// seconds from the start of the run.
+struct ChurnSpec {
+  /// Staggered worker crashes: the k-th crashed worker (counting from the
+  /// highest worker id downward) is down for
+  ///   [crash_start_s + k * stagger_s, crash_start_s + k * stagger_s +
+  ///    downtime_s).
+  std::size_t crashed_workers = 2;
+  double crash_start_s = 60.0;
+  double downtime_s = 60.0;
+  double stagger_s = 30.0;
+  /// Optional network partition splitting workers {0..2} from {3..5}
+  /// (both directions of every cross-group link black out). Disabled when
+  /// partition_end_s <= partition_start_s.
+  double partition_start_s = 0.0;
+  double partition_end_s = 0.0;
+  /// Optional symmetric per-message loss probability on every link.
+  double loss_probability = 0.0;
+  double loss_start_s = 0.0;
+  double loss_end_s = 0.0;
+};
+
+/// A Table 3 environment plus a deterministic churn fault schedule
+/// (crashes, optional partition, optional lossy links). The micro-cloud
+/// failure scenarios the paper motivates but does not evaluate.
+Environment make_churn_environment(const std::string& base,
+                                   const ChurnSpec& churn,
+                                   double phase_s = 500.0);
 
 /// Per-worker compute spec helpers.
 sim::ComputeSpec cpu_cores(double cores);

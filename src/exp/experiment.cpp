@@ -63,6 +63,19 @@ RunResult run_experiment(const RunSpec& spec, const Workload& workload) {
                                       ? spec.strategy_override
                                       : system.strategy_factory;
 
+  // Fault schedule: the environment's churn plus any per-run extras.
+  sim::FaultSchedule faults = env.faults;
+  faults.crashes.insert(faults.crashes.end(), spec.faults.crashes.begin(),
+                        spec.faults.crashes.end());
+  faults.blackouts.insert(faults.blackouts.end(),
+                          spec.faults.blackouts.begin(),
+                          spec.faults.blackouts.end());
+  faults.losses.insert(faults.losses.end(), spec.faults.losses.begin(),
+                       spec.faults.losses.end());
+  if (!spec.faults.empty()) faults.seed = spec.faults.seed;
+  cluster_spec.faults = std::move(faults);
+  cluster_spec.auto_fault_tolerance = spec.auto_fault_tolerance;
+
   core::WorkerOptions options;
   options.learning_rate = workload.learning_rate;
   options.eval_period_iters = spec.eval_period_iters;
@@ -87,6 +100,12 @@ RunResult run_experiment(const RunSpec& spec, const Workload& workload) {
   result.time_to_70 = result.mean_curve.time_to_reach(0.70);
   result.total_iterations = cluster.total_iterations();
   result.total_bytes = cluster.total_bytes_sent();
+  result.messages_dropped = cluster.network().total_stats().messages_dropped;
+  result.dead_letters = cluster.fabric().dead_letters();
+  result.reliable_retries = cluster.fabric().reliable_retries();
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    result.worker_recoveries += cluster.worker(i).recover_count();
+  }
   return result;
 }
 

@@ -63,6 +63,11 @@ struct RunSpec {
   /// Replaces the system's partial-gradient strategy factory (e.g. Max N
   /// sweeps at specific N values).
   std::function<core::StrategyPtr(std::size_t)> strategy_override;
+  /// Extra faults appended to the environment's own schedule (if any).
+  sim::FaultSchedule faults;
+  /// Auto-enable the workers' fault-tolerance layer when the combined fault
+  /// schedule is non-empty (set false for the undefended baseline).
+  bool auto_fault_tolerance = true;
 };
 
 struct RunResult {
@@ -75,6 +80,11 @@ struct RunResult {
   std::uint64_t total_iterations = 0;
   common::Bytes total_bytes = 0;
   sim::Trace mean_curve;
+  // Fault / degradation accounting (all zero for fault-free runs).
+  std::uint64_t messages_dropped = 0;   ///< network drops (crash/blackout/loss)
+  std::uint64_t dead_letters = 0;       ///< messages to detached workers
+  std::uint64_t reliable_retries = 0;   ///< control-plane retransmissions
+  std::uint64_t worker_recoveries = 0;  ///< completed crash->recover cycles
 };
 
 /// Run one simulation.

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace dlion::nn {
@@ -18,14 +19,12 @@ void write_u32(std::ostream& os, std::uint32_t v) {
 std::uint32_t read_u32(std::istream& is) {
   std::uint32_t v = 0;
   is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!is) throw std::runtime_error("checkpoint: truncated file");
+  if (!is) throw std::runtime_error("checkpoint: truncated input");
   return v;
 }
 }  // namespace
 
-void save_checkpoint(const Model& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
+void save_checkpoint(const Model& model, std::ostream& out) {
   out.write(kMagic, sizeof(kMagic));
   write_u32(out, kVersion);
   write_u32(out, static_cast<std::uint32_t>(model.num_variables()));
@@ -41,16 +40,21 @@ void save_checkpoint(const Model& model, const std::string& path) {
     out.write(reinterpret_cast<const char*>(var->value().data()),
               static_cast<std::streamsize>(var->size() * sizeof(float)));
   }
+  if (!out) throw std::runtime_error("checkpoint: write failed");
+}
+
+void save_checkpoint(const Model& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
+  save_checkpoint(model, out);
   if (!out) throw std::runtime_error("checkpoint: write failed on " + path);
 }
 
-void load_checkpoint(Model& model, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+void load_checkpoint(Model& model, std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("checkpoint: bad magic in " + path);
+    throw std::runtime_error("checkpoint: bad magic");
   }
   const std::uint32_t version = read_u32(in);
   if (version != kVersion) {
@@ -78,6 +82,26 @@ void load_checkpoint(Model& model, const std::string& path) {
             static_cast<std::streamsize>(var->size() * sizeof(float)));
     if (!in) throw std::runtime_error("checkpoint: truncated tensor data");
   }
+}
+
+void load_checkpoint(Model& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  load_checkpoint(model, in);
+}
+
+std::vector<std::uint8_t> serialize_checkpoint(const Model& model) {
+  std::ostringstream out(std::ios::binary);
+  save_checkpoint(model, out);
+  const std::string s = out.str();
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+void restore_checkpoint(Model& model, const std::vector<std::uint8_t>& buf) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(buf.data()), buf.size()),
+      std::ios::binary);
+  load_checkpoint(model, in);
 }
 
 }  // namespace dlion::nn

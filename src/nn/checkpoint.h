@@ -1,10 +1,17 @@
-// Model checkpointing: save/load weight snapshots to a simple binary file
+// Model checkpointing: save/load weight snapshots in a simple binary
 // format ("DLCK"), so long training runs and examples can persist and
-// resume models. The format stores per-variable shapes, so loading into a
-// mismatched architecture fails loudly.
+// resume models. The format stores per-variable names and shapes, so
+// loading into a mismatched architecture fails loudly.
+//
+// Two transports share the same format: files (persistence across runs)
+// and in-memory byte buffers (the fault-tolerance layer's periodic crash-
+// recovery snapshots, see core::Worker).
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "nn/model.h"
 
@@ -17,5 +24,14 @@ void save_checkpoint(const Model& model, const std::string& path);
 /// Load weights from `path` into the model. Throws std::runtime_error on
 /// I/O failure and std::invalid_argument on architecture mismatch.
 void load_checkpoint(Model& model, const std::string& path);
+
+/// Stream variants (same DLCK format).
+void save_checkpoint(const Model& model, std::ostream& out);
+void load_checkpoint(Model& model, std::istream& in);
+
+/// In-memory variants: serialize the model's weights to a DLCK byte buffer
+/// and restore them. Used for periodic crash-recovery snapshots.
+std::vector<std::uint8_t> serialize_checkpoint(const Model& model);
+void restore_checkpoint(Model& model, const std::vector<std::uint8_t>& buf);
 
 }  // namespace dlion::nn

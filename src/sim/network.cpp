@@ -63,9 +63,26 @@ void Network::send(std::size_t from, std::size_t to, common::Bytes bytes,
                    std::function<void()> on_delivered) {
   if (from >= n_ || to >= n_) throw std::out_of_range("Network::send");
   if (from == to) {
-    // Local delivery is immediate (intra-worker queues are in-memory).
+    // Local delivery is immediate (intra-worker queues are in-memory);
+    // a crashed worker cannot enqueue to itself.
+    if (faults_ != nullptr && faults_->worker_down(from, engine_->now())) {
+      stats_[from].messages_dropped += 1;
+      stats_[from].bytes_dropped += bytes;
+      return;
+    }
     engine_->after(0.0, std::move(on_delivered));
     return;
+  }
+  // Fault injection at enqueue time: a crashed endpoint, a blacked-out
+  // link, or a loss draw drops the message before it consumes bandwidth.
+  if (faults_ != nullptr) {
+    const common::SimTime t = engine_->now();
+    if (!faults_->link_usable(from, to, t) ||
+        faults_->should_drop(from, to, t)) {
+      stats_[from].messages_dropped += 1;
+      stats_[from].bytes_dropped += bytes;
+      return;  // on_delivered is never invoked for dropped transfers
+    }
   }
   backlog_[from] += bytes;
   queue_[from][to].push_back(Pending{bytes, std::move(on_delivered)});
@@ -92,7 +109,15 @@ void Network::start_next(std::size_t from, std::size_t to) {
   engine_->after(tx, [this, from, to, bytes, latency,
                       deliver = std::move(msg.on_delivered)]() mutable {
     backlog_[from] -= bytes;
-    engine_->after(latency, std::move(deliver));
+    // Messages in flight when a crash window or blackout opens are lost at
+    // transmission end (the wire went dark mid-transfer). The loss draw is
+    // not repeated here: probabilistic loss applies once, at enqueue.
+    if (faults_ != nullptr && !faults_->link_usable(from, to, engine_->now())) {
+      stats_[from].messages_dropped += 1;
+      stats_[from].bytes_dropped += bytes;
+    } else {
+      engine_->after(latency, std::move(deliver));
+    }
     start_next(from, to);
   });
 }
@@ -102,6 +127,8 @@ NetworkStats Network::total_stats() const {
   for (const auto& s : stats_) {
     total.bytes_sent += s.bytes_sent;
     total.messages_sent += s.messages_sent;
+    total.messages_dropped += s.messages_dropped;
+    total.bytes_dropped += s.bytes_dropped;
   }
   return total;
 }

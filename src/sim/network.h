@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "sim/engine.h"
+#include "sim/fault_injector.h"
 #include "sim/resource_schedule.h"
 
 namespace dlion::sim {
@@ -28,6 +29,10 @@ namespace dlion::sim {
 struct NetworkStats {
   common::Bytes bytes_sent = 0;
   std::uint64_t messages_sent = 0;
+  /// Messages/bytes dropped by injected faults (crashes, blackouts, loss),
+  /// attributed to the sender. Dropped transfers never deliver.
+  std::uint64_t messages_dropped = 0;
+  common::Bytes bytes_dropped = 0;
 };
 
 class Network {
@@ -35,6 +40,7 @@ class Network {
   Network(Engine& engine, std::size_t n_workers);
 
   std::size_t size() const { return n_; }
+  Engine& engine() { return *engine_; }
 
   /// Per-worker egress shaping (Mbps). Default: unshaped (1 Gbps LAN).
   void set_egress(std::size_t worker, Schedule mbps);
@@ -56,6 +62,14 @@ class Network {
 
   /// Bytes queued (or in flight) across all of a sender's links.
   common::Bytes backlog_bytes(std::size_t from) const;
+
+  /// Attach a fault injector (non-owning; may be nullptr to detach). When
+  /// set, sends on unusable links and loss-draw casualties are dropped:
+  /// their `on_delivered` is never invoked and the drop is counted in the
+  /// sender's NetworkStats. Messages already in flight when a fault window
+  /// opens are dropped at transmission end.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+  const FaultInjector* fault_injector() const { return faults_; }
 
   /// Enqueue a message of `bytes` on the i->j link; `on_delivered` runs at
   /// the receiver when the transfer (plus latency) completes.
@@ -82,6 +96,7 @@ class Network {
   std::vector<std::vector<bool>> busy_;         // link currently transmitting
   std::vector<common::Bytes> backlog_;          // queued + in-flight bytes
   std::vector<NetworkStats> stats_;
+  FaultInjector* faults_ = nullptr;             // non-owning, optional
 };
 
 }  // namespace dlion::sim

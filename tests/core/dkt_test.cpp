@@ -165,6 +165,66 @@ TEST(Dkt, MergeCountMismatchThrows) {
   EXPECT_THROW(dkt.merge(bm.model, bad), std::invalid_argument);
 }
 
+TEST(Dkt, ExpiryIgnoresStalePeerReports) {
+  DktConfig cfg = best2all();
+  cfg.peer_loss_expiry_iters = 20;
+  DktModule dkt(cfg, 0, 3);
+  dkt.record_loss(5.0);
+  dkt.record_peer_loss(1, 1.0, 10);   // best, stamped at iter 10
+  dkt.record_peer_loss(2, 3.0, 25);   // fresher but worse
+  EXPECT_EQ(dkt.best_worker(25), 1u);  // age 15 <= 20: still counts
+  EXPECT_EQ(dkt.best_worker(31), 2u);  // age 21 > 20: worker 1 expired
+  // Re-reporting refreshes the stamp.
+  dkt.record_peer_loss(1, 1.0, 31);
+  EXPECT_EQ(dkt.best_worker(31), 1u);
+}
+
+TEST(Dkt, ExpiryZeroNeverExpires) {
+  // Seed behaviour: expiry disabled means even ancient reports stay live.
+  DktModule dkt(best2all(), 0, 3);
+  ASSERT_EQ(dkt.config().peer_loss_expiry_iters, 0u);
+  dkt.record_loss(5.0);
+  dkt.record_peer_loss(1, 1.0, 0);
+  EXPECT_EQ(dkt.best_worker(1000000), 1u);
+}
+
+TEST(Dkt, ExpiryWithoutNowIterKeepsEverything) {
+  // Callers that do not pass a clock (seed call sites) see no expiry even
+  // when the config enables it.
+  DktConfig cfg = best2all();
+  cfg.peer_loss_expiry_iters = 5;
+  DktModule dkt(cfg, 0, 3);
+  dkt.record_loss(5.0);
+  dkt.record_peer_loss(1, 1.0, 0);
+  EXPECT_EQ(dkt.best_worker(), 1u);
+  EXPECT_EQ(dkt.best_worker(100), 0u);  // with a clock it does expire
+}
+
+TEST(Dkt, ExcludedPeersAreSkipped) {
+  DktModule dkt(best2all(), 0, 3);
+  dkt.record_loss(5.0);
+  dkt.record_peer_loss(1, 1.0, 10);
+  dkt.record_peer_loss(2, 3.0, 10);
+  std::vector<bool> excluded(3, false);
+  excluded[1] = true;  // e.g. suspected dead or pull timed out
+  EXPECT_EQ(dkt.best_worker(std::nullopt, excluded), 2u);
+  excluded[2] = true;
+  EXPECT_EQ(dkt.best_worker(std::nullopt, excluded), 0u);  // falls back to self
+}
+
+TEST(Dkt, WorstRespectsExpiryAndExclusion) {
+  DktConfig cfg = best2all();
+  cfg.peer_loss_expiry_iters = 10;
+  DktModule dkt(cfg, 0, 4);
+  dkt.record_loss(1.0);
+  dkt.record_peer_loss(2, 9.0, 0);   // worst but stale by iter 20
+  dkt.record_peer_loss(3, 4.0, 18);  // fresh
+  EXPECT_EQ(dkt.worst_worker(20), 3u);
+  std::vector<bool> excluded(4, false);
+  excluded[3] = true;
+  EXPECT_EQ(dkt.worst_worker(20, excluded), 0u);  // only self remains
+}
+
 TEST(Dkt, InvalidConfigThrows) {
   DktConfig zero_period = best2all();
   zero_period.period_iters = 0;

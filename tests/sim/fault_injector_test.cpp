@@ -1,0 +1,132 @@
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace dlion::sim {
+namespace {
+
+TEST(FaultSchedule, EmptyByDefault) {
+  FaultSchedule s;
+  EXPECT_TRUE(s.empty());
+  s.crash(0, 1.0, 2.0);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(FaultSchedule, BuildersValidateWindows) {
+  FaultSchedule s;
+  EXPECT_THROW(s.crash(0, 5.0, 5.0), std::invalid_argument);   // empty window
+  EXPECT_THROW(s.crash(0, 5.0, 4.0), std::invalid_argument);   // inverted
+  EXPECT_THROW(s.crash(0, -1.0, 4.0), std::invalid_argument);  // negative
+  EXPECT_THROW(s.blackout(1, 1, 0.0, 1.0), std::invalid_argument);  // self
+  EXPECT_THROW(s.lossy(0, 1, 1.5, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.lossy(0, 1, -0.1, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.partition({0, 1}, {1, 2}, 0.0, 1.0), std::invalid_argument);
+  EXPECT_TRUE(s.empty()) << "failed builders must not leave partial state";
+}
+
+TEST(FaultInjector, CrashWindowIsHalfOpen) {
+  FaultSchedule s;
+  s.crash(2, 10.0, 20.0);
+  FaultInjector inj(s);
+  EXPECT_FALSE(inj.worker_down(2, 9.999));
+  EXPECT_TRUE(inj.worker_down(2, 10.0));   // inclusive start
+  EXPECT_TRUE(inj.worker_down(2, 19.999));
+  EXPECT_FALSE(inj.worker_down(2, 20.0));  // exclusive end
+  EXPECT_FALSE(inj.worker_down(1, 15.0));  // other workers unaffected
+}
+
+TEST(FaultInjector, BlackoutIsDirected) {
+  FaultSchedule s;
+  s.blackout(0, 1, 5.0, 6.0);
+  FaultInjector inj(s);
+  EXPECT_TRUE(inj.link_blacked_out(0, 1, 5.5));
+  EXPECT_FALSE(inj.link_blacked_out(1, 0, 5.5));  // reverse direction open
+  EXPECT_FALSE(inj.link_usable(0, 1, 5.5));
+  EXPECT_TRUE(inj.link_usable(1, 0, 5.5));
+}
+
+TEST(FaultInjector, PartitionBlacksOutEveryCrossLinkBothWays) {
+  FaultSchedule s;
+  s.partition({0, 1, 2}, {3, 4, 5}, 10.0, 20.0);
+  FaultInjector inj(s);
+  for (std::size_t a : {0u, 1u, 2u}) {
+    for (std::size_t b : {3u, 4u, 5u}) {
+      EXPECT_FALSE(inj.link_usable(a, b, 15.0)) << a << "->" << b;
+      EXPECT_FALSE(inj.link_usable(b, a, 15.0)) << b << "->" << a;
+      EXPECT_TRUE(inj.link_usable(a, b, 25.0));  // window over
+    }
+  }
+  // Intra-group links stay up during the partition.
+  EXPECT_TRUE(inj.link_usable(0, 2, 15.0));
+  EXPECT_TRUE(inj.link_usable(3, 5, 15.0));
+}
+
+TEST(FaultInjector, CrashedEndpointMakesLinkUnusable) {
+  FaultSchedule s;
+  s.crash(1, 0.0, 10.0);
+  FaultInjector inj(s);
+  EXPECT_FALSE(inj.link_usable(0, 1, 5.0));  // receiver down
+  EXPECT_FALSE(inj.link_usable(1, 0, 5.0));  // sender down
+  EXPECT_TRUE(inj.link_usable(0, 2, 5.0));
+}
+
+TEST(FaultInjector, LossRulesComposeAsComplementProduct) {
+  FaultSchedule s;
+  s.lossy(0, 1, 0.5, 0.0, 10.0);
+  s.lossy(0, 1, 0.5, 0.0, 10.0);
+  FaultInjector inj(s);
+  // P(survive) = 0.5 * 0.5 -> P(drop) = 0.75.
+  EXPECT_DOUBLE_EQ(inj.loss_probability(0, 1, 5.0), 0.75);
+  EXPECT_DOUBLE_EQ(inj.loss_probability(0, 1, 15.0), 0.0);  // outside window
+  EXPECT_DOUBLE_EQ(inj.loss_probability(1, 0, 5.0), 0.0);   // directed
+}
+
+TEST(FaultInjector, CertainLossDropsEverything) {
+  FaultSchedule s;
+  s.lossy(0, 1, 1.0, 0.0, 10.0);
+  FaultInjector inj(s);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(inj.should_drop(0, 1, 1.0));
+  EXPECT_EQ(inj.loss_drops(), 50u);
+}
+
+TEST(FaultInjector, DropDrawsAreSeedDeterministic) {
+  FaultSchedule s;
+  s.lossy(0, 1, 0.5, 0.0, 100.0);
+  FaultInjector a(s);
+  FaultInjector b(s);
+  std::vector<bool> draws_a, draws_b;
+  for (int i = 0; i < 200; ++i) {
+    draws_a.push_back(a.should_drop(0, 1, 1.0));
+    draws_b.push_back(b.should_drop(0, 1, 1.0));
+  }
+  EXPECT_EQ(draws_a, draws_b);
+  EXPECT_EQ(a.loss_drops(), b.loss_drops());
+  EXPECT_GT(a.loss_drops(), 0u);   // p=0.5 over 200 draws
+  EXPECT_LT(a.loss_drops(), 200u);
+}
+
+TEST(FaultInjector, InactiveLossRuleConsumesNoRandomness) {
+  // Drop decisions outside any loss window must not advance the RNG, so a
+  // blackout-only schedule can never perturb the loss-draw stream.
+  FaultSchedule s;
+  s.lossy(0, 1, 0.5, 50.0, 60.0);
+  FaultInjector a(s);
+  FaultInjector b(s);
+  // `a` performs many out-of-window queries first; `b` does not.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(a.should_drop(0, 1, 1.0));   // before the window
+    EXPECT_FALSE(a.should_drop(2, 3, 55.0));  // different link
+  }
+  std::vector<bool> draws_a, draws_b;
+  for (int i = 0; i < 50; ++i) {
+    draws_a.push_back(a.should_drop(0, 1, 55.0));
+    draws_b.push_back(b.should_drop(0, 1, 55.0));
+  }
+  EXPECT_EQ(draws_a, draws_b);
+}
+
+}  // namespace
+}  // namespace dlion::sim
