@@ -17,6 +17,25 @@ Fabric::Fabric(sim::Network& network, double byte_scale)
   }
 }
 
+void Fabric::set_obs(obs::Observability* o) {
+  obs_ = o;
+  obs_types_.clear();
+  obs_dead_letters_ = obs_retries_ = obs_failures_ = nullptr;
+  obs_track_ = 0;
+  if (o == nullptr) return;
+  obs::MetricsRegistry& m = o->metrics();
+  obs_types_.resize(std::variant_size_v<Message>);
+  for (std::size_t i = 0; i < obs_types_.size(); ++i) {
+    const obs::Labels labels{{"type", message_type_name(i)}};
+    obs_types_[i].sent = &m.counter("comm.fabric.sent", labels);
+    obs_types_[i].sent_bytes = &m.counter("comm.fabric.sent_bytes", labels);
+  }
+  obs_dead_letters_ = &m.counter("comm.fabric.dead_letters");
+  obs_retries_ = &m.counter("comm.fabric.reliable_retries");
+  obs_failures_ = &m.counter("comm.fabric.reliable_failures");
+  obs_track_ = o->tracer().track("fabric", "control");
+}
+
 void Fabric::attach(std::size_t worker, Handler handler) {
   handlers_.at(worker) = std::move(handler);
 }
@@ -39,6 +58,13 @@ bool Fabric::deliver(std::size_t from, std::size_t to, const MessagePtr& msg) {
     // Receiver is detached (crashed or never joined): dead-letter.
     ++dead_letters_;
     ++dead_letters_to_[to];
+    if (obs::on(obs_)) {
+      obs_dead_letters_->inc();
+      obs_->tracer().instant(obs_track_, "dead_letter",
+                             engine().now(),
+                             {{"to", static_cast<double>(to)},
+                              {"type", static_cast<double>(msg->index())}});
+    }
     return false;
   }
   handlers_[to](from, msg);
@@ -47,6 +73,11 @@ bool Fabric::deliver(std::size_t from, std::size_t to, const MessagePtr& msg) {
 
 void Fabric::transmit(std::size_t from, std::size_t to, MessagePtr msg,
                       common::Bytes bytes, Kind kind, std::uint64_t seq) {
+  if (obs::on(obs_)) {
+    ObsTypeHandles& h = obs_types_[msg->index()];
+    h.sent->inc();
+    h.sent_bytes->inc(static_cast<double>(bytes));
+  }
   switch (kind) {
     case Kind::kPlain:
       network_->send(from, to, bytes, [this, from, to, msg] {
@@ -139,12 +170,25 @@ void Fabric::on_timeout(std::uint64_t seq) {
     ++reliable_failures_;
     ++dead_letters_;
     ++dead_letters_to_[p.to];
+    if (obs::on(obs_)) {
+      obs_failures_->inc();
+      obs_dead_letters_->inc();
+      obs_->tracer().instant(obs_track_, "reliable_failure", engine().now(),
+                             {{"to", static_cast<double>(p.to)},
+                              {"seq", static_cast<double>(seq)}});
+    }
     ReliableCallback done = std::move(p.done);
     pending_.erase(it);
     if (done) done(false);
     return;
   }
   ++reliable_retries_;
+  if (obs::on(obs_)) {
+    obs_retries_->inc();
+    obs_->tracer().instant(obs_track_, "reliable_retry", engine().now(),
+                           {{"to", static_cast<double>(p.to)},
+                            {"seq", static_cast<double>(seq)}});
+  }
   start_attempt(seq);
 }
 

@@ -27,6 +27,7 @@
 
 #include "comm/codec.h"
 #include "comm/message.h"
+#include "obs/obs.h"
 #include "sim/network.h"
 
 namespace dlion::comm {
@@ -88,8 +89,21 @@ class Fabric {
   sim::Network& network() { return *network_; }
   double byte_scale() const { return byte_scale_; }
 
+  /// Attach an observer (non-owning; nullptr detaches). Sends are counted
+  /// by message type (`comm.fabric.sent{type}`, `.sent_bytes{type}`), the
+  /// dead-letter / retry / failure tallies are mirrored into the registry
+  /// (existing accessors keep working), and dead letters, retries, and
+  /// reliable failures appear as instants on a "fabric / control" track.
+  void set_obs(obs::Observability* o);
+
  private:
   enum class Kind { kPlain, kReliable, kAck };
+
+  /// Cached per-message-type registry handles (index = variant index).
+  struct ObsTypeHandles {
+    obs::Counter* sent = nullptr;
+    obs::Counter* sent_bytes = nullptr;
+  };
 
   struct PendingReliable {
     std::size_t from = 0;
@@ -123,6 +137,13 @@ class Fabric {
   std::vector<std::unordered_set<std::uint64_t>> delivered_seqs_;
   std::uint64_t reliable_retries_ = 0;
   std::uint64_t reliable_failures_ = 0;
+
+  obs::Observability* obs_ = nullptr;  // non-owning, optional
+  std::vector<ObsTypeHandles> obs_types_;
+  obs::Counter* obs_dead_letters_ = nullptr;
+  obs::Counter* obs_retries_ = nullptr;
+  obs::Counter* obs_failures_ = nullptr;
+  obs::TrackId obs_track_ = 0;  // "fabric / control"
 };
 
 }  // namespace dlion::comm

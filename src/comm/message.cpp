@@ -14,6 +14,21 @@ double GradientUpdate::density(std::size_t model_params) const {
          static_cast<double>(model_params);
 }
 
+const char* message_type_name(std::size_t variant_index) {
+  static constexpr const char* kNames[] = {
+      "GradientUpdate", "WeightSnapshot", "LossReport", "DktRequest",
+      "RcpReport",      "Heartbeat",      "Ack"};
+  static_assert(std::variant_size_v<Message> ==
+                    sizeof(kNames) / sizeof(kNames[0]),
+                "message_type_name: update kNames for new Message types");
+  return variant_index < std::variant_size_v<Message> ? kNames[variant_index]
+                                                      : "Unknown";
+}
+
+const char* message_type_name(const Message& msg) {
+  return message_type_name(msg.index());
+}
+
 bool is_control(const Message& msg) {
   return std::holds_alternative<LossReport>(msg) ||
          std::holds_alternative<DktRequest>(msg) ||

@@ -91,4 +91,10 @@ using MessagePtr = std::shared_ptr<const Message>;
 /// True for messages that ride the control queue (small, latency-bound).
 bool is_control(const Message& msg);
 
+/// Stable human-readable name of the message's alternative ("GradientUpdate",
+/// "Ack", ...) — used as the `type` label on fabric metrics.
+const char* message_type_name(const Message& msg);
+/// Same, by variant index (0 <= index < std::variant_size_v<Message>).
+const char* message_type_name(std::size_t variant_index);
+
 }  // namespace dlion::comm

@@ -17,6 +17,11 @@ Cluster::Cluster(const ClusterSpec& spec, const data::Dataset& train,
 
   network_ = std::make_unique<sim::Network>(engine_, n);
   if (spec.network_setup) spec.network_setup(*network_);
+  if (spec.obs != nullptr) {
+    engine_.set_obs(spec.obs);
+    network_->set_obs(spec.obs);
+    spec.obs->metrics().gauge("cluster.workers").set(static_cast<double>(n));
+  }
 
   // Fault injection: attach only for non-empty schedules, so fault-free
   // runs execute exactly the code they always did (byte-identical traces).
@@ -37,6 +42,7 @@ Cluster::Cluster(const ClusterSpec& spec, const data::Dataset& train,
           ? static_cast<double>(reference.profile.nominal_bytes) / actual_bytes
           : 1.0;
   fabric_ = std::make_unique<comm::Fabric>(*network_, byte_scale);
+  if (spec.obs != nullptr) fabric_->set_obs(spec.obs);
 
   common::Rng seeder(spec.seed ^ 0x5eedULL);
   for (std::size_t i = 0; i < n; ++i) {
@@ -53,6 +59,7 @@ Cluster::Cluster(const ClusterSpec& spec, const data::Dataset& train,
                              seeder.next()),
         std::move(built), data::shard(train, n, i), &test,
         spec.strategy_factory(i), std::move(options), seeder.next()));
+    if (spec.obs != nullptr) workers_.back()->set_obs(spec.obs);
   }
 
   // Crash windows drive the workers directly: the worker object crashes

@@ -38,6 +38,11 @@ struct ClusterSpec {
   /// bench's "no-FT" baseline); explicit worker_options.fault_tolerance
   /// settings always win.
   bool auto_fault_tolerance = true;
+  /// Observer wired through engine, network, fabric, and every worker
+  /// (non-owning; must outlive the cluster). nullptr (the default) records
+  /// nothing and leaves the run's hot paths untouched beyond a pointer
+  /// check per potential record site.
+  obs::Observability* obs = nullptr;
 };
 
 class Cluster {

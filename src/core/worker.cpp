@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 #include "core/link_prioritizer.h"
@@ -71,6 +72,32 @@ Worker::Worker(std::size_t id, sim::Engine& engine, comm::Fabric& fabric,
   });
 }
 
+void Worker::set_obs(obs::Observability* o) {
+  obs_ = o;
+  obs_track_ = 0;
+  obs_h_ = ObsHandles{};
+  if (o == nullptr) return;
+  obs_track_ = o->tracer().track("workers", "worker " + std::to_string(id_));
+  obs::MetricsRegistry& m = o->metrics();
+  const obs::Labels labels{{"worker", std::to_string(id_)}};
+  obs_h_.iterations = &m.counter("core.iterations", labels);
+  obs_h_.dkt_boundaries = &m.counter("core.dkt_boundaries", labels);
+  obs_h_.dkt_pulls = &m.counter("core.dkt_pulls", labels);
+  obs_h_.crashes = &m.counter("core.crashes", labels);
+  obs_h_.recoveries = &m.counter("core.recoveries", labels);
+  obs_h_.compute_s = &m.histogram("core.compute_seconds", {},
+                                  obs::Histogram::default_time_bounds());
+  obs_h_.stall_s = &m.histogram("core.stall_seconds", {},
+                                obs::Histogram::default_time_bounds());
+  obs_h_.staleness = &m.histogram(
+      "core.staleness_iters", {},
+      {0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 7.5, 10.5, 15.5, 20.5, 50.5, 100.5});
+  obs_h_.grad_entries = &m.histogram("core.grad_entries", {},
+                                     obs::Histogram::default_size_bounds());
+  obs_h_.grad_bytes = &m.histogram("core.grad_bytes", {},
+                                   obs::Histogram::default_size_bounds());
+}
+
 std::size_t Worker::current_gbs() const {
   if (options_.gbs_schedule) return scheduled_gbs_;
   return gbs_ctrl_.gbs();
@@ -102,8 +129,16 @@ void Worker::start(common::SimTime until) {
   } else {
     current_lbs_ = options_.fixed_lbs;
     lbs_trace_.record(engine_->now(), static_cast<double>(current_lbs_));
+    if (obs::on(obs_)) {
+      obs_->tracer().counter(obs_track_, "lbs", engine_->now(),
+                             static_cast<double>(current_lbs_));
+    }
   }
   gbs_trace_.record(engine_->now(), static_cast<double>(current_gbs()));
+  if (obs::on(obs_)) {
+    obs_->tracer().counter(obs_track_, "gbs", engine_->now(),
+                           static_cast<double>(current_gbs()));
+  }
   // Batch size update module: periodic profiling + GBS controller ticks
   // (plus the fault-tolerance heartbeat/checkpoint modules when enabled).
   schedule_ticks();
@@ -139,6 +174,10 @@ void Worker::batch_tick() {
     recompute_lbs();
   }
   gbs_trace_.record(engine_->now(), static_cast<double>(current_gbs()));
+  if (obs::on(obs_)) {
+    obs_->tracer().counter(obs_track_, "gbs", engine_->now(),
+                           static_cast<double>(current_gbs()));
+  }
   const std::uint64_t inc = incarnation_;
   engine_->after(options_.batch_update_period_s, [this, inc] {
     if (inc == incarnation_) batch_tick();
@@ -193,11 +232,24 @@ void Worker::take_checkpoint() {
   checkpoint_iteration_ = iteration_;
   checkpoint_valid_ = true;
   ++checkpoints_taken_;
+  if (obs::on(obs_)) {
+    obs_->tracer().instant(
+        obs_track_, "checkpoint", engine_->now(),
+        {{"iteration", static_cast<double>(iteration_)},
+         {"bytes", static_cast<double>(checkpoint_buf_.size())}});
+  }
 }
 
 void Worker::crash() {
   if (crashed_) return;
   crashed_ = true;
+  if (obs::on(obs_)) {
+    obs_h_.crashes->inc();
+    obs_->tracer().instant(obs_track_, "crash", engine_->now(),
+                           {{"iteration", static_cast<double>(iteration_)}});
+    stall_start_ = -1.0;  // a crash voids any open stall/pull span
+    pull_start_ = -1.0;
+  }
   ++crash_count_;
   ++incarnation_;  // cancels every lambda scheduled by the old incarnation
   running_ = false;
@@ -210,6 +262,13 @@ void Worker::recover() {
   if (!crashed_) return;
   crashed_ = false;
   ++recover_count_;
+  if (obs::on(obs_)) {
+    obs_h_.recoveries->inc();
+    obs_->tracer().instant(
+        obs_track_, "recover", engine_->now(),
+        {{"checkpoint_iteration",
+          static_cast<double>(checkpoint_iteration_)}});
+  }
   fabric_->attach(id_, [this](std::size_t from, comm::MessagePtr msg) {
     on_message(from, std::move(msg));
   });
@@ -285,6 +344,10 @@ void Worker::recompute_lbs() {
     current_lbs_ = lbs;
   }
   lbs_trace_.record(engine_->now(), static_cast<double>(current_lbs_));
+  if (obs::on(obs_)) {
+    obs_->tracer().counter(obs_track_, "lbs", engine_->now(),
+                           static_cast<double>(current_lbs_));
+  }
 }
 
 void Worker::try_start_iteration() {
@@ -297,10 +360,37 @@ void Worker::try_start_iteration() {
   if (!can_start_iteration(options_.sync, iteration_, peer_latest_, id_,
                            suspected_)) {
     waiting_ = true;
+    // Open (or keep open) the sync-stall span for this gap.
+    if (obs::on(obs_) && stall_start_ < 0.0) stall_start_ = engine_->now();
     return;
   }
   waiting_ = false;
   running_ = true;
+  if (obs::on(obs_)) {
+    if (stall_start_ >= 0.0) {
+      const double stalled = engine_->now() - stall_start_;
+      obs_->tracer().complete(obs_track_, "stall", stall_start_,
+                              engine_->now());
+      obs_h_.stall_s->observe(stalled);
+      stall_start_ = -1.0;
+    }
+    // Staleness at iteration start: how far this worker has run ahead of
+    // the slowest live peer's last received gradient (§3.3's bounded-
+    // staleness clock). Negative values mean peers are ahead of us.
+    std::int64_t min_peer = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t j = 0; j < peer_latest_.size(); ++j) {
+      if (j == id_ || suspected_[j]) continue;
+      min_peer = std::min(min_peer, peer_latest_[j]);
+    }
+    if (min_peer != std::numeric_limits<std::int64_t>::max()) {
+      const double staleness =
+          static_cast<double>(static_cast<std::int64_t>(iteration_) -
+                              min_peer);
+      obs_h_.staleness->observe(staleness);
+      obs_->tracer().counter(obs_track_, "staleness", engine_->now(),
+                             staleness);
+    }
+  }
   const std::size_t lbs = current_lbs_;
   // Real gradient math on the local shard; simulated time charged below.
   const data::Batch batch = sampler_.next(lbs);
@@ -317,6 +407,15 @@ void Worker::try_start_iteration() {
 }
 
 void Worker::finish_iteration(std::size_t lbs, double compute_seconds) {
+  if (obs::on(obs_)) {
+    // The gradient-compute phase ran from the iteration's start until now.
+    obs_->tracer().complete(obs_track_, "compute",
+                            engine_->now() - compute_seconds, engine_->now(),
+                            {{"iteration", static_cast<double>(iteration_)},
+                             {"lbs", static_cast<double>(lbs)}});
+    obs_h_.compute_s->observe(compute_seconds);
+    obs_h_.iterations->inc();
+  }
   // Apply own gradients (Eq. 7's j = k term: db = 1 literal, n*LBS_k/GBS
   // normalized). Averaging runs over *live* workers so updates keep their
   // magnitude when peers die (n = fabric size when nothing is suspected).
@@ -341,6 +440,9 @@ void Worker::finish_iteration(std::size_t lbs, double compute_seconds) {
   // re-enter the loop as soon as a message from them clears suspicion.
   strategy_->begin_iteration(built_.model, iteration_);
   const double iters_per_sec = 1.0 / std::max(iter_interval_.value(), 1e-9);
+  double sent_entries = 0.0;
+  double sent_bytes = 0.0;
+  double sent_peers = 0.0;
   for (std::size_t peer = 0; peer < fabric_->size(); ++peer) {
     if (peer == id_) continue;
     if (suspected_[peer]) continue;
@@ -366,7 +468,25 @@ void Worker::finish_iteration(std::size_t lbs, double compute_seconds) {
     if (auto* lp = dynamic_cast<LinkPrioritizer*>(strategy_.get())) {
       chosen_n_trace_.record(engine_->now(), lp->last_n());
     }
+    if (obs::on(obs_)) {
+      // Per-link gradient size (the quantity Fig. 8 studies). Charged
+      // bytes are recomputed here only when observing.
+      const double entries = static_cast<double>(update.num_entries());
+      const double bytes =
+          static_cast<double>(fabric_->charged_bytes(update));
+      obs_h_.grad_entries->observe(entries);
+      obs_h_.grad_bytes->observe(bytes);
+      sent_entries += entries;
+      sent_bytes += bytes;
+      sent_peers += 1.0;
+    }
     fabric_->send(id_, peer, std::move(update));
+  }
+  if (obs::on(obs_) && sent_peers > 0.0) {
+    obs_->tracer().instant(obs_track_, "send", engine_->now(),
+                           {{"peers", sent_peers},
+                            {"entries", sent_entries},
+                            {"bytes", sent_bytes}});
   }
 
   ++iteration_;
@@ -384,6 +504,10 @@ void Worker::finish_iteration(std::size_t lbs, double compute_seconds) {
       profile_rcp(/*broadcast_if_changed=*/false);
       recompute_lbs();
       gbs_trace_.record(engine_->now(), static_cast<double>(current_gbs()));
+      if (obs::on(obs_)) {
+        obs_->tracer().counter(obs_track_, "gbs", engine_->now(),
+                               static_cast<double>(current_gbs()));
+      }
     }
   }
 
@@ -403,6 +527,12 @@ void Worker::finish_iteration(std::size_t lbs, double compute_seconds) {
 }
 
 void Worker::run_dkt_boundary() {
+  if (obs::on(obs_)) {
+    obs_h_.dkt_boundaries->inc();
+    obs_->tracer().instant(obs_track_, "dkt_boundary", engine_->now(),
+                           {{"iteration", static_cast<double>(iteration_)},
+                            {"avg_loss", dkt_.avg_loss()}});
+  }
   fabric_->broadcast(
       id_, comm::LossReport{static_cast<std::uint32_t>(id_), iteration_,
                             dkt_.avg_loss()});
@@ -413,6 +543,10 @@ void Worker::run_dkt_boundary() {
     send_weight_pull(suspected_, fabric_->size(), /*catch_up=*/false);
   } else {
     const std::size_t best = dkt_.best_worker(iteration_);
+    if (obs::on(obs_)) {
+      obs_h_.dkt_pulls->inc();
+      if (pull_start_ < 0.0) pull_start_ = engine_->now();
+    }
     fabric_->send(id_, best,
                   comm::DktRequest{static_cast<std::uint32_t>(id_),
                                    iteration_});
@@ -447,6 +581,10 @@ void Worker::send_weight_pull(std::vector<bool> excluded,
       return;
     }
   }
+  if (obs::on(obs_)) {
+    obs_h_.dkt_pulls->inc();
+    if (pull_start_ < 0.0) pull_start_ = engine_->now();
+  }
   const std::uint64_t inc = incarnation_;
   fabric_->send_reliable(
       id_, target,
@@ -467,6 +605,10 @@ double Worker::evaluate_accuracy() {
   const nn::LossResult res =
       built_.model.evaluate(eval_batch_.images, eval_batch_.labels);
   accuracy_trace_.record(engine_->now(), res.accuracy);
+  if (obs::on(obs_)) {
+    obs_->tracer().instant(obs_track_, "eval", engine_->now(),
+                           {{"accuracy", res.accuracy}});
+  }
   return res.accuracy;
 }
 
@@ -519,6 +661,14 @@ void Worker::on_message(std::size_t from, comm::MessagePtr msg) {
             fabric_->send(id_, from, std::move(snap));
           }
         } else if constexpr (std::is_same_v<T, comm::WeightSnapshot>) {
+          if (obs::on(obs_) && pull_start_ >= 0.0) {
+            // Close the DKT weight-pull phase opened when the (first)
+            // request of this exchange went out.
+            obs_->tracer().complete(obs_track_, "dkt_pull", pull_start_,
+                                    engine_->now(),
+                                    {{"from", static_cast<double>(from)}});
+            pull_start_ = -1.0;
+          }
           if (catching_up_) {
             // Post-recovery catch-up: adopt the peer's weights and jump to
             // its iteration so peers' staleness bounds see us as current.

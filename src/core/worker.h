@@ -15,6 +15,7 @@
 #include "comm/fabric.h"
 #include "common/stats.h"
 #include "core/dkt.h"
+#include "obs/obs.h"
 #include "core/gbs_controller.h"
 #include "core/lbs_controller.h"
 #include "core/strategy.h"
@@ -123,6 +124,16 @@ class Worker {
   /// the accuracy trace when called internally).
   double evaluate_accuracy();
 
+  /// Attach an observer (non-owning; nullptr detaches). Call before
+  /// start(). The worker records its training phases as spans on a
+  /// "workers / worker i" track (compute, stall, dkt_pull), instants
+  /// (send, eval, dkt_boundary, checkpoint, crash, recover), counter
+  /// charts (lbs, gbs, staleness), and registry series (core.iterations,
+  /// core.compute_seconds, core.stall_seconds, core.staleness_iters,
+  /// core.grad_entries, core.grad_bytes, ...). Recording never changes the
+  /// training schedule (DESIGN.md determinism contract).
+  void set_obs(obs::Observability* o);
+
   // --- Fault-tolerance layer (DESIGN.md §4) ---
 
   /// Crash this worker now: detach from the fabric (messages to it dead-
@@ -144,6 +155,21 @@ class Worker {
   std::uint64_t pull_fallbacks() const { return pull_fallbacks_; }
 
  private:
+  /// Cached observability handles (resolved once in set_obs). Histograms
+  /// are label-free (shared across workers); counters carry {worker=i}.
+  struct ObsHandles {
+    obs::Counter* iterations = nullptr;
+    obs::Counter* dkt_boundaries = nullptr;
+    obs::Counter* dkt_pulls = nullptr;
+    obs::Counter* crashes = nullptr;
+    obs::Counter* recoveries = nullptr;
+    obs::Histogram* compute_s = nullptr;
+    obs::Histogram* stall_s = nullptr;
+    obs::Histogram* staleness = nullptr;
+    obs::Histogram* grad_entries = nullptr;
+    obs::Histogram* grad_bytes = nullptr;
+  };
+
   void on_message(std::size_t from, comm::MessagePtr msg);
   void try_start_iteration();
   void finish_iteration(std::size_t lbs, double compute_seconds);
@@ -222,6 +248,13 @@ class Worker {
   sim::Trace gbs_trace_;
   sim::Trace chosen_n_trace_;
   std::vector<sim::Trace> entries_traces_;
+
+  // Observability (all inert unless an observer is attached and enabled).
+  obs::Observability* obs_ = nullptr;  // non-owning, optional
+  obs::TrackId obs_track_ = 0;         // "workers / worker i"
+  ObsHandles obs_h_;
+  common::SimTime stall_start_ = -1.0;  // open sync-wait span, -1 = none
+  common::SimTime pull_start_ = -1.0;   // open DKT weight-pull span
 };
 
 }  // namespace dlion::core

@@ -1,6 +1,7 @@
 #include "exp/experiment.h"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 namespace dlion::exp {
@@ -76,6 +77,17 @@ RunResult run_experiment(const RunSpec& spec, const Workload& workload) {
   cluster_spec.faults = std::move(faults);
   cluster_spec.auto_fault_tolerance = spec.auto_fault_tolerance;
 
+  // Observability: prefer the caller's observer; otherwise, when telemetry
+  // was requested, attach a run-local one whose summary survives in
+  // RunResult::telemetry.
+  std::unique_ptr<obs::Observability> local_obs;
+  obs::Observability* run_obs = spec.obs;
+  if (run_obs == nullptr && spec.collect_telemetry) {
+    local_obs = std::make_unique<obs::Observability>();
+    run_obs = local_obs.get();
+  }
+  cluster_spec.obs = run_obs;
+
   core::WorkerOptions options;
   options.learning_rate = workload.learning_rate;
   options.eval_period_iters = spec.eval_period_iters;
@@ -106,6 +118,7 @@ RunResult run_experiment(const RunSpec& spec, const Workload& workload) {
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     result.worker_recoveries += cluster.worker(i).recover_count();
   }
+  if (run_obs != nullptr) result.telemetry = obs::summarize(*run_obs);
   return result;
 }
 

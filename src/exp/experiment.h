@@ -15,6 +15,7 @@
 #include "core/cluster.h"
 #include "data/synthetic.h"
 #include "exp/environments.h"
+#include "obs/telemetry.h"
 #include "systems/registry.h"
 
 namespace dlion::exp {
@@ -68,6 +69,14 @@ struct RunSpec {
   /// Auto-enable the workers' fault-tolerance layer when the combined fault
   /// schedule is non-empty (set false for the undefended baseline).
   bool auto_fault_tolerance = true;
+  /// Observer wired through the whole stack for this run (non-owning; must
+  /// outlive run_experiment). Leave nullptr for an uninstrumented run; set
+  /// `collect_telemetry` instead to get a RunTelemetry summary without
+  /// keeping the raw registry/tracer around.
+  obs::Observability* obs = nullptr;
+  /// When true and `obs` is unset, run_experiment attaches a run-local
+  /// observer and fills RunResult::telemetry from it.
+  bool collect_telemetry = false;
 };
 
 struct RunResult {
@@ -85,6 +94,10 @@ struct RunResult {
   std::uint64_t dead_letters = 0;       ///< messages to detached workers
   std::uint64_t reliable_retries = 0;   ///< control-plane retransmissions
   std::uint64_t worker_recoveries = 0;  ///< completed crash->recover cycles
+  /// Where simulated time and bytes went (populated when the run had an
+  /// observer attached via RunSpec::obs or RunSpec::collect_telemetry;
+  /// `telemetry.collected` is false otherwise).
+  obs::RunTelemetry telemetry;
 };
 
 /// Run one simulation.

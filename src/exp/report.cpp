@@ -52,4 +52,36 @@ void export_run_curve(const RunResult& result, const std::string& dir,
   write_trace_csv(result.mean_curve, dir + "/" + stem + ".csv");
 }
 
+namespace {
+void write_string_file(const std::string& what, const std::string& body,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error(what + ": cannot open " + path);
+  out << body;
+  if (!out) throw std::runtime_error(what + ": write failed");
+}
+}  // namespace
+
+void write_metrics_json(const obs::MetricsRegistry& registry,
+                        const std::string& path) {
+  write_string_file("write_metrics_json", registry.to_json(), path);
+}
+
+void write_metrics_csv(const obs::MetricsRegistry& registry,
+                       const std::string& path) {
+  write_string_file("write_metrics_csv", registry.to_csv(), path);
+}
+
+void write_chrome_trace(const obs::Tracer& tracer, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  tracer.write_chrome_json(out);
+  if (!out) throw std::runtime_error("write_chrome_trace: write failed");
+}
+
+void write_telemetry_json(const obs::RunTelemetry& telemetry,
+                          const std::string& path) {
+  write_string_file("write_telemetry_json", telemetry.to_json(), path);
+}
+
 }  // namespace dlion::exp

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "exp/experiment.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/trace.h"
 
 namespace dlion::exp {
@@ -25,5 +27,21 @@ void write_curves_csv(const std::vector<std::string>& names,
 /// Convenience: "<dir>/<stem>.csv" for a RunResult's mean accuracy curve.
 void export_run_curve(const RunResult& result, const std::string& dir,
                       const std::string& stem);
+
+/// Write a metrics snapshot as JSON ({"metrics":[...]}).
+void write_metrics_json(const obs::MetricsRegistry& registry,
+                        const std::string& path);
+
+/// Write a metrics snapshot as CSV (one row per series).
+void write_metrics_csv(const obs::MetricsRegistry& registry,
+                       const std::string& path);
+
+/// Write a tracer's events as Chrome trace-event JSON (load in Perfetto or
+/// chrome://tracing).
+void write_chrome_trace(const obs::Tracer& tracer, const std::string& path);
+
+/// Write a RunTelemetry summary as JSON.
+void write_telemetry_json(const obs::RunTelemetry& telemetry,
+                          const std::string& path);
 
 }  // namespace dlion::exp

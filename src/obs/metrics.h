@@ -1,0 +1,142 @@
+// MetricsRegistry: labeled counters, gauges, and fixed-bucket histograms
+// with snapshot/export to JSON and CSV.
+//
+// Design constraints (see DESIGN.md "Observability layer"):
+//  - *Deterministic*: no clocks, no RNG, no iteration-order dependence in
+//    exports (rows are sorted by metric name, then canonical label string).
+//  - *Hot-path cheap*: `counter()/gauge()/histogram()` return stable
+//    references that stay valid for the registry's lifetime, so call sites
+//    resolve the (name, labels) key once and keep the handle. An increment
+//    is then a single add on a cached pointer.
+//  - *No dependencies* beyond the standard library: exports are written by
+//    a tiny built-in JSON/CSV emitter.
+//
+// Histograms use fixed bucket upper bounds (default: log-spaced seconds
+// from 1 µs to ~1000 s) and estimate quantiles by linear interpolation
+// inside the bucket containing the target rank — the same estimator
+// Prometheus' `histogram_quantile` uses, clamped to the observed min/max.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dlion::obs {
+
+/// Metric labels as (key, value) pairs. Order is irrelevant: keys are
+/// sorted when forming the canonical identity of a series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical "k1=v1,k2=v2" form (keys sorted). Two label sets naming the
+/// same series always canonicalize identically.
+std::string canonical_labels(Labels labels);
+
+class Counter {
+ public:
+  void inc(double d = 1.0) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+  /// `bounds` are strictly increasing bucket upper limits; an implicit
+  /// overflow bucket catches everything above the last bound.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Observed extremes (quantiles are clamped into [min, max]).
+  double observed_min() const;  // NaN when empty
+  double observed_max() const;  // NaN when empty
+  double mean() const;          // NaN when empty
+
+  /// Quantile estimate for q in [0, 1]: linear interpolation within the
+  /// bucket holding rank q*count. NaN when empty.
+  double quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// Log-spaced duration buckets: 1 µs .. ~1000 s, 4 buckets per decade.
+  static std::vector<double> default_time_bounds();
+  /// Log-spaced size buckets: 1 .. ~1e9, 3 buckets per decade.
+  static std::vector<double> default_size_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. References stay valid for the registry's lifetime
+  /// (cells are heap-allocated and never moved) — cache them on hot paths.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// `bounds` is only used on first creation; later lookups of the same
+  /// series ignore it.
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       std::vector<double> bounds = {});
+
+  /// Series registered so far (all three kinds).
+  std::size_t size() const;
+
+  /// Sum of every counter series with this name (any labels); 0 if absent.
+  double counter_total(const std::string& name) const;
+  /// First histogram series with this name (any labels); nullptr if absent.
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// One exported row per series, sorted by (name, canonical labels).
+  struct Row {
+    std::string type;  // "counter" | "gauge" | "histogram"
+    std::string name;
+    Labels labels;             // sorted by key
+    double value = 0.0;        // counter/gauge value; histogram sum
+    const Histogram* hist = nullptr;  // non-null for histogram rows
+  };
+  std::vector<Row> rows() const;
+
+  /// {"metrics":[{...}, ...]} — see DESIGN.md for the exact shape.
+  std::string to_json() const;
+  /// Header: type,name,labels,value,count,sum,min,max,p50,p90,p99
+  std::string to_csv() const;
+
+ private:
+  template <typename T>
+  using SeriesMap =
+      std::map<std::pair<std::string, std::string>,  // (name, canonical)
+               std::pair<Labels, std::unique_ptr<T>>>;
+
+  SeriesMap<Counter> counters_;
+  SeriesMap<Gauge> gauges_;
+  SeriesMap<Histogram> histograms_;
+};
+
+}  // namespace dlion::obs

@@ -1,0 +1,62 @@
+// Observability umbrella: one object bundling the MetricsRegistry and the
+// span Tracer, handed (as a non-owning pointer) to the components that
+// record into it — sim::Engine, sim::Network, comm::Fabric, core::Worker.
+//
+// Cost model (DESIGN.md "Observability layer"):
+//  - compiled out  (cmake -DDLION_OBS=OFF): `obs::on()` is constexpr false,
+//    every instrumentation branch is dead code and is eliminated;
+//  - runtime-disabled (no observer attached, the default): each potential
+//    record site costs one pointer null-check;
+//  - enabled: counter bumps on cached handles plus append-only pushes.
+//
+// Determinism contract: recording reads the simulated clock only, draws no
+// randomness, schedules no events, and never feeds back into control flow,
+// so attaching an observer cannot change a run's event order or results.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+// Set by CMake (-DDLION_OBS=OFF => DLION_OBS_ENABLED=0). Default: on.
+#ifndef DLION_OBS_ENABLED
+#define DLION_OBS_ENABLED 1
+#endif
+
+namespace dlion::obs {
+
+class Observability {
+ public:
+  Observability() = default;
+  explicit Observability(bool enabled) : enabled_(enabled) {}
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  /// Runtime switch: a disabled observer stays attached but records
+  /// nothing (every call site checks `obs::on()` first).
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool e) { enabled_ = e; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+ private:
+  bool enabled_ = true;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+/// The instrumentation gate every call site uses:
+///   if (obs::on(obs_)) { ...record... }
+/// Compiles to `false` (dead-code-eliminating the branch) when the
+/// subsystem is compiled out.
+#if DLION_OBS_ENABLED
+inline bool on(const Observability* o) {
+  return o != nullptr && o->enabled();
+}
+#else
+constexpr bool on(const Observability*) { return false; }
+#endif
+
+}  // namespace dlion::obs

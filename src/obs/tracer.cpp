@@ -1,0 +1,185 @@
+#include "obs/tracer.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace dlion::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microsecond timestamp with nanosecond resolution, fixed format so
+/// exports are byte-stable across platforms.
+std::string fmt_us(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+std::string fmt_value(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void append_args(std::string& out, const std::vector<Tracer::Arg>& args) {
+  out += ",\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\"" + json_escape(args[i].key) + "\":" + fmt_value(args[i].value);
+  }
+  out += "}";
+}
+
+}  // namespace
+
+TrackId Tracer::track(const std::string& process, const std::string& thread) {
+  const auto key = std::make_pair(process, thread);
+  auto it = track_index_.find(key);
+  if (it != track_index_.end()) return it->second;
+
+  auto pid_it = pids_.find(process);
+  if (pid_it == pids_.end()) {
+    pid_it = pids_.emplace(process,
+                           static_cast<std::uint32_t>(pids_.size() + 1))
+                 .first;
+  }
+  Track t;
+  t.pid = pid_it->second;
+  t.tid = static_cast<std::uint32_t>(tracks_.size() + 1);
+  t.process = process;
+  t.thread = thread;
+  tracks_.push_back(std::move(t));
+  open_.emplace_back();
+  const TrackId id = static_cast<TrackId>(tracks_.size());  // 1-based
+  track_index_.emplace(key, id);
+  return id;
+}
+
+void Tracer::begin(TrackId track, std::string name, double t,
+                   std::vector<Arg> args) {
+  if (track == 0 || track > tracks_.size()) return;
+  open_[track - 1].push_back(Open{std::move(name), t, std::move(args)});
+}
+
+void Tracer::end(TrackId track, double t) {
+  if (track == 0 || track > tracks_.size()) return;
+  auto& stack = open_[track - 1];
+  if (stack.empty()) return;  // unmatched end: ignore
+  Open span = std::move(stack.back());
+  stack.pop_back();
+  spans_.push_back(
+      Span{track, std::move(span.name), span.t0, t, std::move(span.args)});
+}
+
+void Tracer::complete(TrackId track, std::string name, double t0, double t1,
+                      std::vector<Arg> args) {
+  if (track == 0 || track > tracks_.size()) return;
+  spans_.push_back(Span{track, std::move(name), t0, t1, std::move(args)});
+}
+
+void Tracer::instant(TrackId track, std::string name, double t,
+                     std::vector<Arg> args) {
+  if (track == 0 || track > tracks_.size()) return;
+  instants_.push_back(Instant{track, std::move(name), t, std::move(args)});
+}
+
+void Tracer::counter(TrackId track, std::string name, double t, double value) {
+  if (track == 0 || track > tracks_.size()) return;
+  samples_.push_back(Sample{track, std::move(name), t, value});
+}
+
+std::size_t Tracer::open_spans() const {
+  std::size_t n = 0;
+  for (const auto& stack : open_) n += stack.size();
+  return n;
+}
+
+void Tracer::clear() {
+  for (auto& stack : open_) stack.clear();
+  spans_.clear();
+  instants_.clear();
+  samples_.clear();
+}
+
+std::string Tracer::chrome_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&out, &first] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // Metadata: process names (one per pid), then thread names per track.
+  for (const auto& [process, pid] : pids_) {
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+           json_escape(process) + "\"}}";
+  }
+  for (const Track& t : tracks_) {
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+           std::to_string(t.pid) + ",\"tid\":" + std::to_string(t.tid) +
+           ",\"args\":{\"name\":\"" + json_escape(t.thread) + "\"}}";
+  }
+
+  auto ids = [this](TrackId id) {
+    const Track& t = tracks_[id - 1];
+    return ",\"pid\":" + std::to_string(t.pid) +
+           ",\"tid\":" + std::to_string(t.tid);
+  };
+
+  for (const Span& s : spans_) {
+    sep();
+    out += "{\"ph\":\"X\",\"name\":\"" + json_escape(s.name) +
+           "\",\"ts\":" + fmt_us(s.t0) +
+           ",\"dur\":" + fmt_us(s.t1 - s.t0) + ids(s.track);
+    append_args(out, s.args);
+    out += "}";
+  }
+  for (const Instant& i : instants_) {
+    sep();
+    out += "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" + json_escape(i.name) +
+           "\",\"ts\":" + fmt_us(i.t) + ids(i.track);
+    append_args(out, i.args);
+    out += "}";
+  }
+  for (const Sample& c : samples_) {
+    sep();
+    out += "{\"ph\":\"C\",\"name\":\"" + json_escape(c.name) +
+           "\",\"ts\":" + fmt_us(c.t) + ids(c.track) +
+           ",\"args\":{\"value\":" + fmt_value(c.value) + "}}";
+  }
+  out += "\n]}";
+  return out;
+}
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  out << chrome_json();
+}
+
+}  // namespace dlion::obs

@@ -1,0 +1,122 @@
+// Span tracer on simulated time.
+//
+// Records begin/end (or pre-measured complete) spans, instant events, and
+// counter samples on named *tracks* — (process, thread) pairs that map to
+// Chrome trace-event pid/tid — and exports Chrome trace-event JSON that
+// loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Timestamps are simulated seconds (common::SimTime); the exporter scales
+// them to the format's microseconds. Recording never reads wall clocks,
+// never draws randomness, and never schedules simulation events, so an
+// attached tracer cannot perturb a run (the determinism contract in
+// DESIGN.md). Storage is append-only vectors; one recorded span costs a
+// push_back.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dlion::obs {
+
+/// Opaque track handle; 0 is reserved as "invalid / not yet created".
+using TrackId = std::uint32_t;
+
+class Tracer {
+ public:
+  /// One numeric span/instant argument (rendered in the trace viewer's
+  /// detail pane).
+  struct Arg {
+    std::string key;
+    double value = 0.0;
+  };
+
+  struct Span {
+    TrackId track = 0;
+    std::string name;
+    double t0 = 0.0;  // seconds
+    double t1 = 0.0;
+    std::vector<Arg> args;
+  };
+  struct Instant {
+    TrackId track = 0;
+    std::string name;
+    double t = 0.0;
+    std::vector<Arg> args;
+  };
+  struct Sample {
+    TrackId track = 0;
+    std::string name;
+    double t = 0.0;
+    double value = 0.0;
+  };
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Find-or-create the track for (process, thread). Processes group
+  /// tracks in the viewer ("workers", "network", "fabric"); threads are
+  /// the individual swim lanes ("worker 0", "link 0->1").
+  TrackId track(const std::string& process, const std::string& thread);
+
+  /// Begin/end spans nest per track (LIFO). `end` without a matching
+  /// `begin` is ignored; spans still open at export time are dropped.
+  void begin(TrackId track, std::string name, double t,
+             std::vector<Arg> args = {});
+  void end(TrackId track, double t);
+
+  /// A span whose duration is already known (emitted once, at schedule or
+  /// completion time).
+  void complete(TrackId track, std::string name, double t0, double t1,
+                std::vector<Arg> args = {});
+
+  void instant(TrackId track, std::string name, double t,
+               std::vector<Arg> args = {});
+
+  /// Counter sample: rendered as a stepped chart track ("C" event).
+  void counter(TrackId track, std::string name, double t, double value);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<Instant>& instants() const { return instants_; }
+  const std::vector<Sample>& samples() const { return samples_; }
+  std::size_t event_count() const {
+    return spans_.size() + instants_.size() + samples_.size();
+  }
+  std::size_t open_spans() const;
+  std::size_t track_count() const { return tracks_.size(); }
+
+  void clear();
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}), deterministic:
+  /// metadata first (sorted by pid/tid), then spans, instants, and counter
+  /// samples in recording order.
+  std::string chrome_json() const;
+  void write_chrome_json(std::ostream& out) const;
+
+ private:
+  struct Track {
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    std::string process;
+    std::string thread;
+  };
+  struct Open {
+    std::string name;
+    double t0 = 0.0;
+    std::vector<Arg> args;
+  };
+
+  std::vector<Track> tracks_;                      // index = TrackId - 1
+  std::map<std::pair<std::string, std::string>, TrackId> track_index_;
+  std::map<std::string, std::uint32_t> pids_;      // process -> pid
+  std::vector<std::vector<Open>> open_;            // per-track span stacks
+  std::vector<Span> spans_;
+  std::vector<Instant> instants_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace dlion::obs

@@ -18,11 +18,18 @@ EventId Engine::after(common::SimTime delay, EventFn fn) {
   return queue_.push(now_ + delay, std::move(fn));
 }
 
+void Engine::set_obs(obs::Observability* o) {
+  obs_ = o;
+  obs_events_ =
+      o != nullptr ? &o->metrics().counter("sim.events_executed") : nullptr;
+}
+
 void Engine::run_until(common::SimTime t_end) {
   while (!queue_.empty() && queue_.next_time() <= t_end) {
     auto [time, fn] = queue_.pop();
     now_ = time;
     ++executed_;
+    if (obs::on(obs_)) obs_events_->inc();
     fn();
   }
   if (now_ < t_end) now_ = t_end;
@@ -33,6 +40,7 @@ void Engine::run() {
     auto [time, fn] = queue_.pop();
     now_ = time;
     ++executed_;
+    if (obs::on(obs_)) obs_events_->inc();
     fn();
   }
 }

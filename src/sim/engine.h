@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 
 namespace dlion::sim {
@@ -32,10 +33,18 @@ class Engine {
   std::uint64_t events_executed() const { return executed_; }
   std::size_t events_pending() const { return queue_.size(); }
 
+  /// Attach an observer (non-owning; nullptr detaches). Event dispatch is
+  /// counted in the registry (`sim.events_executed`); recording never
+  /// schedules events or perturbs ordering.
+  void set_obs(obs::Observability* o);
+  obs::Observability* observability() { return obs_; }
+
  private:
   EventQueue queue_;
   common::SimTime now_ = 0.0;
   std::uint64_t executed_ = 0;
+  obs::Observability* obs_ = nullptr;   // non-owning, optional
+  obs::Counter* obs_events_ = nullptr;  // cached registry handle
 };
 
 }  // namespace dlion::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace dlion::sim {
 
@@ -40,6 +41,48 @@ void Network::set_all_latency(double seconds) {
   }
 }
 
+void Network::set_obs(obs::Observability* o) {
+  obs_ = o;
+  obs_handles_.clear();
+  obs_link_tracks_.clear();
+  obs_tx_seconds_ = nullptr;
+  if (o == nullptr) return;
+  obs_handles_.resize(n_);
+  obs_link_tracks_.assign(n_, std::vector<obs::TrackId>(n_, 0));
+  obs::MetricsRegistry& m = o->metrics();
+  for (std::size_t w = 0; w < n_; ++w) {
+    const obs::Labels labels{{"worker", std::to_string(w)}};
+    obs_handles_[w].messages_sent = &m.counter("sim.net.messages_sent", labels);
+    obs_handles_[w].bytes_sent = &m.counter("sim.net.bytes_sent", labels);
+    obs_handles_[w].messages_dropped =
+        &m.counter("sim.net.messages_dropped", labels);
+    obs_handles_[w].bytes_dropped = &m.counter("sim.net.bytes_dropped", labels);
+  }
+  obs_tx_seconds_ = &m.histogram("sim.net.tx_seconds", {},
+                                 obs::Histogram::default_time_bounds());
+}
+
+obs::TrackId Network::link_track(std::size_t from, std::size_t to) {
+  obs::TrackId& id = obs_link_tracks_[from][to];
+  if (id == 0) {
+    id = obs_->tracer().track("network", "link " + std::to_string(from) +
+                                             "->" + std::to_string(to));
+  }
+  return id;
+}
+
+void Network::record_drop(std::size_t from, std::size_t to,
+                          common::Bytes bytes, const char* reason) {
+  stats_[from].messages_dropped += 1;
+  stats_[from].bytes_dropped += bytes;
+  if (obs::on(obs_)) {
+    obs_handles_[from].messages_dropped->inc();
+    obs_handles_[from].bytes_dropped->inc(static_cast<double>(bytes));
+    obs_->tracer().instant(link_track(from, to), reason, engine_->now(),
+                           {{"bytes", static_cast<double>(bytes)}});
+  }
+}
+
 double Network::available_mbps(std::size_t from, std::size_t to) const {
   const common::SimTime t = engine_->now();
   const double peers = static_cast<double>(n_ > 1 ? n_ - 1 : 1);
@@ -66,8 +109,7 @@ void Network::send(std::size_t from, std::size_t to, common::Bytes bytes,
     // Local delivery is immediate (intra-worker queues are in-memory);
     // a crashed worker cannot enqueue to itself.
     if (faults_ != nullptr && faults_->worker_down(from, engine_->now())) {
-      stats_[from].messages_dropped += 1;
-      stats_[from].bytes_dropped += bytes;
+      record_drop(from, to, bytes, "drop_crashed");
       return;
     }
     engine_->after(0.0, std::move(on_delivered));
@@ -79,8 +121,7 @@ void Network::send(std::size_t from, std::size_t to, common::Bytes bytes,
     const common::SimTime t = engine_->now();
     if (!faults_->link_usable(from, to, t) ||
         faults_->should_drop(from, to, t)) {
-      stats_[from].messages_dropped += 1;
-      stats_[from].bytes_dropped += bytes;
+      record_drop(from, to, bytes, "drop_fault");
       return;  // on_delivered is never invoked for dropped transfers
     }
   }
@@ -104,6 +145,17 @@ void Network::start_next(std::size_t from, std::size_t to) {
   stats_[from].bytes_sent += msg.bytes;
   stats_[from].messages_sent += 1;
   const common::Bytes bytes = msg.bytes;
+  if (obs::on(obs_)) {
+    // The transfer's duration is fixed at transmission start (rates are
+    // sampled once), so the span can be recorded up front.
+    obs_handles_[from].messages_sent->inc();
+    obs_handles_[from].bytes_sent->inc(static_cast<double>(bytes));
+    obs_tx_seconds_->observe(tx);
+    obs_->tracer().complete(link_track(from, to), "tx", engine_->now(),
+                            engine_->now() + tx,
+                            {{"bytes", static_cast<double>(bytes)},
+                             {"mbps", mbps}});
+  }
   // Deliver after transmission + propagation; free the link after
   // transmission only.
   engine_->after(tx, [this, from, to, bytes, latency,
@@ -113,8 +165,7 @@ void Network::start_next(std::size_t from, std::size_t to) {
     // transmission end (the wire went dark mid-transfer). The loss draw is
     // not repeated here: probabilistic loss applies once, at enqueue.
     if (faults_ != nullptr && !faults_->link_usable(from, to, engine_->now())) {
-      stats_[from].messages_dropped += 1;
-      stats_[from].bytes_dropped += bytes;
+      record_drop(from, to, bytes, "drop_in_flight");
     } else {
       engine_->after(latency, std::move(deliver));
     }

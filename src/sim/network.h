@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/engine.h"
 #include "sim/fault_injector.h"
 #include "sim/resource_schedule.h"
@@ -79,13 +80,33 @@ class Network {
   const NetworkStats& stats(std::size_t from) const { return stats_[from]; }
   NetworkStats total_stats() const;
 
+  /// Attach an observer (non-owning; nullptr detaches). The NetworkStats
+  /// counters are mirrored into the registry (`sim.net.*{worker=i}`),
+  /// transfer durations feed the `sim.net.tx_seconds` histogram, and each
+  /// link transmission becomes a span on a "network / link i->j" track
+  /// (fault drops become instants). Recording is passive: it never changes
+  /// rates, ordering, or delivery.
+  void set_obs(obs::Observability* o);
+
  private:
   struct Pending {
     common::Bytes bytes;
     std::function<void()> on_delivered;
   };
 
+  /// Cached per-worker registry handles (resolved once in set_obs).
+  struct ObsHandles {
+    obs::Counter* messages_sent = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* messages_dropped = nullptr;
+    obs::Counter* bytes_dropped = nullptr;
+  };
+
   void start_next(std::size_t from, std::size_t to);
+  /// Lazily created "network / link i->j" tracer track.
+  obs::TrackId link_track(std::size_t from, std::size_t to);
+  void record_drop(std::size_t from, std::size_t to, common::Bytes bytes,
+                   const char* reason);
 
   Engine* engine_;
   std::size_t n_;
@@ -97,6 +118,11 @@ class Network {
   std::vector<common::Bytes> backlog_;          // queued + in-flight bytes
   std::vector<NetworkStats> stats_;
   FaultInjector* faults_ = nullptr;             // non-owning, optional
+
+  obs::Observability* obs_ = nullptr;           // non-owning, optional
+  std::vector<ObsHandles> obs_handles_;         // per worker
+  obs::Histogram* obs_tx_seconds_ = nullptr;
+  std::vector<std::vector<obs::TrackId>> obs_link_tracks_;  // lazy, 0=unset
 };
 
 }  // namespace dlion::sim

@@ -17,19 +17,30 @@ double Trace::max() const {
 }
 
 double Trace::value_at(common::SimTime t) const {
-  double v = std::nan("");
-  for (const auto& p : points_) {
-    if (p.time > t) break;
-    v = p.value;
-  }
-  return v;
+  // Binary search for the first point with time > t; the answer is the
+  // point just before it (NaN when t precedes the first sample). With
+  // duplicate times this lands on the *last* duplicate <= t, matching the
+  // old linear scan.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](common::SimTime lhs, const TracePoint& p) { return lhs < p.time; });
+  if (it == points_.begin()) return std::nan("");
+  return std::prev(it)->value;
 }
 
 common::SimTime Trace::time_to_reach(double threshold) const {
-  for (const auto& p : points_) {
-    if (p.value >= threshold) return p.time;
+  // The NaN-ignoring prefix-max series is non-decreasing once a real value
+  // appears, so the first index whose running max reaches `threshold` —
+  // which is exactly the first *point* with value >= threshold — is
+  // binary-searchable. NaN entries never satisfy >=, matching the old
+  // scan's behaviour.
+  const auto it = std::partition_point(
+      prefix_max_.begin(), prefix_max_.end(),
+      [threshold](double running_max) { return !(running_max >= threshold); });
+  if (it == prefix_max_.end()) {
+    return std::numeric_limits<double>::infinity();
   }
-  return std::numeric_limits<double>::infinity();
+  return points_[static_cast<std::size_t>(it - prefix_max_.begin())].time;
 }
 
 }  // namespace dlion::sim

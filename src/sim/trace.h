@@ -2,6 +2,8 @@
 // figure series (accuracy-vs-time curves, LBS traces, gradient-size traces).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <string>
 #include <vector>
@@ -20,7 +22,22 @@ class Trace {
   Trace() = default;
   explicit Trace(std::string name) : name_(std::move(name)) {}
 
-  void record(common::SimTime t, double v) { points_.push_back({t, v}); }
+  /// Append a sample. Times must be non-decreasing (simulation clocks are
+  /// monotone); lookups binary-search the time axis under that invariant.
+  void record(common::SimTime t, double v) {
+    points_.push_back({t, v});
+    // NaN-ignoring running max (NaN only while no real value seen yet):
+    // keeps time_to_reach's "skip NaN samples" semantics binary-searchable.
+    const double prev =
+        prefix_max_.empty() ? std::nan("") : prefix_max_.back();
+    double cur = prev;
+    if (std::isnan(prev)) {
+      cur = v;
+    } else if (!std::isnan(v)) {
+      cur = std::max(prev, v);
+    }
+    prefix_max_.push_back(cur);
+  }
   const std::vector<TracePoint>& points() const { return points_; }
   const std::string& name() const { return name_; }
   bool empty() const { return points_.empty(); }
@@ -29,14 +46,18 @@ class Trace {
   double last() const;
   /// Maximum value (NaN if empty).
   double max() const;
-  /// Value at the last point with time <= t (NaN if none).
+  /// Value at the last point with time <= t (NaN if none). O(log n).
   double value_at(common::SimTime t) const;
   /// Earliest time at which the trace reaches `threshold` (+inf if never).
+  /// O(log n) via the running prefix-max index.
   common::SimTime time_to_reach(double threshold) const;
 
  private:
   std::string name_;
   std::vector<TracePoint> points_;
+  /// prefix_max_[i] = max(points_[0..i].value): monotone, so the first
+  /// crossing of a threshold can be binary-searched.
+  std::vector<double> prefix_max_;
 };
 
 }  // namespace dlion::sim

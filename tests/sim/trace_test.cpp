@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 namespace dlion::sim {
 namespace {
@@ -47,6 +49,116 @@ TEST(Trace, TimeToReach) {
 TEST(Trace, NamePreserved) {
   const Trace t("loss");
   EXPECT_EQ(t.name(), "loss");
+}
+
+// --- Edge cases for the binary-searched lookups (value_at/time_to_reach
+// --- run on a sorted time axis; these pin the boundary semantics).
+
+TEST(Trace, EmptyTimeToReachIsInf) {
+  const Trace t("empty");
+  EXPECT_TRUE(std::isinf(t.time_to_reach(0.0)));
+  EXPECT_TRUE(std::isinf(t.time_to_reach(-1.0)));
+}
+
+TEST(Trace, ValueAtBeforeFirstSampleIsNan) {
+  Trace t("acc");
+  t.record(10.0, 0.4);
+  EXPECT_TRUE(std::isnan(t.value_at(9.999999)));
+  EXPECT_TRUE(std::isnan(t.value_at(-5.0)));
+  EXPECT_DOUBLE_EQ(t.value_at(10.0), 0.4);  // exact hit on the first point
+}
+
+TEST(Trace, ValueAtExactHitReturnsThatSample) {
+  Trace t("acc");
+  t.record(1.0, 0.1);
+  t.record(2.0, 0.2);
+  t.record(3.0, 0.3);
+  EXPECT_DOUBLE_EQ(t.value_at(2.0), 0.2);
+  EXPECT_DOUBLE_EQ(t.value_at(3.0), 0.3);  // exact hit on the last point
+}
+
+TEST(Trace, ValueAtDuplicateTimesReturnsLastDuplicate) {
+  Trace t("acc");
+  t.record(1.0, 0.1);
+  t.record(2.0, 0.2);
+  t.record(2.0, 0.25);  // same timestamp, later record wins
+  t.record(3.0, 0.3);
+  EXPECT_DOUBLE_EQ(t.value_at(2.0), 0.25);
+  EXPECT_DOUBLE_EQ(t.value_at(2.5), 0.25);
+}
+
+TEST(Trace, TimeToReachExactThresholdHit) {
+  Trace t("acc");
+  t.record(1.0, 0.5);
+  t.record(2.0, 0.7);
+  EXPECT_DOUBLE_EQ(t.time_to_reach(0.7), 2.0);   // >= is inclusive
+  EXPECT_DOUBLE_EQ(t.time_to_reach(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(t.time_to_reach(-1.0), 1.0);  // trivially reached
+}
+
+TEST(Trace, TimeToReachIgnoresNanSamples) {
+  Trace t("acc");
+  t.record(1.0, std::nan(""));
+  t.record(2.0, 0.4);
+  t.record(3.0, std::nan(""));
+  t.record(4.0, 0.9);
+  EXPECT_DOUBLE_EQ(t.time_to_reach(0.3), 2.0);
+  EXPECT_DOUBLE_EQ(t.time_to_reach(0.8), 4.0);
+  EXPECT_TRUE(std::isinf(t.time_to_reach(0.95)));
+}
+
+TEST(Trace, TimeToReachNonMonotoneValuesFindsFirstCrossing) {
+  Trace t("acc");
+  t.record(1.0, 0.2);
+  t.record(2.0, 0.8);  // spike
+  t.record(3.0, 0.5);  // dip below threshold again
+  t.record(4.0, 0.9);
+  EXPECT_DOUBLE_EQ(t.time_to_reach(0.7), 2.0) << "first crossing, not last";
+}
+
+TEST(Trace, BinarySearchMatchesLinearReference) {
+  // Deterministic pseudo-random trace; compare the O(log n) lookups
+  // against brute-force linear references at many query points.
+  Trace t("ref");
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  double time = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    time += static_cast<double>(x % 1000ull) / 250.0;  // non-decreasing
+    const double value = static_cast<double>(x % 10007ull) / 10007.0;
+    t.record(time, (x % 17ull == 0) ? std::nan("") : value);
+  }
+  const auto& pts = t.points();
+  auto linear_value_at = [&](double q) {
+    double v = std::nan("");
+    for (const auto& p : pts) {
+      if (p.time <= q) v = p.value;
+    }
+    return v;
+  };
+  auto linear_time_to_reach = [&](double thr) {
+    for (const auto& p : pts) {
+      if (p.value >= thr) return p.time;
+    }
+    return std::numeric_limits<double>::infinity();
+  };
+  for (int i = -5; i < 410; ++i) {
+    const double q = static_cast<double>(i) * 1.7;
+    const double expect = linear_value_at(q);
+    const double got = t.value_at(q);
+    if (std::isnan(expect)) {
+      EXPECT_TRUE(std::isnan(got)) << "q=" << q;
+    } else {
+      EXPECT_DOUBLE_EQ(got, expect) << "q=" << q;
+    }
+  }
+  for (int i = 0; i <= 20; ++i) {
+    const double thr = static_cast<double>(i) / 20.0;
+    EXPECT_DOUBLE_EQ(t.time_to_reach(thr), linear_time_to_reach(thr))
+        << "thr=" << thr;
+  }
 }
 
 }  // namespace
