@@ -1,0 +1,426 @@
+// Hot-path benchmark: GEMM throughput, training-step latency/allocations,
+// Max-N selection throughput, and training determinism checksums.
+//
+// Emits a machine-readable BENCH_hotpath.json (fixed key order; only the
+// timing fields vary run-to-run, the checksum fields are deterministic) so
+// CI can track kernel regressions and cross-check bit-determinism across
+// DLION_THREADS settings. The `pre_pr` blocks are frozen measurements of
+// the pre-blocking kernels on the reference dev container, kept as the
+// comparison anchor for the packed-GEMM speedup.
+//
+// Usage: hotpath [--out=PATH] [--steps=N]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/gradient_select.h"
+#include "nn/model_zoo.h"
+#include "tensor/gemm_ref.h"
+#include "tensor/ops.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation hook: counts operator-new calls and requested bytes
+// while tracking is enabled. Used to measure allocations per training step.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<bool> g_track_allocs{false};
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void note_alloc(std::size_t size) {
+  if (g_track_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+}
+
+void* checked_malloc(std::size_t size) {
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  note_alloc(size);
+  return p;
+}
+
+void* checked_aligned(std::size_t size, std::size_t align) {
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size == 0 ? 1 : size) != 0) {
+    throw std::bad_alloc();
+  }
+  note_alloc(size);
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return checked_malloc(size); }
+void* operator new[](std::size_t size) { return checked_malloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return checked_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return checked_aligned(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Best-of-`reps` wall time of `fn` in seconds.
+template <typename F>
+double time_best(int reps, F&& fn) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const double s = seconds_since(t0);
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t h = 1469598103934665603ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string fmt(double v, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+// Frozen pre-PR measurements (naive per-variant kernels, -O3, single
+// thread, reference dev container) used as the speedup anchor.
+struct PrePrGemm {
+  bool ta, tb;
+  double gflops;
+};
+constexpr PrePrGemm kPrePrGemm[] = {
+    {false, false, 9.493},
+    {false, true, 3.919},
+    {true, false, 10.639},
+    {true, true, 1.523},
+};
+constexpr double kPrePrStepMs = 45.41;
+constexpr std::uint64_t kPrePrStepAllocs = 75;
+constexpr std::uint64_t kPrePrStepBytes = 11'766'600;
+
+struct GemmRow {
+  bool ta, tb;
+  std::size_t m, n, k;
+  double packed_gflops;
+  double reference_gflops;
+  double max_abs_diff;
+  double pre_pr_gflops;  // 0 when no frozen anchor for this shape
+};
+
+GemmRow bench_gemm_shape(bool ta, bool tb, std::size_t m, std::size_t n,
+                         std::size_t k, dlion::common::Rng& rng) {
+  const std::size_t a_elems = m * k, b_elems = k * n, c_elems = m * n;
+  std::vector<float> a(a_elems), b(b_elems), c_packed(c_elems),
+      c_ref(c_elems);
+  for (auto& x : a) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& x : b) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  // Scale repetitions to the problem so small shapes still time well.
+  const int reps = flops > 1e7 ? 10 : 50;
+
+  dlion::tensor::gemm(ta, tb, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+                      c_packed.data());  // warm-up + correctness sample
+  dlion::tensor::reference_gemm(ta, tb, m, n, k, 1.0f, a.data(), b.data(),
+                                0.0f, c_ref.data());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < c_elems; ++i) {
+    const double d = std::abs(static_cast<double>(c_packed[i]) - c_ref[i]);
+    if (d > max_diff) max_diff = d;
+  }
+
+  const double t_packed = time_best(reps, [&] {
+    dlion::tensor::gemm(ta, tb, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+                        c_packed.data());
+  });
+  const double t_ref = time_best(reps > 10 ? 10 : 3, [&] {
+    dlion::tensor::reference_gemm(ta, tb, m, n, k, 1.0f, a.data(), b.data(),
+                                  0.0f, c_ref.data());
+  });
+
+  GemmRow row{ta, tb, m, n, k, flops / t_packed / 1e9, flops / t_ref / 1e9,
+              max_diff, 0.0};
+  if (m == 256 && n == 256 && k == 256) {
+    for (const auto& p : kPrePrGemm) {
+      if (p.ta == ta && p.tb == tb) row.pre_pr_gflops = p.gflops;
+    }
+  }
+  return row;
+}
+
+struct StepStats {
+  double ms_median;
+  std::uint64_t allocs_per_step;
+  std::uint64_t bytes_per_step;
+};
+
+/// Runs `steps` cipher-CNN training steps (batch 16) and reports the median
+/// step latency plus steady-state allocations per step.
+StepStats bench_training_step(int steps) {
+  dlion::common::Rng rng(42);
+  auto bm = dlion::nn::make_cipher_cnn(rng);
+  const std::size_t batch = 16;
+  dlion::tensor::Tensor images(
+      dlion::tensor::Shape{batch, 1, 28, 28});
+  std::vector<std::int32_t> labels(batch);
+  for (auto& x : images.span()) {
+    x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  for (auto& l : labels) {
+    l = static_cast<std::int32_t>(rng.uniform_int(0, 9));
+  }
+
+  // Warm-up: populate scratch buffers / pools so the measured steps see the
+  // steady state (the interesting regime for a long training run).
+  for (int i = 0; i < 3; ++i) {
+    bm.model.compute_gradients(images, labels);
+    bm.model.sgd_step(0.01f);
+  }
+
+  std::vector<double> ms(static_cast<std::size_t>(steps));
+  g_alloc_count.store(0);
+  g_alloc_bytes.store(0);
+  g_track_allocs.store(true);
+  for (int i = 0; i < steps; ++i) {
+    const auto t0 = Clock::now();
+    bm.model.compute_gradients(images, labels);
+    bm.model.sgd_step(0.01f);
+    ms[static_cast<std::size_t>(i)] = seconds_since(t0) * 1e3;
+  }
+  g_track_allocs.store(false);
+  const std::uint64_t allocs = g_alloc_count.load();
+  const std::uint64_t bytes = g_alloc_bytes.load();
+
+  std::sort(ms.begin(), ms.end());
+  return {ms[ms.size() / 2], allocs / static_cast<std::uint64_t>(steps),
+          bytes / static_cast<std::uint64_t>(steps)};
+}
+
+/// FNV-1a over all weight values of the model, in variable order.
+std::uint64_t weights_checksum(dlion::nn::Model& model) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (auto* var : model.variables()) {
+    const auto s = var->value().span();
+    h = fnv1a(s.data(), s.size() * sizeof(float), h);
+  }
+  return h;
+}
+
+/// Trains the cipher CNN for `steps` steps from a fixed seed and returns
+/// the final weight checksum. Bit-deterministic by design at any thread
+/// count; CI compares this value across DLION_THREADS settings.
+std::uint64_t train_checksum(int steps, bool parallel_gemm) {
+  const bool prev = dlion::tensor::set_gemm_parallel(parallel_gemm);
+  dlion::common::Rng rng(7);
+  auto bm = dlion::nn::make_cipher_cnn(rng);
+  const std::size_t batch = 8;
+  dlion::tensor::Tensor images(dlion::tensor::Shape{batch, 1, 28, 28});
+  std::vector<std::int32_t> labels(batch);
+  for (auto& x : images.span()) {
+    x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  for (auto& l : labels) {
+    l = static_cast<std::int32_t>(rng.uniform_int(0, 9));
+  }
+  for (int i = 0; i < steps; ++i) {
+    bm.model.compute_gradients(images, labels);
+    bm.model.sgd_step(0.05f);
+  }
+  const std::uint64_t h = weights_checksum(bm.model);
+  dlion::tensor::set_gemm_parallel(prev);
+  return h;
+}
+
+struct MaxNStats {
+  std::size_t selected;
+  double select_gelems;
+  double count_gelems;
+};
+
+MaxNStats bench_max_n(std::size_t elems, double n) {
+  dlion::common::Rng rng(123);
+  std::vector<float> grad(elems);
+  for (auto& g : grad) g = static_cast<float>(rng.normal(0.0, 1.0));
+  const std::span<const float> span(grad);
+
+  auto vg = dlion::core::select_max_n(span, 0, n);  // warm-up + count
+  const double t_sel = time_best(5, [&] {
+    auto v = dlion::core::select_max_n(span, 0, n);
+    if (v.values.empty() && n < 100.0) std::abort();  // keep the work live
+  });
+  const double t_cnt = time_best(5, [&] {
+    if (dlion::core::count_max_n(span, n) != vg.values.size()) std::abort();
+  });
+  return {vg.values.size(), static_cast<double>(elems) / t_sel / 1e9,
+          static_cast<double>(elems) / t_cnt / 1e9};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_hotpath.json";
+  int steps = 30;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+    if (arg.rfind("--steps=", 0) == 0) steps = std::atoi(arg.c_str() + 8);
+  }
+  if (steps < 4) steps = 4;
+
+  const char* threads_env = std::getenv("DLION_THREADS");
+
+  // --- GEMM throughput, single-threaded (the acceptance anchor). ---------
+  const bool prev_parallel = dlion::tensor::set_gemm_parallel(false);
+  dlion::common::Rng rng(1);
+  std::vector<GemmRow> rows;
+  for (const auto& p : kPrePrGemm) {
+    rows.push_back(bench_gemm_shape(p.ta, p.tb, 256, 256, 256, rng));
+  }
+  // Training-shaped problems: conv3 of the cipher CNN and the fc1 backward.
+  rows.push_back(bench_gemm_shape(false, false, 100, 49, 180, rng));
+  rows.push_back(bench_gemm_shape(true, false, 4900, 200, 16, rng));
+  dlion::tensor::set_gemm_parallel(prev_parallel);
+
+  // --- Training step latency + allocations (pool default threading). ----
+  const StepStats step = bench_training_step(steps);
+
+  // --- Max-N selection throughput. ---------------------------------------
+  const MaxNStats maxn = bench_max_n(1'000'000, 1.0);
+
+  // --- Determinism: serial vs pooled GEMM must agree bitwise. ------------
+  const int det_steps = 8;
+  const std::uint64_t sum_serial = train_checksum(det_steps, false);
+  const std::uint64_t sum_parallel = train_checksum(det_steps, true);
+  const bool bitmatch = sum_serial == sum_parallel;
+
+  // --- Emit JSON (fixed key order). ---------------------------------------
+  std::string j;
+  j += "{\n";
+  j += "  \"schema\": \"dlion-hotpath-v1\",\n";
+  j += "  \"generated_by\": \"bench/hotpath\",\n";
+  j += "  \"gemm_kernel\": \"" + std::string(dlion::tensor::gemm_kernel_name()) +
+       "\",\n";
+  j += "  \"dlion_threads_env\": \"" +
+       std::string(threads_env != nullptr ? threads_env : "") + "\",\n";
+  j += "  \"gemm_single_thread\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    j += "    {\"trans_a\": ";
+    j += r.ta ? "true" : "false";
+    j += ", \"trans_b\": ";
+    j += r.tb ? "true" : "false";
+    j += ", \"m\": " + std::to_string(r.m) + ", \"n\": " + std::to_string(r.n) +
+         ", \"k\": " + std::to_string(r.k);
+    j += ", \"packed_gflops\": " + fmt(r.packed_gflops);
+    j += ", \"reference_gflops\": " + fmt(r.reference_gflops);
+    j += ", \"speedup_vs_reference\": " +
+         fmt(r.packed_gflops / r.reference_gflops, 2);
+    if (r.pre_pr_gflops > 0.0) {
+      j += ", \"pre_pr_gflops\": " + fmt(r.pre_pr_gflops);
+      j += ", \"speedup_vs_pre_pr\": " +
+           fmt(r.packed_gflops / r.pre_pr_gflops, 2);
+    }
+    j += ", \"max_abs_diff_vs_reference\": " + fmt(r.max_abs_diff, 8);
+    j += "}";
+    if (i + 1 < rows.size()) j += ",";
+    j += "\n";
+  }
+  j += "  ],\n";
+  j += "  \"training_step\": {\n";
+  j += "    \"model\": \"cipher\", \"batch\": 16, \"steps_timed\": " +
+       std::to_string(steps) + ",\n";
+  j += "    \"ms_per_step_median\": " + fmt(step.ms_median) + ",\n";
+  j += "    \"allocs_per_step\": " + std::to_string(step.allocs_per_step) +
+       ",\n";
+  j += "    \"bytes_per_step\": " + std::to_string(step.bytes_per_step) + ",\n";
+  j += "    \"pre_pr\": {\"ms_per_step\": " + fmt(kPrePrStepMs) +
+       ", \"allocs_per_step\": " + std::to_string(kPrePrStepAllocs) +
+       ", \"bytes_per_step\": " + std::to_string(kPrePrStepBytes) + "}\n";
+  j += "  },\n";
+  j += "  \"max_n_selection\": {\n";
+  j += "    \"elements\": 1000000, \"n_percent\": 1.0, \"selected\": " +
+       std::to_string(maxn.selected) + ",\n";
+  j += "    \"select_gelems_per_s\": " + fmt(maxn.select_gelems) + ",\n";
+  j += "    \"count_gelems_per_s\": " + fmt(maxn.count_gelems) + "\n";
+  j += "  },\n";
+  j += "  \"determinism\": {\n";
+  j += "    \"train_steps\": " + std::to_string(det_steps) + ",\n";
+  j += "    \"weights_checksum_serial\": \"" + hex64(sum_serial) + "\",\n";
+  j += "    \"weights_checksum_parallel\": \"" + hex64(sum_parallel) + "\",\n";
+  j += "    \"serial_parallel_bitmatch\": ";
+  j += bitmatch ? "true" : "false";
+  j += "\n  }\n";
+  j += "}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "hotpath: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(j.data(), 1, j.size(), f);
+  std::fclose(f);
+
+  std::printf("%s", j.c_str());
+  std::printf("[hotpath] kernel=%s 256^3 nn: %.2f GF/s (%.2fx vs pre-PR)\n",
+              dlion::tensor::gemm_kernel_name(), rows[0].packed_gflops,
+              rows[0].packed_gflops / kPrePrGemm[0].gflops);
+  std::printf("[hotpath] step: %.2f ms, %llu allocs, %llu bytes (pre-PR %.2f "
+              "ms, %llu allocs)\n",
+              step.ms_median,
+              static_cast<unsigned long long>(step.allocs_per_step),
+              static_cast<unsigned long long>(step.bytes_per_step),
+              kPrePrStepMs,
+              static_cast<unsigned long long>(kPrePrStepAllocs));
+  std::printf("[hotpath] determinism bitmatch: %s\n",
+              bitmatch ? "yes" : "NO");
+  std::printf("[hotpath] wrote %s\n", out_path.c_str());
+  return bitmatch ? 0 : 2;
+}

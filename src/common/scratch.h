@@ -1,0 +1,212 @@
+// Reusable scratch memory for the training hot path.
+//
+// Two building blocks, both designed so that steady-state training performs
+// zero heap allocations in the numeric kernels:
+//
+//  * ScratchArena - a bump allocator over a list of retained blocks. Alloc
+//    is a pointer increment; Scope rewinds the arena on destruction without
+//    releasing memory, so the next step reuses the same cache-warm pages.
+//    One arena per thread (`ScratchArena::tls()`): the GEMM driver's packing
+//    buffers and gradient-selection temporaries live here, including the
+//    per-task panels inside ThreadPool workers.
+//
+//  * ScratchBuffer - a grow-only 64-byte-aligned float buffer for state
+//    that must survive between two calls (e.g. a conv layer's im2col matrix
+//    cached from forward for backward). Layers own these as members, which
+//    makes them per-worker automatically (each simulated worker owns its
+//    model and therefore its layers).
+//
+// Neither type is thread-safe by itself; the thread-local accessor is the
+// intended sharing model (Core Guidelines CP.2: avoid data races by
+// construction).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace dlion::common {
+
+/// Bump allocator with retained capacity. Allocations are 64-byte aligned
+/// and valid until the matching rewind (see Scope). Blocks grow
+/// geometrically and are never shrunk, so a warmed-up arena allocates
+/// nothing from the heap.
+class ScratchArena {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+  static constexpr std::size_t kMinBlockBytes = 1 << 16;  // 64 KiB
+
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Thread-local arena. Worker threads in the global ThreadPool each see
+  /// their own instance, so parallel GEMM tasks can pack panels without
+  /// synchronization.
+  static ScratchArena& tls() {
+    thread_local ScratchArena arena;
+    return arena;
+  }
+
+  /// 64-byte-aligned allocation of `bytes` bytes. Contents are
+  /// uninitialized. Never returns nullptr (throws std::bad_alloc on
+  /// exhaustion like operator new).
+  void* alloc_bytes(std::size_t bytes) {
+    if (bytes == 0) bytes = kAlignment;
+    bytes = round_up(bytes);
+    if (current_ < blocks_.size()) {
+      Block& b = blocks_[current_];
+      if (b.used + bytes <= b.size) {
+        void* p = b.data.get() + b.used;
+        b.used += bytes;
+        return p;
+      }
+      // Current block exhausted: move to the next retained block that fits,
+      // or fall through to grow.
+      for (std::size_t i = current_ + 1; i < blocks_.size(); ++i) {
+        if (blocks_[i].used == 0 && bytes <= blocks_[i].size) {
+          current_ = i;
+          blocks_[i].used = bytes;
+          return blocks_[i].data.get();
+        }
+      }
+    }
+    return grow_and_alloc(bytes);
+  }
+
+  /// Typed allocation of `n` elements of trivially-destructible T.
+  template <typename T>
+  T* alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is never destructed");
+    return static_cast<T*>(alloc_bytes(n * sizeof(T)));
+  }
+
+  float* alloc_floats(std::size_t n) { return alloc<float>(n); }
+
+  /// Opaque rewind point. rewind(m) releases every allocation made after
+  /// mark() returned m (memory is retained for reuse).
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t used = 0;
+  };
+
+  Mark mark() const {
+    Mark m;
+    m.block = current_;
+    m.used = current_ < blocks_.size() ? blocks_[current_].used : 0;
+    return m;
+  }
+
+  void rewind(Mark m) {
+    for (std::size_t i = m.block + 1; i < blocks_.size(); ++i) {
+      blocks_[i].used = 0;
+    }
+    if (m.block < blocks_.size()) blocks_[m.block].used = m.used;
+    current_ = m.block;
+  }
+
+  /// Rewind everything (retaining capacity).
+  void reset() { rewind(Mark{}); }
+
+  /// RAII rewind: every arena allocation made while the Scope is alive is
+  /// released when it dies. Scopes nest.
+  class Scope {
+   public:
+    explicit Scope(ScratchArena& arena) : arena_(arena), mark_(arena.mark()) {}
+    ~Scope() { arena_.rewind(mark_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ScratchArena& arena_;
+    Mark mark_;
+  };
+
+  /// Total bytes of retained block capacity (for telemetry/tests).
+  std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+  /// Bytes currently handed out.
+  std::size_t bytes_in_use() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.used;
+    return total;
+  }
+
+ private:
+  struct AlignedByteDelete {
+    void operator()(std::byte* p) const {
+      ::operator delete[](p, std::align_val_t(kAlignment));
+    }
+  };
+
+  struct Block {
+    std::unique_ptr<std::byte[], AlignedByteDelete> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static std::size_t round_up(std::size_t bytes) {
+    return (bytes + kAlignment - 1) & ~(kAlignment - 1);
+  }
+
+  void* grow_and_alloc(std::size_t bytes) {
+    std::size_t size = kMinBlockBytes;
+    if (!blocks_.empty()) size = blocks_.back().size * 2;
+    if (size < bytes) size = round_up(bytes);
+    Block b;
+    b.data.reset(new (std::align_val_t(kAlignment)) std::byte[size]);
+    b.size = size;
+    b.used = bytes;
+    blocks_.push_back(std::move(b));
+    current_ = blocks_.size() - 1;
+    return blocks_.back().data.get();
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;
+};
+
+/// Grow-only 64-byte-aligned float buffer. ensure(n) reallocates only when
+/// n exceeds the retained capacity, so repeated same-shape calls (the
+/// training-loop pattern) allocate once and then never again.
+class ScratchBuffer {
+ public:
+  /// Returns a pointer to at least `n` floats (uninitialized beyond what
+  /// the caller wrote previously; capacity is retained across calls).
+  float* ensure(std::size_t n) {
+    if (n > capacity_) {
+      std::size_t cap = capacity_ == 0 ? 256 : capacity_;
+      while (cap < n) cap *= 2;
+      data_.reset(new (std::align_val_t(ScratchArena::kAlignment)) float[cap]);
+      capacity_ = cap;
+    }
+    size_ = n;
+    return data_.get();
+  }
+
+  float* data() { return data_.get(); }
+  const float* data() const { return data_.get(); }
+  /// Elements covered by the last ensure() call.
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct AlignedDelete {
+    void operator()(float* p) const {
+      ::operator delete[](p, std::align_val_t(ScratchArena::kAlignment));
+    }
+  };
+  std::unique_ptr<float[], AlignedDelete> data_;
+  std::size_t capacity_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dlion::common

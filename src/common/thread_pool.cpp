@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <memory>
 
 namespace dlion::common {
 
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
+  if (threads == kNoWorkers) {
+    threads = 0;
+  } else if (threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     threads = hw > 1 ? hw - 1 : 0;
   }
@@ -104,9 +108,50 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (shared.error) std::rethrow_exception(shared.error);
 }
 
-ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+namespace {
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
   return pool;
+}
+
+std::mutex& global_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+// Maps the DLION_THREADS convention (total threads including the caller)
+// onto a ThreadPool constructor argument: 0/unset = hardware default,
+// 1 = explicitly empty pool, n > 1 = n - 1 workers.
+std::size_t ctor_arg_from_total(long total) {
+  if (total <= 0) return 0;  // hardware default
+  if (total == 1) return ThreadPool::kNoWorkers;
+  return static_cast<std::size_t>(total - 1);
+}
+
+std::size_t ctor_arg_from_env() {
+  const char* env = std::getenv("DLION_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v >= 0 && v <= 1024) {
+      return ctor_arg_from_total(v);
+    }
+  }
+  return 0;  // hardware default
+}
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(global_mutex());
+  auto& pool = global_slot();
+  if (!pool) pool = std::make_unique<ThreadPool>(ctor_arg_from_env());
+  return *pool;
+}
+
+void ThreadPool::reset_global_for_testing(std::size_t total_threads) {
+  std::lock_guard<std::mutex> lock(global_mutex());
+  global_slot() = std::make_unique<ThreadPool>(
+      ctor_arg_from_total(static_cast<long>(total_threads)));
 }
 
 }  // namespace dlion::common

@@ -26,7 +26,12 @@ class ThreadPool {
   /// `threads` = 0 uses hardware_concurrency() - 1 (at least 1 worker when
   /// the hardware reports more than one core; otherwise the pool is empty
   /// and parallel_for degrades to a serial loop on the caller).
+  /// `threads` = kNoWorkers requests an explicitly empty pool.
   explicit ThreadPool(std::size_t threads = 0);
+
+  /// Constructor sentinel: an empty pool (parallel_for runs serially on the
+  /// caller), as opposed to 0 = "size from the hardware".
+  static constexpr std::size_t kNoWorkers = static_cast<std::size_t>(-1);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -40,8 +45,19 @@ class ThreadPool {
                     const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 1);
 
-  /// Shared process-wide pool (sized from the hardware).
+  /// Shared process-wide pool. Sized from the DLION_THREADS environment
+  /// variable when set (the value is the total worker-thread count; 1 means
+  /// "no pool workers, caller only"), otherwise from the hardware. The
+  /// numeric kernels are bit-deterministic at any pool size (see
+  /// DESIGN.md "Numeric kernels"), so this knob trades wall-clock only.
   static ThreadPool& global();
+
+  /// Replace the global pool. `total_threads` follows the DLION_THREADS
+  /// convention: 0 = hardware default, 1 = serial (no workers), n > 1 =
+  /// n - 1 pool workers plus the caller. Testing hook for the kernel
+  /// determinism suite; must not be called while another thread is inside
+  /// parallel_for.
+  static void reset_global_for_testing(std::size_t total_threads);
 
  private:
   void enqueue(std::function<void()> task);

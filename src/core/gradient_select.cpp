@@ -24,6 +24,22 @@ comm::VariableGrad dense_grad(std::span<const float> grad,
   v.values.assign(grad.begin(), grad.end());
   return v;
 }
+
+/// Drop candidate (index, value) pairs whose magnitude fell below `thr`
+/// after the running max rose. Order-preserving in-place filter.
+void compact_candidates(std::vector<std::uint32_t>& idx,
+                        std::vector<float>& vals, double thr) {
+  std::size_t kept = 0;
+  for (std::size_t j = 0; j < vals.size(); ++j) {
+    if (static_cast<double>(std::fabs(vals[j])) >= thr) {
+      idx[kept] = idx[j];
+      vals[kept] = vals[j];
+      ++kept;
+    }
+  }
+  idx.resize(kept);
+  vals.resize(kept);
+}
 }  // namespace
 
 double max_n_threshold(double n, float max_abs) {
@@ -35,17 +51,43 @@ comm::VariableGrad select_max_n(std::span<const float> grad,
                                 std::uint32_t var_index, double n) {
   check_n(n);
   if (n == 100.0) return dense_grad(grad, var_index);
-  const float mx = tensor::max_abs(grad);
-  const double thr = max_n_threshold(n, mx);
   comm::VariableGrad v;
   v.var_index = var_index;
   v.dense_size = static_cast<std::uint32_t>(grad.size());
+  if (grad.empty()) return v;
+
+  // Single fused pass: track the running max-abs and collect candidates
+  // against the threshold it implies so far. The threshold only grows as
+  // the max grows, so the candidate set is always a superset of the final
+  // selection; stale candidates are pruned lazily (when the buffer doubles
+  // past its last compaction) and once more at the end against the final
+  // threshold. This selects exactly the entries the two-pass version did -
+  // same threshold arithmetic, same index order - in one traversal.
+  const double keep = 1.0 - n / 100.0;
+  float running_max = 0.0f;
+  double thr = 0.0;
+  auto& idx = v.indices;
+  auto& vals = v.values;
+  idx.reserve(64);
+  vals.reserve(64);
+  std::size_t compact_limit = 256;
   for (std::size_t i = 0; i < grad.size(); ++i) {
-    if (std::fabs(grad[i]) >= thr) {
-      v.indices.push_back(static_cast<std::uint32_t>(i));
-      v.values.push_back(grad[i]);
+    const float g = grad[i];
+    const float mag = std::fabs(g);
+    if (mag > running_max) {
+      running_max = mag;
+      thr = keep * static_cast<double>(running_max);
+    }
+    if (static_cast<double>(mag) >= thr) {
+      idx.push_back(static_cast<std::uint32_t>(i));
+      vals.push_back(g);
+      if (idx.size() >= compact_limit) {
+        compact_candidates(idx, vals, thr);
+        compact_limit = std::max<std::size_t>(256, idx.size() * 2);
+      }
     }
   }
+  compact_candidates(idx, vals, thr);
   return v;
 }
 
@@ -54,33 +96,75 @@ std::size_t count_max_n(std::span<const float> grad, double n) {
   if (n == 100.0) return grad.size();
   const float mx = tensor::max_abs(grad);
   const double thr = max_n_threshold(n, mx);
+  // Branchless comparison loop: vectorizes cleanly (compare + widen + add).
   std::size_t count = 0;
-  for (float g : grad) {
-    if (std::fabs(g) >= thr) ++count;
+  const float* __restrict p = grad.data();
+  const std::size_t size = grad.size();
+  for (std::size_t i = 0; i < size; ++i) {
+    count += static_cast<double>(std::fabs(p[i])) >= thr ? 1u : 0u;
   }
   return count;
 }
 
-comm::VariableGrad select_top_k(std::span<const float> grad,
-                                std::uint32_t var_index, std::size_t k) {
+float magnitudes(std::span<const float> grad, std::vector<float>& mags) {
+  mags.resize(grad.size());
+  const float* __restrict src = grad.data();
+  float* __restrict dst = mags.data();
+  float mx = 0.0f;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const float m = std::fabs(src[i]);
+    dst[i] = m;
+    mx = m > mx ? m : mx;
+  }
+  return mx;
+}
+
+std::size_t count_max_n_mags(std::span<const float> mags, float max_abs,
+                             double n) {
+  check_n(n);
+  if (n == 100.0) return mags.size();
+  const double thr = max_n_threshold(n, max_abs);
+  std::size_t count = 0;
+  const float* __restrict p = mags.data();
+  const std::size_t size = mags.size();
+  for (std::size_t i = 0; i < size; ++i) {
+    count += static_cast<double>(p[i]) >= thr ? 1u : 0u;
+  }
+  return count;
+}
+
+comm::VariableGrad select_top_k_mags(std::span<const float> grad,
+                                     std::span<const float> mags,
+                                     std::uint32_t var_index, std::size_t k,
+                                     float* kth_mag) {
   if (k >= grad.size()) return dense_grad(grad, var_index);
   comm::VariableGrad v;
   v.var_index = var_index;
   v.dense_size = static_cast<std::uint32_t>(grad.size());
   if (k == 0) return v;
   // Partial sort of indices by |g| descending, index ascending on ties.
+  // The comparator reads the precomputed magnitudes: nth_element invokes it
+  // O(n log n) times in the worst case, so hoisting fabs out of it matters.
   std::vector<std::uint32_t> idx(grad.size());
   for (std::size_t i = 0; i < grad.size(); ++i) {
     idx[i] = static_cast<std::uint32_t>(i);
   }
-  auto cmp = [&](std::uint32_t a, std::uint32_t b) {
-    const float fa = std::fabs(grad[a]), fb = std::fabs(grad[b]);
+  const float* m = mags.data();
+  auto cmp = [m](std::uint32_t a, std::uint32_t b) {
+    const float fa = m[a], fb = m[b];
     if (fa != fb) return fa > fb;
     return a < b;
   };
   std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
                    idx.end(), cmp);
   idx.resize(k);
+  if (kth_mag != nullptr) {
+    // The selected set holds the top-k magnitude multiset, so its minimum
+    // is exactly the k-th largest magnitude (the effective threshold).
+    float mn = m[idx[0]];
+    for (std::uint32_t i : idx) mn = m[i] < mn ? m[i] : mn;
+    *kth_mag = mn;
+  }
   std::sort(idx.begin(), idx.end());
   v.indices = std::move(idx);
   v.values.reserve(k);
@@ -88,18 +172,30 @@ comm::VariableGrad select_top_k(std::span<const float> grad,
   return v;
 }
 
+comm::VariableGrad select_top_k(std::span<const float> grad,
+                                std::uint32_t var_index, std::size_t k) {
+  if (k >= grad.size()) return dense_grad(grad, var_index);
+  std::vector<float> mags;
+  magnitudes(grad, mags);
+  return select_top_k_mags(grad, mags, var_index, k);
+}
+
+double equivalent_n_from_threshold(float max_abs, float kth_mag) {
+  return (1.0 - static_cast<double>(kth_mag) / static_cast<double>(max_abs)) *
+         100.0;
+}
+
 double equivalent_n(std::span<const float> grad, std::size_t k) {
   if (grad.empty() || k >= grad.size()) return 100.0;
   if (k == 0) return 0.0;
-  const float mx = tensor::max_abs(grad);
+  std::vector<float> mags;
+  const float mx = magnitudes(grad, mags);
   if (mx == 0.0f) return 100.0;
   // k-th largest magnitude is the effective threshold.
-  std::vector<float> mags(grad.size());
-  for (std::size_t i = 0; i < grad.size(); ++i) mags[i] = std::fabs(grad[i]);
-  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k - 1),
+  std::nth_element(mags.begin(),
+                   mags.begin() + static_cast<std::ptrdiff_t>(k - 1),
                    mags.end(), std::greater<>());
-  const double thr = mags[k - 1];
-  return (1.0 - thr / static_cast<double>(mx)) * 100.0;
+  return equivalent_n_from_threshold(mx, mags[k - 1]);
 }
 
 }  // namespace dlion::core

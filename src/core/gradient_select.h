@@ -13,6 +13,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "comm/message.h"
 
@@ -20,6 +21,38 @@ namespace dlion::core {
 
 /// Threshold implied by Max N for a vector whose max-abs is `max_abs`.
 double max_n_threshold(double n, float max_abs);
+
+// ---------------------------------------------------------------------------
+// Fused magnitude workspace.
+//
+// A link generation needs several statistics of the same gradient vector
+// (its Max N floor, its top-k set, the equivalent N of that set). The naive
+// composition scans the gradient 4-5x, recomputing |g| each time. The
+// *_mags variants below share one magnitude pass: call magnitudes() once
+// per variable (reusing the caller's vector across variables so steady-state
+// link generation allocates nothing), then feed the result to the others.
+// ---------------------------------------------------------------------------
+
+/// Fill `mags[i] = |grad[i]|` (resizing as needed) and return max|grad|.
+/// Single fused pass over the gradient.
+float magnitudes(std::span<const float> grad, std::vector<float>& mags);
+
+/// count_max_n on precomputed magnitudes (no rescan of the gradient).
+std::size_t count_max_n_mags(std::span<const float> mags, float max_abs,
+                             double n);
+
+/// select_top_k on precomputed magnitudes. When k is in (0, grad.size()),
+/// also reports the k-th largest magnitude - the effective selection
+/// threshold - via `kth_mag`, letting callers derive equivalent_n without
+/// a second partial sort.
+comm::VariableGrad select_top_k_mags(std::span<const float> grad,
+                                     std::span<const float> mags,
+                                     std::uint32_t var_index, std::size_t k,
+                                     float* kth_mag = nullptr);
+
+/// equivalent_n given a precomputed effective threshold (the k-th largest
+/// magnitude) and max-abs. Matches equivalent_n() bit-for-bit.
+double equivalent_n_from_threshold(float max_abs, float kth_mag);
 
 /// Select entries of `grad` with |g| >= (1 - n/100) * max|g|. n in (0, 100].
 /// n == 100 returns a dense VariableGrad.

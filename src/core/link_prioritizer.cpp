@@ -41,6 +41,7 @@ std::vector<comm::VariableGrad> LinkPrioritizer::generate(
   const std::size_t total_params = model.num_params();
   double weighted_n = 0.0;
   std::size_t total_entries = 0;
+  std::vector<float> mags;  // reused across variables: one scan per gradient
   for (std::size_t v = 0; v < vars.size(); ++v) {
     const auto grad = vars[v]->grad().span();
     // The budget is split across weight variables proportionally to size;
@@ -50,14 +51,29 @@ std::vector<comm::VariableGrad> LinkPrioritizer::generate(
                              : entries_budget * static_cast<double>(grad.size()) /
                                    static_cast<double>(total_params);
     const auto k_budget = static_cast<std::size_t>(std::floor(share));
+    // One magnitude pass feeds the quality floor, the top-k selection, and
+    // the equivalent-N report (the naive composition rescanned the gradient
+    // for each).
+    const float mx = magnitudes(grad, mags);
     // Quality floor: never select less than Max N at min_n would.
-    const std::size_t k_floor = count_max_n(grad, config_.min_n);
+    const std::size_t k_floor = count_max_n_mags(mags, mx, config_.min_n);
     const std::size_t k = std::max<std::size_t>(
         std::max(k_budget, k_floor), grad.empty() ? 0 : 1);
+    float kth_mag = 0.0f;
     comm::VariableGrad vg =
-        select_top_k(grad, static_cast<std::uint32_t>(v), k);
-    weighted_n += equivalent_n(grad, std::min(k, grad.size())) *
-                  static_cast<double>(grad.size());
+        select_top_k_mags(grad, mags, static_cast<std::uint32_t>(v), k,
+                          &kth_mag);
+    // equivalent_n(grad, min(k, size)) without the second partial sort:
+    // the selection already exposes its effective threshold.
+    double eq_n;
+    if (grad.empty() || k >= grad.size() || mx == 0.0f) {
+      eq_n = 100.0;
+    } else if (k == 0) {
+      eq_n = 0.0;
+    } else {
+      eq_n = equivalent_n_from_threshold(mx, kth_mag);
+    }
+    weighted_n += eq_n * static_cast<double>(grad.size());
     total_entries += vg.num_entries();
     out.push_back(std::move(vg));
   }

@@ -6,11 +6,18 @@ namespace dlion::nn {
 
 tensor::Tensor ReLU::forward(const tensor::Tensor& input, bool /*train*/) {
   tensor::Tensor out = input;
-  mask_ = tensor::Tensor(input.shape());
+  // Reuse the mask storage across steps: activation shapes are stable
+  // during training, so this allocates only on the first call (or a shape
+  // change). Both branches write the mask explicitly so no stale values
+  // survive the reuse.
+  if (!(mask_.shape() == input.shape())) {
+    mask_ = tensor::Tensor(input.shape());
+  }
   for (std::size_t i = 0; i < out.size(); ++i) {
     if (out[i] > 0.0f) {
       mask_[i] = 1.0f;
     } else {
+      mask_[i] = 0.0f;
       out[i] = 0.0f;
     }
   }

@@ -9,12 +9,13 @@ namespace dlion::nn {
 
 Conv2D::Conv2D(std::string name, std::size_t in_channels,
                std::size_t out_channels, std::size_t kernel,
-               std::size_t stride, std::size_t pad)
+               std::size_t stride, std::size_t pad, bool fuse_relu)
     : in_c_(in_channels),
       out_c_(out_channels),
       k_(kernel),
       stride_(stride),
       pad_(pad),
+      fuse_relu_(fuse_relu),
       weight_(name + "/W",
               tensor::Shape{out_channels, in_channels * kernel * kernel}),
       bias_(name + "/b", tensor::Shape{out_channels}) {}
@@ -42,10 +43,10 @@ tensor::Tensor Conv2D::forward(const tensor::Tensor& input, bool /*train*/) {
   const std::size_t col_rows = in_c_ * k_ * k_;
   const std::size_t col_cols = oh * ow;
 
-  cached_cols_ = tensor::Tensor(tensor::Shape{n, col_rows, col_cols});
+  float* cols = cols_.ensure(n * col_rows * col_cols);
   tensor::Tensor out(tensor::Shape{n, out_c_, oh, ow});
   for (std::size_t i = 0; i < n; ++i) {
-    float* col = cached_cols_.data() + i * col_rows * col_cols;
+    float* col = cols + i * col_rows * col_cols;
     const float* img = input.data() + i * in_c_ * h * w;
     tensor::im2col(img, in_c_, h, w, k_, k_, stride_, pad_, col);
     // out_i (out_c x col_cols) = W (out_c x col_rows) * col
@@ -53,13 +54,14 @@ tensor::Tensor Conv2D::forward(const tensor::Tensor& input, bool /*train*/) {
                  weight_.value().data(), col, 0.0f,
                  out.data() + i * out_c_ * col_cols);
   }
-  // Add bias per output channel.
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t oc = 0; oc < out_c_; ++oc) {
-      float* plane = out.data() + (i * out_c_ + oc) * col_cols;
-      const float b = bias_.value()[oc];
-      for (std::size_t p = 0; p < col_cols; ++p) plane[p] += b;
-    }
+  if (fuse_relu_) {
+    // Fused epilogue: bias + ReLU + mask in one pass over the activations.
+    float* mask = mask_.ensure(n * out_c_ * col_cols);
+    tensor::add_bias_channels_relu(out.data(), n, out_c_, col_cols,
+                                   bias_.value().data(), mask);
+  } else {
+    tensor::add_bias_channels(out.data(), n, out_c_, col_cols,
+                              bias_.value().data());
   }
   return out;
 }
@@ -79,18 +81,26 @@ tensor::Tensor Conv2D::backward(const tensor::Tensor& grad_output) {
                                 grad_output.shape().to_string());
   }
 
+  const float* dy = grad_output.data();
+  if (fuse_relu_) {
+    // ReLU backward first: dy <- dy * mask (into reusable scratch).
+    const std::size_t total = n * out_c_ * col_cols;
+    float* masked = dy_masked_.ensure(total);
+    tensor::apply_mask(dy, mask_.data(), masked, total);
+    dy = masked;
+  }
   tensor::Tensor grad_in(cached_input_.shape());
-  std::vector<float> dcol(col_rows * col_cols);
+  float* dcol = dcol_.ensure(col_rows * col_cols);
   for (std::size_t i = 0; i < n; ++i) {
-    const float* dout = grad_output.data() + i * out_c_ * col_cols;
-    const float* col = cached_cols_.data() + i * col_rows * col_cols;
+    const float* dout = dy + i * out_c_ * col_cols;
+    const float* col = cols_.data() + i * col_rows * col_cols;
     // dW += dout (out_c x col_cols) * col^T (col_cols x col_rows)
     tensor::gemm(false, true, out_c_, col_rows, col_cols, 1.0f, dout, col,
                  1.0f, weight_.grad().data());
     // dcol = W^T (col_rows x out_c) * dout
     tensor::gemm(true, false, col_rows, col_cols, out_c_, 1.0f,
-                 weight_.value().data(), dout, 0.0f, dcol.data());
-    tensor::col2im(dcol.data(), in_c_, h, w, k_, k_, stride_, pad_,
+                 weight_.value().data(), dout, 0.0f, dcol);
+    tensor::col2im(dcol, in_c_, h, w, k_, k_, stride_, pad_,
                    grad_in.data() + i * in_c_ * h * w);
     // db += per-channel sums of dout
     for (std::size_t oc = 0; oc < out_c_; ++oc) {

@@ -8,9 +8,10 @@
 namespace dlion::nn {
 
 Dense::Dense(std::string name, std::size_t in_features,
-             std::size_t out_features)
+             std::size_t out_features, bool fuse_relu)
     : in_(in_features),
       out_(out_features),
+      fuse_relu_(fuse_relu),
       weight_(name + "/W", tensor::Shape{in_features, out_features}),
       bias_(name + "/b", tensor::Shape{out_features}) {}
 
@@ -30,8 +31,18 @@ tensor::Tensor Dense::forward(const tensor::Tensor& input, bool /*train*/) {
                                 input.shape().to_string());
   }
   cached_input_ = input;
-  tensor::Tensor out = tensor::matmul(input, weight_.value());
-  tensor::add_bias_rows(out, bias_.value());
+  const std::size_t batch = input.shape()[0];
+  tensor::Tensor out(tensor::Shape{batch, out_});
+  tensor::gemm(false, false, batch, out_, in_, 1.0f, input.data(),
+               weight_.value().data(), 0.0f, out.data());
+  if (fuse_relu_) {
+    // Fused epilogue: bias + ReLU + mask in one pass over the activations.
+    float* mask = mask_.ensure(batch * out_);
+    tensor::add_bias_rows_relu(out.data(), batch, out_, bias_.value().data(),
+                               mask);
+  } else {
+    tensor::add_bias_rows(out, bias_.value());
+  }
   return out;
 }
 
@@ -42,18 +53,25 @@ tensor::Tensor Dense::backward(const tensor::Tensor& grad_output) {
     throw std::invalid_argument("Dense::backward: bad grad shape " +
                                 grad_output.shape().to_string());
   }
+  const float* dy = grad_output.data();
+  if (fuse_relu_) {
+    // ReLU backward first: dy <- dy * mask (into reusable scratch).
+    float* masked = dy_masked_.ensure(batch * out_);
+    tensor::apply_mask(dy, mask_.data(), masked, batch * out_);
+    dy = masked;
+  }
   // dW += x^T * dy
-  tensor::gemm(true, false, in_, out_, batch, 1.0f, cached_input_.data(),
-               grad_output.data(), 1.0f, weight_.grad().data());
+  tensor::gemm(true, false, in_, out_, batch, 1.0f, cached_input_.data(), dy,
+               1.0f, weight_.grad().data());
   // db += column sums of dy
   for (std::size_t r = 0; r < batch; ++r) {
-    const float* row = grad_output.data() + r * out_;
-    float* db = bias_.grad().data();
+    const float* row = dy + r * out_;
+    float* __restrict db = bias_.grad().data();
     for (std::size_t c = 0; c < out_; ++c) db[c] += row[c];
   }
   // dx = dy * W^T
   tensor::Tensor grad_in(tensor::Shape{batch, in_});
-  tensor::gemm(false, true, batch, in_, out_, 1.0f, grad_output.data(),
+  tensor::gemm(false, true, batch, in_, out_, 1.0f, dy,
                weight_.value().data(), 0.0f, grad_in.data());
   return grad_in;
 }

@@ -25,17 +25,18 @@ BuiltModel make_cipher_cnn(common::Rng& rng) {
   // 28x28x1 -> conv5x5(10) -> pool2 -> conv5x5(20) -> pool2 -> conv3x3(100)
   // -> flatten -> FC 200 -> FC 10. Matches the paper's "3 convolutional and
   // 2 fully-connected layers ... 10, 20, 100 kernels and 200 neurons".
-  bm.model.add(std::make_unique<Conv2D>("conv1", 1, 10, 5, 1, 2))
-      .add(std::make_unique<ReLU>())
+  // ReLUs are fused into the preceding conv/dense layers (bit-identical to
+  // separate layers; see Dense/Conv2D fuse_relu docs).
+  bm.model
+      .add(std::make_unique<Conv2D>("conv1", 1, 10, 5, 1, 2, /*fuse_relu=*/true))
       .add(std::make_unique<MaxPool2D>(2))
-      .add(std::make_unique<Conv2D>("conv2", 10, 20, 5, 1, 2))
-      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Conv2D>("conv2", 10, 20, 5, 1, 2,
+                                    /*fuse_relu=*/true))
       .add(std::make_unique<MaxPool2D>(2))
-      .add(std::make_unique<Conv2D>("conv3", 20, 100, 3, 1, 1))
-      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Conv2D>("conv3", 20, 100, 3, 1, 1,
+                                    /*fuse_relu=*/true))
       .add(std::make_unique<Flatten>())
-      .add(std::make_unique<Dense>("fc1", 100 * 7 * 7, 200))
-      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Dense>("fc1", 100 * 7 * 7, 200, /*fuse_relu=*/true))
       .add(std::make_unique<Dense>("fc2", 200, 10));
   bm.model.init(rng);
   bm.profile = {"cipher", kCipherBytes, kCipherFlops, 1, 28, 28, 10};
@@ -45,10 +46,8 @@ BuiltModel make_cipher_cnn(common::Rng& rng) {
 BuiltModel make_cipher_lite(common::Rng& rng) {
   BuiltModel bm;
   bm.model.add(std::make_unique<Flatten>())
-      .add(std::make_unique<Dense>("fc1", 64, 64))
-      .add(std::make_unique<ReLU>())
-      .add(std::make_unique<Dense>("fc2", 64, 48))
-      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Dense>("fc1", 64, 64, /*fuse_relu=*/true))
+      .add(std::make_unique<Dense>("fc2", 64, 48, /*fuse_relu=*/true))
       .add(std::make_unique<Dense>("fc3", 48, 10));
   bm.model.init(rng);
   // Lite math, Cipher-scale simulated cost profile.
@@ -60,10 +59,12 @@ namespace {
 void add_separable_block(Model& model, const std::string& name,
                          std::size_t in_c, std::size_t out_c,
                          std::size_t stride) {
+  // The depthwise conv keeps a standalone ReLU (no fused variant); the
+  // pointwise conv fuses its activation.
   model.add(std::make_unique<DepthwiseConv2D>(name + "/dw", in_c, 3, stride, 1))
       .add(std::make_unique<ReLU>())
-      .add(std::make_unique<Conv2D>(name + "/pw", in_c, out_c, 1))
-      .add(std::make_unique<ReLU>());
+      .add(std::make_unique<Conv2D>(name + "/pw", in_c, out_c, 1, 1, 0,
+                                    /*fuse_relu=*/true));
 }
 }  // namespace
 
@@ -73,8 +74,8 @@ BuiltModel make_mobilenet_lite(common::Rng& rng, std::size_t classes) {
   // are kept narrow so default-scale benches stay cheap in wall-clock time;
   // the simulator charges MobileNet's nominal 17 MB / ImageNet-scale FLOPs
   // regardless (see ModelProfile).
-  bm.model.add(std::make_unique<Conv2D>("stem", 3, 12, 3, 2, 1))
-      .add(std::make_unique<ReLU>());
+  bm.model.add(
+      std::make_unique<Conv2D>("stem", 3, 12, 3, 2, 1, /*fuse_relu=*/true));
   add_separable_block(bm.model, "block1", 12, 24, 1);
   add_separable_block(bm.model, "block2", 24, 48, 2);
   add_separable_block(bm.model, "block3", 48, 48, 1);
@@ -107,10 +108,8 @@ BuiltModel make_mlp(common::Rng& rng, std::size_t in, std::size_t hidden,
                     std::size_t classes) {
   BuiltModel bm;
   bm.model.add(std::make_unique<Flatten>())
-      .add(std::make_unique<Dense>("fc1", in, hidden))
-      .add(std::make_unique<ReLU>())
-      .add(std::make_unique<Dense>("fc2", hidden, hidden))
-      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Dense>("fc1", in, hidden, /*fuse_relu=*/true))
+      .add(std::make_unique<Dense>("fc2", hidden, hidden, /*fuse_relu=*/true))
       .add(std::make_unique<Dense>("fc3", hidden, classes));
   bm.model.init(rng);
   bm.profile = {"mlp",

@@ -1,0 +1,83 @@
+// Shared micro-kernel template body, included by the per-ISA translation
+// units (gemm_kernel_portable.cpp, gemm_kernel_avx2.cpp). Each TU
+// instantiates micro_tile_impl<MR, NR, W> under its own compile flags, so
+// the same source yields 128-bit SSE2/NEON code in the portable TU and
+// 256-bit AVX2+FMA code in the AVX2 TU.
+//
+// GNU vector extensions (supported by GCC and Clang) are used instead of a
+// plain scalar loop: they force the MR x NR accumulator tile into vector
+// registers, which plain arrays fail to achieve reliably (GCC's scalar
+// replacement gives up on a 96-float array and spills, costing ~20x).
+//
+// Determinism contract: the accumulation order over p is fixed and the
+// epilogue is a single read-modify-write of each C element, so for a given
+// kernel the result depends only on the operand values - never on thread
+// count or scheduling.
+//
+// Keep this file free of includes; the including TU provides <cstddef> and
+// <cstring>.
+
+namespace dlion::tensor::detail {
+namespace {
+
+// MR x NR register tile using W-byte vectors (NR must be a multiple of the
+// lane count W/4). a is a packed strip of kc*MR floats (a[p*MR + i]),
+// b a packed strip of kc*NR floats (b[p*NR + j]); both are zero-padded by
+// the packing routines, so edge tiles accumulate exact zeros in the unused
+// lanes and only the valid mr_eff x nr_eff corner is written back.
+template <int MR, int NR, int W>
+inline void micro_tile_impl(std::size_t kc, const float* __restrict a,
+                            const float* __restrict b, float alpha,
+                            float* __restrict c, std::size_t ldc,
+                            std::size_t mr_eff, std::size_t nr_eff) {
+  typedef float VF __attribute__((vector_size(W), aligned(4), may_alias));
+  constexpr int kLanes = W / static_cast<int>(sizeof(float));
+  constexpr int NV = NR / kLanes;
+  static_assert(NR % kLanes == 0, "NR must be a multiple of the lane count");
+
+  VF acc[MR][NV];
+  for (int i = 0; i < MR; ++i) {
+    for (int v = 0; v < NV; ++v) acc[i][v] = VF{};
+  }
+
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* __restrict ap = a + p * MR;
+    const float* __restrict bp = b + p * NR;
+    VF bv[NV];
+    for (int v = 0; v < NV; ++v) {
+      bv[v] = *reinterpret_cast<const VF*>(bp + v * kLanes);
+    }
+    for (int i = 0; i < MR; ++i) {
+      const VF av = VF{} + ap[i];  // scalar broadcast
+      for (int v = 0; v < NV; ++v) acc[i][v] += av * bv[v];
+    }
+  }
+
+  if (mr_eff == static_cast<std::size_t>(MR) &&
+      nr_eff == static_cast<std::size_t>(NR)) {
+    // Full tile: vector read-modify-write of the C rows.
+    for (int i = 0; i < MR; ++i) {
+      float* crow = c + static_cast<std::size_t>(i) * ldc;
+      for (int v = 0; v < NV; ++v) {
+        VF cv = *reinterpret_cast<const VF*>(crow + v * kLanes);
+        cv += alpha * acc[i][v];
+        *reinterpret_cast<VF*>(crow + v * kLanes) = cv;
+      }
+    }
+  } else {
+    // Edge tile: spill the accumulators once, write the valid corner.
+    float buf[MR * NR];
+    for (int i = 0; i < MR; ++i) {
+      std::memcpy(buf + i * NR, &acc[i][0], sizeof(float) * NR);
+    }
+    for (std::size_t i = 0; i < mr_eff; ++i) {
+      float* crow = c + i * ldc;
+      for (std::size_t j = 0; j < nr_eff; ++j) {
+        crow[j] += alpha * buf[i * static_cast<std::size_t>(NR) + j];
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlion::tensor::detail

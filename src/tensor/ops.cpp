@@ -1,114 +1,209 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
 
+#include "common/scratch.h"
 #include "common/thread_pool.h"
+#include "tensor/gemm_kernel.h"
+#include "tensor/gemm_ref.h"
 
 namespace dlion::tensor {
 
 namespace {
-// Above this many FLOPs, the row-disjoint kernels fan out over the global
-// thread pool. Rows are processed independently and each row's additions
-// keep their serial order, so results are bit-identical at any thread count.
+// ---------------------------------------------------------------------------
+// Blocked, packed GEMM (GotoBLAS/BLIS decomposition).
+//
+//   for jc (NC columns of C)            - B panel selection
+//     for pc (KC of the k dimension)    - FIXED serial order => determinism
+//       pack B(kc x nc) into NR strips  - L2/L3-resident, shared, read-only
+//       for ic (MC rows, PARALLEL)      - disjoint C rows per task
+//         pack A(mc x kc) into MR strips (thread-local arena)
+//         for jr (NR strips)            - B strip stays L1-resident
+//           for ir (MR strips)          - micro-kernel: registers only
+//
+// Each C element is accumulated by exactly one task per (jc, pc) step, the
+// pc loop runs in a fixed serial order with a barrier (parallel_for joins),
+// and the micro-kernel's p-loop order is fixed, so the floating-point
+// addition order per C element never depends on the thread count. That is
+// the whole determinism argument - see DESIGN.md "Numeric kernels".
+// ---------------------------------------------------------------------------
+
+// Cache blocking. KC*NR floats of B strip (16 KiB at NR=16) stay L1 while a
+// full A panel streams; MC*KC floats of packed A (~120 KiB) target L2; the
+// packed B panel (KC*NC = 256 KiB) targets L2/L3. MC is a multiple of both
+// micro-kernel MR values (4 and 6), NC of both NR values (8 and 16).
+constexpr std::size_t kKC = 256;
+constexpr std::size_t kMC = 120;
+constexpr std::size_t kNC = 256;
+
+// Below this many multiply-adds the packing overhead is not worth it; the
+// naive reference kernels run serially instead. The cutoff depends only on
+// the problem shape, never on the thread count, so it cannot break
+// determinism.
+constexpr std::size_t kPackedMulAddThreshold = 1u << 19;  // 512K mul-adds
+
+// Above this many FLOPs the packed driver fans out row blocks over the
+// global thread pool (kept from the pre-blocking kernels).
 constexpr double kParallelFlopThreshold = 8e6;
 
-// One output row of the non-transposed kernel: C.row(i) += alpha *
-// A.row(i) * B, jp order so the innermost loop streams through B and C.
-inline void gemm_nn_row(std::size_t i, std::size_t n, std::size_t k,
-                        float alpha, const float* a, const float* b,
-                        float* c) {
-  for (std::size_t p = 0; p < k; ++p) {
-    const float av = alpha * a[i * k + p];
-    if (av == 0.0f) continue;
-    const float* brow = b + p * n;
-    float* crow = c + i * n;
-    for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-  }
+std::atomic<bool> g_gemm_parallel{true};
+
+inline std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
 }
 
-void gemm_nn(std::size_t m, std::size_t n, std::size_t k, float alpha,
-             const float* a, const float* b, float* c) {
-  const double flops = 2.0 * static_cast<double>(m) * n * k;
-  if (flops > kParallelFlopThreshold) {
-    common::ThreadPool::global().parallel_for(
-        0, m, [=](std::size_t i) { gemm_nn_row(i, n, k, alpha, a, b, c); },
-        /*grain=*/4);
-  } else {
-    for (std::size_t i = 0; i < m; ++i) gemm_nn_row(i, n, k, alpha, a, b, c);
-  }
-}
-
-inline void gemm_nt_row(std::size_t i, std::size_t n, std::size_t k,
-                        float alpha, const float* a, const float* b,
-                        float* c) {
-  const float* arow = a + i * k;
-  for (std::size_t j = 0; j < n; ++j) {
-    const float* brow = b + j * k;
-    float acc = 0.0f;
-    for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-    c[i * n + j] += alpha * acc;
-  }
-}
-
-void gemm_nt(std::size_t m, std::size_t n, std::size_t k, float alpha,
-             const float* a, const float* b, float* c) {
-  // B is (n x k): C[i][j] += alpha * dot(A.row(i), B.row(j))
-  const double flops = 2.0 * static_cast<double>(m) * n * k;
-  if (flops > kParallelFlopThreshold) {
-    common::ThreadPool::global().parallel_for(
-        0, m, [=](std::size_t i) { gemm_nt_row(i, n, k, alpha, a, b, c); },
-        /*grain=*/4);
-  } else {
-    for (std::size_t i = 0; i < m; ++i) gemm_nt_row(i, n, k, alpha, a, b, c);
-  }
-}
-
-void gemm_tn(std::size_t m, std::size_t n, std::size_t k, float alpha,
-             const float* a, const float* b, float* c) {
-  // A is (k x m): C[i][j] += alpha * sum_p A[p][i] * B[p][j]
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* arow = a + p * m;
-    const float* brow = b + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = alpha * arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+// Pack the A block rows [i0, i0+mc) x k-cols [p0, p0+kc) into MR strips:
+// dst[strip][(p * MR) + i] = A(i0 + strip*MR + i, p0 + p), zero-padded to a
+// full strip. A is (m x k) row-major, or (k x m) when trans_a.
+void pack_a(const float* a, bool trans_a, std::size_t m, std::size_t k,
+            std::size_t i0, std::size_t mc, std::size_t p0, std::size_t kc,
+            std::size_t mr_tile, float* dst) {
+  for (std::size_t strip = 0; strip < mc; strip += mr_tile) {
+    const std::size_t mr = std::min(mr_tile, mc - strip);
+    if (!trans_a) {
+      // Rows of A are contiguous in p: copy row by row into the strided
+      // strip layout (write stride = mr_tile, a small constant).
+      for (std::size_t i = 0; i < mr; ++i) {
+        const float* src = a + (i0 + strip + i) * k + p0;
+        for (std::size_t p = 0; p < kc; ++p) dst[p * mr_tile + i] = src[p];
+      }
+    } else {
+      // A is (k x m): for fixed p the i-run is contiguous in memory.
+      for (std::size_t p = 0; p < kc; ++p) {
+        const float* src = a + (p0 + p) * m + i0 + strip;
+        float* d = dst + p * mr_tile;
+        for (std::size_t i = 0; i < mr; ++i) d[i] = src[i];
+      }
     }
+    if (mr < mr_tile) {
+      for (std::size_t p = 0; p < kc; ++p) {
+        for (std::size_t i = mr; i < mr_tile; ++i) dst[p * mr_tile + i] = 0.0f;
+      }
+    }
+    dst += kc * mr_tile;
   }
 }
 
-void gemm_tt(std::size_t m, std::size_t n, std::size_t k, float alpha,
-             const float* a, const float* b, float* c) {
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += a[p * m + i] * b[j * k + p];
-      c[i * n + j] += alpha * acc;
+// Pack the B block k-rows [p0, p0+kc) x cols [j0, j0+nc) into NR strips:
+// dst[strip][(p * NR) + j] = B(p0 + p, j0 + strip*NR + j), zero-padded.
+// B is (k x n) row-major, or (n x k) when trans_b.
+void pack_b(const float* b, bool trans_b, std::size_t k, std::size_t n,
+            std::size_t p0, std::size_t kc, std::size_t j0, std::size_t nc,
+            std::size_t nr_tile, float* dst) {
+  for (std::size_t strip = 0; strip < nc; strip += nr_tile) {
+    const std::size_t nr = std::min(nr_tile, nc - strip);
+    if (!trans_b) {
+      // Contiguous j-runs for fixed p: contiguous reads AND writes.
+      for (std::size_t p = 0; p < kc; ++p) {
+        const float* src = b + (p0 + p) * n + j0 + strip;
+        float* d = dst + p * nr_tile;
+        for (std::size_t j = 0; j < nr; ++j) d[j] = src[j];
+        for (std::size_t j = nr; j < nr_tile; ++j) d[j] = 0.0f;
+      }
+    } else {
+      // B is (n x k): rows of B are contiguous in p.
+      for (std::size_t j = 0; j < nr; ++j) {
+        const float* src = b + (j0 + strip + j) * k + p0;
+        for (std::size_t p = 0; p < kc; ++p) dst[p * nr_tile + j] = src[p];
+      }
+      if (nr < nr_tile) {
+        for (std::size_t p = 0; p < kc; ++p) {
+          for (std::size_t j = nr; j < nr_tile; ++j) {
+            dst[p * nr_tile + j] = 0.0f;
+          }
+        }
+      }
+    }
+    dst += kc * nr_tile;
+  }
+}
+
+// Packed driver. beta has already been applied to C by gemm().
+void gemm_packed(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                 std::size_t k, float alpha, const float* a, const float* b,
+                 float* c) {
+  const detail::MicroKernel& mk = detail::active_micro_kernel();
+  const std::size_t mr_tile = mk.mr;
+  const std::size_t nr_tile = mk.nr;
+
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  const bool parallel = g_gemm_parallel.load(std::memory_order_relaxed) &&
+                        flops > kParallelFlopThreshold;
+
+  common::ScratchArena& arena = common::ScratchArena::tls();
+  const std::size_t num_ic = ceil_div(m, kMC);
+
+  for (std::size_t jc = 0; jc < n; jc += kNC) {
+    const std::size_t nc = std::min(kNC, n - jc);
+    const std::size_t b_strips = ceil_div(nc, nr_tile);
+    for (std::size_t pc = 0; pc < k; pc += kKC) {
+      const std::size_t kc = std::min(kKC, k - pc);
+      common::ScratchArena::Scope scope(arena);
+      float* bpanel = arena.alloc_floats(b_strips * kc * nr_tile);
+      pack_b(b, trans_b, k, n, pc, kc, jc, nc, nr_tile, bpanel);
+
+      auto process_row_block = [&](std::size_t ic_index) {
+        const std::size_t ic = ic_index * kMC;
+        const std::size_t mc = std::min(kMC, m - ic);
+        const std::size_t a_strips = ceil_div(mc, mr_tile);
+        // Each executing thread packs into its own arena, so parallel row
+        // blocks never contend (the caller's arena simply nests a scope).
+        common::ScratchArena& task_arena = common::ScratchArena::tls();
+        common::ScratchArena::Scope task_scope(task_arena);
+        float* apanel = task_arena.alloc_floats(a_strips * kc * mr_tile);
+        pack_a(a, trans_a, m, k, ic, mc, pc, kc, mr_tile, apanel);
+
+        for (std::size_t jr = 0; jr < nc; jr += nr_tile) {
+          const float* bstrip = bpanel + (jr / nr_tile) * kc * nr_tile;
+          const std::size_t nr_eff = std::min(nr_tile, nc - jr);
+          for (std::size_t ir = 0; ir < mc; ir += mr_tile) {
+            const float* astrip = apanel + (ir / mr_tile) * kc * mr_tile;
+            mk.tile(kc, astrip, bstrip, alpha, c + (ic + ir) * n + jc + jr, n,
+                    std::min(mr_tile, mc - ir), nr_eff);
+          }
+        }
+      };
+
+      if (parallel && num_ic > 1) {
+        common::ThreadPool::global().parallel_for(0, num_ic,
+                                                  process_row_block,
+                                                  /*grain=*/1);
+      } else {
+        for (std::size_t i = 0; i < num_ic; ++i) process_row_block(i);
+      }
     }
   }
 }
 }  // namespace
 
+bool set_gemm_parallel(bool enabled) {
+  return g_gemm_parallel.exchange(enabled, std::memory_order_relaxed);
+}
+
+const char* gemm_kernel_name() { return detail::active_micro_kernel().name; }
+
 void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
           std::size_t k, float alpha, const float* a, const float* b,
           float beta, float* c) {
+  if (m == 0 || n == 0) return;
   if (beta == 0.0f) {
     std::memset(c, 0, m * n * sizeof(float));
   } else if (beta != 1.0f) {
-    for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+    scale(beta, std::span<float>(c, m * n));
   }
-  if (!trans_a && !trans_b) {
-    gemm_nn(m, n, k, alpha, a, b, c);
-  } else if (!trans_a && trans_b) {
-    gemm_nt(m, n, k, alpha, a, b, c);
-  } else if (trans_a && !trans_b) {
-    gemm_tn(m, n, k, alpha, a, b, c);
-  } else {
-    gemm_tt(m, n, k, alpha, a, b, c);
+  if (k == 0 || alpha == 0.0f) return;
+
+  if (m * n * k < kPackedMulAddThreshold) {
+    // Small problems: packing overhead dominates, use the naive kernels
+    // (beta already applied above).
+    reference_gemm(trans_a, trans_b, m, n, k, alpha, a, b, 1.0f, c);
+    return;
   }
+  gemm_packed(trans_a, trans_b, m, n, k, alpha, a, b, c);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -124,26 +219,75 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return c;
 }
 
+// ---------------------------------------------------------------------------
+// Vector kernels. These run over full model-sized vectors every training
+// step (weighted_update, the optimizers, Max-N selection), so they are
+// written restrict-qualified with 4-way unrolling to keep the
+// auto-vectorizer engaged even at moderate optimization levels. Partial
+// accumulators are combined in a fixed order, so results are deterministic
+// (though not bit-identical to the pre-unroll single-accumulator loops).
+// ---------------------------------------------------------------------------
+
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  const float* __restrict xp = x.data();
+  float* __restrict yp = y.data();
+  const std::size_t n = x.size();
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    yp[i + 0] += alpha * xp[i + 0];
+    yp[i + 1] += alpha * xp[i + 1];
+    yp[i + 2] += alpha * xp[i + 2];
+    yp[i + 3] += alpha * xp[i + 3];
+  }
+  for (std::size_t i = n4; i < n; ++i) yp[i] += alpha * xp[i];
 }
 
 void scale(float alpha, std::span<float> x) {
-  for (float& v : x) v *= alpha;
+  float* __restrict xp = x.data();
+  const std::size_t n = x.size();
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    xp[i + 0] *= alpha;
+    xp[i + 1] *= alpha;
+    xp[i + 2] *= alpha;
+    xp[i + 3] *= alpha;
+  }
+  for (std::size_t i = n4; i < n; ++i) xp[i] *= alpha;
 }
 
 double sum(std::span<const float> x) {
-  double s = 0;
-  for (float v : x) s += v;
+  const float* __restrict xp = x.data();
+  const std::size_t n = x.size();
+  const std::size_t n4 = n & ~std::size_t{3};
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::size_t i = 0; i < n4; i += 4) {
+    s0 += xp[i + 0];
+    s1 += xp[i + 1];
+    s2 += xp[i + 2];
+    s3 += xp[i + 3];
+  }
+  double s = (s0 + s2) + (s1 + s3);
+  for (std::size_t i = n4; i < n; ++i) s += xp[i];
   return s;
 }
 
 double dot(std::span<const float> x, std::span<const float> y) {
   if (x.size() != y.size()) throw std::invalid_argument("dot: size mismatch");
-  double s = 0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    s += static_cast<double>(x[i]) * y[i];
+  const float* __restrict xp = x.data();
+  const float* __restrict yp = y.data();
+  const std::size_t n = x.size();
+  const std::size_t n4 = n & ~std::size_t{3};
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::size_t i = 0; i < n4; i += 4) {
+    s0 += static_cast<double>(xp[i + 0]) * yp[i + 0];
+    s1 += static_cast<double>(xp[i + 1]) * yp[i + 1];
+    s2 += static_cast<double>(xp[i + 2]) * yp[i + 2];
+    s3 += static_cast<double>(xp[i + 3]) * yp[i + 3];
+  }
+  double s = (s0 + s2) + (s1 + s3);
+  for (std::size_t i = n4; i < n; ++i) {
+    s += static_cast<double>(xp[i]) * yp[i];
   }
   return s;
 }
@@ -151,11 +295,18 @@ double dot(std::span<const float> x, std::span<const float> y) {
 double l2_norm(std::span<const float> x) { return std::sqrt(dot(x, x)); }
 
 float max_abs(std::span<const float> x) {
-  float m = 0.0f;
-  for (float v : x) {
-    const float a = std::fabs(v);
-    if (a > m) m = a;
+  const float* __restrict xp = x.data();
+  const std::size_t n = x.size();
+  const std::size_t n4 = n & ~std::size_t{3};
+  float m0 = 0.0f, m1 = 0.0f, m2 = 0.0f, m3 = 0.0f;
+  for (std::size_t i = 0; i < n4; i += 4) {
+    m0 = std::max(m0, std::fabs(xp[i + 0]));
+    m1 = std::max(m1, std::fabs(xp[i + 1]));
+    m2 = std::max(m2, std::fabs(xp[i + 2]));
+    m3 = std::max(m3, std::fabs(xp[i + 3]));
   }
+  float m = std::max(std::max(m0, m2), std::max(m1, m3));
+  for (std::size_t i = n4; i < n; ++i) m = std::max(m, std::fabs(xp[i]));
   return m;
 }
 
@@ -164,10 +315,68 @@ void add_bias_rows(Tensor& m_by_n, const Tensor& bias) {
     throw std::invalid_argument("add_bias_rows: shape mismatch");
   }
   const std::size_t rows = m_by_n.shape()[0], cols = m_by_n.shape()[1];
+  const float* __restrict bp = bias.data();
   for (std::size_t r = 0; r < rows; ++r) {
-    float* row = m_by_n.data() + r * cols;
-    for (std::size_t c = 0; c < cols; ++c) row[c] += bias[c];
+    float* __restrict row = m_by_n.data() + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) row[c] += bp[c];
   }
+}
+
+void add_bias_rows_relu(float* data, std::size_t rows, std::size_t cols,
+                        const float* bias, float* mask) {
+  const float* __restrict bp = bias;
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* __restrict row = data + r * cols;
+    float* __restrict mrow = mask + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float v = row[c] + bp[c];
+      const bool pos = v > 0.0f;
+      row[c] = pos ? v : 0.0f;
+      mrow[c] = pos ? 1.0f : 0.0f;
+    }
+  }
+}
+
+void add_bias_channels(float* data, std::size_t images, std::size_t channels,
+                       std::size_t plane, const float* bias) {
+  for (std::size_t i = 0; i < images; ++i) {
+    for (std::size_t ch = 0; ch < channels; ++ch) {
+      float* __restrict p = data + (i * channels + ch) * plane;
+      const float b = bias[ch];
+      for (std::size_t x = 0; x < plane; ++x) p[x] += b;
+    }
+  }
+}
+
+void add_bias_channels_relu(float* data, std::size_t images,
+                            std::size_t channels, std::size_t plane,
+                            const float* bias, float* mask) {
+  for (std::size_t i = 0; i < images; ++i) {
+    for (std::size_t ch = 0; ch < channels; ++ch) {
+      const std::size_t off = (i * channels + ch) * plane;
+      float* __restrict p = data + off;
+      float* __restrict mp = mask + off;
+      const float b = bias[ch];
+      for (std::size_t x = 0; x < plane; ++x) {
+        const float v = p[x] + b;
+        const bool pos = v > 0.0f;
+        p[x] = pos ? v : 0.0f;
+        mp[x] = pos ? 1.0f : 0.0f;
+      }
+    }
+  }
+}
+
+void apply_mask(const float* grad, const float* mask, float* dst,
+                std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    dst[i + 0] = grad[i + 0] * mask[i + 0];
+    dst[i + 1] = grad[i + 1] * mask[i + 1];
+    dst[i + 2] = grad[i + 2] * mask[i + 2];
+    dst[i + 3] = grad[i + 3] * mask[i + 3];
+  }
+  for (std::size_t i = n4; i < n; ++i) dst[i] = grad[i] * mask[i];
 }
 
 void im2col(const float* img, std::size_t channels, std::size_t height,

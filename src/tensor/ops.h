@@ -1,5 +1,11 @@
 // Numeric kernels over Tensor: GEMM, elementwise ops, reductions, and the
 // im2col/col2im transforms used by the convolution layers.
+//
+// GEMM is a cache-blocked, panel-packed implementation driving a
+// register-tiled micro-kernel (see DESIGN.md "Numeric kernels" for the
+// blocking scheme and the determinism policy). All four transpose variants
+// share the packed path, which parallelizes over row blocks on the global
+// thread pool while staying bit-deterministic at any thread count.
 #pragma once
 
 #include <cstddef>
@@ -11,9 +17,23 @@ namespace dlion::tensor {
 
 /// C = alpha * op(A) * op(B) + beta * C, row-major.
 /// A is (m x k) if !trans_a else (k x m); B is (k x n) if !trans_b else (n x k).
+///
+/// Deterministic: for a fixed host and build, the result is bit-identical
+/// across runs and thread counts (fixed k-blocking order, one writer per C
+/// element). Bit-compatibility with the pre-blocking kernels or across
+/// hosts with different vector ISAs is NOT promised; see reference_gemm in
+/// gemm_ref.h for the conformance oracle.
 void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
           std::size_t k, float alpha, const float* a, const float* b,
           float beta, float* c);
+
+/// Testing/bench hook: enable/disable the GEMM thread-pool fan-out.
+/// Returns the previous setting. Results are bit-identical either way (that
+/// is what the determinism tests assert); this only trades wall-clock.
+bool set_gemm_parallel(bool enabled);
+
+/// Name of the active GEMM micro-kernel (e.g. "avx2-6x16", "portable-4x8").
+const char* gemm_kernel_name();
 
 /// out = A * B for rank-2 tensors; shapes checked.
 Tensor matmul(const Tensor& a, const Tensor& b);
@@ -33,6 +53,29 @@ float max_abs(std::span<const float> x);
 
 /// Add row vector `bias` (length n) to each row of matrix `m_by_n`.
 void add_bias_rows(Tensor& m_by_n, const Tensor& bias);
+
+/// Fused epilogue for dense layers: data[r*cols + c] += bias[c], then ReLU
+/// in place, recording mask[i] = 1.0f where the post-bias value was > 0 and
+/// 0.0f elsewhere. Bit-identical to add_bias_rows followed by a separate
+/// ReLU pass, but touches the activation matrix once.
+void add_bias_rows_relu(float* data, std::size_t rows, std::size_t cols,
+                        const float* bias, float* mask);
+
+/// Add bias[ch] to each element of the (images x channels x plane) conv
+/// activation block (plane = out_h * out_w).
+void add_bias_channels(float* data, std::size_t images, std::size_t channels,
+                       std::size_t plane, const float* bias);
+
+/// Fused conv epilogue: add_bias_channels + in-place ReLU + mask, single
+/// pass (mask layout matches data).
+void add_bias_channels_relu(float* data, std::size_t images,
+                            std::size_t channels, std::size_t plane,
+                            const float* bias, float* mask);
+
+/// dst[i] = grad[i] * mask[i] (ReLU backward for the fused layers). `dst`
+/// may alias `grad`.
+void apply_mask(const float* grad, const float* mask, float* dst,
+                std::size_t n);
 
 /// im2col for NCHW input: expands (C, H, W) patches of one image into a
 /// matrix of shape (C*kh*kw, out_h*out_w) for GEMM-based convolution.

@@ -1,0 +1,114 @@
+#include "common/scratch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+namespace dlion::common {
+namespace {
+
+bool aligned64(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % ScratchArena::kAlignment == 0;
+}
+
+TEST(ScratchArena, AllocationsAreAligned) {
+  ScratchArena arena;
+  for (std::size_t n : {1u, 7u, 63u, 64u, 65u, 1000u}) {
+    EXPECT_TRUE(aligned64(arena.alloc_bytes(n))) << n;
+  }
+  EXPECT_TRUE(aligned64(arena.alloc_floats(33)));
+}
+
+TEST(ScratchArena, ScopeRewindReusesMemory) {
+  ScratchArena arena;
+  float* first = nullptr;
+  {
+    ScratchArena::Scope scope(arena);
+    first = arena.alloc_floats(128);
+    first[0] = 42.0f;
+  }
+  // After the scope dies the same bytes are handed out again - the arena
+  // retains capacity instead of freeing.
+  const std::size_t cap = arena.capacity_bytes();
+  {
+    ScratchArena::Scope scope(arena);
+    float* again = arena.alloc_floats(128);
+    EXPECT_EQ(first, again);
+  }
+  EXPECT_EQ(cap, arena.capacity_bytes());
+  EXPECT_EQ(0u, arena.bytes_in_use());
+}
+
+TEST(ScratchArena, NestedScopesRewindToTheirOwnMark) {
+  ScratchArena arena;
+  ScratchArena::Scope outer(arena);
+  arena.alloc_bytes(256);
+  const std::size_t outer_used = arena.bytes_in_use();
+  {
+    ScratchArena::Scope inner(arena);
+    arena.alloc_bytes(512);
+    EXPECT_GT(arena.bytes_in_use(), outer_used);
+  }
+  EXPECT_EQ(outer_used, arena.bytes_in_use());
+}
+
+TEST(ScratchArena, GrowsAcrossBlocksAndRetainsCapacity) {
+  ScratchArena arena;
+  {
+    ScratchArena::Scope scope(arena);
+    // Force growth past the initial block.
+    arena.alloc_bytes(ScratchArena::kMinBlockBytes / 2);
+    arena.alloc_bytes(ScratchArena::kMinBlockBytes);
+    arena.alloc_bytes(4 * ScratchArena::kMinBlockBytes);
+  }
+  const std::size_t cap = arena.capacity_bytes();
+  EXPECT_GE(cap, 5 * ScratchArena::kMinBlockBytes);
+  {
+    // A second pass of the same sizes must not grow further.
+    ScratchArena::Scope scope(arena);
+    arena.alloc_bytes(ScratchArena::kMinBlockBytes / 2);
+    arena.alloc_bytes(ScratchArena::kMinBlockBytes);
+    arena.alloc_bytes(4 * ScratchArena::kMinBlockBytes);
+    EXPECT_EQ(cap, arena.capacity_bytes());
+  }
+}
+
+TEST(ScratchArena, OversizedRequestGetsDedicatedBlock) {
+  ScratchArena arena;
+  const std::size_t big = 3 * ScratchArena::kMinBlockBytes + 1;
+  void* p = arena.alloc_bytes(big);
+  EXPECT_TRUE(aligned64(p));
+  EXPECT_GE(arena.capacity_bytes(), big);
+}
+
+TEST(ScratchArena, TlsIsPerThread) {
+  ScratchArena* main_arena = &ScratchArena::tls();
+  ScratchArena* other_arena = nullptr;
+  std::thread t([&] { other_arena = &ScratchArena::tls(); });
+  t.join();
+  EXPECT_NE(main_arena, nullptr);
+  EXPECT_NE(main_arena, other_arena);
+}
+
+TEST(ScratchBuffer, EnsureGrowsOnceThenReuses) {
+  ScratchBuffer buf;
+  float* p1 = buf.ensure(100);
+  EXPECT_TRUE(aligned64(p1));
+  p1[99] = 7.0f;
+  EXPECT_EQ(100u, buf.size());
+  // Same or smaller size: same storage, contents retained.
+  float* p2 = buf.ensure(50);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(50u, buf.size());
+  float* p3 = buf.ensure(100);
+  EXPECT_EQ(p1, p3);
+  EXPECT_EQ(7.0f, p3[99]);
+  // Growth reallocates.
+  const std::size_t cap = buf.capacity();
+  (void)buf.ensure(cap + 1);
+  EXPECT_GT(buf.capacity(), cap);
+}
+
+}  // namespace
+}  // namespace dlion::common

@@ -1,0 +1,129 @@
+// Tests for the fused selection paths: the single-pass select_max_n must
+// match the obvious two-pass semantics exactly, and the magnitude-sharing
+// *_mags variants must agree with their rescanning counterparts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/gradient_select.h"
+#include "tensor/ops.h"
+
+namespace dlion::core {
+namespace {
+
+std::vector<float> random_grad(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<float> g(n);
+  for (auto& x : g) x = static_cast<float>(rng.normal(0.0, 0.5));
+  return g;
+}
+
+/// Obviously-correct two-pass Max N used as the oracle for the fused pass.
+comm::VariableGrad two_pass_max_n(std::span<const float> grad, double n) {
+  comm::VariableGrad v;
+  v.var_index = 0;
+  v.dense_size = static_cast<std::uint32_t>(grad.size());
+  const float mx = tensor::max_abs(grad);
+  const double thr = max_n_threshold(n, mx);
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (std::fabs(grad[i]) >= thr) {
+      v.indices.push_back(static_cast<std::uint32_t>(i));
+      v.values.push_back(grad[i]);
+    }
+  }
+  return v;
+}
+
+TEST(SelectMaxNFused, MatchesTwoPassOracle) {
+  for (std::size_t size : {1u, 7u, 100u, 5000u}) {
+    for (double n : {0.5, 1.0, 10.0, 50.0, 99.0}) {
+      const auto grad = random_grad(size, size * 31 + 1);
+      const auto fused = select_max_n(grad, 0, n);
+      const auto oracle = two_pass_max_n(grad, n);
+      ASSERT_EQ(oracle.indices, fused.indices) << "size=" << size
+                                               << " n=" << n;
+      ASSERT_EQ(oracle.values, fused.values) << "size=" << size << " n=" << n;
+    }
+  }
+}
+
+TEST(SelectMaxNFused, AscendingMagnitudesStressCompaction) {
+  // Worst case for the running-max candidate buffer: every element raises
+  // the max, so every element is a candidate when visited and almost all
+  // are pruned by the end.
+  std::vector<float> grad(4096);
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    grad[i] = static_cast<float>(i) * (i % 2 == 0 ? 1.0f : -1.0f);
+  }
+  const auto fused = select_max_n(grad, 0, 1.0);
+  const auto oracle = two_pass_max_n(grad, 1.0);
+  ASSERT_EQ(oracle.indices, fused.indices);
+  ASSERT_EQ(oracle.values, fused.values);
+}
+
+TEST(SelectMaxNFused, AllZerosSelectsEverything) {
+  std::vector<float> grad(17, 0.0f);
+  const auto v = select_max_n(grad, 3, 1.0);
+  EXPECT_EQ(17u, v.indices.size());
+  EXPECT_EQ(3u, v.var_index);
+}
+
+TEST(Magnitudes, FusedPassMatchesMaxAbs) {
+  const auto grad = random_grad(1234, 9);
+  std::vector<float> mags;
+  const float mx = magnitudes(grad, mags);
+  EXPECT_EQ(tensor::max_abs(grad), mx);
+  ASSERT_EQ(grad.size(), mags.size());
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    ASSERT_EQ(std::fabs(grad[i]), mags[i]);
+  }
+}
+
+TEST(CountMaxNMags, MatchesCountMaxN) {
+  const auto grad = random_grad(2000, 17);
+  std::vector<float> mags;
+  const float mx = magnitudes(grad, mags);
+  for (double n : {0.5, 5.0, 50.0, 100.0}) {
+    EXPECT_EQ(count_max_n(grad, n), count_max_n_mags(mags, mx, n)) << n;
+  }
+}
+
+TEST(SelectTopKMags, MatchesSelectTopKAndReportsThreshold) {
+  const auto grad = random_grad(500, 23);
+  std::vector<float> mags;
+  const float mx = magnitudes(grad, mags);
+  for (std::size_t k : {1u, 10u, 250u, 499u}) {
+    const auto plain = select_top_k(grad, 1, k);
+    float kth = -1.0f;
+    const auto fused = select_top_k_mags(grad, mags, 1, k, &kth);
+    ASSERT_EQ(plain.indices, fused.indices) << k;
+    ASSERT_EQ(plain.values, fused.values) << k;
+    // kth magnitude is the min magnitude of the selected set, and the
+    // equivalent-N derived from it matches the rescanning equivalent_n.
+    float mn = 3.4e38f;
+    for (float v : fused.values) mn = std::min(mn, std::fabs(v));
+    EXPECT_EQ(mn, kth) << k;
+    EXPECT_DOUBLE_EQ(equivalent_n(grad, k),
+                     equivalent_n_from_threshold(mx, kth))
+        << k;
+  }
+}
+
+TEST(SelectTopKMags, DenseAndEmptyEdges) {
+  const auto grad = random_grad(8, 29);
+  std::vector<float> mags;
+  magnitudes(grad, mags);
+  const auto dense = select_top_k_mags(grad, mags, 2, 8);
+  EXPECT_TRUE(dense.indices.empty());  // dense representation
+  EXPECT_EQ(8u, dense.values.size());
+  const auto none = select_top_k_mags(grad, mags, 2, 0);
+  EXPECT_TRUE(none.indices.empty());
+  EXPECT_TRUE(none.values.empty());
+}
+
+}  // namespace
+}  // namespace dlion::core

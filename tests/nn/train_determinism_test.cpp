@@ -1,0 +1,75 @@
+// End-to-end training determinism: the weights after K SGD steps on the
+// cipher CNN must be bit-identical regardless of the thread-pool size and
+// of whether the GEMM fan-out is enabled. This is the model-level half of
+// the GEMM determinism contract (see tensor/gemm_conformance_test.cpp for
+// the kernel-level half), and what lets DLION_THREADS be a pure wall-clock
+// knob for experiments.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "nn/model_zoo.h"
+#include "tensor/ops.h"
+
+namespace dlion::nn {
+namespace {
+
+std::vector<float> train_weights(int steps) {
+  common::Rng rng(17);
+  auto bm = make_cipher_cnn(rng);
+  const std::size_t batch = 8;
+  tensor::Tensor images(tensor::Shape{batch, 1, 28, 28});
+  std::vector<std::int32_t> labels(batch);
+  for (auto& x : images.span()) {
+    x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  for (auto& l : labels) {
+    l = static_cast<std::int32_t>(rng.uniform_int(0, 9));
+  }
+  for (int i = 0; i < steps; ++i) {
+    bm.model.compute_gradients(images, labels);
+    bm.model.sgd_step(0.05f);
+  }
+  std::vector<float> flat;
+  for (auto* var : bm.model.variables()) {
+    const auto s = var->value().span();
+    flat.insert(flat.end(), s.begin(), s.end());
+  }
+  return flat;
+}
+
+void expect_same_weights(const std::vector<float>& a,
+                         const std::vector<float>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)))
+      << what;
+}
+
+TEST(TrainDeterminism, BitIdenticalAcrossThreadPoolSizes) {
+  constexpr int kSteps = 3;
+  common::ThreadPool::reset_global_for_testing(1);
+  const auto serial = train_weights(kSteps);
+  common::ThreadPool::reset_global_for_testing(4);
+  const auto four = train_weights(kSteps);
+  common::ThreadPool::reset_global_for_testing(0);  // pool default
+  const auto pool_default = train_weights(kSteps);
+  expect_same_weights(serial, four, "1 vs 4 threads");
+  expect_same_weights(serial, pool_default, "1 vs default threads");
+}
+
+TEST(TrainDeterminism, BitIdenticalWithGemmFanOutDisabled) {
+  constexpr int kSteps = 2;
+  const bool prev = tensor::set_gemm_parallel(false);
+  const auto serial = train_weights(kSteps);
+  tensor::set_gemm_parallel(true);
+  const auto pooled = train_weights(kSteps);
+  tensor::set_gemm_parallel(prev);
+  expect_same_weights(serial, pooled, "gemm fan-out off vs on");
+}
+
+}  // namespace
+}  // namespace dlion::nn
