@@ -1,0 +1,90 @@
+// Global allocation hook shared by benches that report allocation counts:
+// replaces the global operator new/delete with counting versions. The
+// counters are off until enabled, so program startup and untracked phases
+// cost one relaxed atomic load per allocation.
+//
+// IMPORTANT: this header *defines* the replaceable global allocation
+// functions (which must not be inline), so include it from exactly ONE
+// translation unit per binary -- the bench's main .cpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace benchalloc {
+
+inline std::atomic<bool> g_track{false};
+inline std::atomic<std::uint64_t> g_count{0};
+inline std::atomic<std::uint64_t> g_bytes{0};
+
+inline void note(std::size_t size) {
+  if (g_track.load(std::memory_order_relaxed)) {
+    g_count.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+}
+
+inline void* checked_malloc(std::size_t size) {
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  note(size);
+  return p;
+}
+
+inline void* checked_aligned(std::size_t size, std::size_t align) {
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size == 0 ? 1 : size) != 0) {
+    throw std::bad_alloc();
+  }
+  note(size);
+  return p;
+}
+
+/// Zero the counters and start tracking.
+inline void start() {
+  g_count.store(0);
+  g_bytes.store(0);
+  g_track.store(true);
+}
+
+struct Totals {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Stop tracking and return what was counted since start().
+inline Totals stop() {
+  g_track.store(false);
+  return Totals{g_count.load(), g_bytes.load()};
+}
+
+}  // namespace benchalloc
+
+// Replaceable global allocation functions (deliberately not inline; see the
+// header comment -- one TU per binary).
+void* operator new(std::size_t size) { return benchalloc::checked_malloc(size); }
+void* operator new[](std::size_t size) {
+  return benchalloc::checked_malloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return benchalloc::checked_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return benchalloc::checked_aligned(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

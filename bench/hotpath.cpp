@@ -29,62 +29,8 @@
 #include "tensor/gemm_ref.h"
 #include "tensor/ops.h"
 
-// ---------------------------------------------------------------------------
-// Global allocation hook: counts operator-new calls and requested bytes
-// while tracking is enabled. Used to measure allocations per training step.
-// ---------------------------------------------------------------------------
-
-namespace {
-std::atomic<bool> g_track_allocs{false};
-std::atomic<std::uint64_t> g_alloc_count{0};
-std::atomic<std::uint64_t> g_alloc_bytes{0};
-
-void note_alloc(std::size_t size) {
-  if (g_track_allocs.load(std::memory_order_relaxed)) {
-    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
-  }
-}
-
-void* checked_malloc(std::size_t size) {
-  if (size == 0) size = 1;
-  void* p = std::malloc(size);
-  if (p == nullptr) throw std::bad_alloc();
-  note_alloc(size);
-  return p;
-}
-
-void* checked_aligned(std::size_t size, std::size_t align) {
-  void* p = nullptr;
-  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
-                     size == 0 ? 1 : size) != 0) {
-    throw std::bad_alloc();
-  }
-  note_alloc(size);
-  return p;
-}
-}  // namespace
-
-void* operator new(std::size_t size) { return checked_malloc(size); }
-void* operator new[](std::size_t size) { return checked_malloc(size); }
-void* operator new(std::size_t size, std::align_val_t align) {
-  return checked_aligned(size, static_cast<std::size_t>(align));
-}
-void* operator new[](std::size_t size, std::align_val_t align) {
-  return checked_aligned(size, static_cast<std::size_t>(align));
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
+// Global allocation hook (defines operator new/delete; one TU per binary).
+#include "alloc_hook.h"
 
 namespace {
 
@@ -226,18 +172,16 @@ StepStats bench_training_step(int steps) {
   }
 
   std::vector<double> ms(static_cast<std::size_t>(steps));
-  g_alloc_count.store(0);
-  g_alloc_bytes.store(0);
-  g_track_allocs.store(true);
+  benchalloc::start();
   for (int i = 0; i < steps; ++i) {
     const auto t0 = Clock::now();
     bm.model.compute_gradients(images, labels);
     bm.model.sgd_step(0.01f);
     ms[static_cast<std::size_t>(i)] = seconds_since(t0) * 1e3;
   }
-  g_track_allocs.store(false);
-  const std::uint64_t allocs = g_alloc_count.load();
-  const std::uint64_t bytes = g_alloc_bytes.load();
+  const benchalloc::Totals totals = benchalloc::stop();
+  const std::uint64_t allocs = totals.count;
+  const std::uint64_t bytes = totals.bytes;
 
   std::sort(ms.begin(), ms.end());
   return {ms[ms.size() / 2], allocs / static_cast<std::uint64_t>(steps),

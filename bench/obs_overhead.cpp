@@ -1,23 +1,33 @@
 // Observability overhead bench: runs the same 6-worker DLion simulation
-// three ways -- no observer attached, observer attached but runtime-disabled,
-// observer enabled -- and reports the wall-clock cost of instrumentation.
+// four ways -- no observer attached, observer attached but runtime-disabled,
+// enabled without causal tracing, fully enabled (spans + flows + apply
+// anchors) -- and reports the wall-clock and allocation cost of each layer.
 //
-// The three configurations must produce bit-identical simulation results
+// All four configurations must produce bit-identical simulation results
 // (iterations, bytes, accuracy): recording never draws randomness and never
 // schedules events, so this bench doubles as a determinism check. With
-// --csv-dir=<dir> the enabled run's artifacts (Chrome trace, metrics
-// JSON/CSV, telemetry summary) are exported for inspection.
+// --out=PATH a machine-readable BENCH_obs.json is written (fixed key order;
+// only the timing fields vary run-to-run -- event counts, metric series,
+// and the `identical` flag are deterministic). With --csv-dir=<dir> the
+// enabled run's artifacts (Chrome trace, metrics JSON/CSV, telemetry
+// summary, critical-path report) are exported for inspection.
 //
 // Usage: obs_overhead [--scale=bench|paper] [--env="Hetero SYS A"]
-//                     [--timing-reps=5] [--csv-dir=out]
+//                     [--timing-reps=5] [--out=BENCH_obs.json] [--csv-dir=out]
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/table.h"
+#include "obs/critical_path.h"
 #include "obs/obs.h"
+
+// Global allocation hook (defines operator new/delete; one TU per binary).
+#include "alloc_hook.h"
 
 namespace {
 
@@ -28,6 +38,8 @@ struct Timed {
   double best_ms = 0.0;
   std::uint64_t trace_events = 0;
   std::size_t metric_series = 0;
+  std::uint64_t allocs = 0;  ///< operator-new calls in the fastest rep
+  std::uint64_t alloc_bytes = 0;
 };
 
 double ms_since(std::chrono::steady_clock::time_point t0) {
@@ -36,28 +48,31 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-/// Run `reps` times, keep the fastest wall time (per-config fresh observer
-/// so the tracer never accumulates across reps).
-template <typename MakeObs>
-Timed run_config(const exp::RunSpec& base, const exp::Workload& workload,
-                 int reps, MakeObs&& make_obs) {
-  Timed out;
-  out.best_ms = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    exp::RunSpec spec = base;
-    std::unique_ptr<obs::Observability> o = make_obs();
-    spec.obs = o.get();
-    const auto t0 = std::chrono::steady_clock::now();
-    exp::RunResult result = exp::run_experiment(spec, workload);
-    const double ms = ms_since(t0);
-    if (ms < out.best_ms) out.best_ms = ms;
-    if (o != nullptr) {
-      out.trace_events = o->tracer().event_count();
-      out.metric_series = o->metrics().size();
-    }
-    out.result = std::move(result);
+/// One timed rep of one configuration (fresh observer per rep so the
+/// tracer never accumulates across reps). Folds the wall time, allocation
+/// counters, and result into `out`, keeping the fastest rep's numbers.
+using MakeObs = std::function<std::unique_ptr<obs::Observability>()>;
+
+void run_rep(const exp::RunSpec& base, const exp::Workload& workload,
+             const MakeObs& make_obs, Timed& out) {
+  exp::RunSpec spec = base;
+  std::unique_ptr<obs::Observability> o = make_obs();
+  spec.obs = o.get();
+  benchalloc::start();
+  const auto t0 = std::chrono::steady_clock::now();
+  exp::RunResult result = exp::run_experiment(spec, workload);
+  const double ms = ms_since(t0);
+  const benchalloc::Totals totals = benchalloc::stop();
+  if (ms < out.best_ms) {
+    out.best_ms = ms;
+    out.allocs = totals.count;
+    out.alloc_bytes = totals.bytes;
   }
-  return out;
+  if (o != nullptr) {
+    out.trace_events = o->tracer().event_count();
+    out.metric_series = o->metrics().size();
+  }
+  out.result = std::move(result);
 }
 
 bool same_results(const exp::RunResult& a, const exp::RunResult& b) {
@@ -68,6 +83,12 @@ bool same_results(const exp::RunResult& a, const exp::RunResult& b) {
          a.messages_dropped == b.messages_dropped;
 }
 
+std::string fmt_json_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -76,6 +97,7 @@ int main(int argc, char** argv) {
   const std::string env_name = ctx.config.get_string("env", "Hetero SYS A");
   const int reps =
       static_cast<int>(ctx.config.get_int("timing-reps", 5));
+  const std::string out_path = ctx.config.get_string("out", "");
 
   bench::print_header("Observability overhead (6-worker " + env_name + ")",
                       ctx.scale);
@@ -85,23 +107,43 @@ int main(int argc, char** argv) {
       bench::make_run_spec(ctx.scale, "dlion", env_name,
                            ctx.scale.duration_s);
 
-  // 1. Baseline: no observer anywhere in the stack.
-  Timed off = run_config(spec, workload, reps,
-                         [] { return std::unique_ptr<obs::Observability>(); });
-  // 2. Attached but runtime-disabled: every record site pays its gate check
-  //    (pointer + flag) and nothing else.
-  Timed disabled = run_config(spec, workload, reps, [] {
-    auto o = std::make_unique<obs::Observability>();
-    o->set_enabled(false);
-    return o;
-  });
-  // 3. Fully enabled: counters, histograms, and span tracing all on.
-  Timed on = run_config(spec, workload, reps, [] {
-    return std::make_unique<obs::Observability>();
-  });
+  // The four configurations:
+  //  1. baseline -- no observer anywhere in the stack;
+  //  2. attached but runtime-disabled -- every record site pays its gate
+  //     check (pointer + flag) and nothing else;
+  //  3. enabled without the causal layer -- counters, histograms, spans,
+  //     but no flow events and no zero-duration apply anchors;
+  //  4. fully enabled -- spans + flow events + apply anchors (what
+  //     compute_critical_path consumes).
+  // Reps are interleaved round-robin (rep 0 of each config, then rep 1 of
+  // each, ...) so slow drift in machine load biases all configurations
+  // equally instead of whichever ran last.
+  const MakeObs makers[4] = {
+      [] { return std::unique_ptr<obs::Observability>(); },
+      [] {
+        auto o = std::make_unique<obs::Observability>();
+        o->set_enabled(false);
+        return o;
+      },
+      [] {
+        auto o = std::make_unique<obs::Observability>();
+        o->set_causal(false);
+        return o;
+      },
+      [] { return std::make_unique<obs::Observability>(); },
+  };
+  Timed timed[4];
+  for (Timed& t : timed) t.best_ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    for (int c = 0; c < 4; ++c) run_rep(spec, workload, makers[c], timed[c]);
+  }
+  Timed& off = timed[0];
+  Timed& disabled = timed[1];
+  Timed& plain = timed[2];
+  Timed& on = timed[3];
 
   common::Table table({"config", "best wall (ms)", "overhead", "trace events",
-                       "metric series"});
+                       "metric series", "allocs"});
   auto pct = [&](double ms) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%+.2f%%",
@@ -114,33 +156,43 @@ int main(int argc, char** argv) {
     std::snprintf(buf, sizeof(buf), "%.2f", ms);
     return std::string(buf);
   };
-  table.row()
-      .cell("obs off (baseline)")
-      .cell(fmt_ms(off.best_ms))
-      .cell("--")
-      .cell("0")
-      .cell("0");
-  table.row()
-      .cell("obs attached, disabled")
-      .cell(fmt_ms(disabled.best_ms))
-      .cell(pct(disabled.best_ms))
-      .cell("0")
-      .cell(disabled.metric_series);
-  table.row()
-      .cell("obs enabled")
-      .cell(fmt_ms(on.best_ms))
-      .cell(pct(on.best_ms))
-      .cell(std::to_string(on.trace_events))
-      .cell(on.metric_series);
+  auto add_row = [&](const char* name, const Timed& t, bool baseline) {
+    table.row()
+        .cell(name)
+        .cell(fmt_ms(t.best_ms))
+        .cell(baseline ? "--" : pct(t.best_ms))
+        .cell(std::to_string(t.trace_events))
+        .cell(t.metric_series)
+        .cell(std::to_string(t.allocs));
+  };
+  add_row("obs off (baseline)", off, true);
+  add_row("obs attached, disabled", disabled, false);
+  add_row("obs enabled, no causal", plain, false);
+  add_row("obs enabled + causal", on, false);
   table.print(std::cout);
 
   const bool identical = same_results(off.result, disabled.result) &&
+                         same_results(off.result, plain.result) &&
                          same_results(off.result, on.result);
   std::cout << "\nsimulation results identical across configs: "
             << (identical ? "yes" : "NO -- DETERMINISM VIOLATION") << "\n"
             << "  iterations=" << off.result.total_iterations
             << " bytes=" << off.result.total_bytes
             << " final_acc=" << off.result.final_accuracy << "\n";
+  if (on.trace_events > 0) {
+    std::printf(
+        "allocation cost of recording: %.3f allocs/event "
+        "(%llu extra allocs over no-causal, %llu flow+anchor events)\n",
+        static_cast<double>(on.allocs > off.allocs ? on.allocs - off.allocs
+                                                   : 0) /
+            static_cast<double>(on.trace_events),
+        static_cast<unsigned long long>(
+            on.allocs > plain.allocs ? on.allocs - plain.allocs : 0),
+        static_cast<unsigned long long>(
+            on.trace_events > plain.trace_events
+                ? on.trace_events - plain.trace_events
+                : 0));
+  }
 
   // Telemetry summary from the enabled run (recomputed via RunSpec's
   // collect_telemetry path so the summary code is exercised too).
@@ -159,6 +211,38 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!out_path.empty()) {
+    // Machine-readable summary, fixed key order. The *_ms fields vary
+    // run-to-run; everything else is deterministic for a given scale/env.
+    std::ofstream js(out_path, std::ios::trunc);
+    js << "{\n";
+    js << "  \"bench\": \"obs_overhead\",\n";
+    js << "  \"env\": \"" << env_name << "\",\n";
+    js << "  \"scale\": \"" << (ctx.scale.paper ? "paper" : "bench")
+       << "\",\n";
+    js << "  \"identical_results\": " << (identical ? "true" : "false")
+       << ",\n";
+    js << "  \"iterations\": " << off.result.total_iterations << ",\n";
+    js << "  \"bytes\": " << off.result.total_bytes << ",\n";
+    auto cfg = [&](const char* key, const Timed& t, bool last) {
+      js << "  \"" << key << "\": {\"wall_ms\": " << fmt_json_double(t.best_ms)
+         << ", \"overhead_pct\": "
+         << fmt_json_double(off.best_ms > 0.0
+                                ? (t.best_ms - off.best_ms) / off.best_ms *
+                                      100.0
+                                : 0.0)
+         << ", \"trace_events\": " << t.trace_events
+         << ", \"metric_series\": " << t.metric_series
+         << ", \"allocs\": " << t.allocs << "}" << (last ? "\n" : ",\n");
+    };
+    cfg("off", off, false);
+    cfg("disabled", disabled, false);
+    cfg("enabled_no_causal", plain, false);
+    cfg("enabled_causal", on, true);
+    js << "}\n";
+    std::cout << "\n[json] wrote " << out_path << "\n";
+  }
+
   const std::string dir = ctx.config.get_string("csv-dir", "");
   if (!dir.empty()) {
     // Export artifacts from a fresh enabled run so each file reflects
@@ -173,9 +257,13 @@ int main(int argc, char** argv) {
       exp::write_metrics_csv(o->metrics(), dir + "/obs_metrics.csv");
       exp::write_telemetry_json(obs::summarize(*o),
                                 dir + "/obs_telemetry.json");
+      const obs::CriticalPathReport report = obs::compute_critical_path(
+          o->tracer(), {ctx.scale.duration_s / 10.0});
+      exp::write_critical_path_json(report, dir + "/obs_critical_path.json");
+      exp::write_critical_path_table(report, dir + "/obs_critical_path.txt");
       std::cout << "\n[csv] wrote " << dir
                 << "/obs_trace.json (load in Perfetto), obs_metrics.{json,"
-                   "csv}, obs_telemetry.json\n";
+                   "csv}, obs_telemetry.json, obs_critical_path.{json,txt}\n";
     } catch (const std::exception& e) {
       std::cerr << "[csv] export failed (" << e.what()
                 << ") - does the directory exist?\n";

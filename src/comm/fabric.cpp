@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "obs/watchdog.h"
 
 namespace dlion::comm {
 
@@ -11,6 +14,7 @@ Fabric::Fabric(sim::Network& network, double byte_scale)
       byte_scale_(byte_scale),
       handlers_(network.size()),
       dead_letters_to_(network.size(), 0),
+      flow_seq_(network.size(), 0),
       delivered_seqs_(network.size()) {
   if (byte_scale <= 0.0) {
     throw std::invalid_argument("Fabric: byte_scale must be positive");
@@ -22,6 +26,7 @@ void Fabric::set_obs(obs::Observability* o) {
   obs_types_.clear();
   obs_dead_letters_ = obs_retries_ = obs_failures_ = nullptr;
   obs_track_ = 0;
+  obs_worker_tracks_.clear();
   if (o == nullptr) return;
   obs::MetricsRegistry& m = o->metrics();
   obs_types_.resize(std::variant_size_v<Message>);
@@ -34,6 +39,14 @@ void Fabric::set_obs(obs::Observability* o) {
   obs_retries_ = &m.counter("comm.fabric.reliable_retries");
   obs_failures_ = &m.counter("comm.fabric.reliable_failures");
   obs_track_ = o->tracer().track("fabric", "control");
+  // Flow endpoints live on the same "workers / worker i" lanes the workers
+  // record their compute/stall spans on (find-or-create dedupes with
+  // core::Worker::set_obs regardless of attach order).
+  obs_worker_tracks_.resize(size());
+  for (std::size_t w = 0; w < size(); ++w) {
+    obs_worker_tracks_[w] =
+        o->tracer().track("workers", "worker " + std::to_string(w));
+  }
 }
 
 void Fabric::attach(std::size_t worker, Handler handler) {
@@ -53,9 +66,19 @@ common::Bytes Fabric::charged_bytes(const Message& msg) const {
       std::llround(static_cast<double>(raw) * byte_scale_));
 }
 
-bool Fabric::deliver(std::size_t from, std::size_t to, const MessagePtr& msg) {
+common::Bytes Fabric::charged_bytes(const GradientUpdate& update) const {
+  // Gradient updates are data messages (never control), so the scaling
+  // always applies; same arithmetic as the Message overload.
+  return static_cast<common::Bytes>(
+      std::llround(static_cast<double>(wire_bytes(update)) * byte_scale_));
+}
+
+bool Fabric::deliver(std::size_t from, std::size_t to, const MessagePtr& msg,
+                     FlowId flow) {
   if (!handlers_[to]) {
-    // Receiver is detached (crashed or never joined): dead-letter.
+    // Receiver is detached (crashed or never joined): dead-letter. The
+    // causal flow ends nowhere — viewers show the arrow stopping at the
+    // link's tx span, which is exactly what happened.
     ++dead_letters_;
     ++dead_letters_to_[to];
     if (obs::on(obs_)) {
@@ -64,8 +87,18 @@ bool Fabric::deliver(std::size_t from, std::size_t to, const MessagePtr& msg) {
                              engine().now(),
                              {{"to", static_cast<double>(to)},
                               {"type", static_cast<double>(msg->index())}});
+      if (obs::Watchdog* wd = obs_->watchdog()) {
+        wd->on_dead_letter(engine().now());
+      }
     }
     return false;
+  }
+  if (obs::on(obs_) && obs_->causal() && flow != 0) {
+    // Flow end on the receiver's lane, at delivery time, just before the
+    // handler runs — the handler's same-timestamp "apply" span (or the
+    // next span on the lane) is the arrow's destination.
+    obs_->tracer().flow(obs_worker_tracks_[to], obs::Tracer::FlowPhase::kEnd,
+                        message_type_name(*msg), engine().now(), flow);
   }
   handlers_[to](from, msg);
   return true;
@@ -73,37 +106,53 @@ bool Fabric::deliver(std::size_t from, std::size_t to, const MessagePtr& msg) {
 
 void Fabric::transmit(std::size_t from, std::size_t to, MessagePtr msg,
                       common::Bytes bytes, Kind kind, std::uint64_t seq) {
+  // Flow ids advance unconditionally: the stamp exists whether or not an
+  // observer is attached, so attaching one cannot shift any id (and the id
+  // itself never influences delivery — see Network::send).
+  const FlowId flow = make_flow_id(from, ++flow_seq_[from]);
   if (obs::on(obs_)) {
     ObsTypeHandles& h = obs_types_[msg->index()];
     h.sent->inc();
     h.sent_bytes->inc(static_cast<double>(bytes));
+    if (obs_->causal()) {
+      // Flow start on the sender's lane at transmit time; the enclosing
+      // slice (compute/apply) becomes the arrow's origin.
+      obs_->tracer().flow(obs_worker_tracks_[from],
+                          obs::Tracer::FlowPhase::kStart,
+                          message_type_name(*msg), engine().now(), flow);
+    }
   }
   switch (kind) {
     case Kind::kPlain:
-      network_->send(from, to, bytes, [this, from, to, msg] {
-        deliver(from, to, msg);
-      });
+      network_->send(from, to, bytes, [this, from, to, msg, flow] {
+        deliver(from, to, msg, flow);
+      }, flow);
       break;
     case Kind::kReliable:
-      network_->send(from, to, bytes, [this, from, to, msg, seq] {
+      network_->send(from, to, bytes, [this, from, to, msg, seq, flow] {
         if (delivered_seqs_[to].count(seq) != 0) {
           // Duplicate attempt (our earlier ack was lost): suppress the
           // re-delivery but re-acknowledge so the sender stops retrying.
           send_ack(to, from, seq);
           return;
         }
-        if (deliver(from, to, msg)) {
+        if (deliver(from, to, msg, flow)) {
           delivered_seqs_[to].insert(seq);
           send_ack(to, from, seq);
         }
         // A detached receiver sends no ack: the sender keeps retrying and
         // succeeds iff the worker reattaches within its retry budget.
-      });
+      }, flow);
       break;
     case Kind::kAck:
-      network_->send(from, to, bytes, [this, msg] {
+      network_->send(from, to, bytes, [this, to, msg, flow] {
+        if (obs::on(obs_) && obs_->causal()) {
+          obs_->tracer().flow(obs_worker_tracks_[to],
+                              obs::Tracer::FlowPhase::kEnd, "Ack",
+                              engine().now(), flow);
+        }
         on_ack(std::get<Ack>(*msg).seq);
-      });
+      }, flow);
       break;
   }
 }
@@ -176,6 +225,9 @@ void Fabric::on_timeout(std::uint64_t seq) {
       obs_->tracer().instant(obs_track_, "reliable_failure", engine().now(),
                              {{"to", static_cast<double>(p.to)},
                               {"seq", static_cast<double>(seq)}});
+      if (obs::Watchdog* wd = obs_->watchdog()) {
+        wd->on_dead_letter(engine().now());
+      }
     }
     ReliableCallback done = std::move(p.done);
     pending_.erase(it);

@@ -85,6 +85,10 @@ class Fabric {
 
   /// Simulated wire size this fabric charges for a message.
   common::Bytes charged_bytes(const Message& msg) const;
+  /// Overload for callers that already hold the concrete update: computes
+  /// the same value without constructing a Message variant (which would
+  /// deep-copy the whole gradient payload just to measure it).
+  common::Bytes charged_bytes(const GradientUpdate& update) const;
 
   sim::Network& network() { return *network_; }
   double byte_scale() const { return byte_scale_; }
@@ -118,7 +122,10 @@ class Fabric {
 
   sim::Engine& engine() { return network_->engine(); }
   /// Hand `msg` to the receiver's handler; dead-letters if detached.
-  bool deliver(std::size_t from, std::size_t to, const MessagePtr& msg);
+  /// `flow` is the transmission's causal-flow id (flow-end is recorded on
+  /// the receiver's track just before the handler runs).
+  bool deliver(std::size_t from, std::size_t to, const MessagePtr& msg,
+               FlowId flow);
   void transmit(std::size_t from, std::size_t to, MessagePtr msg,
                 common::Bytes bytes, Kind kind, std::uint64_t seq);
   void send_ack(std::size_t from, std::size_t to, std::uint64_t seq);
@@ -132,6 +139,11 @@ class Fabric {
   std::vector<std::uint64_t> dead_letters_to_;
   std::uint64_t dead_letters_ = 0;
   std::uint64_t next_seq_ = 1;
+  /// Per-sender transmission counters feeding make_flow_id. Advance
+  /// unconditionally (observer attached or not) so obs-on and obs-off runs
+  /// assign identical flow ids — and, since the ids never touch delivery,
+  /// stay bit-identical altogether.
+  std::vector<std::uint64_t> flow_seq_;
   std::map<std::uint64_t, PendingReliable> pending_;
   /// Per-receiver reliable seqs already delivered (duplicate suppression).
   std::vector<std::unordered_set<std::uint64_t>> delivered_seqs_;
@@ -144,6 +156,9 @@ class Fabric {
   obs::Counter* obs_retries_ = nullptr;
   obs::Counter* obs_failures_ = nullptr;
   obs::TrackId obs_track_ = 0;  // "fabric / control"
+  /// Flow endpoints: the per-worker "workers / worker i" tracks (shared
+  /// with core::Worker via the tracer's find-or-create semantics).
+  std::vector<obs::TrackId> obs_worker_tracks_;
 };
 
 }  // namespace dlion::comm

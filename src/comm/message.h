@@ -88,6 +88,29 @@ using Message = std::variant<GradientUpdate, WeightSnapshot, LossReport,
                              DktRequest, RcpReport, Heartbeat, Ack>;
 using MessagePtr = std::shared_ptr<const Message>;
 
+/// Deterministic causal-flow identifier stamped on every fabric
+/// transmission (DESIGN.md "Causal tracing"). Derived purely from
+/// (src_worker, per-sender transmission sequence) — no randomness, no wall
+/// clocks — so the same simulation always produces the same flow ids and an
+/// attached tracer can link send → transfer → deliver events across tracks.
+///
+/// Layout: bits [40, 64) hold src_worker + 1 (so a valid id is never 0),
+/// bits [0, 40) the 1-based per-sender sequence number.
+using FlowId = std::uint64_t;
+
+inline constexpr int kFlowSeqBits = 40;
+
+constexpr FlowId make_flow_id(std::size_t src_worker, std::uint64_t seq) {
+  return (static_cast<FlowId>(src_worker + 1) << kFlowSeqBits) |
+         (seq & ((FlowId{1} << kFlowSeqBits) - 1));
+}
+constexpr std::size_t flow_src_worker(FlowId id) {
+  return static_cast<std::size_t>(id >> kFlowSeqBits) - 1;
+}
+constexpr std::uint64_t flow_seq(FlowId id) {
+  return id & ((FlowId{1} << kFlowSeqBits) - 1);
+}
+
 /// True for messages that ride the control queue (small, latency-bound).
 bool is_control(const Message& msg);
 

@@ -8,6 +8,7 @@
 #include "core/link_prioritizer.h"
 #include "core/weighted_update.h"
 #include "nn/checkpoint.h"
+#include "obs/watchdog.h"
 
 namespace dlion::core {
 
@@ -389,6 +390,9 @@ void Worker::try_start_iteration() {
       obs_h_.staleness->observe(staleness);
       obs_->tracer().counter(obs_track_, "staleness", engine_->now(),
                              staleness);
+      if (obs::Watchdog* wd = obs_->watchdog()) {
+        wd->on_staleness(id_, engine_->now(), staleness);
+      }
     }
   }
   const std::size_t lbs = current_lbs_;
@@ -398,6 +402,11 @@ void Worker::try_start_iteration() {
       built_.model.compute_gradients(batch.images, batch.labels);
   dkt_.record_loss(res.loss);
   loss_trace_.record(engine_->now(), res.loss);
+  if (obs::on(obs_)) {
+    if (obs::Watchdog* wd = obs_->watchdog()) {
+      wd->on_loss(id_, engine_->now(), res.loss);
+    }
+  }
   const double dt = compute_.iteration_seconds(lbs, engine_->now());
   compute_rate_.add(dt);
   const std::uint64_t inc = incarnation_;
@@ -415,6 +424,9 @@ void Worker::finish_iteration(std::size_t lbs, double compute_seconds) {
                              {"lbs", static_cast<double>(lbs)}});
     obs_h_.compute_s->observe(compute_seconds);
     obs_h_.iterations->inc();
+    if (obs::Watchdog* wd = obs_->watchdog()) {
+      wd->on_iteration(id_, engine_->now());
+    }
   }
   // Apply own gradients (Eq. 7's j = k term: db = 1 literal, n*LBS_k/GBS
   // normalized). Averaging runs over *live* workers so updates keep their
@@ -638,6 +650,16 @@ void Worker::on_message(std::size_t from, comm::MessagePtr msg) {
                                             options_.weighted_update);
           apply_gradient_update(built_.model, m, options_.learning_rate,
                                 n_live, db);
+          if (obs::on(obs_) && obs_->causal()) {
+            // Zero-duration "apply" span at delivery time: the destination
+            // slice for the fabric's flow-end recorded just before this
+            // handler ran (same track, same timestamp), and the node the
+            // critical-path analyzer charges the incoming transfer to.
+            // Deliberately arg-free: this is the hottest causal record site
+            // and an args vector would heap-allocate per delivery.
+            obs_->tracer().complete(obs_track_, "apply", engine_->now(),
+                                    engine_->now());
+          }
           if (waiting_) {
             const std::uint64_t inc = incarnation_;
             engine_->after(0.0, [this, inc] {

@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/critical_path.h"
+
 namespace dlion::exp {
 
 Scale Scale::from_config(const common::Config& cfg) {
@@ -82,7 +84,9 @@ RunResult run_experiment(const RunSpec& spec, const Workload& workload) {
   // RunResult::telemetry.
   std::unique_ptr<obs::Observability> local_obs;
   obs::Observability* run_obs = spec.obs;
-  if (run_obs == nullptr && spec.collect_telemetry) {
+  if (run_obs == nullptr &&
+      (spec.collect_telemetry || spec.collect_critical_path ||
+       spec.watchdog.has_value())) {
     local_obs = std::make_unique<obs::Observability>();
     run_obs = local_obs.get();
   }
@@ -98,7 +102,21 @@ RunResult run_experiment(const RunSpec& spec, const Workload& workload) {
 
   core::Cluster cluster(cluster_spec, workload.data.train,
                         workload.data.test);
+
+  // Watchdog policy: fed from record sites during the run; abort (opt-in)
+  // stops the engine after the offending event.
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (spec.watchdog.has_value() && run_obs != nullptr) {
+    watchdog = std::make_unique<obs::Watchdog>(*spec.watchdog,
+                                               cluster.size());
+    watchdog->set_tracer(&run_obs->tracer());
+    watchdog->set_abort_hook(
+        [&cluster] { cluster.engine().request_stop(); });
+    run_obs->set_watchdog(watchdog.get());
+  }
+
   cluster.run();
+  if (watchdog != nullptr) watchdog->finalize(cluster.engine().now());
 
   RunResult result;
   result.system = spec.system;
@@ -118,7 +136,16 @@ RunResult run_experiment(const RunSpec& spec, const Workload& workload) {
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     result.worker_recoveries += cluster.worker(i).recover_count();
   }
-  if (run_obs != nullptr) result.telemetry = obs::summarize(*run_obs);
+  if (run_obs != nullptr) {
+    result.telemetry = obs::summarize(*run_obs);
+    if (spec.collect_critical_path) {
+      result.telemetry.critical_path =
+          obs::summary_of(obs::compute_critical_path(run_obs->tracer()));
+    }
+    // The watchdog dies with this call; never leave a caller-owned
+    // observer pointing at it.
+    run_obs->set_watchdog(nullptr);
+  }
   return result;
 }
 

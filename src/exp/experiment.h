@@ -16,6 +16,7 @@
 #include "data/synthetic.h"
 #include "exp/environments.h"
 #include "obs/telemetry.h"
+#include "obs/watchdog.h"
 #include "systems/registry.h"
 
 namespace dlion::exp {
@@ -77,6 +78,16 @@ struct RunSpec {
   /// When true and `obs` is unset, run_experiment attaches a run-local
   /// observer and fills RunResult::telemetry from it.
   bool collect_telemetry = false;
+  /// Compute the critical-path attribution after the run and store its
+  /// headline in RunResult::telemetry.critical_path (a run-local observer
+  /// is attached if neither `obs` nor `collect_telemetry` provided one).
+  bool collect_critical_path = false;
+  /// Online watchdog policy: when set, run_experiment attaches an
+  /// obs::Watchdog for the run (detector events land in
+  /// RunResult::telemetry.watchdog_*). With `abort_on_fire` the first
+  /// fired detector stops the engine — the run result then reflects the
+  /// aborted state.
+  std::optional<obs::WatchdogConfig> watchdog;
 };
 
 struct RunResult {

@@ -84,4 +84,15 @@ void write_telemetry_json(const obs::RunTelemetry& telemetry,
   write_string_file("write_telemetry_json", telemetry.to_json(), path);
 }
 
+void write_critical_path_json(const obs::CriticalPathReport& report,
+                              const std::string& path) {
+  write_string_file("write_critical_path_json", report.to_json(), path);
+}
+
+void write_critical_path_table(const obs::CriticalPathReport& report,
+                               const std::string& path) {
+  write_string_file("write_critical_path_table", report.attribution_table(),
+                    path);
+}
+
 }  // namespace dlion::exp

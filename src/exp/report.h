@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "exp/experiment.h"
+#include "obs/critical_path.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "sim/trace.h"
@@ -43,5 +44,14 @@ void write_chrome_trace(const obs::Tracer& tracer, const std::string& path);
 /// Write a RunTelemetry summary as JSON.
 void write_telemetry_json(const obs::RunTelemetry& telemetry,
                           const std::string& path);
+
+/// Write a critical-path report as JSON (categories, per-lane attribution,
+/// epochs, segments).
+void write_critical_path_json(const obs::CriticalPathReport& report,
+                              const std::string& path);
+
+/// Write the report's human-readable attribution table as plain text.
+void write_critical_path_table(const obs::CriticalPathReport& report,
+                               const std::string& path);
 
 }  // namespace dlion::exp

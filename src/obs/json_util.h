@@ -1,0 +1,72 @@
+// Shared JSON/CSV string helpers for the observability exporters.
+//
+// One definition of string escaping for every obs exporter (metrics JSON,
+// metrics CSV, Chrome trace JSON, telemetry JSON) so the formats cannot
+// drift apart. Header-only; no dependencies beyond the standard library.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dlion::obs {
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+/// The output is what goes *between* the surrounding double quotes.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// RFC-4180 CSV field quoting: fields containing commas, double quotes, or
+/// newlines are wrapped in quotes with embedded quotes doubled; everything
+/// else passes through unchanged.
+inline std::string csv_field(const std::string& s) {
+  bool needs_quotes = false;
+  for (char c : s) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+/// CSV field that is *always* quoted (used for the labels column so its
+/// shape is stable whether or not the labels contain commas), with embedded
+/// quotes doubled.
+inline std::string csv_quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace dlion::obs

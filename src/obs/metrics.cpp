@@ -8,33 +8,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/json_util.h"
+
 namespace dlion::obs {
 
 namespace {
-
-/// Minimal JSON string escaping (quotes, backslash, control chars).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 /// Shortest-faithful double formatting (round-trippable, locale-free).
 std::string fmt_double(double v) {
@@ -261,8 +239,8 @@ std::string MetricsRegistry::to_json() const {
   for (const Row& r : rows()) {
     if (!first) out += ",";
     first = false;
-    out += "{\"type\":\"" + r.type + "\",\"name\":\"" + json_escape(r.name) +
-           "\",\"labels\":" + labels_json(r.labels);
+    out += "{\"type\":\"" + json_escape(r.type) + "\",\"name\":\"" +
+           json_escape(r.name) + "\",\"labels\":" + labels_json(r.labels);
     if (r.hist == nullptr) {
       out += ",\"value\":" + fmt_double(r.value);
     } else {
@@ -299,10 +277,12 @@ std::string MetricsRegistry::to_csv() const {
   out << "type,name,labels,value,count,sum,min,max,p50,p90,p99\n";
   auto cell = [](double v) { return std::isnan(v) ? std::string() : fmt_double(v); };
   for (const Row& r : rows()) {
-    // Canonical labels never contain commas unless label values do; quote
-    // the field to keep the CSV parseable either way.
-    out << r.type << "," << r.name << ",\"" << canonical_labels(r.labels)
-        << "\",";
+    // The labels column is always quoted (its shape is stable whether or
+    // not label values contain commas), with embedded quotes doubled; the
+    // type/name columns are quoted only when they need to be (commas,
+    // quotes, newlines) so the common case stays byte-compatible.
+    out << csv_field(r.type) << "," << csv_field(r.name) << ","
+        << csv_quoted(canonical_labels(r.labels)) << ",";
     if (r.hist == nullptr) {
       out << fmt_double(r.value) << ",,,,,,,\n";
     } else {

@@ -24,6 +24,8 @@
 
 namespace dlion::obs {
 
+class Watchdog;  // obs/watchdog.h (online health detectors)
+
 class Observability {
  public:
   Observability() = default;
@@ -36,15 +38,31 @@ class Observability {
   bool enabled() const { return enabled_; }
   void set_enabled(bool e) { enabled_ = e; }
 
+  /// Runtime switch for the causal-tracing layer (flow events + apply
+  /// spans). On by default; turning it off keeps the PR-2 span/counter
+  /// recording while skipping the cross-track flow linkage (used by
+  /// bench/obs_overhead to price causal tracing separately).
+  bool causal() const { return causal_; }
+  void set_causal(bool c) { causal_ = c; }
+
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
 
+  /// Optional online watchdog (non-owning; nullptr detaches). Record sites
+  /// feed it inside their `obs::on()` branches, so an attached watchdog
+  /// costs nothing when observability is compiled out or disabled.
+  Watchdog* watchdog() { return watchdog_; }
+  const Watchdog* watchdog() const { return watchdog_; }
+  void set_watchdog(Watchdog* w) { watchdog_ = w; }
+
  private:
   bool enabled_ = true;
+  bool causal_ = true;
   MetricsRegistry metrics_;
   Tracer tracer_;
+  Watchdog* watchdog_ = nullptr;  // non-owning, optional
 };
 
 /// The instrumentation gate every call site uses:

@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <map>
 
+#include "obs/json_util.h"
+#include "obs/watchdog.h"
+
 namespace dlion::obs {
 
 namespace {
@@ -64,6 +67,17 @@ RunTelemetry summarize(const Observability& obs) {
   t.messages_dropped = m.counter_total("sim.net.messages_dropped");
   t.dead_letters = m.counter_total("comm.fabric.dead_letters");
   t.reliable_retries = m.counter_total("comm.fabric.reliable_retries");
+
+  if (const Watchdog* wd = obs.watchdog()) {
+    t.watchdog_degraded = wd->degraded();
+    t.watchdog_aborted = wd->aborted();
+    for (const WatchdogEvent& e : wd->events()) {
+      char at[48];
+      std::snprintf(at, sizeof(at), "%.3f", e.t);
+      t.watchdog_events.push_back(e.detector + " @ " + at + " s: " +
+                                  e.detail);
+    }
+  }
   return t;
 }
 
@@ -95,7 +109,27 @@ std::string RunTelemetry::to_json() const {
     out += ",\"total_s\":" + fmt(phases[i].total_s);
     out += ",\"max_s\":" + fmt(phases[i].max_s) + "}";
   }
-  out += "]}";
+  out += "]";
+  out += ",\"critical_path\":{\"computed\":" +
+         std::string(critical_path.computed ? "true" : "false");
+  out += ",\"total_s\":" + fmt(critical_path.total_s);
+  for (std::size_t c = 0; c < kNumPathCategories; ++c) {
+    out += ",\"" + std::string(path_category_name(
+                       static_cast<PathCategory>(c))) +
+           "_s\":" + fmt(critical_path.category_s[c]);
+  }
+  out += ",\"straggler\":\"" + json_escape(critical_path.straggler) + "\"";
+  out += ",\"bottleneck_link\":\"" +
+         json_escape(critical_path.bottleneck_link) + "\"}";
+  out += ",\"watchdog\":{\"degraded\":" +
+         std::string(watchdog_degraded ? "true" : "false");
+  out += ",\"aborted\":" + std::string(watchdog_aborted ? "true" : "false");
+  out += ",\"events\":[";
+  for (std::size_t i = 0; i < watchdog_events.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\"" + json_escape(watchdog_events[i]) + "\"";
+  }
+  out += "]}}";
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/critical_path.h"
 #include "obs/obs.h"
 
 namespace dlion::obs {
@@ -54,6 +55,17 @@ struct RunTelemetry {
 
   /// Every span name seen, sorted by total time descending (ties by name).
   std::vector<PhaseStat> phases;
+
+  /// Critical-path headline (filled when the caller asked for the analysis
+  /// — RunSpec::collect_critical_path; `critical_path.computed` is false
+  /// otherwise).
+  CriticalPathSummary critical_path;
+
+  /// Watchdog outcome (all-false/empty when no watchdog was attached).
+  bool watchdog_degraded = false;
+  bool watchdog_aborted = false;
+  /// One formatted line per fired detector ("detector @ t: detail").
+  std::vector<std::string> watchdog_events;
 
   /// Total simulated seconds across the named headline phases.
   double accounted_seconds() const {

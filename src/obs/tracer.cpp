@@ -4,32 +4,11 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/json_util.h"
+
 namespace dlion::obs {
 
 namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 /// Microsecond timestamp with nanosecond resolution, fixed format so
 /// exports are byte-stable across platforms.
@@ -91,6 +70,7 @@ void Tracer::end(TrackId track, double t) {
   if (stack.empty()) return;  // unmatched end: ignore
   Open span = std::move(stack.back());
   stack.pop_back();
+  reserve_growth(spans_);
   spans_.push_back(
       Span{track, std::move(span.name), span.t0, t, std::move(span.args)});
 }
@@ -98,18 +78,40 @@ void Tracer::end(TrackId track, double t) {
 void Tracer::complete(TrackId track, std::string name, double t0, double t1,
                       std::vector<Arg> args) {
   if (track == 0 || track > tracks_.size()) return;
+  reserve_growth(spans_);
   spans_.push_back(Span{track, std::move(name), t0, t1, std::move(args)});
 }
 
 void Tracer::instant(TrackId track, std::string name, double t,
                      std::vector<Arg> args) {
   if (track == 0 || track > tracks_.size()) return;
+  reserve_growth(instants_);
   instants_.push_back(Instant{track, std::move(name), t, std::move(args)});
 }
 
 void Tracer::counter(TrackId track, std::string name, double t, double value) {
   if (track == 0 || track > tracks_.size()) return;
+  reserve_growth(samples_);
   samples_.push_back(Sample{track, std::move(name), t, value});
+}
+
+void Tracer::flow(TrackId track, FlowPhase phase, std::string name, double t,
+                  std::uint64_t id) {
+  if (track == 0 || track > tracks_.size() || id == 0) return;
+  reserve_growth(flows_);
+  flows_.push_back(Flow{track, phase, std::move(name), t, id});
+}
+
+const std::string& Tracer::track_process(TrackId id) const {
+  static const std::string kEmpty;
+  if (id == 0 || id > tracks_.size()) return kEmpty;
+  return tracks_[id - 1].process;
+}
+
+const std::string& Tracer::track_thread(TrackId id) const {
+  static const std::string kEmpty;
+  if (id == 0 || id > tracks_.size()) return kEmpty;
+  return tracks_[id - 1].thread;
 }
 
 std::size_t Tracer::open_spans() const {
@@ -123,6 +125,7 @@ void Tracer::clear() {
   spans_.clear();
   instants_.clear();
   samples_.clear();
+  flows_.clear();
 }
 
 std::string Tracer::chrome_json() const {
@@ -159,6 +162,23 @@ std::string Tracer::chrome_json() const {
            "\",\"ts\":" + fmt_us(s.t0) +
            ",\"dur\":" + fmt_us(s.t1 - s.t0) + ids(s.track);
     append_args(out, s.args);
+    out += "}";
+  }
+  for (const Flow& f : flows_) {
+    sep();
+    const char* ph = f.phase == FlowPhase::kStart
+                         ? "s"
+                         : f.phase == FlowPhase::kStep ? "t" : "f";
+    // The 64-bit flow id goes out as a hex string: JSON numbers are doubles
+    // in most viewers and would silently round ids above 2^53.
+    char idbuf[24];
+    std::snprintf(idbuf, sizeof(idbuf), "0x%llx",
+                  static_cast<unsigned long long>(f.id));
+    out += std::string("{\"ph\":\"") + ph + "\",\"cat\":\"flow\",\"name\":\"" +
+           json_escape(f.name) + "\",\"id\":\"" + idbuf +
+           "\",\"ts\":" + fmt_us(f.t) + ids(f.track);
+    // Bind the finish point to its enclosing slice (Chrome flow semantics).
+    if (f.phase == FlowPhase::kEnd) out += ",\"bp\":\"e\"";
     out += "}";
   }
   for (const Instant& i : instants_) {

@@ -54,6 +54,19 @@ class Tracer {
     double value = 0.0;
   };
 
+  /// One point of a cross-track causal flow (Chrome flow events). A flow id
+  /// links a `kStart` point on the producing track, any number of `kStep`
+  /// points (e.g. the network-link transmission), and a `kEnd` point on the
+  /// consuming track; trace viewers render the chain as arrows.
+  enum class FlowPhase : std::uint8_t { kStart, kStep, kEnd };
+  struct Flow {
+    TrackId track = 0;
+    FlowPhase phase = FlowPhase::kStart;
+    std::string name;
+    double t = 0.0;
+    std::uint64_t id = 0;
+  };
+
   Tracer() = default;
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -80,14 +93,26 @@ class Tracer {
   /// Counter sample: rendered as a stepped chart track ("C" event).
   void counter(TrackId track, std::string name, double t, double value);
 
+  /// Record one point of causal flow `id` on `track` at time `t`. Exported
+  /// as Chrome flow events (`ph:"s"/"t"/"f"`); viewers draw arrows between
+  /// the slices that enclose each point's (track, t). Ids must be non-zero
+  /// and should be deterministic (see comm::make_flow_id).
+  void flow(TrackId track, FlowPhase phase, std::string name, double t,
+            std::uint64_t id);
+
   const std::vector<Span>& spans() const { return spans_; }
   const std::vector<Instant>& instants() const { return instants_; }
   const std::vector<Sample>& samples() const { return samples_; }
+  const std::vector<Flow>& flows() const { return flows_; }
   std::size_t event_count() const {
-    return spans_.size() + instants_.size() + samples_.size();
+    return spans_.size() + instants_.size() + samples_.size() + flows_.size();
   }
   std::size_t open_spans() const;
   std::size_t track_count() const { return tracks_.size(); }
+
+  /// Track metadata lookup (1-based ids; empty strings for invalid ids).
+  const std::string& track_process(TrackId id) const;
+  const std::string& track_thread(TrackId id) const;
 
   void clear();
 
@@ -110,6 +135,16 @@ class Tracer {
     std::vector<Arg> args;
   };
 
+  /// Hot-path growth policy: pre-reserve a sizeable first block and then
+  /// double, so a long run's recording cost is dominated by the push_back
+  /// itself rather than early reallocation churn.
+  template <typename T>
+  static void reserve_growth(std::vector<T>& v) {
+    if (v.size() == v.capacity()) {
+      v.reserve(v.capacity() == 0 ? 1024 : v.capacity() * 2);
+    }
+  }
+
   std::vector<Track> tracks_;                      // index = TrackId - 1
   std::map<std::pair<std::string, std::string>, TrackId> track_index_;
   std::map<std::string, std::uint32_t> pids_;      // process -> pid
@@ -117,6 +152,7 @@ class Tracer {
   std::vector<Span> spans_;
   std::vector<Instant> instants_;
   std::vector<Sample> samples_;
+  std::vector<Flow> flows_;
 };
 
 }  // namespace dlion::obs

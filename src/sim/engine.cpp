@@ -25,18 +25,22 @@ void Engine::set_obs(obs::Observability* o) {
 }
 
 void Engine::run_until(common::SimTime t_end) {
-  while (!queue_.empty() && queue_.next_time() <= t_end) {
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty() && queue_.next_time() <= t_end) {
     auto [time, fn] = queue_.pop();
     now_ = time;
     ++executed_;
     if (obs::on(obs_)) obs_events_->inc();
     fn();
   }
-  if (now_ < t_end) now_ = t_end;
+  // A requested stop freezes the clock at the aborting event so callers
+  // (and the watchdog's finalize) see when the run actually ended.
+  if (!stop_requested_ && now_ < t_end) now_ = t_end;
 }
 
 void Engine::run() {
-  while (!queue_.empty()) {
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty()) {
     auto [time, fn] = queue_.pop();
     now_ = time;
     ++executed_;

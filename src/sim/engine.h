@@ -30,6 +30,14 @@ class Engine {
   /// Run until the queue drains completely.
   void run();
 
+  /// Ask the running loop to stop after the current event. Pending events
+  /// stay queued; a later run()/run_until() resumes them. Used by the
+  /// watchdog's opt-in abort policy (WatchdogConfig::abort_on_fire) — the
+  /// only sanctioned way observability feeds back into a run, and only when
+  /// the caller explicitly asked for it.
+  void request_stop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
+
   std::uint64_t events_executed() const { return executed_; }
   std::size_t events_pending() const { return queue_.size(); }
 
@@ -43,6 +51,7 @@ class Engine {
   EventQueue queue_;
   common::SimTime now_ = 0.0;
   std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
   obs::Observability* obs_ = nullptr;   // non-owning, optional
   obs::Counter* obs_events_ = nullptr;  // cached registry handle
 };

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/watchdog.h"
+
 namespace dlion::sim {
 
 namespace {
@@ -80,6 +82,7 @@ void Network::record_drop(std::size_t from, std::size_t to,
     obs_handles_[from].bytes_dropped->inc(static_cast<double>(bytes));
     obs_->tracer().instant(link_track(from, to), reason, engine_->now(),
                            {{"bytes", static_cast<double>(bytes)}});
+    if (obs::Watchdog* wd = obs_->watchdog()) wd->on_drop(engine_->now());
   }
 }
 
@@ -103,7 +106,7 @@ common::Bytes Network::backlog_bytes(std::size_t from) const {
 }
 
 void Network::send(std::size_t from, std::size_t to, common::Bytes bytes,
-                   std::function<void()> on_delivered) {
+                   std::function<void()> on_delivered, std::uint64_t flow) {
   if (from >= n_ || to >= n_) throw std::out_of_range("Network::send");
   if (from == to) {
     // Local delivery is immediate (intra-worker queues are in-memory);
@@ -126,7 +129,7 @@ void Network::send(std::size_t from, std::size_t to, common::Bytes bytes,
     }
   }
   backlog_[from] += bytes;
-  queue_[from][to].push_back(Pending{bytes, std::move(on_delivered)});
+  queue_[from][to].push_back(Pending{bytes, std::move(on_delivered), flow});
   if (!busy_[from][to]) start_next(from, to);
 }
 
@@ -151,10 +154,16 @@ void Network::start_next(std::size_t from, std::size_t to) {
     obs_handles_[from].messages_sent->inc();
     obs_handles_[from].bytes_sent->inc(static_cast<double>(bytes));
     obs_tx_seconds_->observe(tx);
-    obs_->tracer().complete(link_track(from, to), "tx", engine_->now(),
-                            engine_->now() + tx,
+    const obs::TrackId track = link_track(from, to);
+    obs_->tracer().complete(track, "tx", engine_->now(), engine_->now() + tx,
                             {{"bytes", static_cast<double>(bytes)},
                              {"mbps", mbps}});
+    if (msg.flow != 0 && obs_->causal()) {
+      // Flow step at the tx span's start: links the sender's flow start to
+      // this link transmission (and from here to the delivery point).
+      obs_->tracer().flow(track, obs::Tracer::FlowPhase::kStep, "flow",
+                          engine_->now(), msg.flow);
+    }
   }
   // Deliver after transmission + propagation; free the link after
   // transmission only.

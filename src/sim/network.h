@@ -73,9 +73,14 @@ class Network {
   const FaultInjector* fault_injector() const { return faults_; }
 
   /// Enqueue a message of `bytes` on the i->j link; `on_delivered` runs at
-  /// the receiver when the transfer (plus latency) completes.
+  /// the receiver when the transfer (plus latency) completes. `flow` is an
+  /// optional causal-flow id (comm::make_flow_id): when non-zero and an
+  /// enabled observer is attached, the transmission's tx span is linked
+  /// into the flow with a Chrome flow step so viewers draw send → transfer
+  /// → deliver arrows. Purely observational — 0 and non-zero flows follow
+  /// identical delivery paths.
   void send(std::size_t from, std::size_t to, common::Bytes bytes,
-            std::function<void()> on_delivered);
+            std::function<void()> on_delivered, std::uint64_t flow = 0);
 
   const NetworkStats& stats(std::size_t from) const { return stats_[from]; }
   NetworkStats total_stats() const;
@@ -92,6 +97,7 @@ class Network {
   struct Pending {
     common::Bytes bytes;
     std::function<void()> on_delivered;
+    std::uint64_t flow = 0;  ///< causal-flow id (0 = unlinked)
   };
 
   /// Cached per-worker registry handles (resolved once in set_obs).

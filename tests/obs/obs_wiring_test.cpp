@@ -5,10 +5,7 @@
 // (c) export Chrome trace-event JSON that parses and follows the schema.
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cmath>
-#include <cstdlib>
-#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -21,6 +18,8 @@
 #include "obs/obs.h"
 #include "obs/telemetry.h"
 #include "systems/registry.h"
+
+#include "json_test_util.h"
 
 namespace dlion {
 namespace {
@@ -185,130 +184,8 @@ TEST(ObsWiring, RunExperimentCollectsTelemetry) {
 
 // ------------------------------------------------------- JSON schema check
 
-/// Minimal JSON document model + recursive-descent parser: just enough to
-/// validate the exporter's output without external dependencies.
-struct Json {
-  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<Json> array;
-  std::map<std::string, Json> object;
-
-  const Json* find(const std::string& key) const {
-    auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  bool parse(Json& out) { return value(out) && (ws(), pos_ == s_.size()); }
-
- private:
-  void ws() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' ||
-                                s_[pos_] == '\t' || s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-  bool eat(char c) {
-    ws();
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool string(std::string& out) {
-    if (!eat('"')) return false;
-    out.clear();
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') {
-        if (pos_ + 1 >= s_.size()) return false;
-        const char e = s_[pos_ + 1];
-        if (e == 'u') {
-          if (pos_ + 5 >= s_.size()) return false;
-          pos_ += 6;
-          out += '?';
-          continue;
-        }
-        out += (e == 'n' ? '\n' : e == 't' ? '\t' : e == 'r' ? '\r' : e);
-        pos_ += 2;
-      } else {
-        out += s_[pos_++];
-      }
-    }
-    return eat('"');
-  }
-  bool value(Json& out) {
-    ws();
-    if (pos_ >= s_.size()) return false;
-    const char c = s_[pos_];
-    if (c == '{') {
-      ++pos_;
-      out.kind = Json::kObject;
-      if (eat('}')) return true;
-      do {
-        std::string key;
-        if (!string(key) || !eat(':')) return false;
-        Json v;
-        if (!value(v)) return false;
-        out.object.emplace(std::move(key), std::move(v));
-      } while (eat(','));
-      return eat('}');
-    }
-    if (c == '[') {
-      ++pos_;
-      out.kind = Json::kArray;
-      if (eat(']')) return true;
-      do {
-        Json v;
-        if (!value(v)) return false;
-        out.array.push_back(std::move(v));
-      } while (eat(','));
-      return eat(']');
-    }
-    if (c == '"') {
-      out.kind = Json::kString;
-      return string(out.str);
-    }
-    if (s_.compare(pos_, 4, "true") == 0) {
-      out.kind = Json::kBool;
-      out.boolean = true;
-      pos_ += 4;
-      return true;
-    }
-    if (s_.compare(pos_, 5, "false") == 0) {
-      out.kind = Json::kBool;
-      pos_ += 5;
-      return true;
-    }
-    if (s_.compare(pos_, 4, "null") == 0) {
-      out.kind = Json::kNull;
-      pos_ += 4;
-      return true;
-    }
-    // Number.
-    const std::size_t start = pos_;
-    if (s_[pos_] == '-' || s_[pos_] == '+') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    out.kind = Json::kNumber;
-    out.number = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
-    return true;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+using testjson::Json;
+using testjson::JsonParser;
 
 TEST(ObsWiring, ChromeTraceJsonFollowsSchema) {
   obs::Observability o;
@@ -374,14 +251,33 @@ TEST(ObsWiring, ChromeTraceJsonFollowsSchema) {
       const Json* args = e.find("args");
       ASSERT_NE(args, nullptr);
       EXPECT_NE(args->find("value"), nullptr);
+    } else if (ph->str == "s" || ph->str == "t" || ph->str == "f") {
+      // Flow events: cat "flow", a non-empty hex id, and binding point
+      // "e" (enclosing slice) on the terminating event.
+      const Json* cat = e.find("cat");
+      ASSERT_NE(cat, nullptr);
+      EXPECT_EQ(cat->str, "flow");
+      const Json* id = e.find("id");
+      ASSERT_NE(id, nullptr);
+      ASSERT_EQ(id->kind, Json::kString);
+      EXPECT_FALSE(id->str.empty());
+      if (ph->str == "f") {
+        const Json* bp = e.find("bp");
+        ASSERT_NE(bp, nullptr);
+        EXPECT_EQ(bp->str, "e");
+      }
     } else {
       FAIL() << "unexpected event phase '" << ph->str << "'";
     }
   }
-  // A real run records metadata, spans, instants, and counters.
+  // A real run records metadata, spans, instants, counters, and (with
+  // causal tracing on by default) flow arrows.
   EXPECT_TRUE(phases.count("M"));
   EXPECT_TRUE(phases.count("X"));
   EXPECT_TRUE(phases.count("C"));
+  EXPECT_TRUE(phases.count("s"));
+  EXPECT_TRUE(phases.count("t"));
+  EXPECT_TRUE(phases.count("f"));
 
   // Metrics export parses as JSON too.
   Json metrics;

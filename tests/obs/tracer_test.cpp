@@ -115,6 +115,42 @@ TEST(Tracer, ChromeJsonGolden) {
   EXPECT_EQ(tr.chrome_json(), expected);
 }
 
+TEST(Tracer, ChromeJsonFlowEventsGolden) {
+  Tracer tr;
+  const TrackId w0 = tr.track("workers", "worker 0");
+  const TrackId link = tr.track("network", "link 0->1");
+  const TrackId w1 = tr.track("workers", "worker 1");
+  // A send -> transfer -> deliver chain with a deterministic 64-bit id
+  // ((src+1) << 40 | seq, here src=0 seq=3).
+  const std::uint64_t id = (1ull << 40) | 3ull;
+  tr.flow(w0, Tracer::FlowPhase::kStart, "GradientUpdate", 0.1, id);
+  tr.flow(link, Tracer::FlowPhase::kStep, "GradientUpdate", 0.2, id);
+  tr.flow(w1, Tracer::FlowPhase::kEnd, "GradientUpdate", 0.3, id);
+
+  const std::string expected = std::string("{\"traceEvents\":[") +
+      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":2,\"tid\":0,"
+      "\"args\":{\"name\":\"network\"}},\n"
+      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"workers\"}},\n"
+      "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"worker 0\"}},\n"
+      "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":2,\"tid\":2,"
+      "\"args\":{\"name\":\"link 0->1\"}},\n"
+      "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":3,"
+      "\"args\":{\"name\":\"worker 1\"}},\n"
+      // Flow points in recording order; the id renders as a hex string and
+      // the finish event binds to its enclosing slice (bp:"e").
+      "{\"ph\":\"s\",\"cat\":\"flow\",\"name\":\"GradientUpdate\","
+      "\"id\":\"0x10000000003\",\"ts\":100000.000,\"pid\":1,\"tid\":1},\n"
+      "{\"ph\":\"t\",\"cat\":\"flow\",\"name\":\"GradientUpdate\","
+      "\"id\":\"0x10000000003\",\"ts\":200000.000,\"pid\":2,\"tid\":2},\n"
+      "{\"ph\":\"f\",\"cat\":\"flow\",\"name\":\"GradientUpdate\","
+      "\"id\":\"0x10000000003\",\"ts\":300000.000,\"pid\":1,\"tid\":3,"
+      "\"bp\":\"e\"}"
+      "\n]}";
+  EXPECT_EQ(tr.chrome_json(), expected);
+}
+
 TEST(Tracer, JsonEscapesSpecialCharacters) {
   Tracer tr;
   const TrackId t = tr.track("p\"q", "t\\u");
