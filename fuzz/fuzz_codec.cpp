@@ -1,0 +1,85 @@
+// Fuzz target: the wire codec's decode paths.
+//
+// Properties enforced on every input:
+//   1. Decoding never crashes, never allocates proportionally to a hostile
+//      length prefix, and throws nothing but comm::DecodeError.
+//   2. Canonical re-encode: any buffer the decoder ACCEPTS must re-encode
+//      byte-identically. The simulator charges wire_bytes() to the network,
+//      so a non-canonical accepted encoding would let identical messages
+//      cost different bytes depending on history — a determinism leak.
+//   3. wire_bytes() of a decoded message equals the accepted buffer's size.
+//
+// The input is fed to all three entry points (gradient update, weight
+// snapshot, tagged envelope); each either throws DecodeError or satisfies
+// the round-trip property.
+//
+// Historical finding (now a unit test + corpus seed): decode trusted the
+// 32-bit var/tensor count prefixes and reserve()d before validating, so a
+// 20-byte header claiming 0xFFFFFFFF variables attempted a multi-GB
+// allocation. corpus/codec/oversized_var_count is the regression input.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "comm/codec.h"
+#include "comm/message.h"
+
+namespace {
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "fuzz_codec: property violated: %s\n", what);
+  std::abort();
+}
+
+template <typename Decode, typename Encode>
+void check_entry_point(const std::vector<std::uint8_t>& buf, Decode decode,
+                       Encode encode, const char* name) {
+  bool accepted = false;
+  try {
+    auto msg = decode(buf);
+    accepted = true;
+    const std::vector<std::uint8_t> reencoded = encode(msg);
+    if (reencoded != buf) die(name);
+  } catch (const dlion::comm::DecodeError&) {
+    // Expected rejection path for malformed input.
+    if (accepted) die("DecodeError thrown after successful decode");
+  }
+  // Any other exception type escapes and aborts the harness: decoders
+  // contractually throw DecodeError only.
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::vector<std::uint8_t> buf(data, data + size);
+  using namespace dlion::comm;
+
+  check_entry_point(
+      buf, [](const auto& b) { return decode_gradient_update(b); },
+      [](const GradientUpdate& m) { return encode(m); },
+      "gradient update re-encode not byte-identical");
+
+  check_entry_point(
+      buf, [](const auto& b) { return decode_weight_snapshot(b); },
+      [](const WeightSnapshot& m) { return encode(m); },
+      "weight snapshot re-encode not byte-identical");
+
+  try {
+    const Message msg = decode_message(buf);
+    const std::vector<std::uint8_t> reencoded = encode_message(msg);
+    if (reencoded != buf) die("envelope re-encode not byte-identical");
+    // Envelope = 1 tag byte + payload. For DATA messages wire_bytes() is
+    // the exact encoded payload size; for control messages it is the flat
+    // simulator charge (kControlBytes), deliberately decoupled from the
+    // encoding — so the equality is asserted only for data.
+    if (!is_control(msg) &&
+        static_cast<std::size_t>(wire_bytes(msg)) + 1 != buf.size()) {
+      die("wire_bytes disagrees with accepted data-message envelope size");
+    }
+  } catch (const DecodeError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Fuzz target: critical-path attribution over corrupted traces.
+//
+// The input bytes are decoded as a little op stream that drives the Tracer
+// API into arbitrary — including pathological — shapes: spans on worker and
+// link lanes with fuzzer-chosen names and (possibly inverted, overlapping,
+// or NaN-free but extreme) timestamps, dangling flow starts, flow ends with
+// no start, duplicated flow ids, unmatched begin/end pairs. The analyzer
+// must cope: a trace file on disk can be truncated or hand-edited, and the
+// DAG builder is documented as never touching the simulation.
+//
+// Properties enforced on every input:
+//   1. compute_critical_path never crashes and never loops forever.
+//   2. An invalid report is all-empty; a valid report satisfies the tiling
+//      contract: category seconds sum to the path's total length (within
+//      float tolerance) and segments tile [t_start, t_end] contiguously.
+//   3. to_json() of any report parses with the jsonlite parser — the
+//      exporter emits well-formed JSON even for degenerate traces.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/critical_path.h"
+#include "obs/json_lite.h"
+#include "obs/tracer.h"
+
+namespace {
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "fuzz_critical_path: property violated: %s\n", what);
+  std::abort();
+}
+
+/// Sequential byte reader; wraps to 0 past the end so any prefix length
+/// still yields a full op decode (keeps coverage dense on short inputs).
+struct ByteStream {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  std::uint8_t u8() { return pos < size ? data[pos++] : 0; }
+  double time() {
+    // 16-bit fixed point over [0, 655.35]s: finite, non-NaN by
+    // construction (the tracer's own inputs are sim times, always finite),
+    // but unordered and colliding — the interesting corruption space.
+    const std::uint16_t raw =
+        static_cast<std::uint16_t>(u8() | (static_cast<std::uint16_t>(u8()) << 8));
+    return static_cast<double>(raw) / 100.0;
+  }
+};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using dlion::obs::Tracer;
+  dlion::obs::Tracer tracer;
+  ByteStream in{data, size};
+
+  // A small fixed lane universe mirroring the instrumented conventions.
+  const dlion::obs::TrackId lanes[4] = {
+      tracer.track("workers", "worker 0"),
+      tracer.track("workers", "worker 1"),
+      tracer.track("network", "link 0->1"),
+      tracer.track("network", "link 1->0"),
+  };
+  static const char* const kNames[8] = {"compute", "stall",   "dkt_pull",
+                                        "apply",   "tx",      "queue",
+                                        "retry",   "mystery"};
+
+  // Cap ops so a large input can't make the harness itself slow; 4k ops is
+  // far beyond any shape the analyzer distinguishes.
+  const std::size_t max_ops = 4096;
+  for (std::size_t op_count = 0; in.pos < in.size && op_count < max_ops;
+       ++op_count) {
+    const std::uint8_t op = in.u8();
+    const dlion::obs::TrackId lane = lanes[op & 3];
+    const char* name = kNames[(op >> 2) & 7];
+    switch (op >> 5) {
+      case 0: {
+        const double t0 = in.time();
+        const double t1 = in.time();
+        tracer.complete(lane, name, t0, t1);  // possibly t1 < t0
+        break;
+      }
+      case 1:
+        tracer.begin(lane, name, in.time());
+        break;
+      case 2:
+        tracer.end(lane, in.time());
+        break;
+      case 3:
+        tracer.instant(lane, name, in.time());
+        break;
+      case 4:
+        tracer.counter(lane, name, in.time(), static_cast<double>(in.u8()));
+        break;
+      case 5:
+        tracer.flow(lane, Tracer::FlowPhase::kStart, name, in.time(),
+                    1 + (in.u8() & 15));
+        break;
+      case 6:
+        tracer.flow(lane, Tracer::FlowPhase::kEnd, name, in.time(),
+                    1 + (in.u8() & 15));
+        break;
+      case 7:
+        tracer.flow(lane, Tracer::FlowPhase::kStep, name, in.time(),
+                    1 + (in.u8() & 15));
+        break;
+    }
+  }
+
+  dlion::obs::CriticalPathOptions options;
+  options.epoch_seconds = (data && size != 0 && (data[0] & 1) != 0) ? 10.0 : 0.0;
+  const dlion::obs::CriticalPathReport report =
+      dlion::obs::compute_critical_path(tracer, options);
+
+  if (!report.valid) {
+    if (!report.segments.empty() || !report.workers.empty() ||
+        !report.links.empty()) {
+      die("invalid report carries data");
+    }
+  } else {
+    // Tiling contract: category seconds sum to the path length; segments
+    // are contiguous and chronological.
+    double cat_total = 0.0;
+    for (double s : report.category_seconds) {
+      if (!(s >= 0.0)) die("negative or NaN category seconds");
+      cat_total += s;
+    }
+    const double span = report.total_seconds();
+    if (!(span >= 0.0)) die("t_end precedes t_start in a valid report");
+    if (std::fabs(cat_total - span) > 1e-6 * (1.0 + std::fabs(span))) {
+      die("category seconds do not sum to the path length");
+    }
+    double cursor = report.t_start;
+    for (const auto& seg : report.segments) {
+      if (std::fabs(seg.t0 - cursor) > 1e-9) die("segments do not tile");
+      if (seg.t1 < seg.t0 - 1e-9) die("segment runs backwards");
+      cursor = seg.t1;
+    }
+    if (!report.segments.empty() &&
+        std::fabs(cursor - report.t_end) > 1e-9) {
+      die("segments do not reach t_end");
+    }
+  }
+
+  // Exported JSON must be well-formed regardless of trace shape.
+  const std::string json = report.to_json();
+  dlion::obs::jsonlite::Json doc;
+  dlion::obs::jsonlite::JsonParser parser(json);
+  if (!parser.parse(doc)) die("report.to_json() is not valid JSON");
+  (void)report.attribution_table();
+  return 0;
+}

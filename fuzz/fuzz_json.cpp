@@ -1,0 +1,68 @@
+// Fuzz target: the jsonlite parser used to validate run-artifact JSON
+// (telemetry, watchdog reports, critical-path exports).
+//
+// Properties enforced on every input:
+//   1. Parsing never crashes — in particular the recursion depth limit
+//      holds. (Historical finding: value() recursed once per nesting level
+//      with no bound, so ~100k of '[' overflowed the stack. Fixed by
+//      kMaxParseDepth; corpus/json/deep_nesting is the regression input.)
+//   2. Parsing is deterministic: a second parse of the same bytes returns
+//      the same verdict.
+//   3. Accepted documents are structurally sane (kind tags within range).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/json_lite.h"
+
+namespace {
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "fuzz_json: property violated: %s\n", what);
+  std::abort();
+}
+
+void check_sane(const dlion::obs::jsonlite::Json& j, int depth) {
+  using Json = dlion::obs::jsonlite::Json;
+  if (depth > dlion::obs::jsonlite::kMaxParseDepth + 1) {
+    die("accepted document deeper than the parse depth limit");
+  }
+  switch (j.kind) {
+    case Json::kNull:
+    case Json::kBool:
+    case Json::kNumber:
+    case Json::kString:
+      break;
+    case Json::kArray:
+      for (const Json& v : j.array) check_sane(v, depth + 1);
+      break;
+    case Json::kObject:
+      for (const auto& [k, v] : j.object) check_sane(v, depth + 1);
+      break;
+    default:
+      die("kind tag out of range");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  using dlion::obs::jsonlite::Json;
+  using dlion::obs::jsonlite::JsonParser;
+
+  Json first;
+  JsonParser p1(text);
+  const bool ok1 = p1.parse(first);
+
+  Json second;
+  JsonParser p2(text);
+  const bool ok2 = p2.parse(second);
+  if (ok1 != ok2) die("parse verdict not deterministic");
+
+  if (ok1) check_sane(first, 0);
+  return 0;
+}

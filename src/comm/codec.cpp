@@ -1,9 +1,36 @@
 #include "comm/codec.h"
 
 #include <cstring>
-#include <stdexcept>
+#include <limits>
+#include <string>
+
+#include "common/check.h"
 
 namespace dlion::comm {
+
+const char* decode_error_kind_name(DecodeErrorKind kind) {
+  switch (kind) {
+    case DecodeErrorKind::kTruncated:
+      return "truncated";
+    case DecodeErrorKind::kTrailingBytes:
+      return "trailing_bytes";
+    case DecodeErrorKind::kCountMismatch:
+      return "count_mismatch";
+    case DecodeErrorKind::kOversizedCount:
+      return "oversized_count";
+    case DecodeErrorKind::kBadTag:
+      return "bad_tag";
+    case DecodeErrorKind::kBadValue:
+      return "bad_value";
+  }
+  return "unknown";
+}
+
+DecodeError::DecodeError(DecodeErrorKind kind, const std::string& detail)
+    : std::runtime_error("codec: [" +
+                         std::string(decode_error_kind_name(kind)) + "] " +
+                         detail),
+      kind_(kind) {}
 
 namespace {
 
@@ -12,16 +39,22 @@ constexpr common::Bytes kPerVarHeader = 16;     // index+dense_size+counts
 constexpr common::Bytes kSnapshotHeader = 24;   // from+iter+loss+var count
 constexpr common::Bytes kControlBytes = 64;     // loss/DKT/RCP messages
 
+[[noreturn]] void fail(DecodeErrorKind kind, const std::string& detail) {
+  throw DecodeError(kind, detail);
+}
+
 class Writer {
  public:
   template <typename T>
   void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
     const std::size_t off = buf_.size();
     buf_.resize(off + sizeof(T));
     std::memcpy(buf_.data() + off, &v, sizeof(T));
   }
   template <typename T>
   void put_array(const std::vector<T>& vs) {
+    static_assert(std::is_trivially_copyable_v<T>);
     if (vs.empty()) return;  // empty vectors may have a null data()
     const std::size_t off = buf_.size();
     buf_.resize(off + vs.size() * sizeof(T));
@@ -38,6 +71,7 @@ class Reader {
   explicit Reader(const std::vector<std::uint8_t>& buf) : buf_(&buf) {}
   template <typename T>
   T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
     check(sizeof(T));
     T v;
     std::memcpy(&v, buf_->data() + pos_, sizeof(T));
@@ -46,34 +80,96 @@ class Reader {
   }
   template <typename T>
   std::vector<T> get_array(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
     if (count == 0) return {};
+    // Bounds check *before* sizing any allocation by the untrusted count
+    // (sizeof(T) <= 8 and count < 2^32, so the product cannot overflow a
+    // 64-bit size_t).
     check(count * sizeof(T));
     std::vector<T> vs(count);
     std::memcpy(vs.data(), buf_->data() + pos_, count * sizeof(T));
     pos_ += count * sizeof(T);
     return vs;
   }
+  std::size_t remaining() const { return buf_->size() - pos_; }
   bool exhausted() const { return pos_ == buf_->size(); }
+
+  /// Reject a claimed element count that the remaining bytes cannot
+  /// possibly hold (each element needs >= min_bytes_each more bytes). This
+  /// is the guard that keeps a 4-byte length prefix from driving a
+  /// multi-gigabyte reserve() before any payload byte is validated.
+  void check_count(std::size_t count, std::size_t min_bytes_each,
+                   const char* what) const {
+    DLION_DCHECK(min_bytes_each > 0);
+    if (count > remaining() / min_bytes_each) {
+      fail(DecodeErrorKind::kOversizedCount,
+           std::string(what) + " count " + std::to_string(count) +
+               " cannot fit in " + std::to_string(remaining()) +
+               " remaining bytes");
+    }
+  }
 
  private:
   void check(std::size_t n) const {
-    if (pos_ + n > buf_->size()) {
-      throw std::out_of_range("codec: truncated buffer");
+    DLION_DCHECK(pos_ <= buf_->size());
+    if (n > buf_->size() - pos_) {
+      fail(DecodeErrorKind::kTruncated,
+           "need " + std::to_string(n) + " bytes at offset " +
+               std::to_string(pos_) + ", have " +
+               std::to_string(buf_->size() - pos_));
     }
   }
   const std::vector<std::uint8_t>* buf_;
   std::size_t pos_ = 0;
 };
 
-}  // namespace
+void expect_exhausted(const Reader& r) {
+  if (!r.exhausted()) {
+    fail(DecodeErrorKind::kTrailingBytes,
+         std::to_string(r.remaining()) + " bytes past message end");
+  }
+}
 
-std::vector<std::uint8_t> encode(const GradientUpdate& update) {
-  Writer w;
+/// Format validation shared by decode paths: a VariableGrad must be dense
+/// (no indices, exactly dense_size values), sparse (strictly increasing
+/// in-range indices, one value each), or empty.
+void validate_variable_grad(const VariableGrad& v) {
+  if (v.indices.empty()) {
+    if (!v.values.empty() && v.values.size() != v.dense_size) {
+      fail(DecodeErrorKind::kCountMismatch,
+           "dense payload of " + std::to_string(v.values.size()) +
+               " values vs dense_size " + std::to_string(v.dense_size));
+    }
+    return;
+  }
+  std::uint32_t prev = 0;
+  for (std::size_t e = 0; e < v.indices.size(); ++e) {
+    const std::uint32_t idx = v.indices[e];
+    if (idx >= v.dense_size) {
+      fail(DecodeErrorKind::kBadValue,
+           "sparse index " + std::to_string(idx) + " >= dense_size " +
+               std::to_string(v.dense_size));
+    }
+    if (e > 0 && idx <= prev) {
+      fail(DecodeErrorKind::kBadValue,
+           "sparse indices not strictly increasing at entry " +
+               std::to_string(e));
+    }
+    prev = idx;
+  }
+}
+
+void encode_gradient_update_into(Writer& w, const GradientUpdate& update) {
   w.put<std::uint32_t>(update.from);
   w.put<std::uint64_t>(update.iteration);
   w.put<std::uint32_t>(update.lbs);
   w.put<std::uint32_t>(static_cast<std::uint32_t>(update.vars.size()));
   for (const auto& v : update.vars) {
+    // Encoding a malformed update would produce bytes the decoder rejects;
+    // catch the bug at the producer.
+    DLION_DCHECK(v.indices.empty() || v.indices.size() == v.values.size(),
+                 "var " + std::to_string(v.var_index) +
+                     " has mismatched index/value counts");
     w.put<std::uint32_t>(v.var_index);
     w.put<std::uint32_t>(v.dense_size);
     w.put<std::uint32_t>(static_cast<std::uint32_t>(v.indices.size()));
@@ -81,16 +177,15 @@ std::vector<std::uint8_t> encode(const GradientUpdate& update) {
     w.put_array(v.indices);
     w.put_array(v.values);
   }
-  return w.take();
 }
 
-GradientUpdate decode_gradient_update(const std::vector<std::uint8_t>& buf) {
-  Reader r(buf);
+GradientUpdate decode_gradient_update_from(Reader& r) {
   GradientUpdate u;
   u.from = r.get<std::uint32_t>();
   u.iteration = r.get<std::uint64_t>();
   u.lbs = r.get<std::uint32_t>();
   const auto nvars = r.get<std::uint32_t>();
+  r.check_count(nvars, kPerVarHeader, "variable");
   u.vars.reserve(nvars);
   for (std::uint32_t i = 0; i < nvars; ++i) {
     VariableGrad v;
@@ -99,20 +194,19 @@ GradientUpdate decode_gradient_update(const std::vector<std::uint8_t>& buf) {
     const auto nidx = r.get<std::uint32_t>();
     const auto nval = r.get<std::uint32_t>();
     if (nidx != 0 && nidx != nval) {
-      throw std::invalid_argument("codec: index/value count mismatch");
+      fail(DecodeErrorKind::kCountMismatch,
+           "var " + std::to_string(i) + ": " + std::to_string(nidx) +
+               " indices vs " + std::to_string(nval) + " values");
     }
     v.indices = r.get_array<std::uint32_t>(nidx);
     v.values = r.get_array<float>(nval);
+    validate_variable_grad(v);
     u.vars.push_back(std::move(v));
-  }
-  if (!r.exhausted()) {
-    throw std::invalid_argument("codec: trailing bytes");
   }
   return u;
 }
 
-std::vector<std::uint8_t> encode(const WeightSnapshot& snapshot) {
-  Writer w;
+void encode_weight_snapshot_into(Writer& w, const WeightSnapshot& snapshot) {
   w.put<std::uint32_t>(snapshot.from);
   w.put<std::uint64_t>(snapshot.iteration);
   w.put<double>(snapshot.loss);
@@ -123,26 +217,158 @@ std::vector<std::uint8_t> encode(const WeightSnapshot& snapshot) {
     std::vector<float> data(t.data(), t.data() + t.size());
     w.put_array(data);
   }
-  return w.take();
 }
 
-WeightSnapshot decode_weight_snapshot(const std::vector<std::uint8_t>& buf) {
-  Reader r(buf);
+WeightSnapshot decode_weight_snapshot_from(Reader& r) {
   WeightSnapshot s;
   s.from = r.get<std::uint32_t>();
   s.iteration = r.get<std::uint64_t>();
   s.loss = r.get<double>();
   const auto nvars = r.get<std::uint32_t>();
+  r.check_count(nvars, sizeof(std::uint32_t), "tensor");
   s.weights.values.reserve(nvars);
   for (std::uint32_t i = 0; i < nvars; ++i) {
     const auto n = r.get<std::uint32_t>();
     auto data = r.get_array<float>(n);
     s.weights.values.emplace_back(tensor::Shape{n}, std::move(data));
   }
-  if (!r.exhausted()) {
-    throw std::invalid_argument("codec: trailing bytes");
-  }
   return s;
+}
+
+/// Stable one-byte wire tags for the Message envelope. Decoupled from
+/// std::variant_size/index so reordering the variant cannot silently
+/// re-number the wire format (the static_asserts below pin the mapping).
+enum class MessageTag : std::uint8_t {
+  kGradientUpdate = 0,
+  kWeightSnapshot = 1,
+  kLossReport = 2,
+  kDktRequest = 3,
+  kRcpReport = 4,
+  kHeartbeat = 5,
+  kAck = 6,
+};
+constexpr std::uint8_t kMaxMessageTag = 6;
+static_assert(std::variant_size_v<Message> == kMaxMessageTag + 1,
+              "update MessageTag when Message gains an alternative");
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const GradientUpdate& update) {
+  Writer w;
+  encode_gradient_update_into(w, update);
+  return w.take();
+}
+
+GradientUpdate decode_gradient_update(const std::vector<std::uint8_t>& buf) {
+  Reader r(buf);
+  GradientUpdate u = decode_gradient_update_from(r);
+  expect_exhausted(r);
+  return u;
+}
+
+std::vector<std::uint8_t> encode(const WeightSnapshot& snapshot) {
+  Writer w;
+  encode_weight_snapshot_into(w, snapshot);
+  return w.take();
+}
+
+WeightSnapshot decode_weight_snapshot(const std::vector<std::uint8_t>& buf) {
+  Reader r(buf);
+  WeightSnapshot s = decode_weight_snapshot_from(r);
+  expect_exhausted(r);
+  return s;
+}
+
+std::vector<std::uint8_t> encode_message(const Message& msg) {
+  Writer w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(msg.index()));
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, GradientUpdate>) {
+          encode_gradient_update_into(w, m);
+        } else if constexpr (std::is_same_v<T, WeightSnapshot>) {
+          encode_weight_snapshot_into(w, m);
+        } else if constexpr (std::is_same_v<T, LossReport>) {
+          w.put<std::uint32_t>(m.from);
+          w.put<std::uint64_t>(m.iteration);
+          w.put<double>(m.avg_loss);
+        } else if constexpr (std::is_same_v<T, DktRequest>) {
+          w.put<std::uint32_t>(m.from);
+          w.put<std::uint64_t>(m.iteration);
+        } else if constexpr (std::is_same_v<T, RcpReport>) {
+          w.put<std::uint32_t>(m.from);
+          w.put<double>(m.rcp);
+        } else if constexpr (std::is_same_v<T, Heartbeat>) {
+          w.put<std::uint32_t>(m.from);
+          w.put<std::uint64_t>(m.iteration);
+        } else {
+          static_assert(std::is_same_v<T, Ack>);
+          w.put<std::uint32_t>(m.from);
+          w.put<std::uint64_t>(m.seq);
+        }
+      },
+      msg);
+  return w.take();
+}
+
+Message decode_message(const std::vector<std::uint8_t>& buf) {
+  Reader r(buf);
+  const auto raw_tag = r.get<std::uint8_t>();
+  if (raw_tag > kMaxMessageTag) {
+    fail(DecodeErrorKind::kBadTag,
+         "message tag " + std::to_string(raw_tag) + " > " +
+             std::to_string(kMaxMessageTag));
+  }
+  Message out;
+  switch (static_cast<MessageTag>(raw_tag)) {
+    case MessageTag::kGradientUpdate:
+      out = decode_gradient_update_from(r);
+      break;
+    case MessageTag::kWeightSnapshot:
+      out = decode_weight_snapshot_from(r);
+      break;
+    case MessageTag::kLossReport: {
+      LossReport m;
+      m.from = r.get<std::uint32_t>();
+      m.iteration = r.get<std::uint64_t>();
+      m.avg_loss = r.get<double>();
+      out = m;
+      break;
+    }
+    case MessageTag::kDktRequest: {
+      DktRequest m;
+      m.from = r.get<std::uint32_t>();
+      m.iteration = r.get<std::uint64_t>();
+      out = m;
+      break;
+    }
+    case MessageTag::kRcpReport: {
+      RcpReport m;
+      m.from = r.get<std::uint32_t>();
+      m.rcp = r.get<double>();
+      out = m;
+      break;
+    }
+    case MessageTag::kHeartbeat: {
+      Heartbeat m;
+      m.from = r.get<std::uint32_t>();
+      m.iteration = r.get<std::uint64_t>();
+      out = m;
+      break;
+    }
+    case MessageTag::kAck: {
+      Ack m;
+      m.from = r.get<std::uint32_t>();
+      m.seq = r.get<std::uint64_t>();
+      out = m;
+      break;
+    }
+  }
+  DLION_DCHECK(out.index() == raw_tag,
+               "decoded alternative disagrees with wire tag");
+  expect_exhausted(r);
+  return out;
 }
 
 common::Bytes wire_bytes(const GradientUpdate& update) {

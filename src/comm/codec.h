@@ -4,9 +4,16 @@
 // wire_bytes() computes the encoded size without materializing the buffer,
 // which is what the simulator charges to the network. Layout is
 // little-endian, fixed-width, no padding.
+//
+// Decode paths are hardened against hostile input (fuzz/fuzz_codec.cpp):
+// every length prefix is validated against the bytes actually remaining
+// *before* any allocation sized by it, every enum tag is bounds-checked,
+// and malformed buffers fail with a typed DecodeError carrying the reason —
+// never UB, never an unbounded allocation, never a non-codec exception.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "comm/message.h"
@@ -14,11 +21,40 @@
 
 namespace dlion::comm {
 
+/// Why a decode rejected its input.
+enum class DecodeErrorKind : std::uint8_t {
+  kTruncated = 0,       ///< buffer ended before a fixed-width field/array
+  kTrailingBytes = 1,   ///< buffer longer than the message it encodes
+  kCountMismatch = 2,   ///< index/value/dense_size counts disagree
+  kOversizedCount = 3,  ///< length prefix exceeds what the buffer can hold
+  kBadTag = 4,          ///< unknown message-type tag
+  kBadValue = 5,        ///< field value violates the format (e.g. unsorted
+                        ///< or out-of-range sparse indices)
+};
+const char* decode_error_kind_name(DecodeErrorKind kind);
+
+/// Typed decode failure. Every malformed input lands here; decoders throw
+/// nothing else.
+class DecodeError : public std::runtime_error {
+ public:
+  DecodeError(DecodeErrorKind kind, const std::string& detail);
+  DecodeErrorKind kind() const { return kind_; }
+
+ private:
+  DecodeErrorKind kind_;
+};
+
 std::vector<std::uint8_t> encode(const GradientUpdate& update);
 GradientUpdate decode_gradient_update(const std::vector<std::uint8_t>& buf);
 
 std::vector<std::uint8_t> encode(const WeightSnapshot& snapshot);
 WeightSnapshot decode_weight_snapshot(const std::vector<std::uint8_t>& buf);
+
+/// Tagged envelope for any Message alternative: a one-byte variant tag
+/// followed by the alternative's payload. The decoder validates the tag
+/// (DecodeErrorKind::kBadTag) before touching the payload.
+std::vector<std::uint8_t> encode_message(const Message& msg);
+Message decode_message(const std::vector<std::uint8_t>& buf);
 
 /// Encoded size of any message without encoding it.
 common::Bytes wire_bytes(const Message& msg);

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "common/check.h"
 #include "obs/watchdog.h"
 
 namespace dlion::comm {
@@ -75,6 +76,8 @@ common::Bytes Fabric::charged_bytes(const GradientUpdate& update) const {
 
 bool Fabric::deliver(std::size_t from, std::size_t to, const MessagePtr& msg,
                      FlowId flow) {
+  DLION_DCHECK(to < handlers_.size(), "delivery to out-of-range worker");
+  DLION_DCHECK(msg != nullptr);
   if (!handlers_[to]) {
     // Receiver is detached (crashed or never joined): dead-letter. The
     // causal flow ends nowhere — viewers show the arrow stopping at the
@@ -109,7 +112,15 @@ void Fabric::transmit(std::size_t from, std::size_t to, MessagePtr msg,
   // Flow ids advance unconditionally: the stamp exists whether or not an
   // observer is attached, so attaching one cannot shift any id (and the id
   // itself never influences delivery — see Network::send).
+  DLION_DCHECK(from < flow_seq_.size(), "transmit from out-of-range worker");
   const FlowId flow = make_flow_id(from, ++flow_seq_[from]);
+  // Flow-id monotonicity contract: the per-sender sequence is strictly
+  // increasing and must stay inside its 40-bit field — a wrap would reuse
+  // ids and silently cross-link unrelated causal flows in the trace.
+  DLION_ASSERT(flow_seq_[from] < (std::uint64_t{1} << kFlowSeqBits),
+               "per-sender flow sequence overflowed 2^40 transmissions");
+  DLION_DCHECK(flow_src_worker(flow) == from && flow != 0,
+               "flow id round-trip lost the sender");
   if (obs::on(obs_)) {
     ObsTypeHandles& h = obs_types_[msg->index()];
     h.sent->inc();
@@ -130,7 +141,7 @@ void Fabric::transmit(std::size_t from, std::size_t to, MessagePtr msg,
       break;
     case Kind::kReliable:
       network_->send(from, to, bytes, [this, from, to, msg, seq, flow] {
-        if (delivered_seqs_[to].count(seq) != 0) {
+        if (delivered_seqs_[to].contains(seq)) {
           // Duplicate attempt (our earlier ack was lost): suppress the
           // re-delivery but re-acknowledge so the sender stops retrying.
           send_ack(to, from, seq);

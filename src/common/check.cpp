@@ -1,0 +1,57 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dlion::common {
+
+namespace {
+// Process-wide failure mode. Plain global (not thread_local): tests that
+// install the throwing mode do so before spawning pool work, and the
+// simulator core is single-threaded by design.
+ContractFailureMode g_mode = ContractFailureMode::kAbort;
+
+std::string format_failure(const char* macro, const char* file, int line,
+                           const char* expr, const std::string& detail) {
+  std::string out;
+  out.reserve(128);
+  out += file;
+  out += ':';
+  out += std::to_string(line);
+  out += ": ";
+  out += macro;
+  out += '(';
+  out += expr;
+  out += ") failed";
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+}  // namespace
+
+ContractFailureMode contract_failure_mode() { return g_mode; }
+
+void set_contract_failure_mode(ContractFailureMode mode) { g_mode = mode; }
+
+ScopedContractThrow::ScopedContractThrow() : previous_(g_mode) {
+  g_mode = ContractFailureMode::kThrow;
+}
+
+ScopedContractThrow::~ScopedContractThrow() { g_mode = previous_; }
+
+void contract_fail(const char* macro, const char* file, int line,
+                   const char* expr, const std::string& detail) {
+  const std::string msg = format_failure(macro, file, line, expr, detail);
+  if (g_mode == ContractFailureMode::kThrow) {
+    throw ContractViolation(msg);
+  }
+  // Abort path: write straight to stderr (the logger's level gate must not
+  // be able to swallow a contract violation) and die where it happened.
+  std::fprintf(stderr, "[dlion] contract violation: %s\n", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dlion::common

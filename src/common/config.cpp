@@ -52,7 +52,7 @@ long long Config::get_int(std::string_view key, long long fallback) const {
   if (auto v = lookup(key)) {
     try {
       return std::stoll(*v);
-    } catch (...) {
+    } catch (const std::exception&) {  // invalid_argument / out_of_range
       return fallback;
     }
   }
@@ -63,7 +63,7 @@ double Config::get_double(std::string_view key, double fallback) const {
   if (auto v = lookup(key)) {
     try {
       return std::stod(*v);
-    } catch (...) {
+    } catch (const std::exception&) {  // invalid_argument / out_of_range
       return fallback;
     }
   }

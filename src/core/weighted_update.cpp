@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace dlion::core {
 
 double dynamic_batching_weight(std::size_t lbs_sender, std::size_t lbs_self,
@@ -65,6 +67,9 @@ void apply_own_gradients(nn::Model& model, double eta, std::size_t n_workers,
   const float scale =
       static_cast<float>(eta * db / static_cast<double>(n_workers));
   for (nn::Variable* var : model.variables()) {
+    // Shape agreement: value and gradient buffers are walked with one flat
+    // index, so their shapes must be identical.
+    DLION_CHECK_SHAPE(var->grad().shape(), var->value().shape());
     float* w = var->value().data();
     const float* g = var->grad().data();
     for (std::size_t i = 0; i < var->size(); ++i) w[i] -= scale * g[i];

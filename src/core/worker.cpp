@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "core/link_prioritizer.h"
 #include "core/weighted_update.h"
@@ -340,7 +341,14 @@ void Worker::recompute_lbs() {
     if (j != id_ && suspected_[j]) rcp[j] = kDeadRcp;
   }
   const auto allocation = allocate_lbs(current_gbs(), rcp, options_.lbs.min_lbs);
+  DLION_ASSERT(allocation.size() == rcp.size(),
+               "LBS allocation lost a worker");
   const std::size_t lbs = std::max<std::size_t>(1, allocation[id_]);
+  // LBS bounds contract (Eq. 5): a worker's share never exceeds the global
+  // batch it was carved from.
+  DLION_ASSERT(lbs <= std::max<std::size_t>(1, current_gbs()),
+               "LBS " + std::to_string(lbs) + " exceeds GBS " +
+                   std::to_string(current_gbs()));
   if (lbs != current_lbs_) {
     current_lbs_ = lbs;
   }
@@ -356,6 +364,14 @@ void Worker::try_start_iteration() {
       iteration_ >= options_.max_iterations) {
     return;
   }
+  // Wait-set ⊆ live-set contract: the worker itself is always live (a
+  // crashed worker never reaches this point — crash() clears running state
+  // and detaches), so the synchronization wait-set below, which excludes
+  // every suspected peer, can never contain a dead participant or demand a
+  // wait on ourselves.
+  DLION_DCHECK(!crashed_ && !suspected_[id_],
+               "wait-set would include a dead participant");
+  DLION_DCHECK(live_worker_count() >= 1, "live-set lost the worker itself");
   // Suspected peers are excluded from the wait-set entirely, so a crashed
   // peer cannot deadlock synchronous or bounded-staleness training.
   if (!can_start_iteration(options_.sync, iteration_, peer_latest_, id_,
@@ -432,6 +448,11 @@ void Worker::finish_iteration(std::size_t lbs, double compute_seconds) {
   // normalized). Averaging runs over *live* workers so updates keep their
   // magnitude when peers die (n = fabric size when nothing is suspected).
   const std::size_t n_live = live_worker_count();
+  // GBS bounds contract: the effective global batch always covers this
+  // worker's own contribution and never exceeds what the live cluster can
+  // actually supply in fixed-LBS mode.
+  DLION_ASSERT(n_live >= 1 && n_live <= fabric_->size());
+  DLION_DCHECK(effective_gbs() >= 1, "effective GBS collapsed to zero");
   double own_db = 1.0;
   if (options_.weighted_update && options_.db_normalized) {
     own_db = normalized_batching_weight(lbs, effective_gbs(), n_live);
@@ -625,6 +646,8 @@ double Worker::evaluate_accuracy() {
 }
 
 void Worker::on_message(std::size_t from, comm::MessagePtr msg) {
+  DLION_DCHECK(from < fabric_->size() && from != id_,
+               "message from impossible sender " + std::to_string(from));
   // Any message is proof of life: refresh the liveness stamp and clear
   // suspicion (a no-op whenever fault tolerance is disabled).
   if (from < last_heard_.size()) {

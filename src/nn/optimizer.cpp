@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace dlion::nn {
 
 namespace {
@@ -33,6 +35,9 @@ void Sgd::step(Model& model) {
   ensure_state(velocity_, model);
   for (std::size_t i = 0; i < model.num_variables(); ++i) {
     Variable& var = *model.variables()[i];
+    // Shape agreement contract: the gradient buffer must mirror the value
+    // buffer exactly or the flat index walk below reads out of bounds.
+    DLION_CHECK_SHAPE(var.grad().shape(), var.value().shape());
     float* w = var.value().data();
     const float* g = var.grad().data();
     float* v = velocity_[i].data();
@@ -64,6 +69,7 @@ void Adam::step(Model& model) {
   const float alpha = static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
   for (std::size_t i = 0; i < model.num_variables(); ++i) {
     Variable& var = *model.variables()[i];
+    DLION_CHECK_SHAPE(var.grad().shape(), var.value().shape());
     float* w = var.value().data();
     const float* g = var.grad().data();
     float* m = m_[i].data();

@@ -125,13 +125,27 @@ CriticalPathReport compute_critical_path(const Tracer& tracer,
     lane.kind = classify(tracer.track_process(id), lane.name, &lane.worker,
                          &lane.from, &lane.to);
   }
+  // Sanitize at the ingestion boundary: a trace loaded from disk (or a
+  // tracer driven by buggy instrumentation) can hold spans that run
+  // backwards, carry non-finite endpoints, or reference tracks that don't
+  // exist. Such spans cannot be placed on any causal path — admitting one
+  // would let t_end precede t_start in a "valid" report (found by
+  // fuzz/fuzz_critical_path.cpp; regression seed
+  // fuzz/corpus/critical_path/inverted_times). They are skipped wholesale:
+  // the analysis sees only well-formed spans.
+  std::vector<std::size_t> usable;
+  usable.reserve(spans.size());
   for (std::size_t i = 0; i < spans.size(); ++i) {
-    const TrackId t = spans[i].track;
-    if (t >= 1 && t <= n_tracks) {
-      lanes[t].by_t1.push_back(i);
-      lanes[t].by_t0.push_back(i);
+    const Tracer::Span& s = spans[i];
+    if (!(s.t1 >= s.t0) || !std::isfinite(s.t0) || !std::isfinite(s.t1)) {
+      continue;  // backwards or NaN/inf span: corrupt
     }
+    if (s.track < 1 || s.track > n_tracks) continue;  // unknown lane
+    usable.push_back(i);
+    lanes[s.track].by_t1.push_back(i);
+    lanes[s.track].by_t0.push_back(i);
   }
+  if (usable.empty()) return report;  // nothing well-formed: invalid
   for (Lane& lane : lanes) {
     std::sort(lane.by_t1.begin(), lane.by_t1.end(),
               [&spans](std::size_t a, std::size_t b) {
@@ -236,8 +250,8 @@ CriticalPathReport compute_critical_path(const Tracer& tracer,
 
   // --- Terminal node: the last span to finish (prefer worker lanes, then
   // later start, then recording order). ---
-  std::size_t terminal = 0;
-  for (std::size_t i = 1; i < spans.size(); ++i) {
+  std::size_t terminal = usable.front();
+  for (const std::size_t i : usable) {
     const Tracer::Span& a = spans[i];
     const Tracer::Span& b = spans[terminal];
     const bool a_worker = lanes[a.track].kind == Lane::kWorker;

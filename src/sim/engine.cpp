@@ -1,6 +1,9 @@
 #include "sim/engine.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "common/check.h"
 
 namespace dlion::sim {
 
@@ -28,6 +31,12 @@ void Engine::run_until(common::SimTime t_end) {
   stop_requested_ = false;
   while (!stop_requested_ && !queue_.empty() && queue_.next_time() <= t_end) {
     auto [time, fn] = queue_.pop();
+    // Event-time monotonicity: the virtual clock never runs backwards.
+    // at()/after() reject past times at the API edge; this catches any
+    // internal path that would still manage to regress the clock.
+    DLION_ASSERT(time >= now_, "clock would regress from t=" +
+                                   std::to_string(now_) + " to t=" +
+                                   std::to_string(time));
     now_ = time;
     ++executed_;
     if (obs::on(obs_)) obs_events_->inc();
@@ -42,6 +51,9 @@ void Engine::run() {
   stop_requested_ = false;
   while (!stop_requested_ && !queue_.empty()) {
     auto [time, fn] = queue_.pop();
+    DLION_ASSERT(time >= now_, "clock would regress from t=" +
+                                   std::to_string(now_) + " to t=" +
+                                   std::to_string(time));
     now_ = time;
     ++executed_;
     if (obs::on(obs_)) obs_events_->inc();

@@ -1,6 +1,8 @@
 #include "sim/event_queue.h"
 
-#include <cassert>
+#include <string>
+
+#include "common/check.h"
 
 namespace dlion::sim {
 
@@ -8,6 +10,8 @@ EventId EventQueue::push(common::SimTime t, EventFn fn) {
   const EventId id = next_id_++;
   events_.emplace(Key{t, id}, std::move(fn));
   alive_.emplace(id, t);
+  DLION_DCHECK(alive_.size() == events_.size(),
+               "cancellation index out of sync with event map");
   return id;
 }
 
@@ -16,12 +20,33 @@ bool EventQueue::cancel(EventId id) {
   if (it == alive_.end()) return false;
   events_.erase(Key{it->second, id});
   alive_.erase(it);
+  DLION_DCHECK(alive_.size() == events_.size(),
+               "cancellation index out of sync with event map");
   return true;
 }
 
+common::SimTime EventQueue::next_time() const {
+  DLION_ASSERT(!events_.empty(), "next_time() on an empty queue");
+  return events_.begin()->first.first;
+}
+
 EventQueue::Popped EventQueue::pop() {
-  assert(!events_.empty());
+  DLION_ASSERT(!events_.empty(), "pop() on an empty queue");
   auto it = events_.begin();
+  // Stable tie-break ordering contract: events leave the queue in
+  // nondecreasing (time, insertion-id) order, so two runs that push the
+  // same events always execute them identically. A violation means either
+  // the key ordering broke or someone scheduled into the popped past.
+  DLION_DCHECK(!popped_any_ || it->first.first > last_popped_ ||
+                   (it->first.first == last_popped_ &&
+                    it->first.second > last_popped_id_),
+               "pop order regressed: t=" + std::to_string(it->first.first) +
+                   " id=" + std::to_string(it->first.second) + " after t=" +
+                   std::to_string(last_popped_) + " id=" +
+                   std::to_string(last_popped_id_));
+  last_popped_ = it->first.first;
+  last_popped_id_ = it->first.second;
+  popped_any_ = true;
   Popped popped{it->first.first, std::move(it->second)};
   alive_.erase(it->first.second);
   events_.erase(it);

@@ -30,7 +30,7 @@ class EventQueue {
   std::size_t size() const { return events_.size(); }
 
   /// Time of the earliest pending event; only valid if !empty().
-  common::SimTime next_time() const { return events_.begin()->first.first; }
+  common::SimTime next_time() const;
 
   struct Popped {
     common::SimTime time;
@@ -42,8 +42,16 @@ class EventQueue {
  private:
   using Key = std::pair<common::SimTime, EventId>;
   std::map<Key, EventFn> events_;
+  // Cancellation index only - never iterated, so its unordered layout can
+  // not leak into event ordering (dlion-lint enforces the "never iterated"
+  // half; the stable tie-break contract in pop() enforces the rest).
   std::unordered_map<EventId, common::SimTime> alive_;
   EventId next_id_ = 0;
+  /// Monotonic pop clock backing the stable tie-break contract: pop() must
+  /// never return an event earlier than one it already returned.
+  common::SimTime last_popped_ = 0.0;
+  EventId last_popped_id_ = 0;
+  bool popped_any_ = false;
 };
 
 }  // namespace dlion::sim

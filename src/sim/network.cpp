@@ -1,5 +1,9 @@
 #include "sim/network.h"
 
+#include <cmath>
+
+#include "common/check.h"
+
 #include <algorithm>
 #include <stdexcept>
 #include <string>
@@ -134,6 +138,8 @@ void Network::send(std::size_t from, std::size_t to, common::Bytes bytes,
 }
 
 void Network::start_next(std::size_t from, std::size_t to) {
+  DLION_DCHECK(from < n_ && to < n_ && from != to,
+               "link endpoints out of range");
   auto& q = queue_[from][to];
   if (q.empty()) {
     busy_[from][to] = false;
@@ -142,8 +148,14 @@ void Network::start_next(std::size_t from, std::size_t to) {
   busy_[from][to] = true;
   Pending msg = std::move(q.front());
   q.pop_front();
+  // Backlog accounting contract: every queued transfer was charged to the
+  // sender at enqueue and is released exactly once at transmission end.
+  DLION_DCHECK(backlog_[from] >= msg.bytes,
+               "uplink backlog underflow: releasing more bytes than queued");
   const double mbps = available_mbps(from, to);
   const double tx = common::transfer_seconds(msg.bytes, mbps);
+  DLION_DCHECK(tx >= 0.0 && std::isfinite(tx),
+               "non-finite transmission time");
   const double latency = latency_[from][to];
   stats_[from].bytes_sent += msg.bytes;
   stats_[from].messages_sent += 1;

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/scratch.h"
 #include "common/thread_pool.h"
 #include "tensor/gemm_kernel.h"
@@ -129,6 +130,13 @@ void gemm_packed(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
   const detail::MicroKernel& mk = detail::active_micro_kernel();
   const std::size_t mr_tile = mk.mr;
   const std::size_t nr_tile = mk.nr;
+  // Blocking geometry contract: the MC/NC blocks must be whole multiples of
+  // the active micro-tile, or partial strips would overlap across blocks
+  // and the fixed k-ordered accumulation (the determinism argument above)
+  // would no longer hold per C element.
+  DLION_DCHECK(mr_tile > 0 && nr_tile > 0 && kMC % mr_tile == 0 &&
+                   kNC % nr_tile == 0,
+               "cache blocks must be multiples of the micro-tile");
 
   const double flops = 2.0 * static_cast<double>(m) * n * k;
   const bool parallel = g_gemm_parallel.load(std::memory_order_relaxed) &&
@@ -149,6 +157,10 @@ void gemm_packed(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
       auto process_row_block = [&](std::size_t ic_index) {
         const std::size_t ic = ic_index * kMC;
         const std::size_t mc = std::min(kMC, m - ic);
+        // Row blocks tile [0, m) disjointly - the packed panels and the C
+        // writes below must stay inside the operand extents.
+        DLION_DCHECK(ic < m && ic + mc <= m && pc + kc <= k && jc + nc <= n,
+                     "GEMM block escaped its operand");
         const std::size_t a_strips = ceil_div(mc, mr_tile);
         // Each executing thread packs into its own arena, so parallel row
         // blocks never contend (the caller's arena simply nests a scope).

@@ -6,12 +6,13 @@
 // predictably).
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <initializer_list>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "common/check.h"
 
 namespace dlion::tensor {
 
@@ -24,7 +25,7 @@ class Shape {
 
   std::size_t rank() const { return dims_.size(); }
   std::size_t operator[](std::size_t i) const {
-    assert(i < dims_.size());
+    DLION_DCHECK(i < dims_.size());
     return dims_[i];
   }
   std::size_t num_elements() const;
@@ -55,31 +56,31 @@ class Tensor {
   std::span<const float> span() const { return {data_.data(), data_.size()}; }
 
   float& operator[](std::size_t i) {
-    assert(i < data_.size());
+    DLION_DCHECK(i < data_.size());
     return data_[i];
   }
   float operator[](std::size_t i) const {
-    assert(i < data_.size());
+    DLION_DCHECK(i < data_.size());
     return data_[i];
   }
 
   /// 2-D accessor for matrices (rank must be 2).
   float& at(std::size_t r, std::size_t c) {
-    assert(shape_.rank() == 2);
+    DLION_DCHECK(shape_.rank() == 2);
     return data_[r * shape_[1] + c];
   }
   float at(std::size_t r, std::size_t c) const {
-    assert(shape_.rank() == 2);
+    DLION_DCHECK(shape_.rank() == 2);
     return data_[r * shape_[1] + c];
   }
 
   /// 4-D accessor (N, C, H, W) for images.
   float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
-    assert(shape_.rank() == 4);
+    DLION_DCHECK(shape_.rank() == 4);
     return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
   }
   float at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
-    assert(shape_.rank() == 4);
+    DLION_DCHECK(shape_.rank() == 4);
     return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
   }
 

@@ -54,16 +54,152 @@ TEST(Codec, EmptyUpdateRoundTrip) {
   EXPECT_TRUE(d.vars.empty());
 }
 
+/// Decode `buf` and return the typed failure kind (asserts it throws).
+template <typename Fn>
+DecodeErrorKind decode_failure_kind(Fn&& decode) {
+  try {
+    decode();
+  } catch (const DecodeError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "decode accepted a malformed buffer";
+  return DecodeErrorKind::kTruncated;
+}
+
 TEST(Codec, TruncatedBufferThrows) {
   auto buf = encode(sample_update());
   buf.resize(buf.size() - 4);
-  EXPECT_THROW(decode_gradient_update(buf), std::out_of_range);
+  EXPECT_EQ(decode_failure_kind([&] { decode_gradient_update(buf); }),
+            DecodeErrorKind::kTruncated);
+}
+
+TEST(Codec, EveryTruncationPointThrowsTyped) {
+  // Cutting the buffer at *any* byte must yield kTruncated or
+  // kOversizedCount - never UB, never a foreign exception type.
+  const auto full = encode(sample_update());
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    std::vector<std::uint8_t> buf(full.begin(), full.begin() + n);
+    EXPECT_THROW(decode_gradient_update(buf), DecodeError) << "cut at " << n;
+  }
 }
 
 TEST(Codec, TrailingBytesThrow) {
   auto buf = encode(sample_update());
   buf.push_back(0);
-  EXPECT_THROW(decode_gradient_update(buf), std::invalid_argument);
+  EXPECT_EQ(decode_failure_kind([&] { decode_gradient_update(buf); }),
+            DecodeErrorKind::kTrailingBytes);
+}
+
+TEST(Codec, OversizedVarCountRejectedBeforeAllocation) {
+  // Regression for the fuzzer-found decode bug: a 20-byte header whose
+  // var-count field claims 2^32-1 variables used to drive a ~240 GB
+  // vector::reserve before any payload validation. The count must be
+  // rejected against the bytes actually remaining.
+  auto buf = encode(GradientUpdate{});  // header only, vars = 0
+  ASSERT_EQ(buf.size(), 20u);
+  buf[16] = 0xff;  // var-count field (little-endian u32 at offset 16)
+  buf[17] = 0xff;
+  buf[18] = 0xff;
+  buf[19] = 0xff;
+  EXPECT_EQ(decode_failure_kind([&] { decode_gradient_update(buf); }),
+            DecodeErrorKind::kOversizedCount);
+}
+
+TEST(Codec, OversizedTensorCountRejectedBeforeAllocation) {
+  WeightSnapshot s;
+  auto buf = encode(s);  // header only
+  ASSERT_EQ(buf.size(), 24u);
+  buf[20] = 0xff;  // tensor-count field
+  buf[21] = 0xff;
+  buf[22] = 0xff;
+  buf[23] = 0xff;
+  EXPECT_EQ(decode_failure_kind([&] { decode_weight_snapshot(buf); }),
+            DecodeErrorKind::kOversizedCount);
+}
+
+TEST(Codec, IndexValueCountMismatchThrows) {
+  GradientUpdate u = sample_update();
+  auto buf = encode(u);
+  // First var: {var_index, dense_size, nidx, nval} at offset 20; bump nidx
+  // from 3 to 4 so the counts disagree.
+  buf[20 + 8] = 4;
+  EXPECT_EQ(decode_failure_kind([&] { decode_gradient_update(buf); }),
+            DecodeErrorKind::kCountMismatch);
+}
+
+TEST(Codec, DensePayloadSizeMismatchThrows) {
+  // indices empty but values.size() != dense_size and != 0: neither dense
+  // nor sparse - a state no producer emits and apply_gradient_update would
+  // silently ignore.
+  GradientUpdate u;
+  VariableGrad v;
+  v.var_index = 0;
+  v.dense_size = 8;
+  v.values = {1.0f, 2.0f, 3.0f};  // 3 != 8
+  u.vars.push_back(v);
+  const auto buf = encode(u);
+  EXPECT_EQ(decode_failure_kind([&] { decode_gradient_update(buf); }),
+            DecodeErrorKind::kCountMismatch);
+}
+
+TEST(Codec, UnsortedSparseIndicesThrow) {
+  GradientUpdate u;
+  VariableGrad v;
+  v.var_index = 0;
+  v.dense_size = 100;
+  v.indices = {17, 3};  // not strictly increasing
+  v.values = {1.0f, 2.0f};
+  u.vars.push_back(v);
+  const auto buf = encode(u);
+  EXPECT_EQ(decode_failure_kind([&] { decode_gradient_update(buf); }),
+            DecodeErrorKind::kBadValue);
+}
+
+TEST(Codec, OutOfRangeSparseIndexThrows) {
+  GradientUpdate u;
+  VariableGrad v;
+  v.var_index = 0;
+  v.dense_size = 10;
+  v.indices = {9, 10};  // 10 >= dense_size
+  v.values = {1.0f, 2.0f};
+  u.vars.push_back(v);
+  const auto buf = encode(u);
+  EXPECT_EQ(decode_failure_kind([&] { decode_gradient_update(buf); }),
+            DecodeErrorKind::kBadValue);
+}
+
+TEST(Codec, MessageEnvelopeBadTagThrows) {
+  std::vector<std::uint8_t> buf{42};  // unknown tag, no payload
+  EXPECT_EQ(decode_failure_kind([&] { decode_message(buf); }),
+            DecodeErrorKind::kBadTag);
+  EXPECT_EQ(decode_failure_kind([&] { decode_message({}); }),
+            DecodeErrorKind::kTruncated);
+}
+
+TEST(Codec, MessageEnvelopeRoundTripsEveryAlternative) {
+  GradientUpdate g = sample_update();
+  WeightSnapshot s;
+  s.from = 2;
+  s.iteration = 9;
+  s.loss = -1.5;
+  s.weights.values.emplace_back(tensor::Shape{2}, std::vector<float>{7, 8});
+  const Message msgs[] = {
+      Message(g),
+      Message(s),
+      Message(LossReport{1, 2, 0.5}),
+      Message(DktRequest{3, 4}),
+      Message(RcpReport{5, 64.0}),
+      Message(Heartbeat{6, 7}),
+      Message(Ack{8, 9}),
+  };
+  for (const Message& m : msgs) {
+    const auto buf = encode_message(m);
+    const Message d = decode_message(buf);
+    EXPECT_EQ(d.index(), m.index());
+    // Byte-exact round trip: re-encoding the decoded message must
+    // reproduce the original buffer.
+    EXPECT_EQ(encode_message(d), buf) << message_type_name(m);
+  }
 }
 
 TEST(Codec, WeightSnapshotRoundTrip) {

@@ -1,0 +1,99 @@
+// Tests for the contract-invariant macros in common/check.h.
+//
+// The default failure mode (abort) is untestable without death tests, so
+// every test here flips the process into throw mode via ScopedContractThrow
+// and inspects the ContractViolation it produces.
+
+#include "common/check.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dlion::common {
+namespace {
+
+TEST(CheckTest, PassingAssertHasNoEffect) {
+  ScopedContractThrow guard;
+  EXPECT_NO_THROW(DLION_ASSERT(1 + 1 == 2));
+  EXPECT_NO_THROW(DLION_ASSERT(true, "never shown"));
+}
+
+TEST(CheckTest, FailingAssertThrowsInThrowMode) {
+  ScopedContractThrow guard;
+  EXPECT_THROW(DLION_ASSERT(false), ContractViolation);
+}
+
+TEST(CheckTest, MessageCarriesFileLineExprAndDetail) {
+  ScopedContractThrow guard;
+  try {
+    DLION_ASSERT(2 < 1, "custom detail 42");
+    FAIL() << "DLION_ASSERT did not throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("DLION_ASSERT"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, ScopedThrowRestoresPreviousMode) {
+  ASSERT_EQ(contract_failure_mode(), ContractFailureMode::kAbort);
+  {
+    ScopedContractThrow guard;
+    EXPECT_EQ(contract_failure_mode(), ContractFailureMode::kThrow);
+  }
+  EXPECT_EQ(contract_failure_mode(), ContractFailureMode::kAbort);
+}
+
+TEST(CheckTest, AssertConditionIsNotEvaluatedTwice) {
+  ScopedContractThrow guard;
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  DLION_ASSERT(count());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckTest, DcheckMatchesBuildConfiguration) {
+  ScopedContractThrow guard;
+  if constexpr (kDchecksEnabled) {
+    EXPECT_THROW(DLION_DCHECK(false), ContractViolation);
+  } else {
+    EXPECT_NO_THROW(DLION_DCHECK(false));
+  }
+  // Either way a passing DCHECK is silent.
+  EXPECT_NO_THROW(DLION_DCHECK(true));
+}
+
+TEST(CheckTest, CheckShapeComparesAndReportsBothShapes) {
+  ScopedContractThrow guard;
+  struct FakeShape {
+    int v;
+    bool operator==(const FakeShape& o) const { return v == o.v; }
+    std::string to_string() const { return "shape<" + std::to_string(v) + ">"; }
+  };
+  const FakeShape a{3};
+  const FakeShape b{3};
+  EXPECT_NO_THROW(DLION_CHECK_SHAPE(a, b));
+  const FakeShape c{7};
+  try {
+    DLION_CHECK_SHAPE(a, c);
+    FAIL() << "DLION_CHECK_SHAPE did not throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shape<3>"), std::string::npos) << what;
+    EXPECT_NE(what.find("shape<7>"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, ContractViolationIsALogicError) {
+  ScopedContractThrow guard;
+  EXPECT_THROW(DLION_ASSERT(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dlion::common

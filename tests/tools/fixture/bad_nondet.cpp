@@ -1,0 +1,45 @@
+// Lint fixture: every block below violates exactly one dlion-lint rule.
+// This file is test DATA - it is never compiled into any target. Line
+// numbers are asserted by tests/tools/lint_tool_test.cpp; if you edit this
+// file, update the expected lines there.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <map>
+#include <numeric>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+void write_report() {
+  std::ofstream out("report.json");  // marks this TU as an artifact writer
+  std::unordered_map<int, int> counts;
+  for (const auto& kv : counts) {  // line 18: unordered iteration
+    out << kv.first;
+  }
+}
+
+int entropy() {
+  std::random_device rd;             // line 24: OS entropy
+  long t = time(nullptr);            // line 25: wall clock
+  return rd() + static_cast<int>(t) + rand();  // line 26: rand()
+}
+
+struct Node {};
+std::map<const Node*, int> order;    // line 30: pointer-keyed map
+
+float total(const std::vector<float>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0f);  // line 33: float accumulate
+}
+
+class Base {
+ public:
+  virtual ~Base() = default;
+  virtual void tick() = 0;
+};
+
+class Derived : public Base {
+ public:
+  virtual void tick();               // line 44: missing override
+};

@@ -1,0 +1,29 @@
+// Lint fixture (never compiled): deliberately determinism-clean code plus
+// patterns that LOOK like violations but must not be flagged — mentions in
+// comments and string literals, membership-only unordered containers, and
+// an inline-suppressed line. Expected diagnostics: zero.
+#include <fstream>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+// rand() and std::random_device in a comment must not fire.
+void checksum_writer(const std::vector<int>& ids) {
+  std::ofstream out("artifact.csv");
+  out << "time(nullptr) literal in a string is fine\n";
+  // Membership-only unordered use: never iterated, so order never leaks.
+  std::unordered_set<int> seen;
+  for (int id : ids) {          // iterating the *vector*, not the set
+    if (seen.insert(id).second) out << id << "\n";
+  }
+  // Sorted container iteration is deterministic.
+  std::map<std::string, int> by_name;
+  for (const auto& kv : by_name) out << kv.first << "\n";
+}
+
+// Inline suppression: acknowledged, reviewed, allowed.
+#include <ctime>
+long documented_wallclock() {
+  return time(nullptr);  // dlion-lint: allow(dlion-nondet-entropy)
+}

@@ -1,0 +1,657 @@
+// dlion-lint: a purpose-built determinism linter for the DLion tree.
+//
+// The simulator's headline guarantee is bit-identical runs: same seed, same
+// outputs, independent of thread count, observability mode, or host. Most
+// regressions against that guarantee come from a small set of C++ patterns
+// that are individually innocent-looking:
+//
+//   * iterating an unordered associative container and feeding the visit
+//     order into JSON/CSV/checksum output,
+//   * reaching for OS entropy or wall clocks (`rand()`, `std::random_device`,
+//     `time(nullptr)`, `std::chrono::system_clock`) instead of the seeded
+//     `common::Rng` / virtual sim clock,
+//   * ordering work by pointer value (`std::map<T*, ...>` iterates in
+//     allocation order, which ASLR randomizes per process),
+//   * floating-point `std::accumulate` outside the tensor library, where
+//     summation order is an explicit, tested contract,
+//   * wire/config structs with uninitialized POD members (uninitialized
+//     padding or fields encode garbage → nondeterministic bytes), and
+//   * `virtual` redeclarations in derived types missing `override` (silent
+//     signature drift breaks the strategy plugins in ways only visible as
+//     behavioral divergence).
+//
+// General-purpose tools either cannot see these (clang-tidy has no notion of
+// "this TU writes run artifacts") or are unavailable in the build image, so
+// this linter implements them as text-level rules: comments and string
+// literals are stripped (line structure preserved), then each rule scans the
+// remaining code. False-positive escape hatches, in priority order:
+//
+//   1. inline: append `// dlion-lint: allow(<rule-id>)` to the line,
+//   2. per-file: add `<rule-id> <path-substring>` to the allowlist file.
+//
+// Output is clang-style `file:line: error: message [rule-id]` on stdout plus
+// an optional machine-readable JSON report (--json). Exit codes: 0 clean,
+// 1 diagnostics emitted, 2 usage/IO error. Diagnostics are emitted in
+// sorted (file, line, rule) order so the output is itself deterministic.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Diagnostic {
+  std::string file;  // path relative to --root (stable across machines)
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+};
+
+struct AllowEntry {
+  std::string rule;  // "*" matches every rule
+  std::string path_substring;
+};
+
+struct Options {
+  fs::path root;                  // repo root; paths are reported relative
+  std::vector<fs::path> targets;  // files or directories to scan
+  fs::path allowlist_path;
+  fs::path json_path;
+  bool verbose = false;
+};
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: strip comments and string/char literals while keeping
+// byte-for-byte line structure, so diagnostics point at real lines and rules
+// never fire on prose. Raw strings are handled; escapes inside literals too.
+// ---------------------------------------------------------------------------
+std::string strip_comments_and_strings(const std::string& src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // delimiter for the active raw string literal
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   src[i - 1])) &&
+                               src[i - 1] != '_'))) {
+          // R"delim( ... )delim"
+          std::size_t j = i + 2;
+          raw_delim.clear();
+          while (j < src.size() && src[j] != '(') raw_delim += src[j++];
+          state = State::kRawString;
+          out += ' ';  // for 'R'
+          out += ' ';  // for '"'
+          for (std::size_t k = 0; k < raw_delim.size() + 1 && i + 2 + k < src.size();
+               ++k) {
+            out += src[i + 2 + k] == '\n' ? '\n' : ' ';
+          }
+          i = j;  // now positioned at '('
+        } else if (c == '"') {
+          state = State::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += ' ';
+          if (next != '\0') {
+            out += next == '\n' ? '\n' : ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += ' ';
+          if (next != '\0') {
+            out += ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kRawString: {
+        // Look for )delim"
+        if (c == ')' &&
+            src.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            i + 1 + raw_delim.size() < src.size() &&
+            src[i + 1 + raw_delim.size()] == '"') {
+          for (std::size_t k = 0; k < raw_delim.size() + 2; ++k) {
+            out += src[i + k] == '\n' ? '\n' : ' ';
+          }
+          i += raw_delim.size() + 1;
+          state = State::kCode;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine
+// ---------------------------------------------------------------------------
+struct FileContext {
+  std::string rel_path;               // reported path
+  std::vector<std::string> raw;       // original lines (for suppressions)
+  std::vector<std::string> code;      // stripped lines (rules scan these)
+  bool writes_artifacts = false;      // TU emits JSON/CSV/checksum output
+  bool in_tensor_lib = false;         // under src/tensor/
+  bool is_header = false;
+  // Line numbers (1-based) carrying `// dlion-lint: allow(rule)` markers,
+  // mapped to the set of rule ids allowed on that line ("*" = all).
+  std::map<int, std::set<std::string>> inline_allows;
+};
+
+bool line_allows(const FileContext& ctx, int line, const std::string& rule) {
+  auto it = ctx.inline_allows.find(line);
+  if (it == ctx.inline_allows.end()) return false;
+  return it->second.count("*") != 0 || it->second.count(rule) != 0;
+}
+
+using Emit = std::vector<Diagnostic>&;
+
+void emit(Emit diags, const FileContext& ctx, int line, std::string rule,
+          std::string message) {
+  if (line_allows(ctx, line, rule)) return;
+  diags.push_back({ctx.rel_path, line, std::move(rule), std::move(message)});
+}
+
+// Rule: dlion-nondet-unordered-iteration
+// Collect identifiers declared with std::unordered_{map,set} anywhere in the
+// file, then flag range-for loops or .begin()/.end()/iterator walks over them
+// — but only in TUs that also write run artifacts (JSON/CSV/checksums),
+// because that's where visit order becomes observable output.
+void rule_unordered_iteration(const FileContext& ctx, Emit diags) {
+  static const std::regex decl_re(
+      R"(std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*>\s*>?\s*([A-Za-z_]\w*)\s*[;{=\(])");
+  static const std::regex member_re(
+      R"(std::unordered_(?:map|set|multimap|multiset)\s*<.*>\s+([A-Za-z_]\w*)_?\s*;)");
+  std::set<std::string> unordered_names;
+  for (const std::string& line : ctx.code) {
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), decl_re);
+         it != std::sregex_iterator(); ++it) {
+      unordered_names.insert((*it)[1].str());
+    }
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), member_re);
+         it != std::sregex_iterator(); ++it) {
+      unordered_names.insert((*it)[1].str());
+    }
+  }
+  if (unordered_names.empty()) return;
+  if (!ctx.writes_artifacts) return;
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    for (const std::string& name : unordered_names) {
+      const std::regex range_for(R"(for\s*\([^;)]*:\s*)" + name + R"(\b)");
+      const std::regex begin_walk("\\b" + name + R"((?:_)?\s*\.\s*(?:c?begin|c?end)\s*\()");
+      if (std::regex_search(line, range_for) ||
+          std::regex_search(line, begin_walk)) {
+        emit(diags, ctx, static_cast<int>(i) + 1,
+             "dlion-nondet-unordered-iteration",
+             "iteration over unordered container '" + name +
+                 "' in a TU that writes JSON/CSV/checksum output; visit "
+                 "order is hash-seed dependent - use a sorted container or "
+                 "sort keys first");
+      }
+    }
+  }
+}
+
+// Rule: dlion-nondet-entropy
+// OS entropy / wall-clock time sources. Allowed only via allowlist (the
+// seeded RNG implementation and bench timers).
+void rule_entropy(const FileContext& ctx, Emit diags) {
+  struct Pattern {
+    std::regex re;
+    const char* what;
+  };
+  static const std::vector<Pattern> patterns = [] {
+    std::vector<Pattern> p;
+    p.push_back({std::regex(R"(\bstd::random_device\b)"),
+                 "std::random_device draws OS entropy"});
+    p.push_back({std::regex(R"((?:^|[^:\w])rand\s*\(\s*\))"),
+                 "rand() is seeded from process state"});
+    p.push_back({std::regex(R"((?:^|[^:\w])s?rand\s*\(\s*time\s*\()"),
+                 "time-seeded rand()"});
+    p.push_back({std::regex(R"(\btime\s*\(\s*(?:nullptr|NULL|0)\s*\))"),
+                 "time(nullptr) reads the wall clock"});
+    p.push_back({std::regex(R"(\bstd::chrono::(?:system|steady|high_resolution)_clock\b)"),
+                 "host clocks vary per run; use the sim virtual clock"});
+    p.push_back({std::regex(R"(\bgettimeofday\s*\()"),
+                 "gettimeofday reads the wall clock"});
+    return p;
+  }();
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    for (const Pattern& p : patterns) {
+      if (std::regex_search(ctx.code[i], p.re)) {
+        emit(diags, ctx, static_cast<int>(i) + 1, "dlion-nondet-entropy",
+             std::string(p.what) +
+                 "; deterministic replays require common::Rng / sim time");
+      }
+    }
+  }
+}
+
+// Rule: dlion-nondet-pointer-key
+// Ordered containers keyed by pointer compare allocation addresses, which
+// ASLR randomizes; iteration order then differs between runs.
+void rule_pointer_key(const FileContext& ctx, Emit diags) {
+  static const std::regex re(
+      R"(\bstd::(?:map|set|multimap|multiset)\s*<\s*(?:const\s+)?[A-Za-z_][\w:]*\s*\*)");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (std::regex_search(ctx.code[i], re)) {
+      emit(diags, ctx, static_cast<int>(i) + 1, "dlion-nondet-pointer-key",
+           "ordered container keyed by pointer value; iteration order "
+           "follows ASLR-randomized addresses - key by a stable id instead");
+    }
+  }
+}
+
+// Rule: dlion-nondet-float-accumulate
+// Floating-point accumulation order is a tested contract owned by
+// src/tensor; ad-hoc std::accumulate over floats elsewhere invites
+// reassociation drift when someone later parallelizes or reorders.
+void rule_float_accumulate(const FileContext& ctx, Emit diags) {
+  if (ctx.in_tensor_lib) return;
+  static const std::regex re(
+      R"(\bstd::accumulate\s*\([^;]*[,(]\s*(?:0\.\d*f?|\d+\.\d*f|0\.f|(?:float|double)\s*[{(]))");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (std::regex_search(ctx.code[i], re)) {
+      emit(diags, ctx, static_cast<int>(i) + 1,
+           "dlion-nondet-float-accumulate",
+           "floating-point std::accumulate outside src/tensor; summation "
+           "order is a determinism contract - use the tensor reductions");
+    }
+  }
+}
+
+// Rule: dlion-missing-override
+// Inside a class/struct that names a base (`: public Base`), a `virtual`
+// method declaration without `override`/`final` silently stops overriding
+// when the base signature changes. (Pure-virtual base declarations live in
+// classes without bases and are not flagged.)
+void rule_missing_override(const FileContext& ctx, Emit diags) {
+  static const std::regex class_with_base(
+      R"(\b(?:class|struct)\s+[A-Za-z_]\w*(?:\s+final)?\s*:\s*(?:public|protected|private)\b)");
+  static const std::regex virtual_decl(R"(\bvirtual\b)");
+  static const std::regex has_override(R"(\boverride\b|\bfinal\b|\s*=\s*0)");
+  static const std::regex dtor(R"(\bvirtual\s+~)");
+  int depth = 0;
+  int derived_depth = -1;  // brace depth at which the derived class body opened
+  bool pending_derived = false;
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    if (std::regex_search(line, class_with_base)) pending_derived = true;
+    for (char c : line) {
+      if (c == '{') {
+        ++depth;
+        if (pending_derived && derived_depth < 0) {
+          derived_depth = depth;
+          pending_derived = false;
+        }
+      } else if (c == '}') {
+        if (derived_depth == depth) derived_depth = -1;
+        --depth;
+      }
+    }
+    if (derived_depth > 0 && depth >= derived_depth &&
+        std::regex_search(line, virtual_decl) &&
+        !std::regex_search(line, has_override) &&
+        !std::regex_search(line, dtor)) {
+      emit(diags, ctx, static_cast<int>(i) + 1, "dlion-missing-override",
+           "'virtual' in a derived class without 'override'; base-signature "
+           "drift would silently fork behavior - mark it override");
+    }
+  }
+}
+
+// Rule: dlion-uninit-pod
+// Wire-message and config structs must brace- or equals-initialize every
+// POD member: an uninitialized field encodes stack garbage, which is the
+// definition of nondeterministic bytes on the wire / in run artifacts.
+void rule_uninit_pod(const FileContext& ctx, Emit diags) {
+  const bool is_message_or_config =
+      ctx.rel_path.find("message") != std::string::npos ||
+      ctx.rel_path.find("config") != std::string::npos;
+  if (!is_message_or_config || !ctx.is_header) return;
+  static const std::regex struct_open(R"(\b(?:struct|class)\s+[A-Za-z_]\w*)");
+  static const std::regex pod_member_no_init(
+      R"(^\s*(?:float|double|bool|char|(?:unsigned\s+)?(?:int|long|short)|std::size_t|std::u?int(?:8|16|32|64)_t|common::(?:SimTime|Bytes|Seconds))\s+[A-Za-z_]\w*\s*;\s*$)");
+  int depth = 0;
+  int struct_depth = -1;
+  bool pending_struct = false;
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    if (std::regex_search(line, struct_open)) pending_struct = true;
+    if (struct_depth > 0 && depth >= struct_depth &&
+        std::regex_match(line, pod_member_no_init)) {
+      emit(diags, ctx, static_cast<int>(i) + 1, "dlion-uninit-pod",
+           "uninitialized POD member in a wire/config struct; garbage bytes "
+           "are nondeterministic - add '= 0' / '{}' default");
+    }
+    for (char c : line) {
+      if (c == '{') {
+        ++depth;
+        if (pending_struct && struct_depth < 0) {
+          struct_depth = depth;
+          pending_struct = false;
+        }
+      } else if (c == '}') {
+        if (struct_depth == depth) struct_depth = -1;
+        --depth;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+const std::regex kArtifactWriter(
+    R"(\b(?:to_json|write_json|json_escape|to_csv|write_csv|csv|checksum|fnv1a|Telemetry|MetricsRegistry|export_chrome_trace|std::ofstream)\b)",
+    std::regex::icase);
+
+const std::regex kInlineAllow(R"(dlion-lint:\s*allow\(([^)]*)\))");
+
+FileContext load_file(const fs::path& path, const fs::path& root) {
+  FileContext ctx;
+  std::error_code ec;
+  fs::path rel = fs::relative(path, root, ec);
+  ctx.rel_path = (ec ? path : rel).generic_string();
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string src = buf.str();
+  ctx.raw = split_lines(src);
+  ctx.code = split_lines(strip_comments_and_strings(src));
+  ctx.writes_artifacts = std::regex_search(src, kArtifactWriter);
+  ctx.in_tensor_lib = ctx.rel_path.find("src/tensor/") != std::string::npos ||
+                      ctx.rel_path.rfind("tensor/", 0) == 0;
+  ctx.is_header = path.extension() == ".h" || path.extension() == ".hpp" ||
+                  path.extension() == ".inl";
+  for (std::size_t i = 0; i < ctx.raw.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(ctx.raw[i], m, kInlineAllow)) {
+      std::set<std::string>& rules = ctx.inline_allows[static_cast<int>(i) + 1];
+      std::string list = m[1].str();
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        std::string rule = list.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        // trim
+        while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.front())))
+          rule.erase(rule.begin());
+        while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.back())))
+          rule.pop_back();
+        if (!rule.empty()) rules.insert(rule);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    }
+  }
+  return ctx;
+}
+
+std::vector<AllowEntry> load_allowlist(const fs::path& path) {
+  std::vector<AllowEntry> entries;
+  if (path.empty()) return entries;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "dlion-lint: cannot open allowlist " << path << "\n";
+    std::exit(2);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    AllowEntry e;
+    if (ls >> e.rule >> e.path_substring) entries.push_back(e);
+  }
+  return entries;
+}
+
+bool allowlisted(const std::vector<AllowEntry>& allow, const Diagnostic& d) {
+  for (const AllowEntry& e : allow) {
+    if ((e.rule == "*" || e.rule == d.rule) &&
+        d.file.find(e.path_substring) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json_report(const fs::path& path,
+                       const std::vector<Diagnostic>& diags,
+                       std::size_t files_scanned) {
+  std::ofstream out(path, std::ios::binary);
+  out << "{\n  \"version\": 1,\n  \"files_scanned\": " << files_scanned
+      << ",\n  \"diagnostic_count\": " << diags.size()
+      << ",\n  \"diagnostics\": [";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"file\": \"" << json_escape(d.file) << "\", \"line\": "
+        << d.line << ", \"rule\": \"" << json_escape(d.rule)
+        << "\", \"message\": \"" << json_escape(d.message) << "\"}";
+  }
+  out << (diags.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+void usage() {
+  std::cerr
+      << "usage: dlion-lint [--root DIR] [--allowlist FILE] [--json FILE]\n"
+         "                  [--verbose] [PATH...]\n"
+         "Scans PATH (default: <root>/src) for nondeterminism hazards.\n"
+         "Exit: 0 clean, 1 diagnostics found, 2 usage/IO error.\n";
+}
+
+bool is_cxx_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".h" ||
+         ext == ".hpp" || ext == ".inl";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.root = fs::current_path();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "dlion-lint: " << flag << " requires a value\n";
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      opt.root = need_value("--root");
+    } else if (arg == "--allowlist") {
+      opt.allowlist_path = need_value("--allowlist");
+    } else if (arg == "--json") {
+      opt.json_path = need_value("--json");
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "dlion-lint: unknown flag " << arg << "\n";
+      usage();
+      return 2;
+    } else {
+      opt.targets.emplace_back(arg);
+    }
+  }
+  if (opt.targets.empty()) opt.targets.push_back(opt.root / "src");
+
+  // Collect files in sorted order so scan (and report) order is stable.
+  std::vector<fs::path> files;
+  for (const fs::path& target : opt.targets) {
+    std::error_code ec;
+    if (fs::is_directory(target, ec)) {
+      for (fs::recursive_directory_iterator it(target, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file() && is_cxx_source(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(target, ec)) {
+      files.push_back(target);
+    } else {
+      std::cerr << "dlion-lint: no such file or directory: " << target << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  const std::vector<AllowEntry> allow = load_allowlist(opt.allowlist_path);
+
+  std::vector<Diagnostic> diags;
+  for (const fs::path& file : files) {
+    const FileContext ctx = load_file(file, opt.root);
+    if (opt.verbose) std::cerr << "dlion-lint: scanning " << ctx.rel_path << "\n";
+    rule_unordered_iteration(ctx, diags);
+    rule_entropy(ctx, diags);
+    rule_pointer_key(ctx, diags);
+    rule_float_accumulate(ctx, diags);
+    rule_missing_override(ctx, diags);
+    rule_uninit_pod(ctx, diags);
+  }
+  diags.erase(std::remove_if(diags.begin(), diags.end(),
+                             [&](const Diagnostic& d) {
+                               return allowlisted(allow, d);
+                             }),
+              diags.end());
+  std::sort(diags.begin(), diags.end());
+
+  for (const Diagnostic& d : diags) {
+    std::cout << d.file << ":" << d.line << ": error: " << d.message << " ["
+              << d.rule << "]\n";
+  }
+  if (!opt.json_path.empty()) {
+    write_json_report(opt.json_path, diags, files.size());
+  }
+  if (diags.empty()) {
+    std::cout << "dlion-lint: " << files.size() << " files clean\n";
+    return 0;
+  }
+  std::cout << "dlion-lint: " << diags.size() << " diagnostic(s) in "
+            << files.size() << " file(s)\n";
+  return 1;
+}
