@@ -37,6 +37,7 @@ namespace {
 constexpr common::Bytes kGradientHeader = 20;   // from+iter+lbs+var count
 constexpr common::Bytes kPerVarHeader = 16;     // index+dense_size+counts
 constexpr common::Bytes kSnapshotHeader = 24;   // from+iter+loss+var count
+constexpr common::Bytes kChunkHeader = 44;      // from+epoch+var+iter+ticks+loss+count
 constexpr common::Bytes kControlBytes = 64;     // loss/DKT/RCP messages
 
 [[noreturn]] void fail(DecodeErrorKind kind, const std::string& detail) {
@@ -246,10 +247,96 @@ enum class MessageTag : std::uint8_t {
   kRcpReport = 4,
   kHeartbeat = 5,
   kAck = 6,
+  kRosterUpdate = 7,
+  kBootstrapRequest = 8,
+  kBootstrapChunk = 9,
 };
-constexpr std::uint8_t kMaxMessageTag = 6;
+constexpr std::uint8_t kMaxMessageTag = 9;
 static_assert(std::variant_size_v<Message> == kMaxMessageTag + 1,
               "update MessageTag when Message gains an alternative");
+
+void encode_roster_update_into(Writer& w, const RosterUpdate& m) {
+  w.put<std::uint32_t>(m.from);
+  w.put<std::uint64_t>(m.epoch);
+  w.put<std::uint32_t>(m.capacity);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(m.member_words.size()));
+  w.put_array(m.member_words);
+}
+
+RosterUpdate decode_roster_update_from(Reader& r) {
+  RosterUpdate m;
+  m.from = r.get<std::uint32_t>();
+  m.epoch = r.get<std::uint64_t>();
+  m.capacity = r.get<std::uint32_t>();
+  const auto nwords = r.get<std::uint32_t>();
+  r.check_count(nwords, sizeof(std::uint64_t), "member word");
+  // A well-formed bitmap has exactly ceil(capacity/64) words — anything
+  // else either truncates the member set or smuggles trailing bits.
+  if (nwords != (static_cast<std::size_t>(m.capacity) + 63) / 64) {
+    fail(DecodeErrorKind::kCountMismatch,
+         std::to_string(nwords) + " member words vs capacity " +
+             std::to_string(m.capacity));
+  }
+  m.member_words = r.get_array<std::uint64_t>(nwords);
+  // Bits above `capacity` in the last word must be clear (canonical form);
+  // set bits there would make two encodings of the same roster differ.
+  if (m.capacity % 64 != 0 && !m.member_words.empty() &&
+      (m.member_words.back() >> (m.capacity % 64)) != 0) {
+    fail(DecodeErrorKind::kBadValue,
+         "member bits set past capacity " + std::to_string(m.capacity));
+  }
+  return m;
+}
+
+void encode_bootstrap_request_into(Writer& w, const BootstrapRequest& m) {
+  w.put<std::uint32_t>(m.from);
+  w.put<std::uint64_t>(m.epoch);
+  w.put<std::uint32_t>(m.first_var);
+  w.put<std::uint32_t>(m.var_count);
+}
+
+BootstrapRequest decode_bootstrap_request_from(Reader& r) {
+  BootstrapRequest m;
+  m.from = r.get<std::uint32_t>();
+  m.epoch = r.get<std::uint64_t>();
+  m.first_var = r.get<std::uint32_t>();
+  m.var_count = r.get<std::uint32_t>();
+  return m;
+}
+
+void encode_bootstrap_chunk_into(Writer& w, const BootstrapChunk& m) {
+  w.put<std::uint32_t>(m.from);
+  w.put<std::uint64_t>(m.epoch);
+  w.put<std::uint32_t>(m.first_var);
+  w.put<std::uint64_t>(m.iteration);
+  w.put<std::uint64_t>(m.gbs_ticks);
+  w.put<double>(m.loss);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(m.weights.values.size()));
+  for (const auto& t : m.weights.values) {
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(t.size()));
+    std::vector<float> data(t.data(), t.data() + t.size());
+    w.put_array(data);
+  }
+}
+
+BootstrapChunk decode_bootstrap_chunk_from(Reader& r) {
+  BootstrapChunk m;
+  m.from = r.get<std::uint32_t>();
+  m.epoch = r.get<std::uint64_t>();
+  m.first_var = r.get<std::uint32_t>();
+  m.iteration = r.get<std::uint64_t>();
+  m.gbs_ticks = r.get<std::uint64_t>();
+  m.loss = r.get<double>();
+  const auto nvars = r.get<std::uint32_t>();
+  r.check_count(nvars, sizeof(std::uint32_t), "chunk tensor");
+  m.weights.values.reserve(nvars);
+  for (std::uint32_t i = 0; i < nvars; ++i) {
+    const auto n = r.get<std::uint32_t>();
+    auto data = r.get_array<float>(n);
+    m.weights.values.emplace_back(tensor::Shape{n}, std::move(data));
+  }
+  return m;
+}
 
 }  // namespace
 
@@ -302,6 +389,12 @@ std::vector<std::uint8_t> encode_message(const Message& msg) {
         } else if constexpr (std::is_same_v<T, Heartbeat>) {
           w.put<std::uint32_t>(m.from);
           w.put<std::uint64_t>(m.iteration);
+        } else if constexpr (std::is_same_v<T, RosterUpdate>) {
+          encode_roster_update_into(w, m);
+        } else if constexpr (std::is_same_v<T, BootstrapRequest>) {
+          encode_bootstrap_request_into(w, m);
+        } else if constexpr (std::is_same_v<T, BootstrapChunk>) {
+          encode_bootstrap_chunk_into(w, m);
         } else {
           static_assert(std::is_same_v<T, Ack>);
           w.put<std::uint32_t>(m.from);
@@ -364,6 +457,15 @@ Message decode_message(const std::vector<std::uint8_t>& buf) {
       out = m;
       break;
     }
+    case MessageTag::kRosterUpdate:
+      out = decode_roster_update_from(r);
+      break;
+    case MessageTag::kBootstrapRequest:
+      out = decode_bootstrap_request_from(r);
+      break;
+    case MessageTag::kBootstrapChunk:
+      out = decode_bootstrap_chunk_from(r);
+      break;
   }
   DLION_DCHECK(out.index() == raw_tag,
                "decoded alternative disagrees with wire tag");
@@ -388,6 +490,14 @@ common::Bytes wire_bytes(const WeightSnapshot& snapshot) {
   return bytes;
 }
 
+common::Bytes wire_bytes(const BootstrapChunk& chunk) {
+  common::Bytes bytes = kChunkHeader;
+  for (const auto& t : chunk.weights.values) {
+    bytes += sizeof(std::uint32_t) + t.size() * sizeof(float);
+  }
+  return bytes;
+}
+
 common::Bytes wire_bytes(const Message& msg) {
   return std::visit(
       [](const auto& m) -> common::Bytes {
@@ -395,6 +505,8 @@ common::Bytes wire_bytes(const Message& msg) {
         if constexpr (std::is_same_v<T, GradientUpdate>) {
           return wire_bytes(m);
         } else if constexpr (std::is_same_v<T, WeightSnapshot>) {
+          return wire_bytes(m);
+        } else if constexpr (std::is_same_v<T, BootstrapChunk>) {
           return wire_bytes(m);
         } else {
           return kControlBytes;

@@ -60,5 +60,6 @@ Message decode_message(const std::vector<std::uint8_t>& buf);
 common::Bytes wire_bytes(const Message& msg);
 common::Bytes wire_bytes(const GradientUpdate& update);
 common::Bytes wire_bytes(const WeightSnapshot& snapshot);
+common::Bytes wire_bytes(const BootstrapChunk& chunk);
 
 }  // namespace dlion::comm

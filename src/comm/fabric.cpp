@@ -11,13 +11,19 @@
 namespace dlion::comm {
 
 Fabric::Fabric(sim::Network& network, double byte_scale)
+    : Fabric(network, FabricOptions{byte_scale, FabricOptions{}.dead_letter_cap}) {}
+
+Fabric::Fabric(sim::Network& network, const FabricOptions& options)
     : network_(&network),
-      byte_scale_(byte_scale),
+      byte_scale_(options.byte_scale),
+      dead_letter_cap_(options.dead_letter_cap),
       handlers_(network.size()),
       dead_letters_to_(network.size(), 0),
+      epoch_stamp_(network.size(), 0),
+      epoch_floor_(network.size(), 0),
       flow_seq_(network.size(), 0),
       delivered_seqs_(network.size()) {
-  if (byte_scale <= 0.0) {
+  if (options.byte_scale <= 0.0) {
     throw std::invalid_argument("Fabric: byte_scale must be positive");
   }
 }
@@ -25,7 +31,8 @@ Fabric::Fabric(sim::Network& network, double byte_scale)
 void Fabric::set_obs(obs::Observability* o) {
   obs_ = o;
   obs_types_.clear();
-  obs_dead_letters_ = obs_retries_ = obs_failures_ = nullptr;
+  obs_dead_letters_ = obs_dead_letter_evictions_ = obs_stale_rejected_ =
+      obs_retries_ = obs_failures_ = nullptr;
   obs_track_ = 0;
   obs_worker_tracks_.clear();
   if (o == nullptr) return;
@@ -37,6 +44,8 @@ void Fabric::set_obs(obs::Observability* o) {
     obs_types_[i].sent_bytes = &m.counter("comm.fabric.sent_bytes", labels);
   }
   obs_dead_letters_ = &m.counter("comm.fabric.dead_letters");
+  obs_dead_letter_evictions_ = &m.counter("comm.fabric.dead_letter_evictions");
+  obs_stale_rejected_ = &m.counter("comm.fabric.stale_epoch_rejected");
   obs_retries_ = &m.counter("comm.fabric.reliable_retries");
   obs_failures_ = &m.counter("comm.fabric.reliable_failures");
   obs_track_ = o->tracer().track("fabric", "control");
@@ -75,15 +84,32 @@ common::Bytes Fabric::charged_bytes(const GradientUpdate& update) const {
 }
 
 bool Fabric::deliver(std::size_t from, std::size_t to, const MessagePtr& msg,
-                     FlowId flow) {
+                     FlowId flow, std::uint64_t epoch) {
   DLION_DCHECK(to < handlers_.size(), "delivery to out-of-range worker");
   DLION_DCHECK(msg != nullptr);
+  if (epoch < epoch_floor_[to]) {
+    // Stamped before the receiver's join epoch: traffic addressed to a
+    // previous occupant of this roster slot (or from a member that had not
+    // yet observed the roster change when it transmitted). Rejected
+    // deterministically — the outcome depends only on the stamp and the
+    // floor, both of which are event-ordered state.
+    ++stale_rejected_;
+    if (obs::on(obs_)) {
+      obs_stale_rejected_->inc();
+      obs_->tracer().instant(obs_track_, "stale_epoch", engine().now(),
+                             {{"to", static_cast<double>(to)},
+                              {"epoch", static_cast<double>(epoch)},
+                              {"type", static_cast<double>(msg->index())}});
+    }
+    return false;
+  }
   if (!handlers_[to]) {
     // Receiver is detached (crashed or never joined): dead-letter. The
     // causal flow ends nowhere — viewers show the arrow stopping at the
     // link's tx span, which is exactly what happened.
     ++dead_letters_;
     ++dead_letters_to_[to];
+    record_dead_letter(from, to, msg->index());
     if (obs::on(obs_)) {
       obs_dead_letters_->inc();
       obs_->tracer().instant(obs_track_, "dead_letter",
@@ -107,6 +133,25 @@ bool Fabric::deliver(std::size_t from, std::size_t to, const MessagePtr& msg,
   return true;
 }
 
+void Fabric::record_dead_letter(std::size_t from, std::size_t to,
+                                std::size_t type) {
+  if (dead_letter_cap_ == 0) return;  // counters only, no records
+  dead_letter_queue_.push_back(DeadLetter{engine().now(), from, to, type});
+  while (dead_letter_queue_.size() > dead_letter_cap_) {
+    dead_letter_queue_.pop_front();
+    ++dead_letter_evictions_;
+    if (obs::on(obs_)) obs_dead_letter_evictions_->inc();
+  }
+}
+
+void Fabric::set_epoch(std::size_t worker, std::uint64_t epoch) {
+  epoch_stamp_.at(worker) = epoch;
+}
+
+void Fabric::set_epoch_floor(std::size_t worker, std::uint64_t epoch) {
+  epoch_floor_.at(worker) = epoch;
+}
+
 void Fabric::transmit(std::size_t from, std::size_t to, MessagePtr msg,
                       common::Bytes bytes, Kind kind, std::uint64_t seq) {
   // Flow ids advance unconditionally: the stamp exists whether or not an
@@ -114,6 +159,9 @@ void Fabric::transmit(std::size_t from, std::size_t to, MessagePtr msg,
   // itself never influences delivery — see Network::send).
   DLION_DCHECK(from < flow_seq_.size(), "transmit from out-of-range worker");
   const FlowId flow = make_flow_id(from, ++flow_seq_[from]);
+  // Roster-epoch stamp: captured at transmit time, so a reliable-channel
+  // retry after the sender's epoch advanced carries the *new* stamp.
+  const std::uint64_t epoch = epoch_stamp_[from];
   // Flow-id monotonicity contract: the per-sender sequence is strictly
   // increasing and must stay inside its 40-bit field — a wrap would reuse
   // ids and silently cross-link unrelated causal flows in the trace.
@@ -135,19 +183,20 @@ void Fabric::transmit(std::size_t from, std::size_t to, MessagePtr msg,
   }
   switch (kind) {
     case Kind::kPlain:
-      network_->send(from, to, bytes, [this, from, to, msg, flow] {
-        deliver(from, to, msg, flow);
+      network_->send(from, to, bytes, [this, from, to, msg, flow, epoch] {
+        deliver(from, to, msg, flow, epoch);
       }, flow);
       break;
     case Kind::kReliable:
-      network_->send(from, to, bytes, [this, from, to, msg, seq, flow] {
+      network_->send(from, to, bytes, [this, from, to, msg, seq, flow,
+                                       epoch] {
         if (delivered_seqs_[to].contains(seq)) {
           // Duplicate attempt (our earlier ack was lost): suppress the
           // re-delivery but re-acknowledge so the sender stops retrying.
           send_ack(to, from, seq);
           return;
         }
-        if (deliver(from, to, msg, flow)) {
+        if (deliver(from, to, msg, flow, epoch)) {
           delivered_seqs_[to].insert(seq);
           send_ack(to, from, seq);
         }
@@ -180,6 +229,17 @@ void Fabric::broadcast(std::size_t from, const Message& msg) {
   const common::Bytes bytes = charged_bytes(*ptr);
   for (std::size_t to = 0; to < size(); ++to) {
     if (to != from) transmit(from, to, ptr, bytes, Kind::kPlain, 0);
+  }
+}
+
+void Fabric::broadcast(std::size_t from, const Message& msg,
+                       const std::vector<bool>& targets) {
+  DLION_ASSERT(targets.size() == size(),
+               "Fabric::broadcast: target mask size != worker count");
+  auto ptr = std::make_shared<const Message>(msg);
+  const common::Bytes bytes = charged_bytes(*ptr);
+  for (std::size_t to = 0; to < size(); ++to) {
+    if (to != from && targets[to]) transmit(from, to, ptr, bytes, Kind::kPlain, 0);
   }
 }
 
@@ -230,6 +290,7 @@ void Fabric::on_timeout(std::uint64_t seq) {
     ++reliable_failures_;
     ++dead_letters_;
     ++dead_letters_to_[p.to];
+    record_dead_letter(p.from, p.to, p.msg->index());
     if (obs::on(obs_)) {
       obs_failures_->inc();
       obs_dead_letters_->inc();

@@ -20,6 +20,7 @@
 //    callback (used by DKT weight pulls to fall back to the next-best peer).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <unordered_set>
@@ -40,6 +41,27 @@ struct RetryPolicy {
   std::size_t max_attempts = 4;
 };
 
+/// Record kept for a message that dead-lettered (arrived at a detached
+/// worker, or exhausted its reliable-send retry budget). The payload itself
+/// is dropped — the record exists for diagnosis, not redelivery — so the
+/// queue's memory footprint is bounded by `FabricOptions::dead_letter_cap`
+/// small structs regardless of message sizes.
+struct DeadLetter {
+  common::SimTime time = 0.0;
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::size_t type = 0;  ///< Message variant index
+};
+
+struct FabricOptions {
+  /// Data-queue wire-size multiplier (> 0; 1 = exact). See class comment.
+  double byte_scale = 1.0;
+  /// Maximum retained DeadLetter records. When full, the oldest record is
+  /// evicted (counted in dead_letter_evictions) — long churn runs cannot
+  /// grow the queue without limit. 0 keeps counters only, no records.
+  std::size_t dead_letter_cap = 256;
+};
+
 class Fabric {
  public:
   using Handler = std::function<void(std::size_t from, MessagePtr msg)>;
@@ -49,6 +71,7 @@ class Fabric {
 
   /// `byte_scale` multiplies data-queue wire sizes (>= 0; 1 = exact).
   Fabric(sim::Network& network, double byte_scale = 1.0);
+  Fabric(sim::Network& network, const FabricOptions& options);
 
   std::size_t size() const { return network_->size(); }
 
@@ -65,6 +88,13 @@ class Fabric {
   /// wire size computed exactly once; all n-1 sends share one MessagePtr.
   void broadcast(std::size_t from, const Message& msg);
 
+  /// Broadcast restricted to workers flagged in `targets` (self skipped).
+  /// Elastic-membership runs use this to address the current roster only,
+  /// so dormant capacity slots neither receive traffic nor consume the
+  /// sender's egress share. An all-true mask reproduces broadcast exactly.
+  void broadcast(std::size_t from, const Message& msg,
+                 const std::vector<bool>& targets);
+
   /// Reliable control-plane send (ack + timeout + exponential backoff).
   /// Returns the request's sequence number. `done` (optional) fires exactly
   /// once with the final outcome.
@@ -77,6 +107,34 @@ class Fabric {
   std::uint64_t dead_letters(std::size_t to) const {
     return dead_letters_to_.at(to);
   }
+  /// Most recent dead-letter records (bounded by options.dead_letter_cap).
+  const std::deque<DeadLetter>& recent_dead_letters() const {
+    return dead_letter_queue_;
+  }
+  /// Dead-letter records evicted because the queue hit its cap.
+  std::uint64_t dead_letter_evictions() const {
+    return dead_letter_evictions_;
+  }
+
+  // --- Roster epochs (elastic membership, DESIGN.md) ---
+  //
+  // Like the causal FlowId, the epoch stamp is transport-level state: it is
+  // attached to every transmission at transmit time and never encoded into
+  // the wire format, so non-elastic runs (where every stamp and floor stays
+  // 0) charge exactly the bytes they always did and reject nothing.
+
+  /// Set worker `w`'s current roster epoch; every subsequent transmission
+  /// from `w` carries this stamp (including reliable-channel retries, which
+  /// re-stamp at each attempt).
+  void set_epoch(std::size_t worker, std::uint64_t epoch);
+  std::uint64_t epoch(std::size_t worker) const { return epoch_stamp_.at(worker); }
+  /// Set worker `w`'s acceptance floor: deliveries stamped with an epoch
+  /// below it are rejected deterministically (counted, never handled). A
+  /// joiner raises its floor to its join epoch, so in-flight traffic
+  /// addressed to a previous occupant of the slot can never reach it.
+  void set_epoch_floor(std::size_t worker, std::uint64_t epoch);
+  /// Deliveries rejected by the epoch floor so far.
+  std::uint64_t stale_epoch_rejected() const { return stale_rejected_; }
   /// Reliable-channel retransmissions and failures so far.
   std::uint64_t reliable_retries() const { return reliable_retries_; }
   std::uint64_t reliable_failures() const { return reliable_failures_; }
@@ -121,11 +179,14 @@ class Fabric {
   };
 
   sim::Engine& engine() { return network_->engine(); }
-  /// Hand `msg` to the receiver's handler; dead-letters if detached.
-  /// `flow` is the transmission's causal-flow id (flow-end is recorded on
-  /// the receiver's track just before the handler runs).
+  /// Hand `msg` to the receiver's handler; dead-letters if detached and
+  /// rejects deliveries stamped below the receiver's epoch floor. `flow` is
+  /// the transmission's causal-flow id (flow-end is recorded on the
+  /// receiver's track just before the handler runs); `epoch` is the
+  /// sender's roster epoch captured at transmit time.
   bool deliver(std::size_t from, std::size_t to, const MessagePtr& msg,
-               FlowId flow);
+               FlowId flow, std::uint64_t epoch);
+  void record_dead_letter(std::size_t from, std::size_t to, std::size_t type);
   void transmit(std::size_t from, std::size_t to, MessagePtr msg,
                 common::Bytes bytes, Kind kind, std::uint64_t seq);
   void send_ack(std::size_t from, std::size_t to, std::uint64_t seq);
@@ -135,9 +196,18 @@ class Fabric {
 
   sim::Network* network_;
   double byte_scale_;
+  std::size_t dead_letter_cap_;
   std::vector<Handler> handlers_;
   std::vector<std::uint64_t> dead_letters_to_;
   std::uint64_t dead_letters_ = 0;
+  std::deque<DeadLetter> dead_letter_queue_;  ///< bounded by dead_letter_cap_
+  std::uint64_t dead_letter_evictions_ = 0;
+  /// Roster epochs: per-sender transmission stamp, per-receiver acceptance
+  /// floor, and the rejected-delivery counter. All-zero unless the elastic
+  /// membership layer is active.
+  std::vector<std::uint64_t> epoch_stamp_;
+  std::vector<std::uint64_t> epoch_floor_;
+  std::uint64_t stale_rejected_ = 0;
   std::uint64_t next_seq_ = 1;
   /// Per-sender transmission counters feeding make_flow_id. Advance
   /// unconditionally (observer attached or not) so obs-on and obs-off runs
@@ -153,6 +223,8 @@ class Fabric {
   obs::Observability* obs_ = nullptr;  // non-owning, optional
   std::vector<ObsTypeHandles> obs_types_;
   obs::Counter* obs_dead_letters_ = nullptr;
+  obs::Counter* obs_dead_letter_evictions_ = nullptr;
+  obs::Counter* obs_stale_rejected_ = nullptr;
   obs::Counter* obs_retries_ = nullptr;
   obs::Counter* obs_failures_ = nullptr;
   obs::TrackId obs_track_ = 0;  // "fabric / control"

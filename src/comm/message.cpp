@@ -14,10 +14,33 @@ double GradientUpdate::density(std::size_t model_params) const {
          static_cast<double>(model_params);
 }
 
+std::vector<std::uint64_t> pack_members(const std::vector<bool>& members) {
+  std::vector<std::uint64_t> words((members.size() + 63) / 64, 0);
+  for (std::size_t w = 0; w < members.size(); ++w) {
+    if (members[w]) words[w / 64] |= std::uint64_t{1} << (w % 64);
+  }
+  return words;
+}
+
+std::vector<bool> unpack_members(const std::vector<std::uint64_t>& words,
+                                 std::size_t capacity) {
+  std::vector<bool> members(capacity, false);
+  for (std::size_t w = 0; w < capacity; ++w) {
+    const std::size_t word = w / 64;
+    if (word < words.size() &&
+        ((words[word] >> (w % 64)) & std::uint64_t{1}) != 0) {
+      members[w] = true;
+    }
+  }
+  return members;
+}
+
 const char* message_type_name(std::size_t variant_index) {
   static constexpr const char* kNames[] = {
-      "GradientUpdate", "WeightSnapshot", "LossReport", "DktRequest",
-      "RcpReport",      "Heartbeat",      "Ack"};
+      "GradientUpdate", "WeightSnapshot", "LossReport",
+      "DktRequest",     "RcpReport",      "Heartbeat",
+      "Ack",            "RosterUpdate",   "BootstrapRequest",
+      "BootstrapChunk"};
   static_assert(std::variant_size_v<Message> ==
                     sizeof(kNames) / sizeof(kNames[0]),
                 "message_type_name: update kNames for new Message types");
@@ -30,11 +53,16 @@ const char* message_type_name(const Message& msg) {
 }
 
 bool is_control(const Message& msg) {
+  // BootstrapChunk is deliberately absent: it carries model weights and
+  // rides the data queue at its (byte-scaled) encoded size, exactly like a
+  // WeightSnapshot.
   return std::holds_alternative<LossReport>(msg) ||
          std::holds_alternative<DktRequest>(msg) ||
          std::holds_alternative<RcpReport>(msg) ||
          std::holds_alternative<Heartbeat>(msg) ||
-         std::holds_alternative<Ack>(msg);
+         std::holds_alternative<Ack>(msg) ||
+         std::holds_alternative<RosterUpdate>(msg) ||
+         std::holds_alternative<BootstrapRequest>(msg);
 }
 
 }  // namespace dlion::comm

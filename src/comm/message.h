@@ -84,9 +84,51 @@ struct Ack {
   std::uint64_t seq = 0;
 };
 
+/// Roster-change announcement (elastic membership, DESIGN.md "Elastic
+/// membership"). Carries the new monotone roster epoch and the full member
+/// set packed as a little-endian bitmap (bit w of word w/64 = worker w is a
+/// member). Receivers adopt the roster iff `epoch` exceeds their current
+/// epoch; older announcements are stale by definition and rejected.
+struct RosterUpdate {
+  std::uint32_t from = 0;
+  std::uint64_t epoch = 0;
+  std::uint32_t capacity = 0;                ///< cluster capacity (slots)
+  std::vector<std::uint64_t> member_words;   ///< ceil(capacity/64) words
+};
+
+/// Joiner's request for one disjoint chunk of the model: the weight
+/// variables [first_var, first_var + var_count). A joiner splits the model
+/// across >= 2 live donors (TensorHub-style sharded bootstrap) and sends
+/// one request per donor over the reliable control channel.
+struct BootstrapRequest {
+  std::uint32_t from = 0;
+  std::uint64_t epoch = 0;      ///< joiner's roster epoch
+  std::uint32_t first_var = 0;
+  std::uint32_t var_count = 0;
+};
+
+/// One donor's bootstrap reply: weight values for the requested variable
+/// range plus the training-clock state (iteration, GBS controller ticks)
+/// the joiner adopts once every chunk has arrived.
+struct BootstrapChunk {
+  std::uint32_t from = 0;
+  std::uint64_t epoch = 0;
+  std::uint32_t first_var = 0;
+  std::uint64_t iteration = 0;
+  std::uint64_t gbs_ticks = 0;  ///< donor's GBS controller tick count
+  double loss = 0.0;            ///< donor's smoothed loss (DKT seed)
+  nn::Snapshot weights;         ///< values for [first_var, first_var+n)
+};
+
 using Message = std::variant<GradientUpdate, WeightSnapshot, LossReport,
-                             DktRequest, RcpReport, Heartbeat, Ack>;
+                             DktRequest, RcpReport, Heartbeat, Ack,
+                             RosterUpdate, BootstrapRequest, BootstrapChunk>;
 using MessagePtr = std::shared_ptr<const Message>;
+
+/// Pack a member set into the RosterUpdate bitmap words (and back).
+std::vector<std::uint64_t> pack_members(const std::vector<bool>& members);
+std::vector<bool> unpack_members(const std::vector<std::uint64_t>& words,
+                                 std::size_t capacity);
 
 /// Deterministic causal-flow identifier stamped on every fabric
 /// transmission (DESIGN.md "Causal tracing"). Derived purely from

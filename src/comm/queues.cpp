@@ -82,4 +82,10 @@ std::string WorkerQueues::data_key(std::size_t from, std::uint64_t iteration,
          "/v" + std::to_string(var_index);
 }
 
+std::string WorkerQueues::bootstrap_key(std::size_t from, std::uint64_t epoch,
+                                        std::uint32_t first_var) {
+  return "b" + std::to_string(from) + "/e" + std::to_string(epoch) + "/v" +
+         std::to_string(first_var);
+}
+
 }  // namespace dlion::comm

@@ -75,6 +75,13 @@ struct WorkerQueues {
   /// iteration, weight variable).
   static std::string data_key(std::size_t from, std::uint64_t iteration,
                               std::uint32_t var_index);
+
+  /// Keying for elastic-membership bootstrap transfers: one data-queue key
+  /// per (donor, roster epoch, first variable of the chunk's range). Epoch
+  /// in the key keeps chunks from a superseded join attempt from colliding
+  /// with a later occupant of the same slot.
+  static std::string bootstrap_key(std::size_t from, std::uint64_t epoch,
+                                   std::uint32_t first_var);
 };
 
 }  // namespace dlion::comm

@@ -1,0 +1,46 @@
+#include "core/autoscaler.h"
+
+#include <algorithm>
+
+namespace dlion::core {
+
+const char* scale_decision_name(ScaleDecision d) {
+  switch (d) {
+    case ScaleDecision::kHold: return "hold";
+    case ScaleDecision::kScaleOut: return "scale_out";
+    case ScaleDecision::kScaleIn: return "scale_in";
+  }
+  return "unknown";
+}
+
+ScaleDecision Autoscaler::decide(const AutoscalerSignals& s) const {
+  if (!config_.enabled || s.members == 0 || s.capacity == 0) {
+    return ScaleDecision::kHold;
+  }
+  const std::size_t max_members =
+      config_.max_members == 0 ? s.capacity
+                               : std::min(config_.max_members, s.capacity);
+
+  // Network-bound first: adding workers to a saturated fabric only makes
+  // the all-to-all exchange worse, so the scale-in check dominates.
+  const bool network_bound =
+      s.max_backlog_bytes >
+          config_.backlog_per_worker_bytes ||
+      s.dead_letter_delta > config_.dead_letter_delta;
+  if (network_bound && s.members > config_.min_members) {
+    return ScaleDecision::kScaleIn;
+  }
+
+  // Compute-bound: the slowest worker dominates the mean (straggler), or
+  // nothing has finished for stall_after_s (the watchdog-verdict mirror).
+  const bool straggling =
+      s.mean_interval_s > 0.0 &&
+      s.max_interval_s > config_.straggler_ratio * s.mean_interval_s;
+  const bool stalled = s.seconds_since_progress > config_.stall_after_s;
+  if ((straggling || stalled) && s.members < max_members) {
+    return ScaleDecision::kScaleOut;
+  }
+  return ScaleDecision::kHold;
+}
+
+}  // namespace dlion::core

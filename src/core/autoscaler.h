@@ -1,0 +1,74 @@
+// Autoscaler policy for elastic membership (DESIGN.md).
+//
+// A pure decision function over signals the core already computes: the
+// per-worker iteration-interval EWMAs behind the watchdog's stall verdicts,
+// the network's queued-byte backlog behind the critical-path bottleneck
+// attribution, and the fabric's dead-letter tally. Reading core-state
+// mirrors — never the obs subsystem — keeps the decision identical whether
+// or not an observer is attached, which the obs-on/off determinism
+// contract requires.
+//
+// The policy is deliberately conservative (hysteresis via consecutive-
+// verdict counting happens in the MembershipController that feeds it):
+//   scale OUT  when the cluster is compute-bound (high straggler share or
+//              no recent progress) and capacity remains;
+//   scale IN   when the network is the bottleneck (backlog per worker
+//              above threshold, or dead letters accumulating) — fewer
+//              senders shrink all-to-all traffic quadratically;
+//   hold       otherwise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dlion::core {
+
+struct AutoscalerConfig {
+  bool enabled = false;
+  /// Fraction of the mean iteration interval above which the slowest
+  /// worker counts as a straggler (mirrors the critical-path attribution
+  /// threshold).
+  double straggler_ratio = 1.5;
+  /// Seconds without any worker finishing an iteration before the policy
+  /// reads the run as stalled (mirrors the watchdog's no-progress verdict).
+  double stall_after_s = 30.0;
+  /// Per-worker queued-byte backlog (bytes) above which the network is
+  /// considered the bottleneck.
+  double backlog_per_worker_bytes = 4.0 * 1024 * 1024;
+  /// Dead letters accumulated since the previous decision above which the
+  /// fabric is considered unhealthy (scale in to shed load).
+  std::uint64_t dead_letter_delta = 8;
+  /// Never scale below / above these member counts.
+  std::size_t min_members = 2;
+  std::size_t max_members = 0;  ///< 0 = capacity
+};
+
+/// Signals sampled by the MembershipController at each policy tick. All
+/// fields come from deterministic core state (see file comment).
+struct AutoscalerSignals {
+  std::size_t members = 0;          ///< current live member count
+  std::size_t capacity = 0;         ///< total worker slots
+  double mean_interval_s = 0.0;     ///< mean per-iteration interval (EWMA)
+  double max_interval_s = 0.0;      ///< slowest worker's interval (EWMA)
+  double max_backlog_bytes = 0.0;   ///< largest per-link queued backlog
+  std::uint64_t dead_letter_delta = 0;  ///< fabric dead letters since last tick
+  double seconds_since_progress = 0.0;  ///< now - latest iteration finish
+};
+
+enum class ScaleDecision : std::uint8_t { kHold = 0, kScaleOut = 1, kScaleIn = 2 };
+const char* scale_decision_name(ScaleDecision d);
+
+class Autoscaler {
+ public:
+  explicit Autoscaler(AutoscalerConfig config) : config_(config) {}
+
+  /// Pure, deterministic policy: same signals, same decision.
+  ScaleDecision decide(const AutoscalerSignals& s) const;
+
+  const AutoscalerConfig& config() const { return config_; }
+
+ private:
+  AutoscalerConfig config_;
+};
+
+}  // namespace dlion::core

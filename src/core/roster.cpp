@@ -1,0 +1,69 @@
+#include "core/roster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace dlion::core {
+
+RosterView::RosterView(std::size_t capacity, const std::vector<bool>& members,
+                       std::uint64_t epoch)
+    : members_(members), epoch_(epoch) {
+  if (members.size() != capacity) {
+    throw std::invalid_argument("RosterView: member bitmap size != capacity");
+  }
+  member_count_ = static_cast<std::size_t>(
+      std::count(members_.begin(), members_.end(), true));
+}
+
+bool RosterView::adopt(std::uint64_t epoch, const std::vector<bool>& members) {
+  if (epoch <= epoch_) return false;
+  DLION_ASSERT(members.size() == members_.size() || members_.empty(),
+               "RosterView::adopt: capacity mismatch");
+  members_ = members;
+  member_count_ = static_cast<std::size_t>(
+      std::count(members_.begin(), members_.end(), true));
+  epoch_ = epoch;
+  return true;
+}
+
+std::vector<std::size_t> RosterView::member_ids() const {
+  std::vector<std::size_t> ids;
+  ids.reserve(member_count_);
+  for (std::size_t w = 0; w < members_.size(); ++w) {
+    if (members_[w]) ids.push_back(w);
+  }
+  return ids;
+}
+
+std::vector<BootstrapRange> plan_bootstrap(
+    std::size_t num_vars, const std::vector<std::size_t>& donors,
+    std::size_t fanout) {
+  if (donors.empty()) {
+    throw std::invalid_argument("plan_bootstrap: no donors");
+  }
+  if (num_vars == 0) return {};
+  // Never more donors than variables (a range must be non-empty), never
+  // more than requested or available.
+  const std::size_t k =
+      std::min({fanout == 0 ? std::size_t{1} : fanout, donors.size(),
+                num_vars});
+  std::vector<BootstrapRange> ranges;
+  ranges.reserve(k);
+  // Contiguous split with the remainder spread over the first ranges:
+  // sizes differ by at most one, assignment is donor-order deterministic.
+  const std::size_t base = num_vars / k;
+  const std::size_t extra = num_vars % k;
+  std::uint32_t first = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t count = base + (i < extra ? 1 : 0);
+    ranges.push_back(BootstrapRange{donors[i], first,
+                                    static_cast<std::uint32_t>(count)});
+    first += static_cast<std::uint32_t>(count);
+  }
+  DLION_ASSERT(first == num_vars, "plan_bootstrap: ranges must cover model");
+  return ranges;
+}
+
+}  // namespace dlion::core

@@ -1,0 +1,73 @@
+// Roster view and bootstrap planning for elastic membership (DESIGN.md,
+// "Elastic membership").
+//
+// A RosterView is each worker's local copy of the cluster roster: a
+// monotone epoch plus a membership bitmap over the fixed capacity of
+// worker slots. Roster changes propagate via RosterUpdate broadcasts and
+// are adopted iff strictly newer, so every worker converges on the
+// controller's roster regardless of message interleaving — and because
+// adoption depends only on the epoch comparison, the converged state is
+// deterministic under replay.
+//
+// plan_bootstrap splits a joiner's weight download into contiguous,
+// disjoint variable ranges across >= 2 live donors (multi-peer bootstrap
+// weight transfer): no single peer pays the whole model's egress, and the
+// reassembled snapshot is bit-identical to any single donor's weights
+// under BSP-consistent rosters (under ASP the chunks may straddle donor
+// iterations; the joiner then catches up via the checkpoint path).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dlion::core {
+
+/// A worker's local view of the cluster roster.
+class RosterView {
+ public:
+  RosterView() = default;
+  /// All-member roster at epoch 0 over `capacity` slots (the legacy,
+  /// non-elastic shape: every slot is always a member).
+  explicit RosterView(std::size_t capacity)
+      : members_(capacity, true), member_count_(capacity) {}
+  RosterView(std::size_t capacity, const std::vector<bool>& members,
+             std::uint64_t epoch);
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::size_t capacity() const { return members_.size(); }
+  std::size_t member_count() const { return member_count_; }
+  bool is_member(std::size_t worker) const { return members_.at(worker); }
+  const std::vector<bool>& members() const { return members_; }
+
+  /// Adopt `members` at `epoch` iff strictly newer than the current view.
+  /// Returns whether the view changed. Equal epochs are ignored (the first
+  /// copy won; duplicates carry identical content by construction).
+  bool adopt(std::uint64_t epoch, const std::vector<bool>& members);
+
+  /// Member slot ids in ascending order.
+  std::vector<std::size_t> member_ids() const;
+
+ private:
+  std::vector<bool> members_;
+  std::size_t member_count_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+/// One contiguous slice of the model a bootstrap donor serves.
+struct BootstrapRange {
+  std::size_t donor = 0;      ///< worker slot serving this range
+  std::uint32_t first_var = 0;
+  std::uint32_t var_count = 0;
+};
+
+/// Split `num_vars` model variables into contiguous disjoint ranges over
+/// `donors` (ascending slot ids, deterministic order). Uses up to `fanout`
+/// donors — at least 2 whenever 2+ are available and there are 2+
+/// variables to split; a single-variable model or single-donor roster
+/// degenerates to one range. Ranges cover [0, num_vars) exactly.
+std::vector<BootstrapRange> plan_bootstrap(std::size_t num_vars,
+                                           const std::vector<std::size_t>& donors,
+                                           std::size_t fanout);
+
+}  // namespace dlion::core

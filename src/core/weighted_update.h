@@ -6,6 +6,12 @@
 // workers computed their gradients over. With equal LBS everywhere the
 // weight is 1 and Eq. 7 reduces to the standard distributed update (Eq. 4) -
 // a property the tests assert.
+//
+// Under elastic membership, n and the LBS/GBS split are defined over the
+// *live roster*: every join/leave renormalizes the LBS allocation so that
+// sum(LBS_live) == GBS (dormant slots hold zero batch), and the n in the
+// update is the live worker count. The weights below take those live-set
+// values as inputs; they never look at the roster themselves.
 #pragma once
 
 #include "comm/message.h"

@@ -69,9 +69,23 @@ Worker::Worker(std::size_t id, sim::Engine& engine, comm::Fabric& fabric,
     for (std::size_t i = 0; i < n; ++i) idx[i] = i;
     eval_batch_ = data::gather(*test_set_, idx);
   }
-  fabric_->attach(id_, [this](std::size_t from, comm::MessagePtr msg) {
-    on_message(from, std::move(msg));
-  });
+  // Roster (all-member at epoch 0 unless the elastic layer narrows it) and
+  // the merged exclusion mask derived from it.
+  if (options_.elastic.enabled && !options_.elastic.initial_members.empty()) {
+    roster_ = RosterView(fabric.size(), options_.elastic.initial_members, 0);
+  } else {
+    roster_ = RosterView(fabric.size());
+  }
+  excluded_.assign(fabric.size(), false);
+  for (std::size_t j = 0; j < fabric.size(); ++j) {
+    excluded_[j] = !roster_.is_member(j);
+  }
+  dormant_ = options_.elastic.enabled && options_.elastic.start_dormant;
+  if (!dormant_) {
+    fabric_->attach(id_, [this](std::size_t from, comm::MessagePtr msg) {
+      on_message(from, std::move(msg));
+    });
+  }
 }
 
 void Worker::set_obs(obs::Observability* o) {
@@ -106,9 +120,11 @@ std::size_t Worker::current_gbs() const {
 }
 
 std::size_t Worker::live_worker_count() const {
+  // excluded_ merges suspicion with roster membership; with elastic
+  // membership off it equals suspected_, so this is the legacy count.
   std::size_t live = 0;
-  for (std::size_t j = 0; j < suspected_.size(); ++j) {
-    if (j == id_ || !suspected_[j]) ++live;
+  for (std::size_t j = 0; j < excluded_.size(); ++j) {
+    if (j == id_ || !excluded_[j]) ++live;
   }
   return live;
 }
@@ -125,8 +141,8 @@ void Worker::start(common::SimTime until) {
   std::fill(last_heard_.begin(), last_heard_.end(), engine_->now());
   if (options_.dynamic_batching || options_.gbs_schedule) {
     profile_rcp(/*broadcast_if_changed=*/false);
-    fabric_->broadcast(id_, comm::RcpReport{static_cast<std::uint32_t>(id_),
-                                            rcp_table_[id_]});
+    broadcast_msg(comm::RcpReport{static_cast<std::uint32_t>(id_),
+                                  rcp_table_[id_]});
     recompute_lbs();
   } else {
     current_lbs_ = options_.fixed_lbs;
@@ -188,18 +204,19 @@ void Worker::batch_tick() {
 
 void Worker::heartbeat_tick() {
   if (engine_->now() >= end_time_) return;
-  fabric_->broadcast(id_, comm::Heartbeat{static_cast<std::uint32_t>(id_),
-                                          iteration_});
+  broadcast_msg(comm::Heartbeat{static_cast<std::uint32_t>(id_), iteration_});
   // Suspicion sweep: a peer unheard-from past the timeout is excluded from
   // wait-sets, renormalization, and weight-pull targeting until it speaks
-  // again (on_message clears suspicion on any received message).
+  // again (on_message clears suspicion on any received message). Dormant
+  // non-members are already excluded and never swept.
   const common::SimTime now = engine_->now();
   bool changed = false;
   for (std::size_t j = 0; j < suspected_.size(); ++j) {
-    if (j == id_) continue;
+    if (j == id_ || !roster_.is_member(j)) continue;
     const bool sus = (now - last_heard_[j]) > ft().suspicion_timeout_s;
     if (sus != suspected_[j]) {
       suspected_[j] = sus;
+      excluded_[j] = sus;
       changed = true;
     }
   }
@@ -287,16 +304,19 @@ void Worker::recover() {
   // worker does not instantly suspect the whole cluster.
   std::fill(last_heard_.begin(), last_heard_.end(), engine_->now());
   std::fill(suspected_.begin(), suspected_.end(), false);
+  for (std::size_t j = 0; j < excluded_.size(); ++j) {
+    excluded_[j] = !roster_.is_member(j);
+  }
   // Re-announce compute power and liveness to peers.
   if (options_.dynamic_batching || options_.gbs_schedule) {
     profile_rcp(/*broadcast_if_changed=*/false);
-    fabric_->broadcast(id_, comm::RcpReport{static_cast<std::uint32_t>(id_),
-                                            rcp_table_[id_]});
+    broadcast_msg(comm::RcpReport{static_cast<std::uint32_t>(id_),
+                                  rcp_table_[id_]});
     recompute_lbs();
   }
   if (ft().enabled) {
-    fabric_->broadcast(id_, comm::Heartbeat{static_cast<std::uint32_t>(id_),
-                                            iteration_});
+    broadcast_msg(comm::Heartbeat{static_cast<std::uint32_t>(id_),
+                                  iteration_});
   }
   schedule_ticks();
   request_catch_up();
@@ -306,9 +326,13 @@ void Worker::recover() {
 void Worker::request_catch_up() {
   if (!ft().enabled) return;
   // Pull fresh weights + iteration state from a live peer; until the
-  // snapshot arrives the worker trains from its (stale) checkpoint.
+  // snapshot arrives the worker trains from its (stale) checkpoint. The
+  // wait-set is recomputed from the *current* roster (merged suspicion +
+  // membership mask), not the boot-time peer list: a peer that left after
+  // this worker crashed is never targeted, and attempts are bounded by the
+  // number of workers actually live right now.
   catching_up_ = true;
-  send_weight_pull(suspected_, fabric_->size(), /*catch_up=*/true);
+  send_weight_pull(excluded_, live_worker_count(), /*catch_up=*/true);
 }
 
 void Worker::profile_rcp(bool broadcast_if_changed) {
@@ -327,21 +351,34 @@ void Worker::profile_rcp(bool broadcast_if_changed) {
   rcp_table_[id_] = rcp;
   if (broadcast_if_changed &&
       std::fabs(rcp - old) > kRcpChangeThreshold * std::max(old, 1.0)) {
-    fabric_->broadcast(id_, comm::RcpReport{static_cast<std::uint32_t>(id_),
-                                            rcp});
+    broadcast_msg(comm::RcpReport{static_cast<std::uint32_t>(id_), rcp});
   }
 }
 
 void Worker::recompute_lbs() {
-  // Suspected peers contribute (effectively) zero compute power, so their
-  // batch share is redistributed across live workers. With no suspicion the
-  // table is used verbatim - identical to the non-fault-tolerant path.
-  std::vector<double> rcp = rcp_table_;
-  for (std::size_t j = 0; j < rcp.size(); ++j) {
-    if (j != id_ && suspected_[j]) rcp[j] = kDeadRcp;
+  std::vector<std::size_t> allocation;
+  if (options_.elastic.enabled) {
+    // Membership-aware Eq. 5: the GBS renormalizes over exactly the live
+    // roster — dormant slots get zero batch (not the min-LBS floor the
+    // kDeadRcp path below would hand them), so a 4->64 scale-out spreads
+    // the same GBS across 64 live shares and a scale-in concentrates it.
+    std::vector<bool> live(excluded_.size());
+    for (std::size_t j = 0; j < excluded_.size(); ++j) {
+      live[j] = (j == id_) || !excluded_[j];
+    }
+    allocation =
+        allocate_lbs_live(current_gbs(), rcp_table_, live, options_.lbs.min_lbs);
+  } else {
+    // Suspected peers contribute (effectively) zero compute power, so their
+    // batch share is redistributed across live workers. With no suspicion
+    // the table is used verbatim - identical to the non-fault-tolerant path.
+    std::vector<double> rcp = rcp_table_;
+    for (std::size_t j = 0; j < rcp.size(); ++j) {
+      if (j != id_ && suspected_[j]) rcp[j] = kDeadRcp;
+    }
+    allocation = allocate_lbs(current_gbs(), rcp, options_.lbs.min_lbs);
   }
-  const auto allocation = allocate_lbs(current_gbs(), rcp, options_.lbs.min_lbs);
-  DLION_ASSERT(allocation.size() == rcp.size(),
+  DLION_ASSERT(allocation.size() == rcp_table_.size(),
                "LBS allocation lost a worker");
   const std::size_t lbs = std::max<std::size_t>(1, allocation[id_]);
   // LBS bounds contract (Eq. 5): a worker's share never exceeds the global
@@ -360,22 +397,23 @@ void Worker::recompute_lbs() {
 }
 
 void Worker::try_start_iteration() {
-  if (crashed_ || running_ || engine_->now() >= end_time_ ||
-      iteration_ >= options_.max_iterations) {
+  if (crashed_ || dormant_ || bootstrapping_ || running_ ||
+      engine_->now() >= end_time_ || iteration_ >= options_.max_iterations) {
     return;
   }
   // Wait-set ⊆ live-set contract: the worker itself is always live (a
   // crashed worker never reaches this point — crash() clears running state
   // and detaches), so the synchronization wait-set below, which excludes
-  // every suspected peer, can never contain a dead participant or demand a
-  // wait on ourselves.
-  DLION_DCHECK(!crashed_ && !suspected_[id_],
+  // every suspected or non-member peer, can never contain a dead
+  // participant or demand a wait on ourselves.
+  DLION_DCHECK(!crashed_ && !excluded_[id_],
                "wait-set would include a dead participant");
   DLION_DCHECK(live_worker_count() >= 1, "live-set lost the worker itself");
-  // Suspected peers are excluded from the wait-set entirely, so a crashed
-  // peer cannot deadlock synchronous or bounded-staleness training.
+  // Suspected and non-member peers are excluded from the wait-set entirely,
+  // so a crashed or departed peer cannot deadlock synchronous or bounded-
+  // staleness training.
   if (!can_start_iteration(options_.sync, iteration_, peer_latest_, id_,
-                           suspected_)) {
+                           excluded_)) {
     waiting_ = true;
     // Open (or keep open) the sync-stall span for this gap.
     if (obs::on(obs_) && stall_start_ < 0.0) stall_start_ = engine_->now();
@@ -396,7 +434,7 @@ void Worker::try_start_iteration() {
     // staleness clock). Negative values mean peers are ahead of us.
     std::int64_t min_peer = std::numeric_limits<std::int64_t>::max();
     for (std::size_t j = 0; j < peer_latest_.size(); ++j) {
-      if (j == id_ || suspected_[j]) continue;
+      if (j == id_ || excluded_[j]) continue;
       min_peer = std::min(min_peer, peer_latest_[j]);
     }
     if (min_peer != std::numeric_limits<std::int64_t>::max()) {
@@ -478,7 +516,7 @@ void Worker::finish_iteration(std::size_t lbs, double compute_seconds) {
   double sent_peers = 0.0;
   for (std::size_t peer = 0; peer < fabric_->size(); ++peer) {
     if (peer == id_) continue;
-    if (suspected_[peer]) continue;
+    if (excluded_[peer]) continue;
     LinkContext ctx;
     ctx.self = id_;
     ctx.peer = peer;
@@ -566,16 +604,22 @@ void Worker::run_dkt_boundary() {
                            {{"iteration", static_cast<double>(iteration_)},
                             {"avg_loss", dkt_.avg_loss()}});
   }
-  fabric_->broadcast(
-      id_, comm::LossReport{static_cast<std::uint32_t>(id_), iteration_,
-                            dkt_.avg_loss()});
+  broadcast_msg(comm::LossReport{static_cast<std::uint32_t>(id_), iteration_,
+                                 dkt_.avg_loss()});
   if (!dkt_.should_request(iteration_)) return;
   if (ft().enabled) {
     // Reliable pull with next-best fallback: an unacked request (crashed or
     // partitioned best worker) falls through to the next-best candidate.
-    send_weight_pull(suspected_, fabric_->size(), /*catch_up=*/false);
+    // The merged exclusion mask keeps departed members out of the chain.
+    send_weight_pull(excluded_, live_worker_count(), /*catch_up=*/false);
   } else {
-    const std::size_t best = dkt_.best_worker(iteration_);
+    std::size_t best;
+    if (options_.elastic.enabled) {
+      best = dkt_.best_worker(iteration_, excluded_);
+      if (best == id_) return;  // no usable member to pull from
+    } else {
+      best = dkt_.best_worker(iteration_);
+    }
     if (obs::on(obs_)) {
       obs_h_.dkt_pulls->inc();
       if (pull_start_ < 0.0) pull_start_ = engine_->now();
@@ -648,11 +692,25 @@ double Worker::evaluate_accuracy() {
 void Worker::on_message(std::size_t from, comm::MessagePtr msg) {
   DLION_DCHECK(from < fabric_->size() && from != id_,
                "message from impossible sender " + std::to_string(from));
+  if (dormant_) return;  // defensive: dormant workers are detached
+  // Membership gate (second line of defense behind the fabric's epoch
+  // floor): traffic from a non-member is rejected — except RosterUpdate,
+  // which may be the sender's own join announcement.
+  const bool is_roster_update =
+      std::holds_alternative<comm::RosterUpdate>(*msg);
+  if (options_.elastic.enabled && !is_roster_update &&
+      !roster_.is_member(from)) {
+    ++nonmember_rejected_;
+    return;
+  }
   // Any message is proof of life: refresh the liveness stamp and clear
-  // suspicion (a no-op whenever fault tolerance is disabled).
+  // suspicion (a no-op whenever fault tolerance is disabled). The merged
+  // exclusion bit clears only for members (a RosterUpdate from a joiner
+  // clears it inside apply_roster once the roster is adopted).
   if (from < last_heard_.size()) {
     last_heard_[from] = engine_->now();
     suspected_[from] = false;
+    if (roster_.is_member(from)) excluded_[from] = false;
   }
   std::visit(
       [&](const auto& m) {
@@ -737,9 +795,318 @@ void Worker::on_message(std::size_t from, comm::MessagePtr msg) {
           }
         } else if constexpr (std::is_same_v<T, comm::Heartbeat>) {
           // Liveness handled above; the beacon carries no training payload.
+        } else if constexpr (std::is_same_v<T, comm::RosterUpdate>) {
+          DLION_DCHECK(m.capacity == fabric_->size(),
+                       "RosterUpdate capacity mismatch");
+          apply_roster(m.epoch,
+                       comm::unpack_members(m.member_words, m.capacity));
+        } else if constexpr (std::is_same_v<T, comm::BootstrapRequest>) {
+          // Serve our slice of the model to a joiner. The epoch may lag our
+          // roster (other members joined while the request was in flight);
+          // a chunk for a genuinely superseded join attempt dies at the
+          // joiner's transport epoch floor, not here. Requests from the
+          // future would mean a broken epoch authority.
+          if (m.epoch <= roster_.epoch() &&
+              static_cast<std::size_t>(m.first_var) + m.var_count <=
+                  built_.model.num_variables()) {
+            comm::BootstrapChunk chunk;
+            chunk.from = static_cast<std::uint32_t>(id_);
+            chunk.epoch = m.epoch;
+            chunk.first_var = m.first_var;
+            chunk.iteration = iteration_;
+            chunk.gbs_ticks = gbs_ctrl_.ticks();
+            chunk.loss = dkt_.avg_loss();
+            const nn::Snapshot all = built_.model.weights();
+            chunk.weights.values.assign(
+                all.values.begin() + m.first_var,
+                all.values.begin() + m.first_var + m.var_count);
+            if (ft().enabled) {
+              fabric_->send_reliable(id_, from, std::move(chunk),
+                                     ft().control_retry);
+            } else {
+              fabric_->send(id_, from, std::move(chunk));
+            }
+          }
+        } else if constexpr (std::is_same_v<T, comm::BootstrapChunk>) {
+          // Accept chunks from this bootstrap tenure (epoch >= the epoch we
+          // joined at) even if the roster advanced while they were in
+          // flight; chunks addressed to a previous tenure of this slot
+          // carry an older epoch and are rejected.
+          if (bootstrapping_ && m.epoch >= bootstrap_epoch_ &&
+              static_cast<std::size_t>(m.first_var) +
+                      m.weights.values.size() <=
+                  bootstrap_values_.size()) {
+            for (std::size_t i = 0; i < m.weights.values.size(); ++i) {
+              const std::size_t v = m.first_var + i;
+              if (bootstrap_have_[v]) continue;  // duplicate range
+              bootstrap_values_[v] = m.weights.values[i];
+              bootstrap_have_[v] = true;
+              ++bootstrap_received_;
+            }
+            if (!bootstrap_donor_seen_[from]) {
+              bootstrap_donor_seen_[from] = true;
+              ++bootstrap_donor_count_;
+            }
+            bootstrap_iteration_ = std::max(bootstrap_iteration_, m.iteration);
+            bootstrap_gbs_ticks_ =
+                std::max(bootstrap_gbs_ticks_,
+                         static_cast<std::size_t>(m.gbs_ticks));
+            bootstrap_bytes_ += static_cast<std::uint64_t>(
+                fabric_->charged_bytes(*msg));
+            if (bootstrap_received_ == bootstrap_values_.size()) {
+              finish_bootstrap();
+            }
+          }
         }
       },
       *msg);
+}
+
+// --- Elastic membership (DESIGN.md, "Elastic membership") ---
+
+void Worker::broadcast_msg(const comm::Message& msg) {
+  if (options_.elastic.enabled) {
+    fabric_->broadcast(id_, msg, roster_.members());
+  } else {
+    fabric_->broadcast(id_, msg);
+  }
+}
+
+void Worker::apply_roster(std::uint64_t epoch,
+                          const std::vector<bool>& members) {
+  const std::vector<bool> prev = roster_.members();
+  if (!roster_.adopt(epoch, members)) return;
+  // Every member re-stamps its outgoing traffic at every roster change, so
+  // a joiner's epoch floor never rejects current traffic from legitimate
+  // members.
+  fabric_->set_epoch(id_, epoch);
+  for (std::size_t j = 0; j < members.size(); ++j) {
+    if (j == id_) {
+      excluded_[j] = false;
+      continue;
+    }
+    if (members[j] && !prev[j]) {
+      // Newly joined member: fresh liveness stamp and an optimistic
+      // staleness baseline — it catches up to about our iteration via
+      // bootstrap before sending its first gradient, so bounded-staleness
+      // training must not stall on its (empty) history.
+      last_heard_[j] = engine_->now();
+      suspected_[j] = false;
+      peer_latest_[j] = std::max(peer_latest_[j],
+                                 static_cast<std::int64_t>(iteration_));
+    }
+    excluded_[j] = !members[j] || suspected_[j];
+  }
+  if (obs::on(obs_)) {
+    obs_->tracer().instant(
+        obs_track_, "roster", engine_->now(),
+        {{"epoch", static_cast<double>(epoch)},
+         {"members", static_cast<double>(roster_.member_count())}});
+  }
+  // GBS/LBS renormalization over the new live set (Eq. 5 across members).
+  if (!dormant_ && (options_.dynamic_batching || options_.gbs_schedule)) {
+    recompute_lbs();
+  }
+  if (waiting_) {
+    const std::uint64_t inc = incarnation_;
+    engine_->after(0.0, [this, inc] {
+      if (inc == incarnation_) try_start_iteration();
+    });
+  }
+}
+
+void Worker::join(std::uint64_t epoch, const std::vector<bool>& members,
+                  common::SimTime until) {
+  DLION_ASSERT(options_.elastic.enabled,
+               "Worker::join requires the elastic membership layer");
+  if (!dormant_) return;
+  dormant_ = false;
+  crashed_ = false;
+  running_ = false;
+  waiting_ = false;
+  catching_up_ = false;
+  end_time_ = until;
+  ++incarnation_;  // a previous tenure's scheduled lambdas become no-ops
+  fabric_->attach(id_, [this](std::size_t from, comm::MessagePtr msg) {
+    on_message(from, std::move(msg));
+  });
+  // Raising the floor to the join epoch makes in-flight traffic addressed
+  // to this slot's previous tenure undeliverable — deterministically.
+  fabric_->set_epoch_floor(id_, epoch);
+  std::fill(last_heard_.begin(), last_heard_.end(), engine_->now());
+  std::fill(suspected_.begin(), suspected_.end(), false);
+  apply_roster(epoch, members);
+  if (obs::on(obs_)) {
+    obs_->tracer().instant(obs_track_, "join", engine_->now(),
+                           {{"epoch", static_cast<double>(epoch)}});
+  }
+  // Announce the roster FIRST: per-link FIFO delivery guarantees every
+  // member admits us before any of our subsequent traffic arrives.
+  comm::RosterUpdate ru;
+  ru.from = static_cast<std::uint32_t>(id_);
+  ru.epoch = epoch;
+  ru.capacity = static_cast<std::uint32_t>(fabric_->size());
+  ru.member_words = comm::pack_members(members);
+  broadcast_msg(ru);
+  if (options_.dynamic_batching || options_.gbs_schedule) {
+    profile_rcp(/*broadcast_if_changed=*/false);
+    broadcast_msg(comm::RcpReport{static_cast<std::uint32_t>(id_),
+                                  rcp_table_[id_]});
+    recompute_lbs();
+  } else {
+    current_lbs_ = options_.fixed_lbs;
+    lbs_trace_.record(engine_->now(), static_cast<double>(current_lbs_));
+  }
+  if (ft().enabled) {
+    broadcast_msg(comm::Heartbeat{static_cast<std::uint32_t>(id_),
+                                  iteration_});
+  }
+  schedule_ticks();
+  begin_bootstrap();
+  if (!bootstrapping_) try_start_iteration();
+}
+
+void Worker::leave(std::uint64_t epoch, const std::vector<bool>& members) {
+  DLION_ASSERT(options_.elastic.enabled,
+               "Worker::leave requires the elastic membership layer");
+  if (dormant_) return;
+  // Adopt + stamp the shrunken roster, then say goodbye to the remaining
+  // members (the farewell carries the new epoch, so nobody's floor rejects
+  // it).
+  apply_roster(epoch, members);
+  comm::RosterUpdate ru;
+  ru.from = static_cast<std::uint32_t>(id_);
+  ru.epoch = epoch;
+  ru.capacity = static_cast<std::uint32_t>(fabric_->size());
+  ru.member_words = comm::pack_members(members);
+  broadcast_msg(ru);
+  if (obs::on(obs_)) {
+    obs_->tracer().instant(obs_track_, "leave", engine_->now(),
+                           {{"epoch", static_cast<double>(epoch)}});
+    stall_start_ = -1.0;
+    pull_start_ = -1.0;
+  }
+  ++incarnation_;
+  running_ = false;
+  waiting_ = false;
+  catching_up_ = false;
+  bootstrapping_ = false;
+  fabric_->detach(id_);
+  dormant_ = true;
+}
+
+void Worker::rebind_compute(sim::ComputeResource compute) {
+  compute_ = std::move(compute);
+  // The RCP estimate and iteration-time EWMA described the old machine.
+  compute_rate_.reset();
+  if (obs::on(obs_)) {
+    obs_->tracer().instant(obs_track_, "rebind_compute", engine_->now());
+  }
+}
+
+void Worker::begin_bootstrap() {
+  bootstrapping_ = false;
+  std::vector<std::size_t> donors;
+  for (std::size_t j : roster_.member_ids()) {
+    if (j != id_) donors.push_back(j);
+  }
+  const std::size_t nvars = built_.model.num_variables();
+  if (donors.empty() || nvars == 0) return;  // first member: nothing to copy
+  bootstrapping_ = true;
+  bootstrap_epoch_ = roster_.epoch();
+  bootstrap_values_.assign(nvars, tensor::Tensor{});
+  bootstrap_have_.assign(nvars, false);
+  bootstrap_received_ = 0;
+  bootstrap_iteration_ = 0;
+  bootstrap_gbs_ticks_ = 0;
+  bootstrap_donor_seen_.assign(fabric_->size(), false);
+  bootstrap_donor_count_ = 0;
+  bootstrap_bytes_ = 0;
+  bootstrap_complete_time_ = -1.0;
+  const std::vector<BootstrapRange> ranges =
+      plan_bootstrap(nvars, donors, options_.elastic.bootstrap_fanout);
+  if (obs::on(obs_)) {
+    obs_->tracer().instant(obs_track_, "bootstrap_begin", engine_->now(),
+                           {{"ranges", static_cast<double>(ranges.size())}});
+  }
+  for (const BootstrapRange& r : ranges) {
+    send_bootstrap_request(r, excluded_, live_worker_count());
+  }
+}
+
+void Worker::send_bootstrap_request(BootstrapRange range,
+                                    std::vector<bool> excluded,
+                                    std::size_t attempts_left) {
+  if (!bootstrapping_ || attempts_left == 0) return;
+  excluded[id_] = true;  // never download from ourselves
+  std::size_t donor = range.donor;
+  if (donor >= excluded.size() || excluded[donor] ||
+      !roster_.is_member(donor)) {
+    // Planned donor unusable (failed earlier attempt, or left the roster):
+    // fall through to the lowest-id live member.
+    donor = excluded.size();
+    for (std::size_t j = 0; j < excluded.size(); ++j) {
+      if (!excluded[j] && roster_.is_member(j)) {
+        donor = j;
+        break;
+      }
+    }
+    if (donor == excluded.size()) return;  // nobody left to serve this range
+    range.donor = donor;
+  }
+  comm::BootstrapRequest req;
+  req.from = static_cast<std::uint32_t>(id_);
+  req.epoch = roster_.epoch();
+  req.first_var = range.first_var;
+  req.var_count = range.var_count;
+  if (ft().enabled) {
+    const std::uint64_t inc = incarnation_;
+    fabric_->send_reliable(
+        id_, donor, req, ft().control_retry,
+        [this, inc, range, excluded = std::move(excluded), attempts_left,
+         donor](bool acked) mutable {
+          if (inc != incarnation_ || acked) return;
+          excluded[donor] = true;
+          send_bootstrap_request(range, std::move(excluded),
+                                 attempts_left - 1);
+        });
+  } else {
+    fabric_->send(id_, donor, req);
+  }
+}
+
+void Worker::finish_bootstrap() {
+  nn::Snapshot snap;
+  snap.values = std::move(bootstrap_values_);
+  built_.model.set_weights(snap);
+  bootstrap_values_.clear();
+  bootstrap_have_.clear();
+  iteration_ = std::max(iteration_, bootstrap_iteration_);
+  // Replay the deterministic GBS schedule to the donors' tick count: the
+  // joiner lands on exactly the cluster's current GBS without any further
+  // coordination (the §3.2 agreement property extended to late joiners).
+  gbs_ctrl_.fast_forward(bootstrap_gbs_ticks_);
+  epochs_ticked_ = static_cast<double>(gbs_ctrl_.ticks());
+  epoch_progress_ = epochs_ticked_;
+  // Optimistic staleness baseline at the adopted iteration (mirrors what
+  // apply_roster granted us on the receiving side).
+  for (std::size_t j = 0; j < peer_latest_.size(); ++j) {
+    if (j == id_ || excluded_[j]) continue;
+    peer_latest_[j] = std::max(peer_latest_[j],
+                               static_cast<std::int64_t>(iteration_));
+  }
+  bootstrapping_ = false;
+  bootstrap_complete_time_ = engine_->now();
+  if (options_.dynamic_batching || options_.gbs_schedule) recompute_lbs();
+  if (ft().enabled) take_checkpoint();
+  if (obs::on(obs_)) {
+    obs_->tracer().instant(
+        obs_track_, "bootstrap_done", engine_->now(),
+        {{"donors", static_cast<double>(bootstrap_donor_count_)},
+         {"bytes", static_cast<double>(bootstrap_bytes_)},
+         {"iteration", static_cast<double>(iteration_)}});
+  }
+  try_start_iteration();
 }
 
 }  // namespace dlion::core

@@ -18,6 +18,7 @@
 #include "obs/obs.h"
 #include "core/gbs_controller.h"
 #include "core/lbs_controller.h"
+#include "core/roster.h"
 #include "core/strategy.h"
 #include "core/sync_strategy.h"
 #include "data/dataset.h"
@@ -52,6 +53,29 @@ struct FaultToleranceOptions {
   comm::RetryPolicy control_retry;
 };
 
+/// Elastic-membership layer (DESIGN.md, "Elastic membership").
+///
+/// When enabled the worker keeps a RosterView (epoch + member bitmap over
+/// the cluster's fixed slot capacity), addresses every broadcast to the
+/// current roster only, excludes non-members from synchronization wait-sets
+/// and batch-share renormalization, and — when joining mid-run — bootstraps
+/// its weights from >= 2 live peers via disjoint variable-range chunks
+/// before training its first iteration.
+///
+/// Disabled (the default) the roster is the all-member view at epoch 0 and
+/// every code path reduces bit-identically to the non-elastic worker.
+struct ElasticOptions {
+  bool enabled = false;
+  /// Donors a joiner splits its bootstrap download across (>= 2 whenever
+  /// the roster allows).
+  std::size_t bootstrap_fanout = 2;
+  /// Construct dormant: not attached to the fabric, not training, waiting
+  /// for a MembershipController join() call.
+  bool start_dormant = false;
+  /// Roster at construction time (epoch 0). Empty = every slot a member.
+  std::vector<bool> initial_members;
+};
+
 struct WorkerOptions {
   double learning_rate = 0.05;
   /// Weighted dynamic batching (§3.2): GBS + LBS controllers. When false,
@@ -80,6 +104,8 @@ struct WorkerOptions {
   std::function<std::size_t(std::uint64_t iteration, double now)> gbs_schedule;
   /// Fault-tolerance layer; disabled by default (see FaultToleranceOptions).
   FaultToleranceOptions fault_tolerance;
+  /// Elastic-membership layer; disabled by default (see ElasticOptions).
+  ElasticOptions elastic;
 };
 
 class Worker {
@@ -154,6 +180,42 @@ class Worker {
   /// DKT / catch-up weight pulls re-targeted after an unacked request.
   std::uint64_t pull_fallbacks() const { return pull_fallbacks_; }
 
+  // --- Elastic membership (DESIGN.md, "Elastic membership") ---
+
+  /// Join the cluster at roster `epoch` with the given member bitmap
+  /// (called by the MembershipController; requires elastic.enabled). The
+  /// joiner announces the roster to every member first — per-link FIFO
+  /// delivery guarantees receivers admit it before any of its other
+  /// traffic — then requests disjoint weight-range chunks from >= 2 live
+  /// donors and starts training once the snapshot is reassembled.
+  void join(std::uint64_t epoch, const std::vector<bool>& members,
+            common::SimTime until);
+  /// Leave the cluster: broadcast the shrunken roster at `epoch` to the
+  /// remaining members, then detach and go dormant.
+  void leave(std::uint64_t epoch, const std::vector<bool>& members);
+  /// VirtualFlow-style indirection: swap the compute resource this logical
+  /// worker runs on (the logical->machine mapping can change mid-run).
+  void rebind_compute(sim::ComputeResource compute);
+  bool dormant() const { return dormant_; }
+  /// Still reassembling the multi-peer bootstrap snapshot.
+  bool bootstrapping() const { return bootstrapping_; }
+  const RosterView& roster() const { return roster_; }
+  /// Distinct donors that contributed bootstrap chunks (>= 2 on any roster
+  /// with two live peers).
+  std::size_t bootstrap_donor_count() const { return bootstrap_donor_count_; }
+  /// Network bytes charged for received bootstrap chunks.
+  std::uint64_t bootstrap_bytes() const { return bootstrap_bytes_; }
+  /// Simulated time the last bootstrap completed (-1 = never).
+  common::SimTime bootstrap_complete_time() const {
+    return bootstrap_complete_time_;
+  }
+  /// Messages rejected because the sender is not in the current roster.
+  std::uint64_t nonmember_rejected() const { return nonmember_rejected_; }
+  /// EWMA of the full iteration cycle time (autoscaler straggler signal).
+  double iteration_interval() const { return iter_interval_.value(); }
+  /// Last iteration-finish time (-1 = none yet; autoscaler stall signal).
+  common::SimTime last_finish_time() const { return last_finish_; }
+
  private:
   /// Cached observability handles (resolved once in set_obs). Histograms
   /// are label-free (shared across workers); counters carry {worker=i}.
@@ -191,6 +253,21 @@ class Worker {
   void send_weight_pull(std::vector<bool> excluded, std::size_t attempts_left,
                         bool catch_up);
   void request_catch_up();
+
+  /// Roster-targeted broadcast when elastic membership is on; the legacy
+  /// everyone-but-self broadcast otherwise.
+  void broadcast_msg(const comm::Message& msg);
+  /// Adopt a (strictly newer) roster: stamp outgoing traffic with the new
+  /// epoch, refresh the merged exclusion mask, give newly added members an
+  /// optimistic liveness/staleness baseline, renormalize LBS, and re-check
+  /// a pending synchronization wait.
+  void apply_roster(std::uint64_t epoch, const std::vector<bool>& members);
+  void begin_bootstrap();
+  /// Reliable chunk request with next-donor fallback (mirrors
+  /// send_weight_pull's retry shape).
+  void send_bootstrap_request(BootstrapRange range, std::vector<bool> excluded,
+                              std::size_t attempts_left);
+  void finish_bootstrap();
 
   std::size_t id_;
   sim::Engine* engine_;
@@ -241,6 +318,30 @@ class Worker {
   std::uint64_t recover_count_ = 0;
   std::uint64_t checkpoints_taken_ = 0;
   std::uint64_t pull_fallbacks_ = 0;
+
+  // Elastic-membership state. With the layer disabled, roster_ is the
+  // all-member epoch-0 view and excluded_ mirrors suspected_ exactly, so
+  // the shared training paths below behave bit-identically to the
+  // pre-elastic worker.
+  RosterView roster_;
+  /// Merged synchronization exclusion mask: suspected_[j] || !member(j).
+  /// Maintained incrementally (never rebuilt on the iteration hot path).
+  std::vector<bool> excluded_;
+  bool dormant_ = false;
+  bool bootstrapping_ = false;
+  /// Roster epoch when this bootstrap began: chunks from this tenure carry
+  /// epoch >= this, chunks from a superseded join attempt carry less.
+  std::uint64_t bootstrap_epoch_ = 0;
+  std::vector<tensor::Tensor> bootstrap_values_;  // per-variable assembly
+  std::vector<bool> bootstrap_have_;
+  std::size_t bootstrap_received_ = 0;
+  std::uint64_t bootstrap_iteration_ = 0;
+  std::size_t bootstrap_gbs_ticks_ = 0;
+  std::vector<bool> bootstrap_donor_seen_;
+  std::size_t bootstrap_donor_count_ = 0;
+  std::uint64_t bootstrap_bytes_ = 0;
+  common::SimTime bootstrap_complete_time_ = -1.0;
+  std::uint64_t nonmember_rejected_ = 0;
 
   sim::Trace accuracy_trace_;
   sim::Trace loss_trace_;

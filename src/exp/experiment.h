@@ -88,6 +88,11 @@ struct RunSpec {
   /// fired detector stops the engine — the run result then reflects the
   /// aborted state.
   std::optional<obs::WatchdogConfig> watchdog;
+  /// Elastic membership override: used verbatim when set. When unset and
+  /// the (resolved) environment is elastic — make_elastic_environment, or
+  /// any Environment with a membership schedule — an ElasticSpec is built
+  /// from the environment's schedule and initial_workers.
+  std::optional<core::ElasticSpec> elastic;
 };
 
 struct RunResult {
@@ -109,6 +114,18 @@ struct RunResult {
   /// observer attached via RunSpec::obs or RunSpec::collect_telemetry;
   /// `telemetry.collected` is false otherwise).
   obs::RunTelemetry telemetry;
+  // Elastic membership accounting (all zero / empty for static rosters).
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t roster_epoch = 0;        ///< final roster epoch
+  std::size_t final_members = 0;         ///< live members at the end
+  double join_latency_mean_s = 0.0;      ///< join event -> bootstrap done
+  double join_latency_max_s = 0.0;
+  std::size_t min_bootstrap_donors = 0;  ///< over completed joins (>= 2 goal)
+  std::uint64_t bootstrap_bytes = 0;     ///< total charged bootstrap traffic
+  std::uint64_t stale_epoch_rejected = 0;
+  std::uint64_t dead_letter_evictions = 0;
+  std::vector<core::JoinRecord> join_log;
 };
 
 /// Run one simulation.

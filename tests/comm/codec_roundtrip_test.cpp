@@ -102,6 +102,48 @@ WeightSnapshot random_snapshot(common::Rng& rng) {
   return s;
 }
 
+RosterUpdate random_roster_update(common::Rng& rng) {
+  RosterUpdate m;
+  m.from = static_cast<std::uint32_t>(rng.uniform_index(64));
+  m.epoch = rng.next();
+  const std::size_t capacity = rng.uniform_index(130);  // 0..129, spans words
+  std::vector<bool> members(capacity);
+  for (std::size_t i = 0; i < capacity; ++i) members[i] = rng.uniform() < 0.5;
+  m.capacity = static_cast<std::uint32_t>(capacity);
+  m.member_words = pack_members(members);
+  return m;
+}
+
+BootstrapRequest random_bootstrap_request(common::Rng& rng) {
+  BootstrapRequest m;
+  m.from = static_cast<std::uint32_t>(rng.uniform_index(64));
+  m.epoch = rng.next();
+  m.first_var = static_cast<std::uint32_t>(rng.uniform_index(1u << 16));
+  m.var_count = static_cast<std::uint32_t>(rng.uniform_index(1u << 16));
+  return m;
+}
+
+BootstrapChunk random_bootstrap_chunk(common::Rng& rng) {
+  BootstrapChunk m;
+  m.from = static_cast<std::uint32_t>(rng.uniform_index(64));
+  m.epoch = rng.next();
+  m.first_var = static_cast<std::uint32_t>(rng.uniform_index(1u << 16));
+  m.iteration = rng.next();
+  m.gbs_ticks = rng.next();
+  m.loss = rng.normal(1.0, 0.5);
+  const std::size_t ntensors = rng.uniform_index(5);
+  for (std::size_t i = 0; i < ntensors; ++i) {
+    const std::size_t len = rng.uniform_index(40);
+    std::vector<float> data;
+    data.reserve(len);
+    for (std::size_t j = 0; j < len; ++j) {
+      data.push_back(interesting_float(rng));
+    }
+    m.weights.values.emplace_back(tensor::Shape{len}, std::move(data));
+  }
+  return m;
+}
+
 constexpr int kIterations = 1000;
 
 TEST(CodecRoundTripProperty, GradientUpdateEncodeDecodeEncodeByteIdentical) {
@@ -134,7 +176,7 @@ TEST(CodecRoundTripProperty, EveryMessageAlternativeRoundTrips) {
   common::Rng rng(0xC0DEC003);
   for (int i = 0; i < kIterations; ++i) {
     Message msg;
-    switch (rng.uniform_index(7)) {
+    switch (rng.uniform_index(10)) {
       case 0: msg = random_gradient(rng); break;
       case 1: msg = random_snapshot(rng); break;
       case 2:
@@ -153,16 +195,57 @@ TEST(CodecRoundTripProperty, EveryMessageAlternativeRoundTrips) {
         msg = Heartbeat{static_cast<std::uint32_t>(rng.uniform_index(64)),
                         rng.next()};
         break;
-      default:
+      case 6:
         msg = Ack{static_cast<std::uint32_t>(rng.uniform_index(64)),
                   rng.next()};
         break;
+      case 7: msg = random_roster_update(rng); break;
+      case 8: msg = random_bootstrap_request(rng); break;
+      default: msg = random_bootstrap_chunk(rng); break;
     }
     const std::vector<std::uint8_t> first = encode_message(msg);
     const Message decoded = decode_message(first);
     ASSERT_EQ(decoded.index(), msg.index()) << "iteration " << i;
     const std::vector<std::uint8_t> second = encode_message(decoded);
     ASSERT_EQ(first, second) << "iteration " << i;
+  }
+}
+
+TEST(CodecRoundTripProperty, ElasticMessagesRoundTripByteIdentical) {
+  common::Rng rng(0xC0DEC005);
+  for (int i = 0; i < kIterations; ++i) {
+    Message msg;
+    switch (rng.uniform_index(3)) {
+      case 0: msg = random_roster_update(rng); break;
+      case 1: msg = random_bootstrap_request(rng); break;
+      default: msg = random_bootstrap_chunk(rng); break;
+    }
+    const std::vector<std::uint8_t> first = encode_message(msg);
+    const Message decoded = decode_message(first);
+    ASSERT_EQ(decoded.index(), msg.index()) << "iteration " << i;
+    const std::vector<std::uint8_t> second = encode_message(decoded);
+    ASSERT_EQ(first, second) << "iteration " << i;
+    // BootstrapChunk is a data message: wire_bytes counts its actual
+    // payload, and the envelope adds the one-byte tag. (RosterUpdate and
+    // BootstrapRequest are charged the flat control size instead.)
+    if (const auto* chunk = std::get_if<BootstrapChunk>(&msg)) {
+      ASSERT_EQ(first.size(),
+                static_cast<std::size_t>(wire_bytes(*chunk)) + 1)
+          << "iteration " << i;
+    }
+  }
+}
+
+TEST(CodecRoundTripProperty, PackUnpackMembersRoundTrips) {
+  common::Rng rng(0xC0DEC006);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t capacity = rng.uniform_index(200);
+    std::vector<bool> members(capacity);
+    for (std::size_t w = 0; w < capacity; ++w) {
+      members[w] = rng.uniform() < 0.5;
+    }
+    ASSERT_EQ(unpack_members(pack_members(members), capacity), members)
+        << "iteration " << i;
   }
 }
 

@@ -224,5 +224,80 @@ TEST(Fabric, InvalidScaleThrows) {
   EXPECT_THROW(Fabric(n, -1.0), std::invalid_argument);
 }
 
+TEST_F(FabricTest, EpochFloorRejectsStaleTrafficDeterministically) {
+  // Receiver 1 joined at epoch 3; traffic stamped with an older epoch (a
+  // sender that has not adopted the roster yet, or in-flight messages
+  // addressed to the slot's previous occupant) is rejected, never handled.
+  fabric_.set_epoch_floor(1, 3);
+  fabric_.set_epoch(0, 2);
+  fabric_.send(0, 1, LossReport{0, 1, 0.5});
+  engine_.run();
+  EXPECT_EQ(inbox_[1].size(), 0u);
+  EXPECT_EQ(fabric_.stale_epoch_rejected(), 1u);
+  // Once the sender adopts an epoch at or above the floor, traffic flows.
+  fabric_.set_epoch(0, 3);
+  fabric_.send(0, 1, LossReport{0, 2, 0.5});
+  engine_.run();
+  EXPECT_EQ(inbox_[1].size(), 1u);
+  EXPECT_EQ(fabric_.stale_epoch_rejected(), 1u);
+}
+
+TEST_F(FabricTest, EpochStampIsCapturedAtTransmitTime) {
+  // The stamp rides the transmission, not the delivery: a message sent
+  // while the sender was at epoch 5 passes a floor of 5 even if the floor
+  // was raised after the send but before delivery.
+  fabric_.set_epoch(0, 5);
+  fabric_.send(0, 2, LossReport{0, 1, 0.25});
+  fabric_.set_epoch_floor(2, 5);
+  engine_.run();
+  EXPECT_EQ(inbox_[2].size(), 1u);
+  EXPECT_EQ(fabric_.stale_epoch_rejected(), 0u);
+}
+
+TEST(Fabric, DeadLetterQueueIsBoundedWithEvictionCounter) {
+  sim::Engine e;
+  sim::Network net(e, 2);
+  FabricOptions options;
+  options.dead_letter_cap = 3;
+  Fabric fabric(net, options);
+  fabric.attach(0, [](std::size_t, MessagePtr) {});
+  // Worker 1 never attaches: every message to it dead-letters.
+  for (int i = 0; i < 8; ++i) {
+    fabric.send(0, 1, Heartbeat{0, static_cast<std::uint64_t>(i)});
+  }
+  e.run();
+  EXPECT_EQ(fabric.dead_letters(), 8u);
+  EXPECT_EQ(fabric.recent_dead_letters().size(), 3u);
+  EXPECT_EQ(fabric.dead_letter_evictions(), 5u);
+  // The retained records are the most recent ones, oldest evicted first.
+  for (const DeadLetter& dl : fabric.recent_dead_letters()) {
+    EXPECT_EQ(dl.from, 0u);
+    EXPECT_EQ(dl.to, 1u);
+  }
+}
+
+TEST(Fabric, DeadLetterCapZeroKeepsCountersOnly) {
+  sim::Engine e;
+  sim::Network net(e, 2);
+  FabricOptions options;
+  options.dead_letter_cap = 0;
+  Fabric fabric(net, options);
+  fabric.attach(0, [](std::size_t, MessagePtr) {});
+  for (int i = 0; i < 4; ++i) fabric.send(0, 1, Heartbeat{0, 1});
+  e.run();
+  EXPECT_EQ(fabric.dead_letters(), 4u);
+  EXPECT_EQ(fabric.recent_dead_letters().size(), 0u);
+  EXPECT_EQ(fabric.dead_letter_evictions(), 0u);
+}
+
+TEST_F(FabricTest, TargetedBroadcastSkipsUnflaggedWorkers) {
+  std::vector<bool> targets = {true, false, true};
+  fabric_.broadcast(2, LossReport{2, 0, 0.5}, targets);
+  engine_.run();
+  EXPECT_EQ(inbox_[0].size(), 1u);
+  EXPECT_EQ(inbox_[1].size(), 0u);  // not in the roster
+  EXPECT_EQ(inbox_[2].size(), 0u);  // no self-delivery
+}
+
 }  // namespace
 }  // namespace dlion::comm

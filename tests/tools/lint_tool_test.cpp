@@ -27,7 +27,11 @@ struct RunResult {
 };
 
 std::string temp_path(const char* name) {
-  return ::testing::TempDir() + name;
+  // Prefix with the test name: gtest_discover_tests runs each TEST as its
+  // own ctest entry, so under `ctest -j` two of these processes can run
+  // concurrently and must not clobber each other's scratch files.
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + info->name() + std::string("_") + name;
 }
 
 RunResult run_lint(const std::string& args) {
