@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <iostream>
 #include <string>
 
@@ -13,8 +15,58 @@
 #include "common/table.h"
 #include "exp/experiment.h"
 #include "exp/report.h"
+#include "nn/model.h"
+#include "sim/trace.h"
 
 namespace dlion::bench {
+
+/// FNV-1a over a byte range; pass the previous hash to chain ranges.
+inline std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                           std::uint64_t h = 1469598103934665603ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// FNV-1a over all weight values of the model, in variable order.
+inline std::uint64_t weights_checksum(nn::Model& model) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (auto* var : model.variables()) {
+    const auto s = var->value().span();
+    h = fnv1a(s.data(), s.size() * sizeof(float), h);
+  }
+  return h;
+}
+
+inline std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// JSON number with fixed precision; non-finite values become null.
+inline std::string jnum(double v, int prec = 4) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+/// JSON array of [time, value] pairs from a sim trace.
+inline std::string jcurve(const sim::Trace& curve) {
+  std::string j = "[";
+  bool first = true;
+  for (const auto& p : curve.points()) {
+    if (!first) j += ", ";
+    first = false;
+    j += "[" + jnum(p.time, 2) + ", " + jnum(p.value) + "]";
+  }
+  return j + "]";
+}
 
 struct BenchContext {
   common::Config config;

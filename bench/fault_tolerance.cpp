@@ -16,24 +16,8 @@
 
 namespace {
 
-/// JSON number with fixed precision; non-finite values become null.
-std::string jnum(double v, int prec = 4) {
-  if (!std::isfinite(v)) return "null";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
-  return buf;
-}
-
-std::string jcurve(const dlion::sim::Trace& curve) {
-  std::string j = "[";
-  bool first = true;
-  for (const auto& p : curve.points()) {
-    if (!first) j += ", ";
-    first = false;
-    j += "[" + jnum(p.time, 2) + ", " + jnum(p.value) + "]";
-  }
-  return j + "]";
-}
+using dlion::bench::jcurve;
+using dlion::bench::jnum;
 
 /// Largest drop of the cluster-mean accuracy after `t0` below its pre-fault
 /// peak (0 if the curve never dips).

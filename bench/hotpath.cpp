@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "core/gradient_select.h"
 #include "nn/model_zoo.h"
@@ -53,22 +54,8 @@ double time_best(int reps, F&& fn) {
   return best;
 }
 
-std::uint64_t fnv1a(const void* data, std::size_t bytes,
-                    std::uint64_t h = 1469598103934665603ULL) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-std::string hex64(std::uint64_t v) {
-  char buf[19];
-  std::snprintf(buf, sizeof(buf), "0x%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
-}
+using dlion::bench::fnv1a;
+using dlion::bench::hex64;
 
 std::string fmt(double v, int prec = 3) {
   char buf[64];
@@ -188,15 +175,7 @@ StepStats bench_training_step(int steps) {
           bytes / static_cast<std::uint64_t>(steps)};
 }
 
-/// FNV-1a over all weight values of the model, in variable order.
-std::uint64_t weights_checksum(dlion::nn::Model& model) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (auto* var : model.variables()) {
-    const auto s = var->value().span();
-    h = fnv1a(s.data(), s.size() * sizeof(float), h);
-  }
-  return h;
-}
+using dlion::bench::weights_checksum;
 
 /// Trains the cipher CNN for `steps` steps from a fixed seed and returns
 /// the final weight checksum. Bit-deterministic by design at any thread

@@ -83,11 +83,7 @@ bool same_results(const exp::RunResult& a, const exp::RunResult& b) {
          a.messages_dropped == b.messages_dropped;
 }
 
-std::string fmt_json_double(double v) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%.3f", v);
-  return buf;
-}
+std::string fmt_json_double(double v) { return dlion::bench::jnum(v, 3); }
 
 }  // namespace
 

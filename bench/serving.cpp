@@ -1,0 +1,187 @@
+// Serving tier under Table-3 heterogeneity (DESIGN.md "Serving tier"):
+// three inference replicas ride on extra fabric slots next to a live
+// "Hetero SYS A" training run, dynamic batching trades the batch-formation
+// deadline against packed-GEMM efficiency, and replicas adopt weight
+// snapshots published online by the freshest worker.
+//
+// One row per arrival process (open-loop Poisson, bursty, diurnal). Every
+// number is simulated-clock-deterministic: reruns (any DLION_THREADS,
+// obs on or off) produce a byte-identical BENCH_serving.json.
+//
+// Usage: serving [--scale=bench|paper] [--duration=S] [--seed=N]
+//                [--rate=RPS] [--replicas=N] [--out=BENCH_serving.json]
+#include "bench_util.h"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace {
+
+using dlion::bench::fnv1a;
+using dlion::bench::hex64;
+using dlion::bench::jnum;
+
+std::string jints(const std::vector<std::uint64_t>& v) {
+  std::string j = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) j += ", ";
+    j += std::to_string(v[i]);
+  }
+  return j + "]";
+}
+
+std::string jsizes(const std::vector<std::size_t>& v) {
+  std::string j = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) j += ", ";
+    j += std::to_string(v[i]);
+  }
+  return j + "]";
+}
+
+/// Order-sensitive FNV-1a over the scenario's integer counters: a compact
+/// determinism anchor for the CI thread-count comparison.
+std::uint64_t stats_checksum(const dlion::serve::ServingStats& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const std::uint64_t ints[] = {s.requests_arrived, s.requests_admitted,
+                                s.requests_rejected, s.requests_served,
+                                s.deadline_drops,    s.batches,
+                                s.refreshes_published, s.refreshes_adopted,
+                                s.stale_batches};
+  h = fnv1a(ints, sizeof(ints), h);
+  if (!s.batch_size_counts.empty()) {
+    h = fnv1a(s.batch_size_counts.data(),
+              s.batch_size_counts.size() * sizeof(std::uint64_t), h);
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dlion;
+  const auto ctx = bench::BenchContext::from_args(argc, argv);
+  bench::print_header("Serving tier: dynamic batching + online refresh",
+                      ctx.scale);
+  const exp::Workload workload = exp::make_workload("cpu", ctx.scale);
+  const double duration = ctx.scale.duration_s;
+  const double rate = ctx.config.get_double("rate", 300.0);
+  const std::size_t replicas =
+      static_cast<std::size_t>(ctx.config.get_int("replicas", 3));
+  const std::string env_name = "Hetero SYS A";
+
+  common::Table table({"arrival", "arrived", "served", "drops", "rej",
+                       "req/s", "p50 ms", "p99 ms", "batch", "refreshes",
+                       "stale p50 s", "acc"});
+  std::string scenarios;
+  const serve::ArrivalKind kinds[] = {serve::ArrivalKind::kPoisson,
+                                      serve::ArrivalKind::kBursty,
+                                      serve::ArrivalKind::kDiurnal};
+  for (const serve::ArrivalKind kind : kinds) {
+    exp::RunSpec spec =
+        bench::make_run_spec(ctx.scale, "dlion", env_name, duration);
+    serve::ServingSpec serving;
+    serving.replicas = replicas;
+    serving.arrival.kind = kind;
+    serving.arrival.rate_rps = rate;
+    spec.serving = serving;
+    const exp::RunResult res = exp::run_experiment(spec, workload);
+    const serve::ServingStats& s = *res.serving;
+
+    const char* name = serve::arrival_kind_name(kind);
+    table.row()
+        .cell(name)
+        .cell(static_cast<double>(s.requests_arrived), 0)
+        .cell(static_cast<double>(s.requests_served), 0)
+        .cell(static_cast<double>(s.deadline_drops), 0)
+        .cell(static_cast<double>(s.requests_rejected), 0)
+        .cell(s.requests_per_s, 1)
+        .cell(s.latency_p50_s * 1e3, 2)
+        .cell(s.latency_p99_s * 1e3, 2)
+        .cell(s.batch_size_mean, 2)
+        .cell(static_cast<double>(s.refreshes_adopted), 0)
+        .cell(s.staleness_p50_s, 2)
+        .cell(s.served_accuracy, 3);
+
+    if (!scenarios.empty()) scenarios += ",\n";
+    scenarios += "    {\n";
+    scenarios += "      \"arrival\": \"" + std::string(name) + "\",\n";
+    scenarios += "      \"rate_rps\": " + jnum(rate, 1) + ",\n";
+    scenarios += "      \"requests_arrived\": " +
+                 std::to_string(s.requests_arrived) + ",\n";
+    scenarios += "      \"requests_admitted\": " +
+                 std::to_string(s.requests_admitted) + ",\n";
+    scenarios += "      \"requests_rejected\": " +
+                 std::to_string(s.requests_rejected) + ",\n";
+    scenarios += "      \"requests_served\": " +
+                 std::to_string(s.requests_served) + ",\n";
+    scenarios += "      \"deadline_drops\": " +
+                 std::to_string(s.deadline_drops) + ",\n";
+    scenarios += "      \"unserved_at_shutdown\": " +
+                 std::to_string(s.unserved_at_shutdown) + ",\n";
+    scenarios += "      \"batches\": " + std::to_string(s.batches) + ",\n";
+    scenarios +=
+        "      \"requests_per_s\": " + jnum(s.requests_per_s, 3) + ",\n";
+    scenarios +=
+        "      \"latency_p50_s\": " + jnum(s.latency_p50_s, 6) + ",\n";
+    scenarios +=
+        "      \"latency_p99_s\": " + jnum(s.latency_p99_s, 6) + ",\n";
+    scenarios +=
+        "      \"latency_mean_s\": " + jnum(s.latency_mean_s, 6) + ",\n";
+    scenarios +=
+        "      \"latency_max_s\": " + jnum(s.latency_max_s, 6) + ",\n";
+    scenarios +=
+        "      \"batch_size_mean\": " + jnum(s.batch_size_mean, 3) + ",\n";
+    scenarios += "      \"batch_size_counts\": " +
+                 jints(s.batch_size_counts) + ",\n";
+    scenarios += "      \"refreshes_published\": " +
+                 std::to_string(s.refreshes_published) + ",\n";
+    scenarios += "      \"refreshes_adopted\": " +
+                 std::to_string(s.refreshes_adopted) + ",\n";
+    scenarios += "      \"stale_publishes_ignored\": " +
+                 std::to_string(s.stale_publishes_ignored) + ",\n";
+    scenarios += "      \"stale_batches\": " +
+                 std::to_string(s.stale_batches) + ",\n";
+    scenarios +=
+        "      \"staleness_p50_s\": " + jnum(s.staleness_p50_s, 4) + ",\n";
+    scenarios +=
+        "      \"staleness_mean_s\": " + jnum(s.staleness_mean_s, 4) + ",\n";
+    scenarios +=
+        "      \"staleness_max_s\": " + jnum(s.staleness_max_s, 4) + ",\n";
+    scenarios +=
+        "      \"served_accuracy\": " + jnum(s.served_accuracy, 4) + ",\n";
+    scenarios += "      \"pool_hits\": " + std::to_string(s.pool_hits) + ",\n";
+    scenarios +=
+        "      \"pool_misses\": " + std::to_string(s.pool_misses) + ",\n";
+    scenarios += "      \"per_replica_served\": " +
+                 jints(s.per_replica_served) + ",\n";
+    scenarios += "      \"replica_machines\": " +
+                 jsizes(s.replica_machines) + ",\n";
+    scenarios += "      \"train_final_accuracy\": " +
+                 jnum(res.final_accuracy, 4) + ",\n";
+    scenarios += "      \"train_iterations\": " +
+                 std::to_string(res.total_iterations) + ",\n";
+    scenarios +=
+        "      \"checksum\": \"" + hex64(stats_checksum(s)) + "\"\n";
+    scenarios += "    }";
+  }
+  table.print(std::cout);
+
+  const std::string out_path =
+      ctx.config.get_string("out", "BENCH_serving.json");
+  std::string doc = "{\n";
+  doc += "  \"schema\": \"dlion-serving-v1\",\n";
+  doc += "  \"environment\": \"" + env_name + "\",\n";
+  doc += "  \"model\": \"" + workload.model + "\",\n";
+  doc += "  \"duration_s\": " + jnum(duration, 1) + ",\n";
+  doc += "  \"seed\": " + std::to_string(ctx.scale.seed) + ",\n";
+  doc += "  \"replicas\": " + std::to_string(replicas) + ",\n";
+  doc += "  \"scenarios\": [\n" + scenarios + "\n  ]\n";
+  doc += "}\n";
+  std::ofstream out(out_path);
+  out << doc;
+  out.close();
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

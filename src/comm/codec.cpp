@@ -38,6 +38,7 @@ constexpr common::Bytes kGradientHeader = 20;   // from+iter+lbs+var count
 constexpr common::Bytes kPerVarHeader = 16;     // index+dense_size+counts
 constexpr common::Bytes kSnapshotHeader = 24;   // from+iter+loss+var count
 constexpr common::Bytes kChunkHeader = 44;      // from+epoch+var+iter+ticks+loss+count
+constexpr common::Bytes kPublishHeader = 32;    // from+version+iter+var+total+count
 constexpr common::Bytes kControlBytes = 64;     // loss/DKT/RCP messages
 
 [[noreturn]] void fail(DecodeErrorKind kind, const std::string& detail) {
@@ -250,8 +251,9 @@ enum class MessageTag : std::uint8_t {
   kRosterUpdate = 7,
   kBootstrapRequest = 8,
   kBootstrapChunk = 9,
+  kModelPublish = 10,
 };
-constexpr std::uint8_t kMaxMessageTag = 9;
+constexpr std::uint8_t kMaxMessageTag = 10;
 static_assert(std::variant_size_v<Message> == kMaxMessageTag + 1,
               "update MessageTag when Message gains an alternative");
 
@@ -338,6 +340,46 @@ BootstrapChunk decode_bootstrap_chunk_from(Reader& r) {
   return m;
 }
 
+void encode_model_publish_into(Writer& w, const ModelPublish& m) {
+  w.put<std::uint32_t>(m.from);
+  w.put<std::uint64_t>(m.version);
+  w.put<std::uint64_t>(m.iteration);
+  w.put<std::uint32_t>(m.first_var);
+  w.put<std::uint32_t>(m.total_vars);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(m.weights.values.size()));
+  for (const auto& t : m.weights.values) {
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(t.size()));
+    std::vector<float> data(t.data(), t.data() + t.size());
+    w.put_array(data);
+  }
+}
+
+ModelPublish decode_model_publish_from(Reader& r) {
+  ModelPublish m;
+  m.from = r.get<std::uint32_t>();
+  m.version = r.get<std::uint64_t>();
+  m.iteration = r.get<std::uint64_t>();
+  m.first_var = r.get<std::uint32_t>();
+  m.total_vars = r.get<std::uint32_t>();
+  const auto nvars = r.get<std::uint32_t>();
+  r.check_count(nvars, sizeof(std::uint32_t), "publish tensor");
+  // The carried range [first_var, first_var + nvars) must lie inside the
+  // model's variable space — a range past total_vars cannot be applied.
+  if (static_cast<std::uint64_t>(m.first_var) + nvars > m.total_vars) {
+    fail(DecodeErrorKind::kBadValue,
+         "publish range [" + std::to_string(m.first_var) + ", " +
+             std::to_string(static_cast<std::uint64_t>(m.first_var) + nvars) +
+             ") exceeds total_vars " + std::to_string(m.total_vars));
+  }
+  m.weights.values.reserve(nvars);
+  for (std::uint32_t i = 0; i < nvars; ++i) {
+    const auto n = r.get<std::uint32_t>();
+    auto data = r.get_array<float>(n);
+    m.weights.values.emplace_back(tensor::Shape{n}, std::move(data));
+  }
+  return m;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode(const GradientUpdate& update) {
@@ -395,6 +437,8 @@ std::vector<std::uint8_t> encode_message(const Message& msg) {
           encode_bootstrap_request_into(w, m);
         } else if constexpr (std::is_same_v<T, BootstrapChunk>) {
           encode_bootstrap_chunk_into(w, m);
+        } else if constexpr (std::is_same_v<T, ModelPublish>) {
+          encode_model_publish_into(w, m);
         } else {
           static_assert(std::is_same_v<T, Ack>);
           w.put<std::uint32_t>(m.from);
@@ -466,6 +510,9 @@ Message decode_message(const std::vector<std::uint8_t>& buf) {
     case MessageTag::kBootstrapChunk:
       out = decode_bootstrap_chunk_from(r);
       break;
+    case MessageTag::kModelPublish:
+      out = decode_model_publish_from(r);
+      break;
   }
   DLION_DCHECK(out.index() == raw_tag,
                "decoded alternative disagrees with wire tag");
@@ -498,6 +545,14 @@ common::Bytes wire_bytes(const BootstrapChunk& chunk) {
   return bytes;
 }
 
+common::Bytes wire_bytes(const ModelPublish& publish) {
+  common::Bytes bytes = kPublishHeader;
+  for (const auto& t : publish.weights.values) {
+    bytes += sizeof(std::uint32_t) + t.size() * sizeof(float);
+  }
+  return bytes;
+}
+
 common::Bytes wire_bytes(const Message& msg) {
   return std::visit(
       [](const auto& m) -> common::Bytes {
@@ -507,6 +562,8 @@ common::Bytes wire_bytes(const Message& msg) {
         } else if constexpr (std::is_same_v<T, WeightSnapshot>) {
           return wire_bytes(m);
         } else if constexpr (std::is_same_v<T, BootstrapChunk>) {
+          return wire_bytes(m);
+        } else if constexpr (std::is_same_v<T, ModelPublish>) {
           return wire_bytes(m);
         } else {
           return kControlBytes;

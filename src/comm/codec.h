@@ -61,5 +61,6 @@ common::Bytes wire_bytes(const Message& msg);
 common::Bytes wire_bytes(const GradientUpdate& update);
 common::Bytes wire_bytes(const WeightSnapshot& snapshot);
 common::Bytes wire_bytes(const BootstrapChunk& chunk);
+common::Bytes wire_bytes(const ModelPublish& publish);
 
 }  // namespace dlion::comm

@@ -40,7 +40,7 @@ const char* message_type_name(std::size_t variant_index) {
       "GradientUpdate", "WeightSnapshot", "LossReport",
       "DktRequest",     "RcpReport",      "Heartbeat",
       "Ack",            "RosterUpdate",   "BootstrapRequest",
-      "BootstrapChunk"};
+      "BootstrapChunk", "ModelPublish"};
   static_assert(std::variant_size_v<Message> ==
                     sizeof(kNames) / sizeof(kNames[0]),
                 "message_type_name: update kNames for new Message types");
@@ -53,9 +53,9 @@ const char* message_type_name(const Message& msg) {
 }
 
 bool is_control(const Message& msg) {
-  // BootstrapChunk is deliberately absent: it carries model weights and
-  // rides the data queue at its (byte-scaled) encoded size, exactly like a
-  // WeightSnapshot.
+  // BootstrapChunk and ModelPublish are deliberately absent: they carry
+  // model weights and ride the data queue at their (byte-scaled) encoded
+  // size, exactly like a WeightSnapshot.
   return std::holds_alternative<LossReport>(msg) ||
          std::holds_alternative<DktRequest>(msg) ||
          std::holds_alternative<RcpReport>(msg) ||

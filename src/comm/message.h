@@ -120,9 +120,26 @@ struct BootstrapChunk {
   nn::Snapshot weights;         ///< values for [first_var, first_var+n)
 };
 
+/// Weight-snapshot publication from a live training run to serving
+/// replicas (DESIGN.md "Serving tier"). Reuses the bootstrap chunking
+/// scheme: `weights` holds the variables [first_var, first_var +
+/// weights.size()) out of `total_vars`, so large models can be streamed in
+/// ranges over the data lane. `version` is the publisher's monotone publish
+/// sequence number; `iteration` is the training iteration the snapshot was
+/// taken at (feeds the replica staleness metric).
+struct ModelPublish {
+  std::uint32_t from = 0;
+  std::uint64_t version = 0;
+  std::uint64_t iteration = 0;
+  std::uint32_t first_var = 0;
+  std::uint32_t total_vars = 0;
+  nn::Snapshot weights;  ///< values for [first_var, first_var+n)
+};
+
 using Message = std::variant<GradientUpdate, WeightSnapshot, LossReport,
                              DktRequest, RcpReport, Heartbeat, Ack,
-                             RosterUpdate, BootstrapRequest, BootstrapChunk>;
+                             RosterUpdate, BootstrapRequest, BootstrapChunk,
+                             ModelPublish>;
 using MessagePtr = std::shared_ptr<const Message>;
 
 /// Pack a member set into the RosterUpdate bitmap words (and back).

@@ -1,0 +1,74 @@
+#include "serve/arrival.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dlion::serve {
+
+const char* arrival_kind_name(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kBursty:
+      return "bursty";
+    case ArrivalKind::kDiurnal:
+      return "diurnal";
+  }
+  return "unknown";
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& config,
+                               std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  DLION_ASSERT(config_.rate_rps > 0.0, "arrival rate must be positive");
+}
+
+double ArrivalProcess::rate_at(common::SimTime t) const {
+  switch (config_.kind) {
+    case ArrivalKind::kPoisson:
+      return config_.rate_rps;
+    case ArrivalKind::kBursty: {
+      const double phase = std::fmod(t, config_.burst_period_s);
+      return phase < config_.burst_duration_s
+                 ? config_.rate_rps * config_.burst_factor
+                 : config_.rate_rps;
+    }
+    case ArrivalKind::kDiurnal: {
+      const double wave =
+          0.5 * (1.0 - std::cos(2.0 * M_PI * t / config_.diurnal_period_s));
+      return config_.rate_rps *
+             (config_.diurnal_min_frac +
+              (1.0 - config_.diurnal_min_frac) * wave);
+    }
+  }
+  return config_.rate_rps;
+}
+
+double ArrivalProcess::peak_rate() const {
+  switch (config_.kind) {
+    case ArrivalKind::kPoisson:
+    case ArrivalKind::kDiurnal:
+      return config_.rate_rps;
+    case ArrivalKind::kBursty:
+      return config_.rate_rps * std::max(1.0, config_.burst_factor);
+  }
+  return config_.rate_rps;
+}
+
+common::SimTime ArrivalProcess::next() {
+  // Lewis-Shedler thinning: draw candidates from a homogeneous Poisson
+  // process at the peak rate and accept each with probability
+  // rate(t)/peak. For the stationary kind every candidate is accepted, so
+  // the loop draws exactly one exponential.
+  const double peak = peak_rate();
+  for (;;) {
+    // Inverse-CDF exponential; 1 - u keeps the argument of log positive.
+    const double u = rng_.uniform();
+    t_ += -std::log(1.0 - u) / peak;
+    if (config_.kind == ArrivalKind::kPoisson) return t_;
+    if (rng_.uniform() * peak <= rate_at(t_)) return t_;
+  }
+}
+
+}  // namespace dlion::serve

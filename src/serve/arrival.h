@@ -1,0 +1,65 @@
+// Deterministic open-loop request arrival processes for the serving tier
+// (DESIGN.md "Serving tier").
+//
+// Three arrival shapes cover the traffic regimes a micro-cloud serving
+// deployment sees: a stationary Poisson stream, a bursty stream (flash
+// traffic multiplying the base rate in periodic windows), and a diurnal
+// stream (sinusoidal day/night wave). Non-stationary streams are sampled by
+// Lewis-Shedler thinning against the peak rate, so every arrival sequence
+// is a pure function of (config, seed) — the serving determinism contract
+// inherits directly from common/rng.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace dlion::serve {
+
+enum class ArrivalKind : std::uint8_t {
+  kPoisson = 0,  ///< stationary rate_rps
+  kBursty = 1,   ///< rate_rps, times burst_factor in periodic windows
+  kDiurnal = 2,  ///< sinusoidal wave between min_frac*rate_rps and rate_rps
+};
+
+const char* arrival_kind_name(ArrivalKind kind);
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate_rps = 300.0;  ///< base (peak for diurnal) request rate
+
+  /// Bursty: every burst_period_s, the rate is rate_rps * burst_factor for
+  /// burst_duration_s, then back to rate_rps.
+  double burst_factor = 4.0;
+  double burst_period_s = 20.0;
+  double burst_duration_s = 3.0;
+
+  /// Diurnal: rate(t) = rate_rps * (min_frac + (1 - min_frac) *
+  /// 0.5 * (1 - cos(2*pi*t / period_s))) — a "day" of length period_s
+  /// starting at the night minimum.
+  double diurnal_period_s = 120.0;
+  double diurnal_min_frac = 0.1;
+};
+
+/// Generator of the arrival time sequence. next() returns strictly
+/// increasing simulated times.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const ArrivalConfig& config, std::uint64_t seed);
+
+  /// Instantaneous rate at time t (requests per second).
+  double rate_at(common::SimTime t) const;
+  /// Upper bound of rate_at over all t (the thinning envelope).
+  double peak_rate() const;
+
+  /// Time of the next arrival after the previous one (starts at t=0).
+  common::SimTime next();
+
+ private:
+  ArrivalConfig config_;
+  common::Rng rng_;
+  common::SimTime t_ = 0.0;
+};
+
+}  // namespace dlion::serve

@@ -1,0 +1,73 @@
+#include "serve/inference.h"
+
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+#include "nn/dense.h"
+#include "tensor/ops.h"
+
+namespace dlion::serve {
+
+InferenceSession::InferenceSession(nn::Model& model, std::size_t channels,
+                                   std::size_t height, std::size_t width)
+    : model_(&model),
+      channels_(channels),
+      height_(height),
+      width_(width),
+      in_features_(channels * height * width) {
+  // Plan: [Flatten]? (Dense | DenseReLU)+ — anything else => generic path.
+  fast_ = model.num_layers() > 0;
+  std::size_t i = 0;
+  if (fast_ && std::string(model.layer(0).kind()) == "Flatten") i = 1;
+  if (i >= model.num_layers()) fast_ = false;
+  for (; fast_ && i < model.num_layers(); ++i) {
+    auto* dense = dynamic_cast<nn::Dense*>(&model.layer(i));
+    if (dense == nullptr) {
+      fast_ = false;
+      break;
+    }
+    auto vars = dense->variables();
+    DLION_ASSERT(vars.size() == 2, "Dense exposes weight and bias");
+    steps_.push_back({vars[0], vars[1], dense->in_features(),
+                      dense->out_features(), dense->fused_relu()});
+  }
+  if (fast_ && steps_.front().in != in_features_) fast_ = false;
+  if (!fast_) steps_.clear();
+}
+
+const float* InferenceSession::run(const float* input, std::size_t rows) {
+  DLION_ASSERT(rows > 0, "empty inference batch");
+  if (!fast_) {
+    // Generic path: stage the batch into a rank-4 tensor and run the
+    // model's own forward. Allocates per call — only non-MLP models land
+    // here.
+    tensor::Tensor in(tensor::Shape{rows, channels_, height_, width_});
+    std::memcpy(in.data(), input, rows * in_features_ * sizeof(float));
+    fallback_out_ = model_->forward(in, /*train=*/false);
+    return fallback_out_.data();
+  }
+  const float* cur = input;
+  bool use_ping = true;
+  for (const auto& step : steps_) {
+    float* out = use_ping ? ping_.ensure(rows * step.out)
+                          : pong_.ensure(rows * step.out);
+    tensor::gemm(false, false, rows, step.out, step.in, 1.0f, cur,
+                 step.weight->value().data(), 0.0f, out);
+    const float* __restrict bp = step.bias->value().data();
+    if (step.relu) {
+      tensor::add_bias_rows_relu(out, rows, step.out, bp);
+    } else {
+      // Same arithmetic/order as tensor::add_bias_rows, on raw pointers.
+      for (std::size_t r = 0; r < rows; ++r) {
+        float* __restrict row = out + r * step.out;
+        for (std::size_t c = 0; c < step.out; ++c) row[c] += bp[c];
+      }
+    }
+    cur = out;
+    use_ping = !use_ping;
+  }
+  return cur;
+}
+
+}  // namespace dlion::serve

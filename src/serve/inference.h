@@ -1,0 +1,59 @@
+// Inference session: the allocation-free forward pass a serving replica
+// runs per batch (DESIGN.md "Serving tier").
+//
+// compile() inspects the replica's model once. Pure MLP stacks (an optional
+// Flatten followed by Dense layers, e.g. cipher-lite) take the fast path:
+// the session drives tensor::gemm plus the fused maskless bias+ReLU
+// epilogue directly, ping-ponging activations between two grow-only scratch
+// buffers (common/scratch.h), so a warm replica's request path performs
+// zero heap allocations. Any other architecture falls back to
+// Model::forward — correct, but allocating. Both paths produce bit-
+// identical logits to Model::forward (same kernels, same order), which
+// tests/serve asserts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/scratch.h"
+#include "nn/model.h"
+
+namespace dlion::serve {
+
+class InferenceSession {
+ public:
+  /// Compiles the forward plan for `model` over samples of geometry
+  /// (channels, height, width). The model must outlive the session; weight
+  /// refreshes that write variable values in place (span copy) do not
+  /// invalidate the plan.
+  InferenceSession(nn::Model& model, std::size_t channels,
+                   std::size_t height, std::size_t width);
+
+  /// Forward `rows` flattened samples (row-major, in_features() floats
+  /// each). Returns the logits matrix (rows x classes), valid until the
+  /// next run() call.
+  const float* run(const float* input, std::size_t rows);
+
+  bool fast_path() const { return fast_; }
+  std::size_t in_features() const { return in_features_; }
+
+ private:
+  struct DenseStep {
+    nn::Variable* weight = nullptr;  ///< (in, out)
+    nn::Variable* bias = nullptr;    ///< (out)
+    std::size_t in = 0;
+    std::size_t out = 0;
+    bool relu = false;
+  };
+
+  nn::Model* model_;
+  bool fast_ = false;
+  std::size_t channels_, height_, width_;
+  std::size_t in_features_ = 0;
+  std::vector<DenseStep> steps_;
+  common::ScratchBuffer ping_;
+  common::ScratchBuffer pong_;
+  tensor::Tensor fallback_out_;  ///< keeps generic-path logits alive
+};
+
+}  // namespace dlion::serve

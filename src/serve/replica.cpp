@@ -1,0 +1,201 @@
+#include "serve/replica.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace dlion::serve {
+
+Replica::Replica(sim::Engine& engine, ReplicaConfig config,
+                 nn::BuiltModel built, const data::Dataset* dataset,
+                 ReplicaMetrics* metrics, obs::Observability* obs)
+    : engine_(&engine),
+      config_(std::move(config)),
+      built_(std::move(built)),
+      dataset_(dataset),
+      session_(built_.model, built_.profile.channels, built_.profile.height,
+               built_.profile.width),
+      metrics_(metrics),
+      obs_(obs) {
+  DLION_ASSERT(dataset_ != nullptr && dataset_->size() > 0,
+              "replica needs a serving dataset");
+  DLION_ASSERT(config_.batching.max_batch > 0, "max_batch must be positive");
+  if (metrics_->batch_size_counts.size() < config_.batching.max_batch + 1) {
+    metrics_->batch_size_counts.resize(config_.batching.max_batch + 1, 0);
+  }
+  if (obs::on(obs_)) {
+    obs_track_ = obs_->tracer().track(
+        "serving", "replica " + std::to_string(config_.id));
+  }
+}
+
+double Replica::load_score(common::SimTime t) const {
+  const double capacity =
+      std::max(1e-9, config_.units.at(t) * config_.flops_per_unit);
+  return static_cast<double>(outstanding() + 1) / capacity;
+}
+
+double Replica::inference_seconds(std::size_t batch,
+                                  common::SimTime t) const {
+  const double capacity =
+      std::max(1e-9, config_.units.at(t) * config_.flops_per_unit);
+  const double b = static_cast<double>(batch);
+  const double eff = b / (b + config_.eff_half_batch);
+  return config_.batch_overhead_s +
+         b * config_.flops_per_sample / (capacity * eff);
+}
+
+void Replica::enqueue(const Request& req) {
+  queue_.push_back(req);
+  maybe_launch();
+}
+
+void Replica::maybe_launch() {
+  if (busy_ || queue_.empty()) return;
+  const common::SimTime now = engine_->now();
+  const double oldest_age = now - queue_.front().arrival;
+  if (queue_.size() >= config_.batching.max_batch ||
+      oldest_age >= config_.batching.batch_deadline_s) {
+    if (deadline_timer_ != kNoTimer) {
+      engine_->cancel(deadline_timer_);
+      deadline_timer_ = kNoTimer;
+    }
+    launch(now);
+    return;
+  }
+  // Arm the batch-formation deadline for the current oldest request, so a
+  // quiet queue never waits longer than batch_deadline_s. The callback
+  // launches directly rather than re-testing `age >= deadline`: recomputing
+  // the age at fire time can round to just under the deadline, which would
+  // re-arm a zero-delay timer forever. A live timer implies the replica is
+  // still idle with that request queued (launching cancels it), but both
+  // guards stay for robustness.
+  if (deadline_timer_ == kNoTimer) {
+    const common::SimTime fire_at = std::max(
+        now, queue_.front().arrival + config_.batching.batch_deadline_s);
+    deadline_timer_ = engine_->at(fire_at, [this] {
+      deadline_timer_ = kNoTimer;
+      if (!busy_ && !queue_.empty()) launch(engine_->now());
+    });
+  }
+}
+
+void Replica::launch(common::SimTime now) {
+  // Admission SLO: shed requests that already waited past queue_timeout_s.
+  while (!queue_.empty() &&
+         now - queue_.front().arrival > config_.batching.queue_timeout_s) {
+    queue_.pop_front();
+    ++deadline_drops_;
+  }
+  if (queue_.empty()) return;
+
+  const std::size_t b =
+      std::min(queue_.size(), config_.batching.max_batch);
+  batch_.clear();
+  for (std::size_t i = 0; i < b; ++i) {
+    batch_.push_back(queue_.front());
+    queue_.pop_front();
+  }
+  in_flight_ = b;
+  busy_ = true;
+  ++batches_;
+  metrics_->batch_size_counts[b] += 1;
+
+  // Staleness of the weights this batch is served with, measured against
+  // the last adopted refresh (initial weights = v0 adopted at t=0).
+  const double staleness = now - adopt_time_;
+  metrics_->staleness.observe(staleness);
+  if (staleness > config_.max_staleness_s) ++stale_batches_;
+
+  // Run the actual forward pass now (launch-time weight snapshot); results
+  // are surfaced at completion time. Input rows are staged into a pooled
+  // tensor, so a warm replica allocates nothing here.
+  const std::size_t elems = dataset_->sample_elems();
+  tensor::Tensor input =
+      pool_.acquire(tensor::Shape{b, static_cast<std::size_t>(elems)});
+  const float* src = dataset_->images.data();
+  for (std::size_t i = 0; i < b; ++i) {
+    std::memcpy(input.data() + i * elems,
+                src + static_cast<std::size_t>(batch_[i].sample) * elems,
+                elems * sizeof(float));
+  }
+  const float* logits = session_.run(input.data(), b);
+  const std::size_t classes = dataset_->num_classes();
+  for (std::size_t i = 0; i < b; ++i) {
+    const float* row = logits + i * classes;
+    std::size_t arg = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (row[c] > row[arg]) arg = c;
+    }
+    if (static_cast<std::int32_t>(arg) ==
+        dataset_->labels[batch_[i].sample]) {
+      ++correct_;
+    }
+  }
+  pool_.release(std::move(input));
+
+  const double service_s = inference_seconds(b, now);
+  engine_->after(service_s,
+                 [this, now, b] { on_batch_done(now, b); });
+}
+
+void Replica::on_batch_done(common::SimTime started, std::size_t batch_size) {
+  const common::SimTime now = engine_->now();
+  for (const Request& req : batch_) {
+    metrics_->latency.observe(now - req.arrival);
+  }
+  served_ += batch_size;
+  if (obs::on(obs_)) {
+    obs_->tracer().complete(
+        obs_track_, "infer_batch", started, now,
+        {{"batch", static_cast<double>(batch_size)},
+         {"version", static_cast<double>(version_)}});
+  }
+  batch_.clear();
+  in_flight_ = 0;
+  busy_ = false;
+  maybe_launch();
+}
+
+void Replica::on_publish(const comm::ModelPublish& msg,
+                         common::SimTime now) {
+  if (msg.version < version_) {
+    ++stale_publishes_ignored_;
+    return;
+  }
+  auto& vars = built_.model.variables();
+  const std::size_t nvars = msg.weights.values.size();
+  if (msg.total_vars != vars.size() ||
+      static_cast<std::size_t>(msg.first_var) + nvars > vars.size()) {
+    ++stale_publishes_ignored_;  // geometry mismatch: never apply
+    return;
+  }
+  for (std::size_t j = 0; j < nvars; ++j) {
+    const auto src = msg.weights.values[j].span();
+    auto dst = vars[msg.first_var + j]->value().span();
+    if (src.size() != dst.size()) {
+      ++stale_publishes_ignored_;
+      return;
+    }
+    // In-place span copy: variable storage (and the inference session's
+    // compiled plan) stays valid.
+    std::memcpy(dst.data(), src.data(), src.size() * sizeof(float));
+  }
+  if (static_cast<std::size_t>(msg.first_var) + nvars == vars.size() &&
+      msg.version > version_) {
+    // Last chunk of a newer version: the refresh is complete.
+    version_ = msg.version;
+    version_iteration_ = msg.iteration;
+    adopt_time_ = now;
+    ++refreshes_adopted_;
+    if (obs::on(obs_)) {
+      obs_->tracer().instant(
+          obs_track_, "adopt_weights", now,
+          {{"version", static_cast<double>(msg.version)},
+           {"iteration", static_cast<double>(msg.iteration)}});
+    }
+  }
+}
+
+}  // namespace dlion::serve

@@ -1,0 +1,165 @@
+// A serving replica: one model copy pinned to a micro-cloud machine,
+// serving dynamically-formed request batches on the simulated clock
+// (DESIGN.md "Serving tier").
+//
+// Batching policy: a batch launches when the replica is idle and either
+// max_batch requests are waiting or the oldest request has waited
+// batch_deadline_s (the deadline-vs-packed-GEMM-efficiency tradeoff; see
+// inference_seconds). Requests that waited past queue_timeout_s are dropped
+// at batch-formation time — the open-loop admission SLO. All launch
+// decisions are functions of (queue state, simulated clock), never of wall
+// time or iteration order, so replicas are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "comm/message.h"
+#include "data/dataset.h"
+#include "nn/model_zoo.h"
+#include "obs/obs.h"
+#include "serve/inference.h"
+#include "sim/engine.h"
+#include "sim/resource_schedule.h"
+#include "tensor/pool.h"
+
+namespace dlion::serve {
+
+/// One inference request, addressed to a test-set sample (known label =>
+/// the tier can report a serving accuracy).
+struct Request {
+  std::uint64_t id = 0;
+  common::SimTime arrival = 0.0;
+  std::uint32_t sample = 0;  ///< index into the serving (test) dataset
+};
+
+struct BatchingConfig {
+  std::size_t max_batch = 32;
+  /// Longest the oldest queued request waits for the batch to fill.
+  double batch_deadline_s = 0.03;
+  /// Admission SLO: requests waiting longer are dropped at batch formation.
+  double queue_timeout_s = 0.5;
+  /// Router rejects new requests when a replica's queue is this deep.
+  std::size_t queue_cap = 4096;
+};
+
+struct ReplicaConfig {
+  std::size_t id = 0;       ///< replica index within the tier
+  std::size_t slot = 0;     ///< fabric/network slot
+  std::size_t machine = 0;  ///< hosting machine (environment index)
+  sim::Schedule units = sim::Schedule(1.0);  ///< machine capacity over time
+  double flops_per_unit = 1.0e8;
+  double flops_per_sample = 1.0e7;  ///< forward-pass FLOPs per sample
+  /// Fixed batch launch cost (kernel dispatch, staging).
+  double batch_overhead_s = 0.004;
+  /// Packed-GEMM efficiency: eff(b) = b / (b + eff_half_batch). Batch
+  /// service time = overhead + b * flops/sample / (capacity * eff(b)), so
+  /// larger batches amortize the packing cost — the pull against the
+  /// batch-formation deadline.
+  double eff_half_batch = 4.0;
+  BatchingConfig batching;
+  /// Stale-weight window: batches served more than this long after the
+  /// last adopted refresh count as stale (ServingStats::stale_batches).
+  double max_staleness_s = 15.0;
+};
+
+/// Sinks shared by all replicas of a tier (owned by ServingTier). Plain
+/// obs::Histogram instances — always recorded, independent of whether an
+/// observer is attached, so serving results are identical obs-on and
+/// obs-off.
+struct ReplicaMetrics {
+  obs::Histogram latency{obs::Histogram::default_time_bounds()};
+  obs::Histogram staleness{obs::Histogram::default_time_bounds()};
+  std::vector<std::uint64_t> batch_size_counts;  ///< index = batch size
+};
+
+class Replica {
+ public:
+  Replica(sim::Engine& engine, ReplicaConfig config, nn::BuiltModel built,
+          const data::Dataset* dataset, ReplicaMetrics* metrics,
+          obs::Observability* obs);
+
+  std::size_t id() const { return config_.id; }
+  std::size_t slot() const { return config_.slot; }
+  std::size_t machine() const { return config_.machine; }
+
+  bool queue_full() const {
+    return queue_.size() >= config_.batching.queue_cap;
+  }
+  /// Outstanding work per unit of current capacity — the router's
+  /// least-loaded score (deterministic; ties broken by replica id).
+  double load_score(common::SimTime t) const;
+
+  /// Accept a routed request (the tier checked queue_full()).
+  void enqueue(const Request& req);
+
+  /// Adopt a published weight chunk (see comm::ModelPublish).
+  void on_publish(const comm::ModelPublish& msg, common::SimTime now);
+
+  /// Batch service time for `batch` samples at time t.
+  double inference_seconds(std::size_t batch, common::SimTime t) const;
+
+  /// Requests still queued or in flight (unserved at shutdown).
+  std::uint64_t outstanding() const {
+    return static_cast<std::uint64_t>(queue_.size()) + in_flight_;
+  }
+
+  // --- counters (aggregated by ServingTier::finalize) ---
+  std::uint64_t served() const { return served_; }
+  std::uint64_t deadline_drops() const { return deadline_drops_; }
+  std::uint64_t batches() const { return batches_; }
+  std::uint64_t correct() const { return correct_; }
+  std::uint64_t stale_batches() const { return stale_batches_; }
+  std::uint64_t refreshes_adopted() const { return refreshes_adopted_; }
+  std::uint64_t stale_publishes_ignored() const {
+    return stale_publishes_ignored_;
+  }
+  std::uint64_t weight_version() const { return version_; }
+  std::uint64_t version_iteration() const { return version_iteration_; }
+  const tensor::TensorPool& pool() const { return pool_; }
+  nn::Model& model() { return built_.model; }
+  InferenceSession& session() { return session_; }
+
+ private:
+  /// Launch a batch or arm the deadline timer, whichever the policy asks
+  /// for. No-op while a batch is in flight.
+  void maybe_launch();
+  void launch(common::SimTime now);
+  void on_batch_done(common::SimTime started, std::size_t batch_size);
+
+  sim::Engine* engine_;
+  ReplicaConfig config_;
+  nn::BuiltModel built_;
+  const data::Dataset* dataset_;
+  InferenceSession session_;
+  tensor::TensorPool pool_;
+  ReplicaMetrics* metrics_;
+
+  std::deque<Request> queue_;
+  std::vector<Request> batch_;  ///< requests of the in-flight batch
+  std::uint64_t in_flight_ = 0;
+  bool busy_ = false;
+  /// "No timer armed" sentinel (EventId 0 is a valid engine event id).
+  static constexpr sim::EventId kNoTimer = ~sim::EventId{0};
+  sim::EventId deadline_timer_ = kNoTimer;
+
+  std::uint64_t served_ = 0;
+  std::uint64_t deadline_drops_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t correct_ = 0;
+  std::uint64_t stale_batches_ = 0;
+
+  // Refresh state: the highest version seen wins; chunks of older versions
+  // are ignored (links may interleave publishes from different donors).
+  std::uint64_t version_ = 0;
+  std::uint64_t version_iteration_ = 0;
+  common::SimTime adopt_time_ = 0.0;  ///< initial weights count as v0 @ t=0
+  std::uint64_t refreshes_adopted_ = 0;
+  std::uint64_t stale_publishes_ignored_ = 0;
+
+  obs::Observability* obs_ = nullptr;
+  obs::TrackId obs_track_ = 0;
+};
+
+}  // namespace dlion::serve

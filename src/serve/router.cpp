@@ -1,0 +1,44 @@
+#include "serve/router.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dlion::serve {
+
+std::vector<std::size_t> ReplicaRouter::place(
+    const std::vector<sim::ComputeSpec>& machines, std::size_t replicas) {
+  DLION_ASSERT(!machines.empty(), "placement needs at least one machine");
+  std::vector<std::size_t> order(machines.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&machines](std::size_t a, std::size_t b) {
+                     return machines[a].units.at(0.0) >
+                            machines[b].units.at(0.0);
+                   });
+  std::vector<std::size_t> placement(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    placement[r] = order[r % order.size()];
+  }
+  return placement;
+}
+
+ReplicaRouter::ReplicaRouter(std::vector<Replica*> replicas)
+    : replicas_(std::move(replicas)) {}
+
+Replica* ReplicaRouter::route(common::SimTime t) {
+  Replica* best = nullptr;
+  double best_score = 0.0;
+  for (Replica* r : replicas_) {
+    if (r->queue_full()) continue;
+    const double score = r->load_score(t);
+    // Strict < keeps the first (lowest-id) replica on ties.
+    if (best == nullptr || score < best_score) {
+      best = r;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace dlion::serve

@@ -1,0 +1,40 @@
+// Replica placement and request routing across heterogeneous micro-cloud
+// machines (DESIGN.md "Serving tier").
+//
+// Placement is static and deterministic: machines are ranked by capacity
+// (descending initial units, ties to the lower machine id) and replicas are
+// dealt round-robin down the ranking, so the strongest machines host
+// replicas first — the serving analogue of DLion's capability-aware
+// weighting. Routing is least-loaded: each request goes to the replica with
+// the lowest outstanding-work-per-capacity score at the decision instant,
+// ties to the lowest replica id. Both rules are pure functions of simulated
+// state, so routing is bit-reproducible.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/replica.h"
+#include "sim/compute_model.h"
+
+namespace dlion::serve {
+
+class ReplicaRouter {
+ public:
+  /// Machine index for each of `replicas` replicas, given the environment's
+  /// per-machine capability schedules.
+  static std::vector<std::size_t> place(
+      const std::vector<sim::ComputeSpec>& machines, std::size_t replicas);
+
+  explicit ReplicaRouter(std::vector<Replica*> replicas);
+
+  /// The admission target for a request arriving at time t: the
+  /// least-loaded replica with queue headroom, or nullptr when every queue
+  /// is full (the request is rejected).
+  Replica* route(common::SimTime t);
+
+ private:
+  std::vector<Replica*> replicas_;
+};
+
+}  // namespace dlion::serve

@@ -1,0 +1,213 @@
+#include "serve/serving.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dlion::serve {
+
+ServingTier::ServingTier(sim::Engine& engine, comm::Fabric& fabric,
+                         const ServingSpec& spec,
+                         const std::string& model_name,
+                         const std::vector<sim::ComputeSpec>& machines,
+                         const data::Dataset* dataset, std::uint64_t seed,
+                         std::size_t first_slot,
+                         PublishSourceFn publish_source,
+                         obs::Observability* obs)
+    : engine_(&engine),
+      fabric_(&fabric),
+      spec_(spec),
+      dataset_(dataset),
+      publish_source_(std::move(publish_source)),
+      arrival_(spec.arrival, common::SplitMix64(seed ^ 0x5e71ceULL).next()),
+      obs_(obs) {
+  DLION_ASSERT(spec_.replicas > 0, "serving needs at least one replica");
+  DLION_ASSERT(dataset_ != nullptr && dataset_->size() > 0,
+              "serving needs a non-empty dataset");
+  DLION_ASSERT(first_slot + spec_.replicas <= fabric_->size(),
+              "fabric too small for serving slots");
+
+  const std::vector<std::size_t> placement =
+      ReplicaRouter::place(machines, spec_.replicas);
+  for (std::size_t r = 0; r < spec_.replicas; ++r) {
+    // Every replica starts from the workers' common initialization (same
+    // seed), so pre-refresh serving matches a worker at iteration 0.
+    common::Rng model_rng(seed);
+    nn::BuiltModel built = nn::make_model(model_name, model_rng);
+    ReplicaConfig config;
+    config.id = r;
+    config.slot = first_slot + r;
+    config.machine = placement[r];
+    config.units = machines[placement[r]].units;
+    config.flops_per_unit = machines[placement[r]].flops_per_unit;
+    config.flops_per_sample =
+        built.profile.nominal_flops_per_sample * spec_.inference_flops_frac;
+    config.batch_overhead_s = spec_.batch_overhead_s;
+    config.eff_half_batch = spec_.eff_half_batch;
+    config.batching = spec_.batching;
+    config.max_staleness_s = spec_.max_staleness_s;
+    replicas_.push_back(std::make_unique<Replica>(
+        engine, std::move(config), std::move(built), dataset_, &metrics_,
+        obs));
+    Replica* rep = replicas_.back().get();
+    fabric_->attach(rep->slot(),
+                    [this, rep](std::size_t /*from*/, comm::MessagePtr msg) {
+                      if (const auto* pub =
+                              std::get_if<comm::ModelPublish>(msg.get())) {
+                        rep->on_publish(*pub, engine_->now());
+                      }
+                    });
+  }
+  std::vector<Replica*> raw;
+  raw.reserve(replicas_.size());
+  for (auto& r : replicas_) raw.push_back(r.get());
+  router_ = std::make_unique<ReplicaRouter>(std::move(raw));
+
+  if (obs::on(obs_)) {
+    obs_track_ = obs_->tracer().track("serving", "tier");
+  }
+}
+
+void ServingTier::schedule_next_arrival(double duration_s) {
+  const common::SimTime t = arrival_.next();
+  if (t >= duration_s) return;
+  engine_->at(t, [this, duration_s] { on_arrival(duration_s); });
+}
+
+void ServingTier::on_arrival(double duration_s) {
+  const common::SimTime now = engine_->now();
+  ++arrived_;
+  Request req;
+  req.id = next_request_id_++;
+  req.arrival = now;
+  req.sample = static_cast<std::uint32_t>(req.id % dataset_->size());
+  Replica* rep = router_->route(now);
+  if (rep == nullptr) {
+    ++rejected_;
+  } else {
+    ++admitted_;
+    rep->enqueue(req);
+  }
+  schedule_next_arrival(duration_s);
+}
+
+void ServingTier::publish() {
+  DLION_ASSERT(publish_source_ != nullptr,
+              "publish cadence needs a snapshot source");
+  std::optional<PublishSource> source = publish_source_();
+  if (!source.has_value()) return;
+  ++publish_version_;
+  const std::size_t total = source->weights.values.size();
+  const std::size_t chunk = std::max<std::size_t>(1, spec_.publish_chunk_vars);
+  for (const auto& rep : replicas_) {
+    for (std::size_t first = 0; first < total; first += chunk) {
+      const std::size_t n = std::min(chunk, total - first);
+      comm::ModelPublish msg;
+      msg.from = static_cast<std::uint32_t>(source->slot);
+      msg.version = publish_version_;
+      msg.iteration = source->iteration;
+      msg.first_var = static_cast<std::uint32_t>(first);
+      msg.total_vars = static_cast<std::uint32_t>(total);
+      msg.weights.values.assign(source->weights.values.begin() + first,
+                                source->weights.values.begin() + first + n);
+      fabric_->send(source->slot, rep->slot(), std::move(msg));
+    }
+  }
+  if (obs::on(obs_)) {
+    obs_->tracer().instant(
+        obs_track_, "publish", engine_->now(),
+        {{"version", static_cast<double>(publish_version_)},
+         {"iteration", static_cast<double>(source->iteration)}});
+  }
+}
+
+void ServingTier::start(double duration_s) {
+  schedule_next_arrival(duration_s);
+  if (spec_.publish_period_s > 0.0 && publish_source_ != nullptr) {
+    // Publish cadence: k * period for k = 1, 2, ... within the run.
+    for (double t = spec_.publish_period_s; t < duration_s;
+         t += spec_.publish_period_s) {
+      engine_->at(t, [this] { publish(); });
+    }
+  }
+}
+
+void ServingTier::finalize(double duration_s) {
+  DLION_ASSERT(!finalized_, "finalize called twice");
+  finalized_ = true;
+
+  ServingStats& s = stats_;
+  s.duration_s = duration_s;
+  s.requests_arrived = arrived_;
+  s.requests_admitted = admitted_;
+  s.requests_rejected = rejected_;
+  s.refreshes_published = publish_version_;
+  s.batch_size_counts = metrics_.batch_size_counts;
+
+  std::uint64_t correct = 0;
+  for (const auto& rep : replicas_) {
+    s.requests_served += rep->served();
+    s.deadline_drops += rep->deadline_drops();
+    s.unserved_at_shutdown += rep->outstanding();
+    s.batches += rep->batches();
+    s.refreshes_adopted += rep->refreshes_adopted();
+    s.stale_publishes_ignored += rep->stale_publishes_ignored();
+    s.stale_batches += rep->stale_batches();
+    s.pool_hits += rep->pool().hits();
+    s.pool_misses += rep->pool().misses();
+    s.per_replica_served.push_back(rep->served());
+    s.replica_machines.push_back(rep->machine());
+    correct += rep->correct();
+  }
+  // Requests stranded in queues or in-flight batches at shutdown were
+  // admitted but never served; fold them into the drop count so
+  // served == admitted - drops holds exactly.
+  s.deadline_drops += s.unserved_at_shutdown;
+
+  const obs::Histogram& lat = metrics_.latency;
+  if (lat.count() > 0) {
+    s.latency_p50_s = lat.quantile(0.50);
+    s.latency_p99_s = lat.quantile(0.99);
+    s.latency_mean_s = lat.mean();
+    s.latency_max_s = lat.observed_max();
+  }
+  const obs::Histogram& stale = metrics_.staleness;
+  if (stale.count() > 0) {
+    s.staleness_p50_s = stale.quantile(0.50);
+    s.staleness_mean_s = stale.mean();
+    s.staleness_max_s = stale.observed_max();
+  }
+  s.requests_per_s =
+      duration_s > 0.0 ? static_cast<double>(s.requests_served) / duration_s
+                       : 0.0;
+  double bsum = 0.0;
+  for (std::size_t b = 0; b < s.batch_size_counts.size(); ++b) {
+    bsum += static_cast<double>(b) * static_cast<double>(s.batch_size_counts[b]);
+  }
+  s.batch_size_mean =
+      s.batches > 0 ? bsum / static_cast<double>(s.batches) : 0.0;
+  s.served_accuracy =
+      s.requests_served > 0
+          ? static_cast<double>(correct) / static_cast<double>(s.requests_served)
+          : 0.0;
+
+  // Mirror the headline numbers into the metrics registry (counters are
+  // deterministic totals; recording is obs-gated and purely additive).
+  if (obs::on(obs_)) {
+    auto& m = obs_->metrics();
+    m.counter("serve.requests_arrived").inc(static_cast<double>(s.requests_arrived));
+    m.counter("serve.requests_admitted").inc(static_cast<double>(s.requests_admitted));
+    m.counter("serve.requests_rejected").inc(static_cast<double>(s.requests_rejected));
+    m.counter("serve.requests_served").inc(static_cast<double>(s.requests_served));
+    m.counter("serve.deadline_drops").inc(static_cast<double>(s.deadline_drops));
+    m.counter("serve.batches").inc(static_cast<double>(s.batches));
+    m.counter("serve.refreshes_published").inc(static_cast<double>(s.refreshes_published));
+    m.counter("serve.refreshes_adopted").inc(static_cast<double>(s.refreshes_adopted));
+    m.counter("serve.stale_batches").inc(static_cast<double>(s.stale_batches));
+    m.gauge("serve.latency_p99_s").set(s.latency_p99_s);
+    m.gauge("serve.requests_per_s").set(s.requests_per_s);
+  }
+}
+
+}  // namespace dlion::serve

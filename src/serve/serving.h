@@ -1,0 +1,161 @@
+// ServingTier: the deterministic dynamic-batching inference tier
+// (DESIGN.md "Serving tier").
+//
+// Assembles the arrival process, the replica set with its router, and the
+// online model-refresh publisher on top of an existing simulation (engine +
+// fabric). Replicas occupy fabric/network slots [first_slot, first_slot +
+// replicas) — extra slots beyond the training workers — and adopt
+// comm::ModelPublish snapshots streamed from the freshest live worker.
+//
+// Determinism: arrivals derive from common/rng, batching and routing are
+// pure functions of simulated state, and the tier's own histograms record
+// unconditionally (obs on/off identical). Serving disabled means none of
+// this is constructed, leaving legacy runs bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/fabric.h"
+#include "data/dataset.h"
+#include "obs/obs.h"
+#include "serve/arrival.h"
+#include "serve/replica.h"
+#include "serve/router.h"
+#include "sim/compute_model.h"
+#include "sim/engine.h"
+
+namespace dlion::serve {
+
+struct ServingSpec {
+  std::size_t replicas = 3;
+  ArrivalConfig arrival;
+  BatchingConfig batching;
+  /// Inference FLOPs per sample as a fraction of the model profile's
+  /// (forward+backward) training FLOPs.
+  double inference_flops_frac = 1.0 / 3.0;
+  /// Fixed batch launch cost and packed-GEMM efficiency knee (see
+  /// ReplicaConfig).
+  double batch_overhead_s = 0.004;
+  double eff_half_batch = 4.0;
+  /// Online refresh period; 0 disables publishing (replicas serve the
+  /// initial weights forever).
+  double publish_period_s = 10.0;
+  /// Weight variables per ModelPublish chunk (bootstrap-style streaming).
+  std::size_t publish_chunk_vars = 2;
+  /// Stale-weight window (see ReplicaConfig::max_staleness_s).
+  double max_staleness_s = 15.0;
+};
+
+/// Aggregated results, computed once by finalize(). Accounting invariant:
+/// requests_served == requests_admitted - deadline_drops, where
+/// deadline_drops includes the requests still queued or in flight at
+/// shutdown (reported separately as unserved_at_shutdown).
+struct ServingStats {
+  std::uint64_t requests_arrived = 0;
+  std::uint64_t requests_admitted = 0;
+  std::uint64_t requests_rejected = 0;  ///< full queues at admission
+  std::uint64_t requests_served = 0;
+  std::uint64_t deadline_drops = 0;     ///< SLO sheds + unserved at shutdown
+  std::uint64_t unserved_at_shutdown = 0;
+  std::uint64_t batches = 0;
+
+  double duration_s = 0.0;
+  double requests_per_s = 0.0;  ///< served / duration
+
+  double latency_p50_s = 0.0;
+  double latency_p99_s = 0.0;
+  double latency_mean_s = 0.0;
+  double latency_max_s = 0.0;
+
+  double batch_size_mean = 0.0;
+  std::vector<std::uint64_t> batch_size_counts;  ///< index = batch size
+
+  std::uint64_t refreshes_published = 0;
+  std::uint64_t refreshes_adopted = 0;
+  std::uint64_t stale_publishes_ignored = 0;
+  std::uint64_t stale_batches = 0;
+  double staleness_p50_s = 0.0;
+  double staleness_mean_s = 0.0;
+  double staleness_max_s = 0.0;
+
+  /// Fraction of served requests whose argmax matched the sample label.
+  double served_accuracy = 0.0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+
+  std::vector<std::uint64_t> per_replica_served;
+  std::vector<std::size_t> replica_machines;  ///< placement (replica -> machine)
+};
+
+/// Snapshot source for the refresh publisher: the cluster supplies the
+/// freshest worker's fabric slot, training iteration, and weights. nullopt
+/// skips the publish round (e.g. no live worker).
+struct PublishSource {
+  std::size_t slot = 0;
+  std::uint64_t iteration = 0;
+  nn::Snapshot weights;
+};
+using PublishSourceFn = std::function<std::optional<PublishSource>()>;
+
+class ServingTier {
+ public:
+  /// Replicas are placed over `machines` (the environment's capability
+  /// schedules) and attached to fabric slots [first_slot, first_slot +
+  /// spec.replicas). `dataset` drives request inputs/labels and must
+  /// outlive the tier. `publish_source` may be empty when
+  /// publish_period_s == 0.
+  ServingTier(sim::Engine& engine, comm::Fabric& fabric,
+              const ServingSpec& spec, const std::string& model_name,
+              const std::vector<sim::ComputeSpec>& machines,
+              const data::Dataset* dataset, std::uint64_t seed,
+              std::size_t first_slot, PublishSourceFn publish_source,
+              obs::Observability* obs);
+
+  /// Schedule the arrival stream and the publish cadence over
+  /// [0, duration_s). Call once, before the engine runs.
+  void start(double duration_s);
+
+  /// Fold shutdown state into the counters and compute stats(). Call once,
+  /// after the engine reaches duration_s.
+  void finalize(double duration_s);
+
+  const ServingStats& stats() const { return stats_; }
+
+  std::size_t num_replicas() const { return replicas_.size(); }
+  Replica& replica(std::size_t i) { return *replicas_.at(i); }
+
+ private:
+  void on_arrival(double duration_s);
+  void schedule_next_arrival(double duration_s);
+  void publish();
+
+  sim::Engine* engine_;
+  comm::Fabric* fabric_;
+  ServingSpec spec_;
+  const data::Dataset* dataset_;
+  PublishSourceFn publish_source_;
+
+  ArrivalProcess arrival_;
+  ReplicaMetrics metrics_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::unique_ptr<ReplicaRouter> router_;
+
+  std::uint64_t next_request_id_ = 0;
+  std::uint64_t arrived_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t publish_version_ = 0;
+
+  bool finalized_ = false;
+  ServingStats stats_;
+
+  obs::Observability* obs_ = nullptr;
+  obs::TrackId obs_track_ = 0;  ///< "serving / tier"
+};
+
+}  // namespace dlion::serve

@@ -349,6 +349,18 @@ void add_bias_rows_relu(float* data, std::size_t rows, std::size_t cols,
   }
 }
 
+void add_bias_rows_relu(float* data, std::size_t rows, std::size_t cols,
+                        const float* bias) {
+  const float* __restrict bp = bias;
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* __restrict row = data + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float v = row[c] + bp[c];
+      row[c] = v > 0.0f ? v : 0.0f;
+    }
+  }
+}
+
 void add_bias_channels(float* data, std::size_t images, std::size_t channels,
                        std::size_t plane, const float* bias) {
   for (std::size_t i = 0; i < images; ++i) {

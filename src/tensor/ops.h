@@ -61,6 +61,12 @@ void add_bias_rows(Tensor& m_by_n, const Tensor& bias);
 void add_bias_rows_relu(float* data, std::size_t rows, std::size_t cols,
                         const float* bias, float* mask);
 
+/// Inference-only variant of the fused dense epilogue: bias + ReLU in one
+/// pass with no backward mask. Bit-identical activations to the masked
+/// overload (same arithmetic, same order).
+void add_bias_rows_relu(float* data, std::size_t rows, std::size_t cols,
+                        const float* bias);
+
 /// Add bias[ch] to each element of the (images x channels x plane) conv
 /// activation block (plane = out_h * out_w).
 void add_bias_channels(float* data, std::size_t images, std::size_t channels,

@@ -1,0 +1,39 @@
+#include "tensor/pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dlion::tensor {
+
+Tensor TensorPool::acquire(const Shape& shape) {
+  const std::size_t n = shape.num_elements();
+  // Best fit: the smallest parked buffer whose capacity covers n. Scanning
+  // a handful of buffers is cheaper than any ordered structure at the pool
+  // sizes a replica reaches (one buffer per live tensor of the deepest
+  // forward pass).
+  std::size_t best = free_.size();
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i].capacity() < n) continue;
+    if (best == free_.size() ||
+        free_[i].capacity() < free_[best].capacity()) {
+      best = i;
+    }
+  }
+  if (best == free_.size()) {
+    ++misses_;
+    return Tensor(shape);
+  }
+  ++hits_;
+  std::vector<float> data = std::move(free_[best]);
+  free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(best));
+  data.assign(n, 0.0f);  // within capacity: no allocation
+  return Tensor(shape, std::move(data));
+}
+
+void TensorPool::release(Tensor&& t) {
+  std::vector<float> data = std::move(t).take_data();
+  if (data.capacity() == 0) return;
+  free_.push_back(std::move(data));
+}
+
+}  // namespace dlion::tensor

@@ -1,0 +1,48 @@
+// Grow-only tensor pool for steady-state inference (DESIGN.md "Serving
+// tier").
+//
+// A serving replica churns through activation tensors at request rate; a
+// fresh heap allocation per forward pass would dominate the hot path and
+// fragment the allocator. TensorPool recycles the float storage of dead
+// tensors instead: acquire() reuses the largest retired buffer that fits
+// (resizing inside existing capacity — no allocation once warm), release()
+// retires a tensor's storage back to the pool. The pool only grows (like
+// common/scratch.h's ScratchBuffer) and is single-owner per replica, so no
+// locking and no cross-replica nondeterminism.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dlion::tensor {
+
+class TensorPool {
+ public:
+  TensorPool() = default;
+  TensorPool(const TensorPool&) = delete;
+  TensorPool& operator=(const TensorPool&) = delete;
+
+  /// A zero-filled tensor of `shape`, reusing pooled storage when any
+  /// retired buffer's capacity covers the element count.
+  Tensor acquire(const Shape& shape);
+
+  /// Retire `t`'s storage into the pool. The tensor is left empty.
+  void release(Tensor&& t);
+
+  /// Buffers currently parked in the pool.
+  std::size_t free_buffers() const { return free_.size(); }
+  /// Heap allocations acquire() could not avoid (pool misses).
+  std::uint64_t misses() const { return misses_; }
+  /// acquire() calls served entirely from pooled capacity.
+  std::uint64_t hits() const { return hits_; }
+
+ private:
+  std::vector<std::vector<float>> free_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dlion::tensor

@@ -144,6 +144,29 @@ BootstrapChunk random_bootstrap_chunk(common::Rng& rng) {
   return m;
 }
 
+ModelPublish random_model_publish(common::Rng& rng) {
+  ModelPublish m;
+  m.from = static_cast<std::uint32_t>(rng.uniform_index(64));
+  m.version = rng.next();
+  m.iteration = rng.next();
+  const std::size_t ntensors = rng.uniform_index(5);
+  m.first_var = static_cast<std::uint32_t>(rng.uniform_index(1u << 10));
+  // Keep the chunk range consistent: decode rejects
+  // first_var + ntensors > total_vars.
+  m.total_vars = m.first_var + static_cast<std::uint32_t>(ntensors) +
+                 static_cast<std::uint32_t>(rng.uniform_index(8));
+  for (std::size_t i = 0; i < ntensors; ++i) {
+    const std::size_t len = rng.uniform_index(40);
+    std::vector<float> data;
+    data.reserve(len);
+    for (std::size_t j = 0; j < len; ++j) {
+      data.push_back(interesting_float(rng));
+    }
+    m.weights.values.emplace_back(tensor::Shape{len}, std::move(data));
+  }
+  return m;
+}
+
 constexpr int kIterations = 1000;
 
 TEST(CodecRoundTripProperty, GradientUpdateEncodeDecodeEncodeByteIdentical) {
@@ -176,7 +199,7 @@ TEST(CodecRoundTripProperty, EveryMessageAlternativeRoundTrips) {
   common::Rng rng(0xC0DEC003);
   for (int i = 0; i < kIterations; ++i) {
     Message msg;
-    switch (rng.uniform_index(10)) {
+    switch (rng.uniform_index(11)) {
       case 0: msg = random_gradient(rng); break;
       case 1: msg = random_snapshot(rng); break;
       case 2:
@@ -201,13 +224,32 @@ TEST(CodecRoundTripProperty, EveryMessageAlternativeRoundTrips) {
         break;
       case 7: msg = random_roster_update(rng); break;
       case 8: msg = random_bootstrap_request(rng); break;
-      default: msg = random_bootstrap_chunk(rng); break;
+      case 9: msg = random_bootstrap_chunk(rng); break;
+      default: msg = random_model_publish(rng); break;
     }
     const std::vector<std::uint8_t> first = encode_message(msg);
     const Message decoded = decode_message(first);
     ASSERT_EQ(decoded.index(), msg.index()) << "iteration " << i;
     const std::vector<std::uint8_t> second = encode_message(decoded);
     ASSERT_EQ(first, second) << "iteration " << i;
+  }
+}
+
+TEST(CodecRoundTripProperty, ModelPublishRoundTripsByteIdentical) {
+  common::Rng rng(0xC0DEC007);
+  for (int i = 0; i < kIterations; ++i) {
+    const ModelPublish original = random_model_publish(rng);
+    const std::vector<std::uint8_t> first = encode_message(Message(original));
+    const Message decoded = decode_message(first);
+    const auto* p = std::get_if<ModelPublish>(&decoded);
+    ASSERT_NE(p, nullptr) << "iteration " << i;
+    const std::vector<std::uint8_t> second = encode_message(decoded);
+    ASSERT_EQ(first, second) << "iteration " << i;
+    // ModelPublish is a data message: wire_bytes counts its actual payload,
+    // and the envelope adds the one-byte tag.
+    ASSERT_EQ(first.size(),
+              static_cast<std::size_t>(wire_bytes(original)) + 1)
+        << "iteration " << i;
   }
 }
 

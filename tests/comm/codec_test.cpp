@@ -271,5 +271,87 @@ TEST(Codec, LargeRandomUpdateRoundTrip) {
   }
 }
 
+// --- ModelPublish (tag 10): the serving tier's online-refresh message ----
+
+ModelPublish sample_publish() {
+  ModelPublish p;
+  p.from = 2;
+  p.version = 7;
+  p.iteration = 4242;
+  p.first_var = 1;
+  p.total_vars = 4;
+  p.weights.values.emplace_back(tensor::Shape{3},
+                                std::vector<float>{1.0f, 2.0f, 3.0f});
+  p.weights.values.emplace_back(tensor::Shape{2},
+                                std::vector<float>{-4.0f, 0.5f});
+  return p;
+}
+
+TEST(Codec, ModelPublishEnvelopeRoundTrip) {
+  const Message m = sample_publish();
+  const auto buf = encode_message(m);
+  EXPECT_EQ(buf[0], 10u);  // stable wire tag
+  const Message d = decode_message(buf);
+  const auto* p = std::get_if<ModelPublish>(&d);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->from, 2u);
+  EXPECT_EQ(p->version, 7u);
+  EXPECT_EQ(p->iteration, 4242u);
+  EXPECT_EQ(p->first_var, 1u);
+  EXPECT_EQ(p->total_vars, 4u);
+  ASSERT_EQ(p->weights.values.size(), 2u);
+  EXPECT_FLOAT_EQ(p->weights.values[0][2], 3.0f);
+  EXPECT_FLOAT_EQ(p->weights.values[1][1], 0.5f);
+  EXPECT_EQ(encode_message(d), buf);
+}
+
+TEST(Codec, ModelPublishIsDataLaneAndWireBytesMatch) {
+  const ModelPublish p = sample_publish();
+  // Data message: charged its actual payload; the envelope adds one tag
+  // byte (same accounting as BootstrapChunk / WeightSnapshot).
+  EXPECT_FALSE(is_control(Message(p)));
+  EXPECT_EQ(encode_message(Message(p)).size(),
+            static_cast<std::size_t>(wire_bytes(p)) + 1);
+  EXPECT_EQ(wire_bytes(Message(p)), wire_bytes(p));
+}
+
+TEST(Codec, ModelPublishEveryTruncationPointThrowsTyped) {
+  const auto full = encode_message(Message(sample_publish()));
+  for (std::size_t n = 1; n < full.size(); ++n) {
+    std::vector<std::uint8_t> buf(full.begin(), full.begin() + n);
+    EXPECT_THROW(decode_message(buf), DecodeError) << "cut at " << n;
+  }
+}
+
+TEST(Codec, ModelPublishTrailingBytesThrow) {
+  auto buf = encode_message(Message(sample_publish()));
+  buf.push_back(0);
+  EXPECT_EQ(decode_failure_kind([&] { decode_message(buf); }),
+            DecodeErrorKind::kTrailingBytes);
+}
+
+TEST(Codec, ModelPublishOversizedTensorCountRejectedBeforeAllocation) {
+  ModelPublish p;
+  p.total_vars = 4;
+  auto buf = encode_message(Message(p));  // tag + 32-byte header, no tensors
+  ASSERT_EQ(buf.size(), 33u);
+  buf[29] = 0xff;  // tensor-count field (little-endian u32 at offset 29)
+  buf[30] = 0xff;
+  buf[31] = 0xff;
+  buf[32] = 0xff;
+  EXPECT_EQ(decode_failure_kind([&] { decode_message(buf); }),
+            DecodeErrorKind::kOversizedCount);
+}
+
+TEST(Codec, ModelPublishRangePastTotalVarsThrows) {
+  // A chunk whose [first_var, first_var + nvars) range sticks out past
+  // total_vars can never be applied; the decoder rejects it up front.
+  ModelPublish p = sample_publish();
+  p.first_var = 3;  // 3 + 2 tensors > total_vars 4
+  const auto buf = encode_message(Message(p));
+  EXPECT_EQ(decode_failure_kind([&] { decode_message(buf); }),
+            DecodeErrorKind::kBadValue);
+}
+
 }  // namespace
 }  // namespace dlion::comm

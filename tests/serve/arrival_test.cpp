@@ -1,0 +1,138 @@
+// Arrival-process tests: determinism (pure function of config + seed),
+// strict monotonicity, and the rate shapes of the three traffic regimes.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/arrival.h"
+
+namespace dlion::serve {
+namespace {
+
+std::vector<common::SimTime> draw(const ArrivalConfig& config,
+                                  std::uint64_t seed, std::size_t n) {
+  ArrivalProcess p(config, seed);
+  std::vector<common::SimTime> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(p.next());
+  return out;
+}
+
+TEST(Arrival, SameSeedSameSequence) {
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kBursty;
+  const auto a = draw(config, 7, 500);
+  const auto b = draw(config, 7, 500);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "arrival " << i;  // bitwise, not approximate
+  }
+}
+
+TEST(Arrival, DifferentSeedDifferentSequence) {
+  ArrivalConfig config;
+  const auto a = draw(config, 1, 100);
+  const auto b = draw(config, 2, 100);
+  EXPECT_NE(a, b);
+}
+
+TEST(Arrival, TimesStrictlyIncrease) {
+  for (ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kBursty, ArrivalKind::kDiurnal}) {
+    ArrivalConfig config;
+    config.kind = kind;
+    const auto times = draw(config, 11, 1000);
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      EXPECT_GT(times[i], times[i - 1])
+          << arrival_kind_name(kind) << " arrival " << i;
+    }
+  }
+}
+
+TEST(Arrival, PoissonLongRunRateMatchesConfig) {
+  ArrivalConfig config;
+  config.rate_rps = 200.0;
+  ArrivalProcess p(config, 3);
+  std::size_t count = 0;
+  const double horizon = 100.0;
+  while (p.next() < horizon) ++count;
+  // 20000 expected arrivals, stddev ~sqrt(20000) ~ 141: 5% is ~7 sigma.
+  EXPECT_NEAR(static_cast<double>(count) / horizon, config.rate_rps,
+              0.05 * config.rate_rps);
+}
+
+TEST(Arrival, PoissonRateIsStationary) {
+  ArrivalConfig config;
+  config.rate_rps = 123.0;
+  ArrivalProcess p(config, 1);
+  for (double t : {0.0, 1.0, 50.0, 1e4}) {
+    EXPECT_DOUBLE_EQ(p.rate_at(t), 123.0);
+  }
+  EXPECT_DOUBLE_EQ(p.peak_rate(), 123.0);
+}
+
+TEST(Arrival, BurstyRateShape) {
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kBursty;
+  config.rate_rps = 100.0;
+  config.burst_factor = 4.0;
+  config.burst_period_s = 20.0;
+  config.burst_duration_s = 3.0;
+  ArrivalProcess p(config, 1);
+  // Inside each period's burst window the rate multiplies; outside it is
+  // the base rate.
+  EXPECT_DOUBLE_EQ(p.rate_at(1.0), 400.0);
+  EXPECT_DOUBLE_EQ(p.rate_at(21.5), 400.0);
+  EXPECT_DOUBLE_EQ(p.rate_at(10.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.rate_at(19.9), 100.0);
+  EXPECT_DOUBLE_EQ(p.peak_rate(), 400.0);
+}
+
+TEST(Arrival, BurstWindowsCarryMoreTraffic) {
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kBursty;
+  config.rate_rps = 100.0;
+  config.burst_factor = 4.0;
+  config.burst_period_s = 20.0;
+  config.burst_duration_s = 3.0;
+  ArrivalProcess p(config, 5);
+  // Count arrivals in burst windows [k*20, k*20+3) vs an equal-length
+  // quiet stretch [k*20+10, k*20+13) over many periods.
+  std::size_t burst = 0, quiet = 0;
+  for (double t = p.next(); t < 400.0; t = p.next()) {
+    const double phase = std::fmod(t, config.burst_period_s);
+    if (phase < 3.0) ++burst;
+    if (phase >= 10.0 && phase < 13.0) ++quiet;
+  }
+  EXPECT_GT(burst, 2 * quiet);
+}
+
+TEST(Arrival, DiurnalRateShape) {
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kDiurnal;
+  config.rate_rps = 300.0;
+  config.diurnal_period_s = 120.0;
+  config.diurnal_min_frac = 0.1;
+  ArrivalProcess p(config, 1);
+  // The day starts at the night minimum and peaks half a period later.
+  EXPECT_NEAR(p.rate_at(0.0), 30.0, 1e-9);
+  EXPECT_NEAR(p.rate_at(60.0), 300.0, 1e-9);
+  EXPECT_NEAR(p.rate_at(120.0), 30.0, 1e-9);
+  EXPECT_DOUBLE_EQ(p.peak_rate(), 300.0);
+  // The wave stays within [min_frac * rate, rate].
+  for (double t = 0.0; t < 240.0; t += 7.0) {
+    EXPECT_GE(p.rate_at(t), 30.0 - 1e-9);
+    EXPECT_LE(p.rate_at(t), 300.0 + 1e-9);
+  }
+}
+
+TEST(Arrival, KindNames) {
+  EXPECT_STREQ(arrival_kind_name(ArrivalKind::kPoisson), "poisson");
+  EXPECT_STREQ(arrival_kind_name(ArrivalKind::kBursty), "bursty");
+  EXPECT_STREQ(arrival_kind_name(ArrivalKind::kDiurnal), "diurnal");
+}
+
+}  // namespace
+}  // namespace dlion::serve

@@ -1,0 +1,110 @@
+// InferenceSession conformance: the compiled fast path must produce logits
+// bit-identical to Model::forward (same kernels, same order), and the
+// generic fallback must engage for non-MLP architectures and match too.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/model_zoo.h"
+#include "serve/inference.h"
+#include "tensor/tensor.h"
+
+namespace dlion::serve {
+namespace {
+
+tensor::Tensor random_input(common::Rng& rng, std::size_t batch,
+                            const nn::ModelProfile& p) {
+  tensor::Tensor input(
+      tensor::Shape{batch, p.channels, p.height, p.width});
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input.data()[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  return input;
+}
+
+void expect_matches_forward(nn::BuiltModel& built, bool want_fast) {
+  InferenceSession session(built.model, built.profile.channels,
+                           built.profile.height, built.profile.width);
+  EXPECT_EQ(session.fast_path(), want_fast);
+  EXPECT_EQ(session.in_features(), built.profile.channels *
+                                       built.profile.height *
+                                       built.profile.width);
+  common::Rng rng(99);
+  for (std::size_t batch : {1u, 3u, 16u}) {
+    tensor::Tensor input = random_input(rng, batch, built.profile);
+    const tensor::Tensor expected = built.model.forward(input);
+    ASSERT_EQ(expected.shape()[0], batch);
+    // The session consumes the same row-major floats, flattened.
+    const float* got = session.run(input.data(), batch);
+    ASSERT_EQ(0, std::memcmp(got, expected.data(),
+                             expected.size() * sizeof(float)))
+        << "batch " << batch;
+  }
+}
+
+TEST(InferenceSession, FastPathMatchesModelForwardBitwise) {
+  common::Rng rng(42);
+  nn::BuiltModel built = nn::make_cipher_lite(rng);
+  expect_matches_forward(built, /*want_fast=*/true);
+}
+
+TEST(InferenceSession, LogisticRegressionTakesFastPath) {
+  common::Rng rng(42);
+  nn::BuiltModel built = nn::make_logistic_regression(rng, 16, 4);
+  expect_matches_forward(built, /*want_fast=*/true);
+}
+
+TEST(InferenceSession, ConvModelFallsBackAndStillMatches) {
+  common::Rng rng(42);
+  nn::BuiltModel built = nn::make_cipher_cnn(rng);
+  expect_matches_forward(built, /*want_fast=*/false);
+}
+
+TEST(InferenceSession, RepeatedRunsAreStable) {
+  common::Rng rng(42);
+  nn::BuiltModel built = nn::make_cipher_lite(rng);
+  InferenceSession session(built.model, built.profile.channels,
+                           built.profile.height, built.profile.width);
+  common::Rng data_rng(7);
+  tensor::Tensor input = random_input(data_rng, 8, built.profile);
+  const std::size_t classes = built.profile.classes;
+  const float* out = session.run(input.data(), 8);
+  std::vector<float> first(out, out + 8 * classes);
+  for (int i = 0; i < 5; ++i) {
+    const float* again = session.run(input.data(), 8);
+    ASSERT_EQ(0, std::memcmp(again, first.data(),
+                             first.size() * sizeof(float)))
+        << "rerun " << i;
+  }
+}
+
+TEST(InferenceSession, SeesInPlaceWeightRefresh) {
+  // The serving refresh path overwrites variable values via span copy; the
+  // compiled plan must observe the new weights on the next run.
+  common::Rng rng(42);
+  nn::BuiltModel built = nn::make_logistic_regression(rng, 16, 4);
+  InferenceSession session(built.model, built.profile.channels,
+                           built.profile.height, built.profile.width);
+  common::Rng data_rng(7);
+  tensor::Tensor input = random_input(data_rng, 4, built.profile);
+
+  const float* first_run = session.run(input.data(), 4);
+  std::vector<float> before(first_run, first_run + 4 * 4);
+  for (nn::Variable* v : built.model.variables()) {
+    auto span = v->value().span();
+    for (float& x : span) x += 0.25f;
+  }
+  const float* after = session.run(input.data(), 4);
+  EXPECT_NE(0, std::memcmp(after, before.data(),
+                           before.size() * sizeof(float)));
+  // And it still agrees with the reference forward on the new weights.
+  const tensor::Tensor expected = built.model.forward(input);
+  EXPECT_EQ(0, std::memcmp(after, expected.data(),
+                           expected.size() * sizeof(float)));
+}
+
+}  // namespace
+}  // namespace dlion::serve

@@ -1,0 +1,237 @@
+// Replica batching policy on a bare engine: full-batch launch, deadline
+// launch, admission-SLO sheds, service-time shape, and refresh adoption.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/message.h"
+#include "serve_test_util.h"
+#include "sim/engine.h"
+
+namespace dlion::serve {
+namespace {
+
+Request request_at(common::SimTime t, std::uint32_t sample = 0) {
+  Request req;
+  req.arrival = t;
+  req.sample = sample;
+  return req;
+}
+
+TEST(Replica, FullBatchLaunchesImmediately) {
+  sim::Engine engine;
+  data::TrainTest tt = serve_test_data();
+  ReplicaMetrics metrics;
+  BatchingConfig batching;
+  batching.max_batch = 4;
+  batching.batch_deadline_s = 10.0;  // deadline can't be the trigger
+  auto rep = make_test_replica(engine, &tt.test, &metrics, 0, 4.0, batching);
+
+  for (std::uint32_t i = 0; i < 4; ++i) rep->enqueue(request_at(0.0, i));
+  // The 4th enqueue fills the batch: it launches at t=0 without any
+  // engine time passing.
+  EXPECT_EQ(rep->batches(), 1u);
+  EXPECT_EQ(metrics.batch_size_counts[4], 1u);
+  engine.run_until(10.0);
+  EXPECT_EQ(rep->served(), 4u);
+  EXPECT_EQ(rep->deadline_drops(), 0u);
+  EXPECT_EQ(rep->outstanding(), 0u);
+}
+
+TEST(Replica, LoneRequestLaunchesAtTheBatchDeadline) {
+  sim::Engine engine;
+  data::TrainTest tt = serve_test_data();
+  ReplicaMetrics metrics;
+  BatchingConfig batching;
+  batching.max_batch = 32;
+  batching.batch_deadline_s = 0.05;
+  auto rep = make_test_replica(engine, &tt.test, &metrics, 0, 4.0, batching);
+
+  rep->enqueue(request_at(0.0));
+  engine.run_until(0.049);
+  EXPECT_EQ(rep->batches(), 0u);  // still waiting for the batch to fill
+  engine.run_until(1.0);
+  EXPECT_EQ(rep->batches(), 1u);
+  EXPECT_EQ(rep->served(), 1u);
+  EXPECT_EQ(metrics.batch_size_counts[1], 1u);
+  // Latency = deadline wait + service time, so it is at least the deadline.
+  EXPECT_GE(metrics.latency.observed_min(), batching.batch_deadline_s);
+}
+
+TEST(Replica, StaleRequestsShedAtBatchFormation) {
+  sim::Engine engine;
+  data::TrainTest tt = serve_test_data();
+  ReplicaMetrics metrics;
+  BatchingConfig batching;
+  batching.max_batch = 8;
+  batching.batch_deadline_s = 0.01;
+  batching.queue_timeout_s = 0.5;
+  auto rep = make_test_replica(engine, &tt.test, &metrics, 0, 4.0, batching);
+
+  // A request that (by construction) already waited past the SLO when the
+  // batch forms, alongside a fresh one.
+  engine.at(1.0, [&] {
+    rep->enqueue(request_at(0.2));  // 0.8s old: past queue_timeout_s
+    rep->enqueue(request_at(1.0));
+  });
+  engine.run_until(5.0);
+  EXPECT_EQ(rep->deadline_drops(), 1u);
+  EXPECT_EQ(rep->served(), 1u);
+}
+
+TEST(Replica, ServiceTimeGrowsSublinearlyWithBatchSize) {
+  sim::Engine engine;
+  data::TrainTest tt = serve_test_data();
+  ReplicaMetrics metrics;
+  auto rep = make_test_replica(engine, &tt.test, &metrics, 0, 4.0);
+  const double t1 = rep->inference_seconds(1, 0.0);
+  const double t8 = rep->inference_seconds(8, 0.0);
+  const double t32 = rep->inference_seconds(32, 0.0);
+  EXPECT_GT(t8, t1);
+  EXPECT_GT(t32, t8);
+  // Packed-GEMM efficiency: 32 samples cost far less than 32x one sample.
+  EXPECT_LT(t32, 32.0 * t1);
+  // Per-sample cost shrinks with batch size (the pull toward batching).
+  EXPECT_LT(t32 / 32.0, t8 / 8.0);
+  EXPECT_LT(t8 / 8.0, t1 / 1.0);
+}
+
+TEST(Replica, BackToBackBatchesDrainTheQueue) {
+  sim::Engine engine;
+  data::TrainTest tt = serve_test_data();
+  ReplicaMetrics metrics;
+  BatchingConfig batching;
+  batching.max_batch = 4;
+  batching.batch_deadline_s = 10.0;
+  batching.queue_timeout_s = 100.0;
+  auto rep = make_test_replica(engine, &tt.test, &metrics, 0, 4.0, batching);
+
+  // 8 requests at once: one full batch launches now, the second launches
+  // from on_batch_done without waiting for the deadline.
+  for (std::uint32_t i = 0; i < 8; ++i) rep->enqueue(request_at(0.0, i));
+  EXPECT_EQ(rep->batches(), 1u);
+  engine.run_until(50.0);
+  EXPECT_EQ(rep->batches(), 2u);
+  EXPECT_EQ(rep->served(), 8u);
+  EXPECT_EQ(metrics.batch_size_counts[4], 2u);
+}
+
+TEST(Replica, WarmReplicaServesFromThePool) {
+  sim::Engine engine;
+  data::TrainTest tt = serve_test_data();
+  ReplicaMetrics metrics;
+  BatchingConfig batching;
+  batching.max_batch = 4;
+  auto rep = make_test_replica(engine, &tt.test, &metrics, 0, 4.0, batching);
+
+  for (int round = 0; round < 5; ++round) {
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      rep->enqueue(request_at(engine.now(), i));
+    }
+    engine.run_until(engine.now() + 5.0);
+  }
+  EXPECT_EQ(rep->served(), 20u);
+  // First batch allocates the staging tensor; every later one reuses it.
+  EXPECT_EQ(rep->pool().misses(), 1u);
+  EXPECT_EQ(rep->pool().hits(), 4u);
+}
+
+comm::ModelPublish full_publish(const nn::Model& model,
+                                std::uint64_t version,
+                                std::uint64_t iteration) {
+  comm::ModelPublish msg;
+  msg.version = version;
+  msg.iteration = iteration;
+  msg.first_var = 0;
+  msg.total_vars = static_cast<std::uint32_t>(model.variables().size());
+  msg.weights = model.weights();
+  return msg;
+}
+
+TEST(Replica, AdoptsNewerVersionAndIgnoresStale) {
+  sim::Engine engine;
+  data::TrainTest tt = serve_test_data();
+  ReplicaMetrics metrics;
+  auto rep = make_test_replica(engine, &tt.test, &metrics, 0, 4.0);
+  // A donor model with different weights (different seed).
+  common::Rng donor_rng(7);
+  nn::BuiltModel donor = nn::make_logistic_regression(donor_rng, 16, 4);
+
+  rep->on_publish(full_publish(donor.model, 3, 100), 1.0);
+  EXPECT_EQ(rep->weight_version(), 3u);
+  EXPECT_EQ(rep->version_iteration(), 100u);
+  EXPECT_EQ(rep->refreshes_adopted(), 1u);
+  // The replica now carries the donor's weights exactly.
+  const auto got = rep->model().weights();
+  const auto want = donor.model.weights();
+  ASSERT_EQ(got.values.size(), want.values.size());
+  for (std::size_t i = 0; i < got.values.size(); ++i) {
+    EXPECT_EQ(got.values[i].span().size(), want.values[i].span().size());
+    for (std::size_t j = 0; j < got.values[i].span().size(); ++j) {
+      EXPECT_EQ(got.values[i][j], want.values[i][j]);
+    }
+  }
+
+  // An older version arriving later (interleaved links) is ignored.
+  rep->on_publish(full_publish(donor.model, 2, 50), 2.0);
+  EXPECT_EQ(rep->weight_version(), 3u);
+  EXPECT_EQ(rep->stale_publishes_ignored(), 1u);
+  EXPECT_EQ(rep->refreshes_adopted(), 1u);
+}
+
+TEST(Replica, ChunkedPublishAdoptsOnLastChunk) {
+  sim::Engine engine;
+  data::TrainTest tt = serve_test_data();
+  ReplicaMetrics metrics;
+  auto rep = make_test_replica(engine, &tt.test, &metrics, 0, 4.0);
+  common::Rng donor_rng(7);
+  nn::BuiltModel donor = nn::make_logistic_regression(donor_rng, 16, 4);
+  const auto snapshot = donor.model.weights();
+  const std::uint32_t total =
+      static_cast<std::uint32_t>(snapshot.values.size());
+  ASSERT_GE(total, 2u);
+
+  // Stream one variable per chunk: only the final chunk flips the version.
+  for (std::uint32_t first = 0; first < total; ++first) {
+    comm::ModelPublish msg;
+    msg.version = 1;
+    msg.iteration = 10;
+    msg.first_var = first;
+    msg.total_vars = total;
+    msg.weights.values.push_back(snapshot.values[first]);
+    rep->on_publish(msg, 1.0);
+    if (first + 1 < total) {
+      EXPECT_EQ(rep->weight_version(), 0u) << "chunk " << first;
+    }
+  }
+  EXPECT_EQ(rep->weight_version(), 1u);
+  EXPECT_EQ(rep->refreshes_adopted(), 1u);
+}
+
+TEST(Replica, GeometryMismatchedPublishNeverApplies) {
+  sim::Engine engine;
+  data::TrainTest tt = serve_test_data();
+  ReplicaMetrics metrics;
+  auto rep = make_test_replica(engine, &tt.test, &metrics, 0, 4.0);
+  const auto before = rep->model().weights();
+
+  // Wrong total_vars (a publish from a different architecture).
+  common::Rng donor_rng(7);
+  nn::BuiltModel donor = nn::make_logistic_regression(donor_rng, 16, 4);
+  comm::ModelPublish msg = full_publish(donor.model, 5, 1);
+  msg.total_vars += 1;
+  rep->on_publish(msg, 1.0);
+  EXPECT_EQ(rep->weight_version(), 0u);
+  EXPECT_EQ(rep->stale_publishes_ignored(), 1u);
+  const auto after = rep->model().weights();
+  for (std::size_t i = 0; i < before.values.size(); ++i) {
+    for (std::size_t j = 0; j < before.values[i].span().size(); ++j) {
+      ASSERT_EQ(after.values[i][j], before.values[i][j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlion::serve

@@ -1,0 +1,90 @@
+// ReplicaRouter: deterministic capability-ranked placement and
+// least-loaded routing with id tie-breaks.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/router.h"
+#include "serve_test_util.h"
+#include "sim/engine.h"
+
+namespace dlion::serve {
+namespace {
+
+TEST(ReplicaRouter, PlaceRanksMachinesByCapacityDescending) {
+  std::vector<sim::ComputeSpec> machines = {
+      machine_with_units(4.0), machine_with_units(8.0),
+      machine_with_units(2.0)};
+  // Ranking: machine 1 (8), machine 0 (4), machine 2 (2); replicas are
+  // dealt round-robin down that ranking.
+  EXPECT_EQ(ReplicaRouter::place(machines, 3),
+            (std::vector<std::size_t>{1, 0, 2}));
+  // More replicas than machines wrap around the ranking.
+  EXPECT_EQ(ReplicaRouter::place(machines, 5),
+            (std::vector<std::size_t>{1, 0, 2, 1, 0}));
+  // Fewer replicas land on the strongest machines only.
+  EXPECT_EQ(ReplicaRouter::place(machines, 2),
+            (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(ReplicaRouter, PlaceBreaksCapacityTiesByMachineId) {
+  std::vector<sim::ComputeSpec> machines = {
+      machine_with_units(4.0), machine_with_units(4.0),
+      machine_with_units(4.0)};
+  EXPECT_EQ(ReplicaRouter::place(machines, 3),
+            (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ReplicaRouter, RouteFavorsHigherCapacityWhenIdle) {
+  sim::Engine engine;
+  data::TrainTest tt = serve_test_data();
+  ReplicaMetrics metrics;
+  // Same queue depth everywhere: load = (outstanding+1)/capacity, so the
+  // fastest machine wins the first request.
+  auto r0 = make_test_replica(engine, &tt.test, &metrics, 0, 1.0);
+  auto r1 = make_test_replica(engine, &tt.test, &metrics, 1, 4.0);
+  auto r2 = make_test_replica(engine, &tt.test, &metrics, 2, 2.0);
+  ReplicaRouter router({r0.get(), r1.get(), r2.get()});
+  EXPECT_EQ(router.route(0.0), r1.get());
+}
+
+TEST(ReplicaRouter, RouteBreaksLoadTiesByLowestId) {
+  sim::Engine engine;
+  data::TrainTest tt = serve_test_data();
+  ReplicaMetrics metrics;
+  auto r0 = make_test_replica(engine, &tt.test, &metrics, 0, 2.0);
+  auto r1 = make_test_replica(engine, &tt.test, &metrics, 1, 2.0);
+  ReplicaRouter router({r0.get(), r1.get()});
+  EXPECT_EQ(router.route(0.0), r0.get());
+}
+
+TEST(ReplicaRouter, RouteSkipsFullQueuesAndRejectsWhenAllFull) {
+  sim::Engine engine;
+  data::TrainTest tt = serve_test_data();
+  ReplicaMetrics metrics;
+  BatchingConfig batching;
+  batching.queue_cap = 2;
+  // A long deadline and max_batch above the cap keep requests queued (no
+  // launch) while we fill the queues.
+  batching.batch_deadline_s = 100.0;
+  batching.max_batch = 100;
+  auto r0 = make_test_replica(engine, &tt.test, &metrics, 0, 4.0, batching);
+  auto r1 = make_test_replica(engine, &tt.test, &metrics, 1, 1.0, batching);
+  ReplicaRouter router({r0.get(), r1.get()});
+
+  Request req;
+  // Fill the fast replica: the router must fall over to the slow one.
+  r0->enqueue(req);
+  r0->enqueue(req);
+  EXPECT_TRUE(r0->queue_full());
+  EXPECT_EQ(router.route(0.0), r1.get());
+  // Fill the slow one too: every queue full => reject (nullptr).
+  r1->enqueue(req);
+  r1->enqueue(req);
+  EXPECT_EQ(router.route(0.0), nullptr);
+}
+
+}  // namespace
+}  // namespace dlion::serve

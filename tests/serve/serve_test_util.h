@@ -1,0 +1,55 @@
+// Shared fixture pieces for the serving-tier tests: a tiny blobs dataset, a
+// matching logreg replica on a bare engine, and heterogeneous machine specs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "nn/model_zoo.h"
+#include "serve/replica.h"
+#include "sim/compute_model.h"
+#include "sim/engine.h"
+
+namespace dlion::serve {
+
+/// A small, fast serving dataset: 16-feature blobs, 4 classes, 64 test
+/// samples (logreg reaches ~100% on it, so accuracy assertions are sharp).
+inline data::TrainTest serve_test_data(std::uint64_t seed = 11) {
+  return data::make_blobs(seed, /*features=*/16, /*classes=*/4,
+                          /*num_train=*/256, /*num_test=*/64);
+}
+
+/// A machine with a flat capacity schedule.
+inline sim::ComputeSpec machine_with_units(double units) {
+  sim::ComputeSpec spec;
+  spec.units = sim::Schedule(units);
+  return spec;
+}
+
+/// A logreg replica (fast inference path) pinned to a flat-capacity
+/// machine, with tuneable batching knobs. Weights are seeded identically
+/// for every replica built from the same seed.
+inline std::unique_ptr<Replica> make_test_replica(
+    sim::Engine& engine, const data::Dataset* dataset,
+    ReplicaMetrics* metrics, std::size_t id, double units,
+    const BatchingConfig& batching = {}, std::uint64_t model_seed = 42) {
+  common::Rng rng(model_seed);
+  nn::BuiltModel built = nn::make_logistic_regression(rng, 16, 4);
+  ReplicaConfig config;
+  config.id = id;
+  config.slot = id;
+  config.machine = id;
+  config.units = sim::Schedule(units);
+  config.flops_per_unit = 1.0e8;
+  config.flops_per_sample =
+      built.profile.nominal_flops_per_sample / 3.0;
+  config.batching = batching;
+  return std::make_unique<Replica>(engine, std::move(config),
+                                   std::move(built), dataset, metrics,
+                                   /*obs=*/nullptr);
+}
+
+}  // namespace dlion::serve

@@ -1,0 +1,79 @@
+// TensorPool: storage recycling for the serving hot path. Covers the
+// hit/miss accounting, capacity-fit reuse, and the zero-fill guarantee on
+// recycled buffers.
+
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "tensor/pool.h"
+
+namespace dlion::tensor {
+namespace {
+
+TEST(TensorPool, FirstAcquireIsAMiss) {
+  TensorPool pool;
+  Tensor t = pool.acquire(Shape{4, 8});
+  EXPECT_EQ(t.shape(), (Shape{4, 8}));
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.free_buffers(), 0u);
+}
+
+TEST(TensorPool, ReleaseThenAcquireReusesStorage) {
+  TensorPool pool;
+  Tensor t = pool.acquire(Shape{4, 8});
+  const float* storage = t.data();
+  pool.release(std::move(t));
+  EXPECT_EQ(pool.free_buffers(), 1u);
+
+  // Same element count: must come back from the pool, same storage.
+  Tensor u = pool.acquire(Shape{8, 4});
+  EXPECT_EQ(u.data(), storage);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.free_buffers(), 0u);
+}
+
+TEST(TensorPool, SmallerRequestFitsInsideRetiredCapacity) {
+  TensorPool pool;
+  pool.release(pool.acquire(Shape{64}));
+  Tensor small = pool.acquire(Shape{10});
+  EXPECT_EQ(small.size(), 10u);
+  EXPECT_EQ(pool.hits(), 1u);
+  // A request larger than any parked buffer allocates fresh.
+  pool.release(std::move(small));
+  Tensor big = pool.acquire(Shape{128});
+  EXPECT_EQ(big.size(), 128u);
+  EXPECT_EQ(pool.misses(), 2u);
+}
+
+TEST(TensorPool, RecycledBuffersComeBackZeroFilled) {
+  TensorPool pool;
+  Tensor t = pool.acquire(Shape{16});
+  for (std::size_t i = 0; i < t.size(); ++i) t.data()[i] = 42.0f;
+  pool.release(std::move(t));
+
+  Tensor u = pool.acquire(Shape{12});
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    ASSERT_EQ(u.data()[i], 0.0f) << "element " << i;
+  }
+}
+
+TEST(TensorPool, SteadyStateLoopIsAllHits) {
+  TensorPool pool;
+  pool.release(pool.acquire(Shape{32, 8}));
+  for (int i = 0; i < 100; ++i) {
+    // Varying batch size within the warm capacity, like a replica whose
+    // batches shrink and grow with load.
+    const std::size_t rows = 1 + static_cast<std::size_t>(i % 32);
+    Tensor t = pool.acquire(Shape{rows, 8});
+    pool.release(std::move(t));
+  }
+  EXPECT_EQ(pool.hits(), 100u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.free_buffers(), 1u);
+}
+
+}  // namespace
+}  // namespace dlion::tensor
