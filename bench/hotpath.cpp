@@ -24,9 +24,13 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "comm/fabric.h"
 #include "common/rng.h"
 #include "core/gradient_select.h"
+#include "core/weighted_update.h"
 #include "nn/model_zoo.h"
+#include "sim/engine.h"
+#include "sim/network.h"
 #include "tensor/gemm_ref.h"
 #include "tensor/ops.h"
 
@@ -78,6 +82,15 @@ constexpr PrePrGemm kPrePrGemm[] = {
 constexpr double kPrePrStepMs = 45.41;
 constexpr std::uint64_t kPrePrStepAllocs = 75;
 constexpr std::uint64_t kPrePrStepBytes = 11'766'600;
+
+// Frozen pre-PR comm-path measurements (owned-vector payloads: every
+// message materialized a fresh copy of the gradient, reference dev
+// container). `exchange` = one peer message of the fan-out: produce the
+// payload, send it through the fabric, deliver, apply.
+constexpr double kPrePrCommMsgsPerSec = 261.0;
+constexpr std::uint64_t kPrePrCommAllocsPerExchange = 11;
+constexpr std::uint64_t kPrePrCommCopyBytesPerMsg = 4'022'360;
+constexpr std::uint64_t kPrePrCommCopiesPerMsg = 10;
 
 struct GemmRow {
   bool ta, tb;
@@ -226,6 +239,134 @@ MaxNStats bench_max_n(std::size_t elems, double n) {
           static_cast<double>(elems) / t_cnt / 1e9};
 }
 
+struct CommStats {
+  double msgs_per_sec = 0.0;
+  std::uint64_t allocs_per_msg_total = 0;      ///< incl. simulator transport
+  std::uint64_t allocs_per_msg_transport = 0;  ///< empty-payload baseline
+  std::uint64_t allocs_per_exchange = 0;       ///< data-plane = total - transport
+  std::uint64_t copies_per_msg = 0;            ///< payload materializations
+  std::uint64_t copy_bytes_per_msg = 0;        ///< bytes duplicated per message
+  std::uint64_t payload_bytes_per_msg = 0;     ///< gradient bytes carried
+};
+
+/// Warm-data-path gradient exchange: one sender fans a dense Max-100 update
+/// out to 3 peers over the fabric; each peer applies it on delivery. The
+/// alloc budget CI enforces is `allocs_per_exchange` — the data-plane
+/// allocations per message over the empty-payload transport baseline, so
+/// simulator event-queue overhead (std::function captures, timer nodes)
+/// does not mask payload-path regressions.
+CommStats bench_comm(int exchanges) {
+  constexpr std::size_t kSlots = 4;  // 1 sender + 3 receivers
+  dlion::sim::Engine engine;
+  dlion::sim::Network net(engine, kSlots);
+  dlion::comm::Fabric fabric(net);
+
+  dlion::common::Rng rng(21);
+  auto sender = dlion::nn::make_cipher_cnn(rng);
+  dlion::tensor::Tensor images(dlion::tensor::Shape{8, 1, 28, 28});
+  std::vector<std::int32_t> labels(8);
+  for (auto& x : images.span()) {
+    x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  for (auto& l : labels) {
+    l = static_cast<std::int32_t>(rng.uniform_int(0, 9));
+  }
+  sender.model.compute_gradients(images, labels);
+
+  std::vector<dlion::nn::BuiltModel> receivers;
+  receivers.reserve(kSlots - 1);  // handlers capture stable model pointers
+  for (std::size_t r = 1; r < kSlots; ++r) {
+    dlion::common::Rng peer_rng(21);
+    receivers.push_back(dlion::nn::make_cipher_cnn(peer_rng));
+    dlion::nn::Model* peer_model = &receivers.back().model;
+    fabric.attach(r, [peer_model](std::size_t, dlion::comm::MessagePtr msg) {
+      if (const auto* gu =
+              std::get_if<dlion::comm::GradientUpdate>(msg.get())) {
+        dlion::core::apply_gradient_update(*peer_model, *gu, 0.01f, kSlots,
+                                           1.0);
+      }
+    });
+  }
+
+  const std::size_t nvars = sender.model.num_variables();
+
+  // The worker's warm data path in miniature: select each variable's
+  // gradient into arena-backed views once per iteration, then every peer's
+  // message shares those views (copying a VariableGrad increfs blocks).
+  dlion::comm::PayloadArena arena;
+  const auto do_exchange = [&](std::uint64_t iter, bool payload) {
+    std::vector<dlion::comm::VariableGrad> staged;
+    if (payload) {
+      dlion::comm::PayloadWriter writer(arena);
+      staged.reserve(nvars);
+      for (std::size_t v = 0; v < nvars; ++v) {
+        staged.push_back(dlion::core::select_max_n(
+            sender.model.variables()[v]->grad().span(), v, 100.0, writer));
+      }
+    }
+    for (std::size_t peer = 1; peer < kSlots; ++peer) {
+      dlion::comm::GradientUpdate u;
+      u.from = 0;
+      u.iteration = iter;
+      u.lbs = 32;
+      if (payload) u.vars = staged;  // shared views, no payload bytes move
+      fabric.send(0, peer, std::move(u));
+    }
+    engine.run();
+  };
+
+  for (int i = 0; i < 10; ++i) do_exchange(static_cast<std::uint64_t>(i), true);
+
+  // Actual bytes one message carries, measured on a staged sample.
+  std::uint64_t staged_bytes = 0;
+  {
+    dlion::comm::PayloadWriter writer(arena);
+    dlion::comm::GradientUpdate sample;
+    for (std::size_t v = 0; v < nvars; ++v) {
+      sample.vars.push_back(dlion::core::select_max_n(
+          sender.model.variables()[v]->grad().span(), v, 100.0, writer));
+    }
+    staged_bytes = dlion::comm::payload_bytes(dlion::comm::Message(sample));
+  }
+
+  const std::uint64_t msgs =
+      static_cast<std::uint64_t>(exchanges) * (kSlots - 1);
+  const std::uint64_t copies0 = dlion::comm::payload_copy_count();
+  const std::uint64_t copy_bytes0 = dlion::comm::payload_copy_bytes();
+  benchalloc::start();
+  const auto t0 = Clock::now();
+  for (int i = 0; i < exchanges; ++i) {
+    do_exchange(static_cast<std::uint64_t>(10 + i), true);
+  }
+  const double elapsed = seconds_since(t0);
+  const benchalloc::Totals data = benchalloc::stop();
+  const std::uint64_t copies = dlion::comm::payload_copy_count() - copies0;
+  const std::uint64_t copy_bytes =
+      dlion::comm::payload_copy_bytes() - copy_bytes0;
+
+  // Transport baseline: same fan-out with empty payloads.
+  benchalloc::start();
+  for (int i = 0; i < exchanges; ++i) {
+    do_exchange(static_cast<std::uint64_t>(10 + exchanges + i), false);
+  }
+  const benchalloc::Totals transport = benchalloc::stop();
+
+  CommStats s;
+  s.msgs_per_sec = static_cast<double>(msgs) / elapsed;
+  s.allocs_per_msg_total = data.count / msgs;
+  s.allocs_per_msg_transport = transport.count / msgs;
+  s.allocs_per_exchange =
+      s.allocs_per_msg_total > s.allocs_per_msg_transport
+          ? s.allocs_per_msg_total - s.allocs_per_msg_transport
+          : 0;
+  // Global payload-copy counters: zero on the warm path - every payload is
+  // produced once in the arena and shared by view from there.
+  s.copies_per_msg = copies / msgs;
+  s.copy_bytes_per_msg = copy_bytes / msgs;
+  s.payload_bytes_per_msg = staged_bytes;
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -257,6 +398,9 @@ int main(int argc, char** argv) {
 
   // --- Max-N selection throughput. ---------------------------------------
   const MaxNStats maxn = bench_max_n(1'000'000, 1.0);
+
+  // --- Comm data plane: gradient exchange over the fabric. ---------------
+  const CommStats comm = bench_comm(100);
 
   // --- Determinism: serial vs pooled GEMM must agree bitwise. ------------
   const int det_steps = 8;
@@ -314,6 +458,29 @@ int main(int argc, char** argv) {
   j += "    \"select_gelems_per_s\": " + fmt(maxn.select_gelems) + ",\n";
   j += "    \"count_gelems_per_s\": " + fmt(maxn.count_gelems) + "\n";
   j += "  },\n";
+  j += "  \"comm\": {\n";
+  j += "    \"slots\": 4, \"peers\": 3, \"exchanges\": 100,\n";
+  j += "    \"msgs_per_sec\": " + fmt(comm.msgs_per_sec, 1) + ",\n";
+  j += "    \"payload_bytes_per_msg\": " +
+       std::to_string(comm.payload_bytes_per_msg) + ",\n";
+  j += "    \"payload_copies_per_msg\": " +
+       std::to_string(comm.copies_per_msg) + ",\n";
+  j += "    \"payload_copy_bytes_per_msg\": " +
+       std::to_string(comm.copy_bytes_per_msg) + ",\n";
+  j += "    \"allocs_per_msg_total\": " +
+       std::to_string(comm.allocs_per_msg_total) + ",\n";
+  j += "    \"allocs_per_msg_transport\": " +
+       std::to_string(comm.allocs_per_msg_transport) + ",\n";
+  j += "    \"allocs_per_exchange\": " +
+       std::to_string(comm.allocs_per_exchange) + ",\n";
+  j += "    \"pre_pr\": {\"msgs_per_sec\": " + fmt(kPrePrCommMsgsPerSec, 1) +
+       ", \"allocs_per_exchange\": " +
+       std::to_string(kPrePrCommAllocsPerExchange) +
+       ", \"payload_copies_per_msg\": " +
+       std::to_string(kPrePrCommCopiesPerMsg) +
+       ", \"payload_copy_bytes_per_msg\": " +
+       std::to_string(kPrePrCommCopyBytesPerMsg) + "}\n";
+  j += "  },\n";
   j += "  \"determinism\": {\n";
   j += "    \"train_steps\": " + std::to_string(det_steps) + ",\n";
   j += "    \"weights_checksum_serial\": \"" + hex64(sum_serial) + "\",\n";
@@ -342,6 +509,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(step.bytes_per_step),
               kPrePrStepMs,
               static_cast<unsigned long long>(kPrePrStepAllocs));
+  std::printf("[hotpath] comm: %.0f msgs/s, %llu payload copies/msg (%llu "
+              "bytes), %llu allocs/exchange\n",
+              comm.msgs_per_sec,
+              static_cast<unsigned long long>(comm.copies_per_msg),
+              static_cast<unsigned long long>(comm.copy_bytes_per_msg),
+              static_cast<unsigned long long>(comm.allocs_per_exchange));
   std::printf("[hotpath] determinism bitmatch: %s\n",
               bitmatch ? "yes" : "NO");
   std::printf("[hotpath] wrote %s\n", out_path.c_str());

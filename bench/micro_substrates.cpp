@@ -82,10 +82,14 @@ void BM_CodecRoundTrip(benchmark::State& state) {
   comm::VariableGrad vg;
   vg.var_index = 0;
   vg.dense_size = static_cast<std::uint32_t>(state.range(0));
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
   for (std::uint32_t i = 0; i < vg.dense_size; i += 3) {
-    vg.indices.push_back(i);
-    vg.values.push_back(static_cast<float>(rng.normal()));
+    indices.push_back(i);
+    values.push_back(static_cast<float>(rng.normal()));
   }
+  vg.indices = indices;
+  vg.values = values;
   u.vars.push_back(std::move(vg));
   for (auto _ : state) {
     const auto buf = comm::encode(u);

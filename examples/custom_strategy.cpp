@@ -30,12 +30,16 @@ class RandomKStrategy : public core::PartialGradientStrategy {
       comm::VariableGrad vg;
       vg.var_index = static_cast<std::uint32_t>(v);
       vg.dense_size = static_cast<std::uint32_t>(grad.size());
+      std::vector<std::uint32_t> indices;
+      std::vector<float> values;
       for (std::size_t i = 0; i < grad.size(); ++i) {
         if (rng_.bernoulli(fraction_)) {
-          vg.indices.push_back(static_cast<std::uint32_t>(i));
-          vg.values.push_back(grad[i]);
+          indices.push_back(static_cast<std::uint32_t>(i));
+          values.push_back(grad[i]);
         }
       }
+      vg.indices = indices;
+      vg.values = values;
       out.push_back(std::move(vg));
     }
     return out;

@@ -55,12 +55,20 @@ class Writer {
     std::memcpy(buf_.data() + off, &v, sizeof(T));
   }
   template <typename T>
-  void put_array(const std::vector<T>& vs) {
+  void put_array(const T* data, std::size_t count) {
     static_assert(std::is_trivially_copyable_v<T>);
-    if (vs.empty()) return;  // empty vectors may have a null data()
+    if (count == 0) return;  // empty arrays may have a null data()
     const std::size_t off = buf_.size();
-    buf_.resize(off + vs.size() * sizeof(T));
-    std::memcpy(buf_.data() + off, vs.data(), vs.size() * sizeof(T));
+    buf_.resize(off + count * sizeof(T));
+    std::memcpy(buf_.data() + off, data, count * sizeof(T));
+  }
+  template <typename T>
+  void put_array(const std::vector<T>& vs) {
+    put_array(vs.data(), vs.size());
+  }
+  template <typename T>
+  void put_array(const Payload<T>& p) {
+    put_array(p.data(), p.size());
   }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
 
@@ -93,6 +101,19 @@ class Reader {
     pos_ += count * sizeof(T);
     return vs;
   }
+  /// Materialize `count` wire elements as an arena-backed payload (one
+  /// exact-size block, counted as a payload copy - decode is off the warm
+  /// path, which shares views instead of re-decoding).
+  template <typename T>
+  Payload<T> get_payload(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (count == 0) return {};
+    check(count * sizeof(T));
+    Payload<T> p = Payload<T>::materialize(buf_->data() + pos_, count);
+    pos_ += count * sizeof(T);
+    return p;
+  }
+
   std::size_t remaining() const { return buf_->size() - pos_; }
   bool exhausted() const { return pos_ == buf_->size(); }
 
@@ -200,8 +221,8 @@ GradientUpdate decode_gradient_update_from(Reader& r) {
            "var " + std::to_string(i) + ": " + std::to_string(nidx) +
                " indices vs " + std::to_string(nval) + " values");
     }
-    v.indices = r.get_array<std::uint32_t>(nidx);
-    v.values = r.get_array<float>(nval);
+    v.indices = r.get_payload<std::uint32_t>(nidx);
+    v.values = r.get_payload<float>(nval);
     validate_variable_grad(v);
     u.vars.push_back(std::move(v));
   }
@@ -213,11 +234,10 @@ void encode_weight_snapshot_into(Writer& w, const WeightSnapshot& snapshot) {
   w.put<std::uint64_t>(snapshot.iteration);
   w.put<double>(snapshot.loss);
   w.put<std::uint32_t>(
-      static_cast<std::uint32_t>(snapshot.weights.values.size()));
-  for (const auto& t : snapshot.weights.values) {
-    w.put<std::uint32_t>(static_cast<std::uint32_t>(t.size()));
-    std::vector<float> data(t.data(), t.data() + t.size());
-    w.put_array(data);
+      static_cast<std::uint32_t>(snapshot.weights.parts.size()));
+  for (const auto& p : snapshot.weights.parts) {
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(p.size()));
+    w.put_array(p);
   }
 }
 
@@ -228,11 +248,10 @@ WeightSnapshot decode_weight_snapshot_from(Reader& r) {
   s.loss = r.get<double>();
   const auto nvars = r.get<std::uint32_t>();
   r.check_count(nvars, sizeof(std::uint32_t), "tensor");
-  s.weights.values.reserve(nvars);
+  s.weights.parts.reserve(nvars);
   for (std::uint32_t i = 0; i < nvars; ++i) {
     const auto n = r.get<std::uint32_t>();
-    auto data = r.get_array<float>(n);
-    s.weights.values.emplace_back(tensor::Shape{n}, std::move(data));
+    s.weights.parts.push_back(r.get_payload<float>(n));
   }
   return s;
 }
@@ -313,11 +332,10 @@ void encode_bootstrap_chunk_into(Writer& w, const BootstrapChunk& m) {
   w.put<std::uint64_t>(m.iteration);
   w.put<std::uint64_t>(m.gbs_ticks);
   w.put<double>(m.loss);
-  w.put<std::uint32_t>(static_cast<std::uint32_t>(m.weights.values.size()));
-  for (const auto& t : m.weights.values) {
-    w.put<std::uint32_t>(static_cast<std::uint32_t>(t.size()));
-    std::vector<float> data(t.data(), t.data() + t.size());
-    w.put_array(data);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(m.weights.parts.size()));
+  for (const auto& p : m.weights.parts) {
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(p.size()));
+    w.put_array(p);
   }
 }
 
@@ -331,11 +349,10 @@ BootstrapChunk decode_bootstrap_chunk_from(Reader& r) {
   m.loss = r.get<double>();
   const auto nvars = r.get<std::uint32_t>();
   r.check_count(nvars, sizeof(std::uint32_t), "chunk tensor");
-  m.weights.values.reserve(nvars);
+  m.weights.parts.reserve(nvars);
   for (std::uint32_t i = 0; i < nvars; ++i) {
     const auto n = r.get<std::uint32_t>();
-    auto data = r.get_array<float>(n);
-    m.weights.values.emplace_back(tensor::Shape{n}, std::move(data));
+    m.weights.parts.push_back(r.get_payload<float>(n));
   }
   return m;
 }
@@ -346,11 +363,10 @@ void encode_model_publish_into(Writer& w, const ModelPublish& m) {
   w.put<std::uint64_t>(m.iteration);
   w.put<std::uint32_t>(m.first_var);
   w.put<std::uint32_t>(m.total_vars);
-  w.put<std::uint32_t>(static_cast<std::uint32_t>(m.weights.values.size()));
-  for (const auto& t : m.weights.values) {
-    w.put<std::uint32_t>(static_cast<std::uint32_t>(t.size()));
-    std::vector<float> data(t.data(), t.data() + t.size());
-    w.put_array(data);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(m.weights.parts.size()));
+  for (const auto& p : m.weights.parts) {
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(p.size()));
+    w.put_array(p);
   }
 }
 
@@ -371,11 +387,10 @@ ModelPublish decode_model_publish_from(Reader& r) {
              std::to_string(static_cast<std::uint64_t>(m.first_var) + nvars) +
              ") exceeds total_vars " + std::to_string(m.total_vars));
   }
-  m.weights.values.reserve(nvars);
+  m.weights.parts.reserve(nvars);
   for (std::uint32_t i = 0; i < nvars; ++i) {
     const auto n = r.get<std::uint32_t>();
-    auto data = r.get_array<float>(n);
-    m.weights.values.emplace_back(tensor::Shape{n}, std::move(data));
+    m.weights.parts.push_back(r.get_payload<float>(n));
   }
   return m;
 }
@@ -530,27 +545,20 @@ common::Bytes wire_bytes(const GradientUpdate& update) {
 }
 
 common::Bytes wire_bytes(const WeightSnapshot& snapshot) {
-  common::Bytes bytes = kSnapshotHeader;
-  for (const auto& t : snapshot.weights.values) {
-    bytes += sizeof(std::uint32_t) + t.size() * sizeof(float);
-  }
-  return bytes;
+  return kSnapshotHeader +
+         snapshot.weights.parts.size() * sizeof(std::uint32_t) +
+         snapshot.weights.num_values() * sizeof(float);
 }
 
 common::Bytes wire_bytes(const BootstrapChunk& chunk) {
-  common::Bytes bytes = kChunkHeader;
-  for (const auto& t : chunk.weights.values) {
-    bytes += sizeof(std::uint32_t) + t.size() * sizeof(float);
-  }
-  return bytes;
+  return kChunkHeader + chunk.weights.parts.size() * sizeof(std::uint32_t) +
+         chunk.weights.num_values() * sizeof(float);
 }
 
 common::Bytes wire_bytes(const ModelPublish& publish) {
-  common::Bytes bytes = kPublishHeader;
-  for (const auto& t : publish.weights.values) {
-    bytes += sizeof(std::uint32_t) + t.size() * sizeof(float);
-  }
-  return bytes;
+  return kPublishHeader +
+         publish.weights.parts.size() * sizeof(std::uint32_t) +
+         publish.weights.num_values() * sizeof(float);
 }
 
 common::Bytes wire_bytes(const Message& msg) {

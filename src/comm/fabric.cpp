@@ -11,12 +11,14 @@
 namespace dlion::comm {
 
 Fabric::Fabric(sim::Network& network, double byte_scale)
-    : Fabric(network, FabricOptions{byte_scale, FabricOptions{}.dead_letter_cap}) {}
+    : Fabric(network, FabricOptions{byte_scale, FabricOptions{}.dead_letter_cap,
+                                    FabricOptions{}.dead_letter_max_bytes}) {}
 
 Fabric::Fabric(sim::Network& network, const FabricOptions& options)
     : network_(&network),
       byte_scale_(options.byte_scale),
       dead_letter_cap_(options.dead_letter_cap),
+      dead_letter_max_bytes_(options.dead_letter_max_bytes),
       handlers_(network.size()),
       dead_letters_to_(network.size(), 0),
       epoch_stamp_(network.size(), 0),
@@ -33,6 +35,7 @@ void Fabric::set_obs(obs::Observability* o) {
   obs_types_.clear();
   obs_dead_letters_ = obs_dead_letter_evictions_ = obs_stale_rejected_ =
       obs_retries_ = obs_failures_ = nullptr;
+  obs_dead_letter_pinned_bytes_ = nullptr;
   obs_track_ = 0;
   obs_worker_tracks_.clear();
   if (o == nullptr) return;
@@ -45,6 +48,7 @@ void Fabric::set_obs(obs::Observability* o) {
   }
   obs_dead_letters_ = &m.counter("comm.fabric.dead_letters");
   obs_dead_letter_evictions_ = &m.counter("comm.fabric.dead_letter_evictions");
+  obs_dead_letter_pinned_bytes_ = &m.gauge("comm.dead_letter_pinned_bytes");
   obs_stale_rejected_ = &m.counter("comm.fabric.stale_epoch_rejected");
   obs_retries_ = &m.counter("comm.fabric.reliable_retries");
   obs_failures_ = &m.counter("comm.fabric.reliable_failures");
@@ -109,7 +113,7 @@ bool Fabric::deliver(std::size_t from, std::size_t to, const MessagePtr& msg,
     // link's tx span, which is exactly what happened.
     ++dead_letters_;
     ++dead_letters_to_[to];
-    record_dead_letter(from, to, msg->index());
+    record_dead_letter(from, to, msg);
     if (obs::on(obs_)) {
       obs_dead_letters_->inc();
       obs_->tracer().instant(obs_track_, "dead_letter",
@@ -134,13 +138,25 @@ bool Fabric::deliver(std::size_t from, std::size_t to, const MessagePtr& msg,
 }
 
 void Fabric::record_dead_letter(std::size_t from, std::size_t to,
-                                std::size_t type) {
+                                const MessagePtr& msg) {
   if (dead_letter_cap_ == 0) return;  // counters only, no records
-  dead_letter_queue_.push_back(DeadLetter{engine().now(), from, to, type});
-  while (dead_letter_queue_.size() > dead_letter_cap_) {
+  const common::Bytes pinned = payload_bytes(*msg);
+  dead_letter_queue_.push_back(
+      DeadLetter{engine().now(), from, to, msg->index(), msg, pinned});
+  dead_letter_pinned_bytes_ += pinned;
+  // Evict oldest-first until both bounds hold: record count and total
+  // pinned payload bytes (a retained data-lane message keeps its arena
+  // blocks alive, so the byte bound is what actually caps memory).
+  while (dead_letter_queue_.size() > dead_letter_cap_ ||
+         dead_letter_pinned_bytes_ > dead_letter_max_bytes_) {
+    dead_letter_pinned_bytes_ -= dead_letter_queue_.front().payload_bytes;
     dead_letter_queue_.pop_front();
     ++dead_letter_evictions_;
     if (obs::on(obs_)) obs_dead_letter_evictions_->inc();
+  }
+  if (obs::on(obs_)) {
+    obs_dead_letter_pinned_bytes_->set(
+        static_cast<double>(dead_letter_pinned_bytes_));
   }
 }
 
@@ -290,7 +306,7 @@ void Fabric::on_timeout(std::uint64_t seq) {
     ++reliable_failures_;
     ++dead_letters_;
     ++dead_letters_to_[p.to];
-    record_dead_letter(p.from, p.to, p.msg->index());
+    record_dead_letter(p.from, p.to, p.msg);
     if (obs::on(obs_)) {
       obs_failures_->inc();
       obs_dead_letters_->inc();

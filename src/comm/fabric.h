@@ -42,15 +42,20 @@ struct RetryPolicy {
 };
 
 /// Record kept for a message that dead-lettered (arrived at a detached
-/// worker, or exhausted its reliable-send retry budget). The payload itself
-/// is dropped — the record exists for diagnosis, not redelivery — so the
-/// queue's memory footprint is bounded by `FabricOptions::dead_letter_cap`
-/// small structs regardless of message sizes.
+/// worker, or exhausted its reliable-send retry budget). The record retains
+/// the message for diagnosis — for a data-lane message that pins its
+/// arena-backed payload blocks — so retention is bounded two ways: at most
+/// `FabricOptions::dead_letter_cap` records, and at most
+/// `FabricOptions::dead_letter_max_bytes` of pinned payload across the
+/// queue (`payload_bytes` is each record's contribution). Whichever bound
+/// is exceeded first evicts the oldest records.
 struct DeadLetter {
   common::SimTime time = 0.0;
   std::size_t from = 0;
   std::size_t to = 0;
   std::size_t type = 0;  ///< Message variant index
+  MessagePtr msg;        ///< retained for diagnosis (pins payload blocks)
+  common::Bytes payload_bytes = 0;  ///< arena bytes this record pins
 };
 
 struct FabricOptions {
@@ -60,6 +65,10 @@ struct FabricOptions {
   /// evicted (counted in dead_letter_evictions) — long churn runs cannot
   /// grow the queue without limit. 0 keeps counters only, no records.
   std::size_t dead_letter_cap = 256;
+  /// Maximum payload bytes the retained records may pin in total; records
+  /// are evicted oldest-first until the sum fits. Bounds the arena memory
+  /// a burst of dead-lettered gradient/weight messages can hold alive.
+  common::Bytes dead_letter_max_bytes = 8 * 1024 * 1024;
 };
 
 class Fabric {
@@ -111,9 +120,16 @@ class Fabric {
   const std::deque<DeadLetter>& recent_dead_letters() const {
     return dead_letter_queue_;
   }
-  /// Dead-letter records evicted because the queue hit its cap.
+  /// Dead-letter records evicted because the queue hit its cap (record
+  /// count or pinned payload bytes).
   std::uint64_t dead_letter_evictions() const {
     return dead_letter_evictions_;
+  }
+  /// Payload bytes currently pinned by retained dead-letter records
+  /// (mirrored as the `comm.dead_letter_pinned_bytes` gauge when an
+  /// observer is attached).
+  common::Bytes dead_letter_pinned_bytes() const {
+    return dead_letter_pinned_bytes_;
   }
 
   // --- Roster epochs (elastic membership, DESIGN.md) ---
@@ -186,7 +202,8 @@ class Fabric {
   /// sender's roster epoch captured at transmit time.
   bool deliver(std::size_t from, std::size_t to, const MessagePtr& msg,
                FlowId flow, std::uint64_t epoch);
-  void record_dead_letter(std::size_t from, std::size_t to, std::size_t type);
+  void record_dead_letter(std::size_t from, std::size_t to,
+                          const MessagePtr& msg);
   void transmit(std::size_t from, std::size_t to, MessagePtr msg,
                 common::Bytes bytes, Kind kind, std::uint64_t seq);
   void send_ack(std::size_t from, std::size_t to, std::uint64_t seq);
@@ -197,10 +214,14 @@ class Fabric {
   sim::Network* network_;
   double byte_scale_;
   std::size_t dead_letter_cap_;
+  common::Bytes dead_letter_max_bytes_;
   std::vector<Handler> handlers_;
   std::vector<std::uint64_t> dead_letters_to_;
   std::uint64_t dead_letters_ = 0;
-  std::deque<DeadLetter> dead_letter_queue_;  ///< bounded by dead_letter_cap_
+  /// Bounded by dead_letter_cap_ records and dead_letter_max_bytes_ of
+  /// pinned payload.
+  std::deque<DeadLetter> dead_letter_queue_;
+  common::Bytes dead_letter_pinned_bytes_ = 0;
   std::uint64_t dead_letter_evictions_ = 0;
   /// Roster epochs: per-sender transmission stamp, per-receiver acceptance
   /// floor, and the rejected-delivery counter. All-zero unless the elastic
@@ -224,6 +245,7 @@ class Fabric {
   std::vector<ObsTypeHandles> obs_types_;
   obs::Counter* obs_dead_letters_ = nullptr;
   obs::Counter* obs_dead_letter_evictions_ = nullptr;
+  obs::Gauge* obs_dead_letter_pinned_bytes_ = nullptr;
   obs::Counter* obs_stale_rejected_ = nullptr;
   obs::Counter* obs_retries_ = nullptr;
   obs::Counter* obs_failures_ = nullptr;

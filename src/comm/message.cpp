@@ -65,4 +65,26 @@ bool is_control(const Message& msg) {
          std::holds_alternative<BootstrapRequest>(msg);
 }
 
+std::size_t payload_bytes(const Message& msg) {
+  return std::visit(
+      [](const auto& m) -> std::size_t {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, GradientUpdate>) {
+          std::size_t bytes = 0;
+          for (const auto& v : m.vars) {
+            bytes += v.indices.size() * sizeof(std::uint32_t) +
+                     v.values.size() * sizeof(float);
+          }
+          return bytes;
+        } else if constexpr (std::is_same_v<T, WeightSnapshot> ||
+                             std::is_same_v<T, BootstrapChunk> ||
+                             std::is_same_v<T, ModelPublish>) {
+          return m.weights.num_values() * sizeof(float);
+        } else {
+          return 0;
+        }
+      },
+      msg);
+}
+
 }  // namespace dlion::comm

@@ -12,17 +12,19 @@
 #include <variant>
 #include <vector>
 
-#include "nn/model.h"
+#include "comm/payload.h"
 
 namespace dlion::comm {
 
 /// Partial gradient of one named weight variable. `indices` empty means the
-/// values are dense (all `dense_size` entries in order).
+/// values are dense (all `dense_size` entries in order). Both arrays are
+/// arena-backed views (comm/payload.h): copying a VariableGrad increfs the
+/// backing blocks, it never duplicates gradient bytes.
 struct VariableGrad {
   std::uint32_t var_index = 0;
   std::uint32_t dense_size = 0;
-  std::vector<std::uint32_t> indices;  ///< sorted, empty if dense
-  std::vector<float> values;
+  Payload<std::uint32_t> indices;  ///< sorted, empty if dense
+  Payload<float> values;
 
   bool is_dense() const {
     return indices.empty() && values.size() == dense_size;
@@ -42,12 +44,13 @@ struct GradientUpdate {
   double density(std::size_t model_params) const;
 };
 
-/// Full model weights (direct knowledge transfer, §3.4).
+/// Full model weights (direct knowledge transfer, §3.4). `weights.parts`
+/// holds one view per weight variable in model order.
 struct WeightSnapshot {
   std::uint32_t from = 0;
   std::uint64_t iteration = 0;
   double loss = 0.0;  ///< sender's smoothed loss when snapshotting
-  nn::Snapshot weights;
+  WeightPayload weights;
 };
 
 /// Periodic average-of-last-l losses broadcast (control queue).
@@ -117,14 +120,16 @@ struct BootstrapChunk {
   std::uint64_t iteration = 0;
   std::uint64_t gbs_ticks = 0;  ///< donor's GBS controller tick count
   double loss = 0.0;            ///< donor's smoothed loss (DKT seed)
-  nn::Snapshot weights;         ///< values for [first_var, first_var+n)
+  WeightPayload weights;        ///< parts for [first_var, first_var+n)
 };
 
 /// Weight-snapshot publication from a live training run to serving
 /// replicas (DESIGN.md "Serving tier"). Reuses the bootstrap chunking
 /// scheme: `weights` holds the variables [first_var, first_var +
-/// weights.size()) out of `total_vars`, so large models can be streamed in
-/// ranges over the data lane. `version` is the publisher's monotone publish
+/// weights.parts.size()) out of `total_vars`, so large models can be
+/// streamed in ranges over the data lane. All chunks of one publish share
+/// views over a single staged snapshot; fanning out to many replicas never
+/// re-copies weights. `version` is the publisher's monotone publish
 /// sequence number; `iteration` is the training iteration the snapshot was
 /// taken at (feeds the replica staleness metric).
 struct ModelPublish {
@@ -133,7 +138,7 @@ struct ModelPublish {
   std::uint64_t iteration = 0;
   std::uint32_t first_var = 0;
   std::uint32_t total_vars = 0;
-  nn::Snapshot weights;  ///< values for [first_var, first_var+n)
+  WeightPayload weights;  ///< parts for [first_var, first_var+n)
 };
 
 using Message = std::variant<GradientUpdate, WeightSnapshot, LossReport,
@@ -172,6 +177,12 @@ constexpr std::uint64_t flow_seq(FlowId id) {
 
 /// True for messages that ride the control queue (small, latency-bound).
 bool is_control(const Message& msg);
+
+/// Arena bytes a retained copy of `msg` pins (sum of its payload view
+/// lengths; 0 for control messages). Feeds the fabric's dead-letter
+/// byte-based eviction: a dead-lettered data message keeps its blocks alive
+/// until the record is dropped.
+std::size_t payload_bytes(const Message& msg);
 
 /// Stable human-readable name of the message's alternative ("GradientUpdate",
 /// "Ack", ...) — used as the `type` label on fabric metrics.

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "comm/payload.h"
 #include "nn/model.h"
 
 namespace dlion::core {
@@ -83,6 +84,9 @@ class DktModule {
 
   /// Merge the best weights into `model`: w -= lambda * (w - w_best).
   void merge(nn::Model& model, const nn::Snapshot& best_weights) const;
+  /// Same merge, reading the best weights directly from a received
+  /// snapshot's payload views - no intermediate weight copy.
+  void merge(nn::Model& model, const comm::WeightPayload& best_weights) const;
 
  private:
   /// True when entry `i` may participate in best/worst selection at

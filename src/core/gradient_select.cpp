@@ -16,12 +16,41 @@ void check_n(double n) {
   }
 }
 
-comm::VariableGrad dense_grad(std::span<const float> grad,
-                              std::uint32_t var_index) {
+/// Thread-local (indices, values) staging vectors shared by all selectors.
+/// Selection runs here, then the result is packed into payload storage in
+/// one production write - steady-state selection touches the heap only
+/// until the workspace capacity has warmed up.
+struct SelectWorkspace {
+  std::vector<std::uint32_t> idx;
+  std::vector<float> vals;
+
+  static SelectWorkspace& tls() {
+    thread_local SelectWorkspace ws;
+    return ws;
+  }
+};
+
+/// Pack the staged selection into `v`: through the caller's writer (arena
+/// block) when one is given, into a standalone exact-size block otherwise.
+void emit_selection(comm::VariableGrad& v,
+                    std::span<const std::uint32_t> idx,
+                    std::span<const float> vals, comm::PayloadWriter* writer) {
+  if (writer != nullptr) {
+    v.indices = writer->copy(idx);
+    v.values = writer->copy(vals);
+  } else {
+    v.indices = comm::make_payload(idx);
+    v.values = comm::make_payload(vals);
+  }
+}
+
+comm::VariableGrad dense_grad_impl(std::span<const float> grad,
+                                   std::uint32_t var_index,
+                                   comm::PayloadWriter* writer) {
   comm::VariableGrad v;
   v.var_index = var_index;
   v.dense_size = static_cast<std::uint32_t>(grad.size());
-  v.values.assign(grad.begin(), grad.end());
+  v.values = writer != nullptr ? writer->copy(grad) : comm::make_payload(grad);
   return v;
 }
 
@@ -47,10 +76,12 @@ double max_n_threshold(double n, float max_abs) {
   return (1.0 - n / 100.0) * static_cast<double>(max_abs);
 }
 
-comm::VariableGrad select_max_n(std::span<const float> grad,
-                                std::uint32_t var_index, double n) {
+namespace {
+comm::VariableGrad select_max_n_impl(std::span<const float> grad,
+                                     std::uint32_t var_index, double n,
+                                     comm::PayloadWriter* writer) {
   check_n(n);
-  if (n == 100.0) return dense_grad(grad, var_index);
+  if (n == 100.0) return dense_grad_impl(grad, var_index, writer);
   comm::VariableGrad v;
   v.var_index = var_index;
   v.dense_size = static_cast<std::uint32_t>(grad.size());
@@ -66,10 +97,11 @@ comm::VariableGrad select_max_n(std::span<const float> grad,
   const double keep = 1.0 - n / 100.0;
   float running_max = 0.0f;
   double thr = 0.0;
-  auto& idx = v.indices;
-  auto& vals = v.values;
-  idx.reserve(64);
-  vals.reserve(64);
+  SelectWorkspace& ws = SelectWorkspace::tls();
+  auto& idx = ws.idx;
+  auto& vals = ws.vals;
+  idx.clear();
+  vals.clear();
   std::size_t compact_limit = 256;
   for (std::size_t i = 0; i < grad.size(); ++i) {
     const float g = grad[i];
@@ -88,7 +120,31 @@ comm::VariableGrad select_max_n(std::span<const float> grad,
     }
   }
   compact_candidates(idx, vals, thr);
+  emit_selection(v, idx, vals, writer);
   return v;
+}
+}  // namespace
+
+comm::VariableGrad select_max_n(std::span<const float> grad,
+                                std::uint32_t var_index, double n) {
+  return select_max_n_impl(grad, var_index, n, nullptr);
+}
+
+comm::VariableGrad select_max_n(std::span<const float> grad,
+                                std::uint32_t var_index, double n,
+                                comm::PayloadWriter& writer) {
+  return select_max_n_impl(grad, var_index, n, &writer);
+}
+
+comm::VariableGrad dense_grad(std::span<const float> grad,
+                              std::uint32_t var_index) {
+  return dense_grad_impl(grad, var_index, nullptr);
+}
+
+comm::VariableGrad dense_grad(std::span<const float> grad,
+                              std::uint32_t var_index,
+                              comm::PayloadWriter& writer) {
+  return dense_grad_impl(grad, var_index, &writer);
 }
 
 std::size_t count_max_n(std::span<const float> grad, double n) {
@@ -133,11 +189,13 @@ std::size_t count_max_n_mags(std::span<const float> mags, float max_abs,
   return count;
 }
 
-comm::VariableGrad select_top_k_mags(std::span<const float> grad,
-                                     std::span<const float> mags,
-                                     std::uint32_t var_index, std::size_t k,
-                                     float* kth_mag) {
-  if (k >= grad.size()) return dense_grad(grad, var_index);
+namespace {
+comm::VariableGrad select_top_k_mags_impl(std::span<const float> grad,
+                                          std::span<const float> mags,
+                                          std::uint32_t var_index,
+                                          std::size_t k, float* kth_mag,
+                                          comm::PayloadWriter* writer) {
+  if (k >= grad.size()) return dense_grad_impl(grad, var_index, writer);
   comm::VariableGrad v;
   v.var_index = var_index;
   v.dense_size = static_cast<std::uint32_t>(grad.size());
@@ -145,7 +203,9 @@ comm::VariableGrad select_top_k_mags(std::span<const float> grad,
   // Partial sort of indices by |g| descending, index ascending on ties.
   // The comparator reads the precomputed magnitudes: nth_element invokes it
   // O(n log n) times in the worst case, so hoisting fabs out of it matters.
-  std::vector<std::uint32_t> idx(grad.size());
+  SelectWorkspace& ws = SelectWorkspace::tls();
+  auto& idx = ws.idx;
+  idx.resize(grad.size());
   for (std::size_t i = 0; i < grad.size(); ++i) {
     idx[i] = static_cast<std::uint32_t>(i);
   }
@@ -166,10 +226,27 @@ comm::VariableGrad select_top_k_mags(std::span<const float> grad,
     *kth_mag = mn;
   }
   std::sort(idx.begin(), idx.end());
-  v.indices = std::move(idx);
-  v.values.reserve(k);
-  for (std::uint32_t i : v.indices) v.values.push_back(grad[i]);
+  auto& vals = ws.vals;
+  vals.resize(k);
+  for (std::size_t i = 0; i < k; ++i) vals[i] = grad[idx[i]];
+  emit_selection(v, idx, vals, writer);
   return v;
+}
+}  // namespace
+
+comm::VariableGrad select_top_k_mags(std::span<const float> grad,
+                                     std::span<const float> mags,
+                                     std::uint32_t var_index, std::size_t k,
+                                     float* kth_mag) {
+  return select_top_k_mags_impl(grad, mags, var_index, k, kth_mag, nullptr);
+}
+
+comm::VariableGrad select_top_k_mags(std::span<const float> grad,
+                                     std::span<const float> mags,
+                                     std::uint32_t var_index, std::size_t k,
+                                     comm::PayloadWriter& writer,
+                                     float* kth_mag) {
+  return select_top_k_mags_impl(grad, mags, var_index, k, kth_mag, &writer);
 }
 
 comm::VariableGrad select_top_k(std::span<const float> grad,
@@ -178,6 +255,15 @@ comm::VariableGrad select_top_k(std::span<const float> grad,
   std::vector<float> mags;
   magnitudes(grad, mags);
   return select_top_k_mags(grad, mags, var_index, k);
+}
+
+comm::VariableGrad select_top_k(std::span<const float> grad,
+                                std::uint32_t var_index, std::size_t k,
+                                comm::PayloadWriter& writer) {
+  if (k >= grad.size()) return dense_grad(grad, var_index, writer);
+  std::vector<float> mags;
+  magnitudes(grad, mags);
+  return select_top_k_mags(grad, mags, var_index, k, writer);
 }
 
 double equivalent_n_from_threshold(float max_abs, float kth_mag) {

@@ -16,11 +16,21 @@
 #include <vector>
 
 #include "comm/message.h"
+#include "comm/payload.h"
 
 namespace dlion::core {
 
 /// Threshold implied by Max N for a vector whose max-abs is `max_abs`.
 double max_n_threshold(double n, float max_abs);
+
+// Every selector below exists in two forms. The writer form packs the
+// selected (indices, values) arrays into the caller's PayloadWriter - the
+// strategies' hot path, one production write into an arena block, zero heap
+// allocations once the thread-local selection workspace is warm. The
+// writer-less form packs into a standalone exact-size block instead
+// (tests / callers without an arena); both produce identical entries - the
+// selection runs in a shared workspace and the output cannot depend on
+// where its bytes land.
 
 // ---------------------------------------------------------------------------
 // Fused magnitude workspace.
@@ -49,6 +59,11 @@ comm::VariableGrad select_top_k_mags(std::span<const float> grad,
                                      std::span<const float> mags,
                                      std::uint32_t var_index, std::size_t k,
                                      float* kth_mag = nullptr);
+comm::VariableGrad select_top_k_mags(std::span<const float> grad,
+                                     std::span<const float> mags,
+                                     std::uint32_t var_index, std::size_t k,
+                                     comm::PayloadWriter& writer,
+                                     float* kth_mag = nullptr);
 
 /// equivalent_n given a precomputed effective threshold (the k-th largest
 /// magnitude) and max-abs. Matches equivalent_n() bit-for-bit.
@@ -58,11 +73,24 @@ double equivalent_n_from_threshold(float max_abs, float kth_mag);
 /// n == 100 returns a dense VariableGrad.
 comm::VariableGrad select_max_n(std::span<const float> grad,
                                 std::uint32_t var_index, double n);
+comm::VariableGrad select_max_n(std::span<const float> grad,
+                                std::uint32_t var_index, double n,
+                                comm::PayloadWriter& writer);
 
 /// Select the k largest-magnitude entries (ties broken by lower index).
 /// k >= grad.size() returns a dense VariableGrad.
 comm::VariableGrad select_top_k(std::span<const float> grad,
                                 std::uint32_t var_index, std::size_t k);
+comm::VariableGrad select_top_k(std::span<const float> grad,
+                                std::uint32_t var_index, std::size_t k,
+                                comm::PayloadWriter& writer);
+
+/// Dense VariableGrad over all of `grad` (what Max N = 100 selects).
+comm::VariableGrad dense_grad(std::span<const float> grad,
+                              std::uint32_t var_index);
+comm::VariableGrad dense_grad(std::span<const float> grad,
+                              std::uint32_t var_index,
+                              comm::PayloadWriter& writer);
 
 /// Number of entries Max N would select, without materializing them.
 std::size_t count_max_n(std::span<const float> grad, double n);

@@ -13,6 +13,7 @@ LinkPrioritizer::LinkPrioritizer(LinkPrioritizerConfig config)
 std::vector<comm::VariableGrad> LinkPrioritizer::generate(
     const nn::Model& model, const LinkContext& ctx) {
   const auto& vars = model.variables();
+  comm::PayloadWriter writer(payload_arena(ctx));
   std::vector<comm::VariableGrad> out;
   out.reserve(vars.size());
 
@@ -21,7 +22,7 @@ std::vector<comm::VariableGrad> LinkPrioritizer::generate(
     for (std::size_t v = 0; v < vars.size(); ++v) {
       out.push_back(select_max_n(vars[v]->grad().span(),
                                  static_cast<std::uint32_t>(v),
-                                 config_.fixed_n));
+                                 config_.fixed_n, writer));
     }
     last_n_ = config_.fixed_n;
     last_entries_ = 0;
@@ -41,7 +42,9 @@ std::vector<comm::VariableGrad> LinkPrioritizer::generate(
   const std::size_t total_params = model.num_params();
   double weighted_n = 0.0;
   std::size_t total_entries = 0;
-  std::vector<float> mags;  // reused across variables: one scan per gradient
+  // Magnitude buffer reused across variables *and* calls: one scan per
+  // gradient, no steady-state allocation.
+  std::vector<float>& mags = mags_;
   for (std::size_t v = 0; v < vars.size(); ++v) {
     const auto grad = vars[v]->grad().span();
     // The budget is split across weight variables proportionally to size;
@@ -62,7 +65,7 @@ std::vector<comm::VariableGrad> LinkPrioritizer::generate(
     float kth_mag = 0.0f;
     comm::VariableGrad vg =
         select_top_k_mags(grad, mags, static_cast<std::uint32_t>(v), k,
-                          &kth_mag);
+                          writer, &kth_mag);
     // equivalent_n(grad, min(k, size)) without the second partial sort:
     // the selection already exposes its effective threshold.
     double eq_n;

@@ -46,6 +46,8 @@ class LinkPrioritizer : public PartialGradientStrategy {
   LinkPrioritizerConfig config_;
   double last_n_ = 100.0;
   std::size_t last_entries_ = 0;
+  /// Magnitude workspace reused across generate() calls.
+  std::vector<float> mags_;
 };
 
 }  // namespace dlion::core

@@ -32,6 +32,11 @@ struct LinkContext {
   /// judging *update* significance (Gaia) need.
   double learning_rate = 0.0;
   std::size_t n_workers = 1;
+  /// Arena the generated payloads should be packed into (one production
+  /// write through a PayloadWriter; see comm/payload.h). Null means "no
+  /// arena in reach" - strategies then fall back to standalone exact-size
+  /// blocks, producing identical entries either way.
+  comm::PayloadArena* arena = nullptr;
 };
 
 class PartialGradientStrategy {
@@ -54,6 +59,18 @@ class PartialGradientStrategy {
                                                    const LinkContext& ctx) = 0;
 
   virtual const char* name() const = 0;
+
+ protected:
+  /// Arena to pack generated payloads into: the context's when the caller
+  /// provided one (the worker's data-plane arena), else a strategy-owned
+  /// fallback so strategies driven directly (tests, benches) still produce
+  /// arena-backed views.
+  comm::PayloadArena& payload_arena(const LinkContext& ctx) {
+    return ctx.arena != nullptr ? *ctx.arena : fallback_arena_;
+  }
+
+ private:
+  comm::PayloadArena fallback_arena_;
 };
 
 using StrategyPtr = std::unique_ptr<PartialGradientStrategy>;

@@ -1,5 +1,6 @@
 #include "core/weighted_update.h"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "common/check.h"
@@ -73,6 +74,24 @@ void apply_own_gradients(nn::Model& model, double eta, std::size_t n_workers,
     float* w = var->value().data();
     const float* g = var->grad().data();
     for (std::size_t i = 0; i < var->size(); ++i) w[i] -= scale * g[i];
+  }
+}
+
+void assign_weights(nn::Model& model, const comm::WeightPayload& weights) {
+  auto& vars = model.variables();
+  if (weights.parts.size() != vars.size()) {
+    throw std::invalid_argument("assign_weights: variable count mismatch");
+  }
+  for (std::size_t v = 0; v < vars.size(); ++v) {
+    const comm::Payload<float>& p = weights.parts[v];
+    if (p.size() != vars[v]->size()) {
+      throw std::invalid_argument("assign_weights: size mismatch at " +
+                                  vars[v]->name());
+    }
+    if (p.size() > 0) {
+      std::memcpy(vars[v]->value().data(), p.data(),
+                  p.size() * sizeof(float));
+    }
   }
 }
 

@@ -48,4 +48,11 @@ void apply_gradient_update(nn::Model& model, const comm::GradientUpdate& update,
 void apply_own_gradients(nn::Model& model, double eta, std::size_t n_workers,
                          double db = 1.0);
 
+/// Overwrite the model's weights from a received snapshot payload (one part
+/// per variable, model order) - the payload-view counterpart of
+/// nn::Model::set_weights, reading the wire views directly so adopting a
+/// peer's weights (catch-up, bootstrap) never builds an intermediate
+/// Snapshot.
+void assign_weights(nn::Model& model, const comm::WeightPayload& weights);
+
 }  // namespace dlion::core

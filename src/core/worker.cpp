@@ -529,6 +529,7 @@ void Worker::finish_iteration(std::size_t lbs, double compute_seconds) {
     ctx.byte_scale = fabric_->byte_scale();
     ctx.learning_rate = options_.learning_rate;
     ctx.n_workers = n_live;
+    ctx.arena = &arena_;
     comm::GradientUpdate update;
     update.from = static_cast<std::uint32_t>(id_);
     update.iteration = iteration_;
@@ -756,7 +757,7 @@ void Worker::on_message(std::size_t from, comm::MessagePtr msg) {
           snap.from = static_cast<std::uint32_t>(id_);
           snap.iteration = iteration_;
           snap.loss = dkt_.avg_loss();
-          snap.weights = built_.model.weights();
+          snap.weights = stage_weights(0, built_.model.num_variables());
           if (ft().enabled) {
             fabric_->send_reliable(id_, from, std::move(snap),
                                    ft().control_retry);
@@ -775,7 +776,7 @@ void Worker::on_message(std::size_t from, comm::MessagePtr msg) {
           if (catching_up_) {
             // Post-recovery catch-up: adopt the peer's weights and jump to
             // its iteration so peers' staleness bounds see us as current.
-            built_.model.set_weights(m.weights);
+            assign_weights(built_.model, m.weights);
             iteration_ = std::max(iteration_, m.iteration);
             catching_up_ = false;
             take_checkpoint();  // fresh restore point post-rejoin
@@ -816,10 +817,9 @@ void Worker::on_message(std::size_t from, comm::MessagePtr msg) {
             chunk.iteration = iteration_;
             chunk.gbs_ticks = gbs_ctrl_.ticks();
             chunk.loss = dkt_.avg_loss();
-            const nn::Snapshot all = built_.model.weights();
-            chunk.weights.values.assign(
-                all.values.begin() + m.first_var,
-                all.values.begin() + m.first_var + m.var_count);
+            // Only the requested slice is staged - serving a chunk never
+            // snapshots (or copies) the rest of the model.
+            chunk.weights = stage_weights(m.first_var, m.var_count);
             if (ft().enabled) {
               fabric_->send_reliable(id_, from, std::move(chunk),
                                      ft().control_retry);
@@ -834,12 +834,14 @@ void Worker::on_message(std::size_t from, comm::MessagePtr msg) {
           // carry an older epoch and are rejected.
           if (bootstrapping_ && m.epoch >= bootstrap_epoch_ &&
               static_cast<std::size_t>(m.first_var) +
-                      m.weights.values.size() <=
+                      m.weights.parts.size() <=
                   bootstrap_values_.size()) {
-            for (std::size_t i = 0; i < m.weights.values.size(); ++i) {
+            for (std::size_t i = 0; i < m.weights.parts.size(); ++i) {
               const std::size_t v = m.first_var + i;
               if (bootstrap_have_[v]) continue;  // duplicate range
-              bootstrap_values_[v] = m.weights.values[i];
+              // View into the chunk's payload block (incref, no copy);
+              // the block stays pinned until finish_bootstrap applies it.
+              bootstrap_values_[v] = m.weights.parts[i];
               bootstrap_have_[v] = true;
               ++bootstrap_received_;
             }
@@ -860,6 +862,29 @@ void Worker::on_message(std::size_t from, comm::MessagePtr msg) {
         }
       },
       *msg);
+}
+
+comm::WeightPayload Worker::stage_weights(std::size_t first_var,
+                                          std::size_t var_count) {
+  const auto& vars = built_.model.variables();
+  DLION_ASSERT(first_var + var_count <= vars.size(),
+               "stage_weights: variable range out of bounds");
+  // Size the writer's block hint to the whole slice so the parts land in
+  // one block whenever the arena can serve it.
+  std::size_t total_bytes = 0;
+  for (std::size_t v = first_var; v < first_var + var_count; ++v) {
+    total_bytes += vars[v]->size() * sizeof(float);
+  }
+  comm::PayloadWriter writer(
+      arena_, std::max(total_bytes, comm::PayloadArena::kMinBlockBytes));
+  comm::WeightPayload out;
+  out.parts.reserve(var_count);
+  for (std::size_t v = first_var; v < first_var + var_count; ++v) {
+    const tensor::Tensor& t = vars[v]->value();
+    out.parts.push_back(
+        writer.copy(std::span<const float>(t.data(), t.size())));
+  }
+  return out;
 }
 
 // --- Elastic membership (DESIGN.md, "Elastic membership") ---
@@ -1014,7 +1039,7 @@ void Worker::begin_bootstrap() {
   if (donors.empty() || nvars == 0) return;  // first member: nothing to copy
   bootstrapping_ = true;
   bootstrap_epoch_ = roster_.epoch();
-  bootstrap_values_.assign(nvars, tensor::Tensor{});
+  bootstrap_values_.assign(nvars, comm::Payload<float>{});
   bootstrap_have_.assign(nvars, false);
   bootstrap_received_ = 0;
   bootstrap_iteration_ = 0;
@@ -1076,9 +1101,11 @@ void Worker::send_bootstrap_request(BootstrapRange range,
 }
 
 void Worker::finish_bootstrap() {
-  nn::Snapshot snap;
-  snap.values = std::move(bootstrap_values_);
-  built_.model.set_weights(snap);
+  // Apply the assembled snapshot straight from the chunks' payload views;
+  // clearing the assembly afterwards drops the pins, releasing the blocks.
+  comm::WeightPayload snap;
+  snap.parts = std::move(bootstrap_values_);
+  assign_weights(built_.model, snap);
   bootstrap_values_.clear();
   bootstrap_have_.clear();
   iteration_ = std::max(iteration_, bootstrap_iteration_);

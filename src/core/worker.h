@@ -254,6 +254,11 @@ class Worker {
                         bool catch_up);
   void request_catch_up();
 
+  /// Stage the values of variables [first_var, first_var + var_count) into
+  /// the data-plane arena as one payload part per variable (one production
+  /// write; every message carrying the result shares the same blocks).
+  comm::WeightPayload stage_weights(std::size_t first_var,
+                                    std::size_t var_count);
   /// Roster-targeted broadcast when elastic membership is on; the legacy
   /// everyone-but-self broadcast otherwise.
   void broadcast_msg(const comm::Message& msg);
@@ -280,6 +285,11 @@ class Worker {
   WorkerOptions options_;
   data::MinibatchSampler sampler_;
   data::Batch eval_batch_;
+  /// Data-plane payload arena: everything this worker ships on the data
+  /// lane (gradient selections, weight snapshots, bootstrap chunks) is
+  /// staged here; in-flight messages pin their blocks, recycled blocks are
+  /// reused once delivery drops the last view (comm/payload.h).
+  comm::PayloadArena arena_;
 
   GbsController gbs_ctrl_;
   DktModule dkt_;
@@ -332,7 +342,9 @@ class Worker {
   /// Roster epoch when this bootstrap began: chunks from this tenure carry
   /// epoch >= this, chunks from a superseded join attempt carry less.
   std::uint64_t bootstrap_epoch_ = 0;
-  std::vector<tensor::Tensor> bootstrap_values_;  // per-variable assembly
+  /// Per-variable assembly of the incoming snapshot: views into the
+  /// received chunks' payload blocks (pinned until the bootstrap finishes).
+  std::vector<comm::Payload<float>> bootstrap_values_;
   std::vector<bool> bootstrap_have_;
   std::size_t bootstrap_received_ = 0;
   std::uint64_t bootstrap_iteration_ = 0;

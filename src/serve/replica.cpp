@@ -165,14 +165,14 @@ void Replica::on_publish(const comm::ModelPublish& msg,
     return;
   }
   auto& vars = built_.model.variables();
-  const std::size_t nvars = msg.weights.values.size();
+  const std::size_t nvars = msg.weights.parts.size();
   if (msg.total_vars != vars.size() ||
       static_cast<std::size_t>(msg.first_var) + nvars > vars.size()) {
     ++stale_publishes_ignored_;  // geometry mismatch: never apply
     return;
   }
   for (std::size_t j = 0; j < nvars; ++j) {
-    const auto src = msg.weights.values[j].span();
+    const auto src = msg.weights.parts[j].span();
     auto dst = vars[msg.first_var + j]->value().span();
     if (src.size() != dst.size()) {
       ++stale_publishes_ignored_;

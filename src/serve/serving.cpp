@@ -100,6 +100,19 @@ void ServingTier::publish() {
   ++publish_version_;
   const std::size_t total = source->weights.values.size();
   const std::size_t chunk = std::max<std::size_t>(1, spec_.publish_chunk_vars);
+  // Stage the snapshot once; every replica x chunk message below shares
+  // views over these parts (incref per message, no weight bytes copied).
+  std::size_t total_bytes = 0;
+  for (const tensor::Tensor& t : source->weights.values) {
+    total_bytes += t.size() * sizeof(float);
+  }
+  comm::PayloadWriter writer(
+      arena_, std::max(total_bytes, comm::PayloadArena::kMinBlockBytes));
+  std::vector<comm::Payload<float>> parts;
+  parts.reserve(total);
+  for (const tensor::Tensor& t : source->weights.values) {
+    parts.push_back(writer.copy(std::span<const float>(t.data(), t.size())));
+  }
   for (const auto& rep : replicas_) {
     for (std::size_t first = 0; first < total; first += chunk) {
       const std::size_t n = std::min(chunk, total - first);
@@ -109,8 +122,7 @@ void ServingTier::publish() {
       msg.iteration = source->iteration;
       msg.first_var = static_cast<std::uint32_t>(first);
       msg.total_vars = static_cast<std::uint32_t>(total);
-      msg.weights.values.assign(source->weights.values.begin() + first,
-                                source->weights.values.begin() + first + n);
+      msg.weights.parts.assign(parts.begin() + first, parts.begin() + first + n);
       fabric_->send(source->slot, rep->slot(), std::move(msg));
     }
   }

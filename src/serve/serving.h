@@ -145,6 +145,11 @@ class ServingTier {
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::unique_ptr<ReplicaRouter> router_;
 
+  /// Publish arena: each publish round stages the source snapshot into it
+  /// once; every replica x chunk ModelPublish shares views over that single
+  /// production write (comm/payload.h).
+  comm::PayloadArena arena_;
+
   std::uint64_t next_request_id_ = 0;
   std::uint64_t arrived_ = 0;
   std::uint64_t admitted_ = 0;

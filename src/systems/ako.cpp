@@ -59,8 +59,12 @@ std::vector<comm::VariableGrad> AkoStrategy::generate(
     }
   }
   // Round-robin block: each variable contributes its (iteration mod p)-th
-  // contiguous slice; accumulated history for the slice is sent and reset.
+  // contiguous slice; accumulated history for the slice is staged straight
+  // into payload blocks (the send-and-reset is the production write - the
+  // accumulator is zeroed behind it, so the payload cannot alias live
+  // state) and reset.
   const std::size_t block = ctx.iteration % st.p;
+  comm::PayloadWriter writer(payload_arena(ctx));
   std::vector<comm::VariableGrad> out;
   out.reserve(vars.size());
   for (std::size_t v = 0; v < vars.size(); ++v) {
@@ -68,14 +72,23 @@ std::vector<comm::VariableGrad> AkoStrategy::generate(
     const std::size_t chunk = (size + st.p - 1) / st.p;
     const std::size_t begin = std::min(block * chunk, size);
     const std::size_t end = std::min(begin + chunk, size);
+    const std::size_t n = end - begin;
     comm::VariableGrad vg;
     vg.var_index = static_cast<std::uint32_t>(v);
     vg.dense_size = static_cast<std::uint32_t>(size);
-    float* acc = st.acc[v].data();
-    for (std::size_t i = begin; i < end; ++i) {
-      vg.indices.push_back(static_cast<std::uint32_t>(i));
-      vg.values.push_back(acc[i]);
-      acc[i] = 0.0f;
+    if (n > 0) {
+      std::uint32_t* idx = writer.stage<std::uint32_t>(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        idx[i] = static_cast<std::uint32_t>(begin + i);
+      }
+      vg.indices = writer.commit(idx, n);
+      float* acc = st.acc[v].data();
+      float* vals = writer.stage<float>(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        vals[i] = acc[begin + i];
+        acc[begin + i] = 0.0f;
+      }
+      vg.values = writer.commit(vals, n);
     }
     out.push_back(std::move(vg));
   }

@@ -5,16 +5,25 @@
 namespace dlion::systems {
 
 std::vector<comm::VariableGrad> BaselineStrategy::generate(
-    const nn::Model& model, const core::LinkContext& /*ctx*/) {
-  // generate_partial_gradients == whole gradients (Table 1: 1 line).
-  std::vector<comm::VariableGrad> out;
-  const auto& vars = model.variables();
-  out.reserve(vars.size());
-  for (std::size_t v = 0; v < vars.size(); ++v) {
-    out.push_back(core::select_max_n(vars[v]->grad().span(),
-                                     static_cast<std::uint32_t>(v), 100.0));
+    const nn::Model& model, const core::LinkContext& ctx) {
+  // generate_partial_gradients == whole gradients (Table 1: 1 line). The
+  // dense gradient is staged into payload blocks once per iteration (lazily,
+  // on the first peer); every other peer's update shares views over that
+  // single production write - copying a VariableGrad only increfs blocks.
+  if (!staged_valid_ || staged_iteration_ != ctx.iteration) {
+    comm::PayloadWriter writer(payload_arena(ctx));
+    staged_.clear();
+    const auto& vars = model.variables();
+    staged_.reserve(vars.size());
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      staged_.push_back(core::dense_grad(vars[v]->grad().span(),
+                                         static_cast<std::uint32_t>(v),
+                                         writer));
+    }
+    staged_iteration_ = ctx.iteration;
+    staged_valid_ = true;
   }
-  return out;
+  return staged_;
 }
 
 }  // namespace dlion::systems

@@ -12,6 +12,12 @@ class BaselineStrategy : public core::PartialGradientStrategy {
   std::vector<comm::VariableGrad> generate(
       const nn::Model& model, const core::LinkContext& ctx) override;
   const char* name() const override { return "baseline"; }
+
+ private:
+  /// Per-iteration staged gradient, shared by every peer's update.
+  std::vector<comm::VariableGrad> staged_;
+  std::uint64_t staged_iteration_ = 0;
+  bool staged_valid_ = false;
 };
 
 }  // namespace dlion::systems

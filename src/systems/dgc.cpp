@@ -40,7 +40,10 @@ std::vector<comm::VariableGrad> DgcStrategy::generate(
     }
   }
   // Error feedback: select the top density-fraction of the *residual* per
-  // variable, send it, and clear only what was sent.
+  // variable, send it, and clear only what was sent. Selection packs its
+  // result straight into payload blocks; clearing the sent residual entries
+  // behind it means the payload never aliases live accumulator state.
+  comm::PayloadWriter writer(payload_arena(ctx));
   std::vector<comm::VariableGrad> out;
   out.reserve(vars.size());
   for (std::size_t v = 0; v < vars.size(); ++v) {
@@ -49,7 +52,7 @@ std::vector<comm::VariableGrad> DgcStrategy::generate(
         1, static_cast<std::size_t>(
                std::floor(density_ * static_cast<double>(residual.size()))));
     comm::VariableGrad vg = core::select_top_k(
-        residual, static_cast<std::uint32_t>(v), k);
+        residual, static_cast<std::uint32_t>(v), k, writer);
     if (vg.is_dense()) {
       std::fill(residual.begin(), residual.end(), 0.0f);
     } else {

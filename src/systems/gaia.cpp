@@ -1,6 +1,7 @@
 #include "systems/gaia.h"
 
 #include <cmath>
+#include <span>
 
 namespace dlion::systems {
 
@@ -47,6 +48,7 @@ std::vector<comm::VariableGrad> GaiaStrategy::generate(
   const double update_scale =
       ctx.learning_rate / static_cast<double>(std::max<std::size_t>(
                               ctx.n_workers, 1));
+  comm::PayloadWriter writer(payload_arena(ctx));
   std::vector<comm::VariableGrad> out;
   out.reserve(vars.size());
   for (std::size_t v = 0; v < vars.size(); ++v) {
@@ -55,14 +57,18 @@ std::vector<comm::VariableGrad> GaiaStrategy::generate(
     comm::VariableGrad vg;
     vg.var_index = static_cast<std::uint32_t>(v);
     vg.dense_size = static_cast<std::uint32_t>(st.acc[v].size());
+    scratch_idx_.clear();
+    scratch_vals_.clear();
     for (std::size_t i = 0; i < st.acc[v].size(); ++i) {
       const float wm = std::max(std::fabs(w[i]), kWeightFloor);
       if (update_scale * std::fabs(acc[i]) >= significance_ * wm) {
-        vg.indices.push_back(static_cast<std::uint32_t>(i));
-        vg.values.push_back(acc[i]);
+        scratch_idx_.push_back(static_cast<std::uint32_t>(i));
+        scratch_vals_.push_back(acc[i]);
         acc[i] = 0.0f;
       }
     }
+    vg.indices = writer.copy(std::span<const std::uint32_t>(scratch_idx_));
+    vg.values = writer.copy(std::span<const float>(scratch_vals_));
     out.push_back(std::move(vg));
   }
   return out;

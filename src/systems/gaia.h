@@ -30,6 +30,10 @@ class GaiaStrategy : public core::PartialGradientStrategy {
 
   double significance_;
   std::vector<PeerState> peers_;
+  /// Selection staging, reused across calls (capacity-warm after the first
+  /// iteration); the payloads are packed from here in one production write.
+  std::vector<std::uint32_t> scratch_idx_;
+  std::vector<float> scratch_vals_;
 };
 
 }  // namespace dlion::systems

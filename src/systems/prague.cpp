@@ -38,17 +38,26 @@ std::vector<comm::VariableGrad> PragueStrategy::generate(
     group_iteration_ = ctx.iteration;
     draw_group(ctx.self, ctx.n_workers);
   }
-  std::vector<comm::VariableGrad> out;
   if (!std::binary_search(group_.begin(), group_.end(), ctx.peer)) {
-    return out;  // header-only update: progress signal only
+    return {};  // header-only update: progress signal only
   }
-  const auto& vars = model.variables();
-  out.reserve(vars.size());
-  for (std::size_t v = 0; v < vars.size(); ++v) {
-    out.push_back(core::select_max_n(vars[v]->grad().span(),
-                                     static_cast<std::uint32_t>(v), 100.0));
+  // Whole gradients for the drawn group, staged once per iteration (lazily,
+  // on the group's first peer); the remaining group members share views
+  // over the same production write.
+  if (!staged_valid_ || staged_iteration_ != ctx.iteration) {
+    comm::PayloadWriter writer(payload_arena(ctx));
+    staged_.clear();
+    const auto& vars = model.variables();
+    staged_.reserve(vars.size());
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      staged_.push_back(core::dense_grad(vars[v]->grad().span(),
+                                         static_cast<std::uint32_t>(v),
+                                         writer));
+    }
+    staged_iteration_ = ctx.iteration;
+    staged_valid_ = true;
   }
-  return out;
+  return staged_;
 }
 
 }  // namespace dlion::systems

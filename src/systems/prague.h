@@ -34,6 +34,10 @@ class PragueStrategy : public core::PartialGradientStrategy {
   common::Rng rng_;
   std::uint64_t group_iteration_ = static_cast<std::uint64_t>(-1);
   std::vector<std::size_t> group_;
+  /// Per-iteration staged gradient, shared by every group peer's update.
+  std::vector<comm::VariableGrad> staged_;
+  std::uint64_t staged_iteration_ = 0;
+  bool staged_valid_ = false;
 };
 
 }  // namespace dlion::systems

@@ -182,7 +182,7 @@ TEST(Codec, MessageEnvelopeRoundTripsEveryAlternative) {
   s.from = 2;
   s.iteration = 9;
   s.loss = -1.5;
-  s.weights.values.emplace_back(tensor::Shape{2}, std::vector<float>{7, 8});
+  s.weights.parts.emplace_back(std::vector<float>{7, 8});
   const Message msgs[] = {
       Message(g),
       Message(s),
@@ -207,20 +207,20 @@ TEST(Codec, WeightSnapshotRoundTrip) {
   s.from = 2;
   s.iteration = 99;
   s.loss = 0.123;
-  s.weights.values.emplace_back(tensor::Shape{3}, std::vector<float>{1, 2, 3});
-  s.weights.values.emplace_back(tensor::Shape{2}, std::vector<float>{4, 5});
+  s.weights.parts.emplace_back(std::vector<float>{1, 2, 3});
+  s.weights.parts.emplace_back(std::vector<float>{4, 5});
   const WeightSnapshot d = decode_weight_snapshot(encode(s));
   EXPECT_EQ(d.from, 2u);
   EXPECT_EQ(d.iteration, 99u);
   EXPECT_DOUBLE_EQ(d.loss, 0.123);
-  ASSERT_EQ(d.weights.values.size(), 2u);
-  EXPECT_FLOAT_EQ(d.weights.values[0][1], 2.0f);
-  EXPECT_FLOAT_EQ(d.weights.values[1][1], 5.0f);
+  ASSERT_EQ(d.weights.parts.size(), 2u);
+  EXPECT_FLOAT_EQ(d.weights.parts[0][1], 2.0f);
+  EXPECT_FLOAT_EQ(d.weights.parts[1][1], 5.0f);
 }
 
 TEST(Codec, SnapshotWireBytesMatchesEncoding) {
   WeightSnapshot s;
-  s.weights.values.emplace_back(tensor::Shape{10});
+  s.weights.parts.emplace_back(std::vector<float>(10, 0.0f));
   EXPECT_EQ(wire_bytes(s), encode(s).size());
 }
 
@@ -257,10 +257,14 @@ TEST(Codec, LargeRandomUpdateRoundTrip) {
     VariableGrad vg;
     vg.var_index = v;
     vg.dense_size = 1000;
+    std::vector<std::uint32_t> indices;
+    std::vector<float> values;
     for (std::uint32_t i = 0; i < 1000; i += 7) {
-      vg.indices.push_back(i);
-      vg.values.push_back(static_cast<float>(rng.normal()));
+      indices.push_back(i);
+      values.push_back(static_cast<float>(rng.normal()));
     }
+    vg.indices = indices;
+    vg.values = values;
     u.vars.push_back(std::move(vg));
   }
   const GradientUpdate d = decode_gradient_update(encode(u));
@@ -280,10 +284,8 @@ ModelPublish sample_publish() {
   p.iteration = 4242;
   p.first_var = 1;
   p.total_vars = 4;
-  p.weights.values.emplace_back(tensor::Shape{3},
-                                std::vector<float>{1.0f, 2.0f, 3.0f});
-  p.weights.values.emplace_back(tensor::Shape{2},
-                                std::vector<float>{-4.0f, 0.5f});
+  p.weights.parts.emplace_back(std::vector<float>{1.0f, 2.0f, 3.0f});
+  p.weights.parts.emplace_back(std::vector<float>{-4.0f, 0.5f});
   return p;
 }
 
@@ -299,9 +301,9 @@ TEST(Codec, ModelPublishEnvelopeRoundTrip) {
   EXPECT_EQ(p->iteration, 4242u);
   EXPECT_EQ(p->first_var, 1u);
   EXPECT_EQ(p->total_vars, 4u);
-  ASSERT_EQ(p->weights.values.size(), 2u);
-  EXPECT_FLOAT_EQ(p->weights.values[0][2], 3.0f);
-  EXPECT_FLOAT_EQ(p->weights.values[1][1], 0.5f);
+  ASSERT_EQ(p->weights.parts.size(), 2u);
+  EXPECT_FLOAT_EQ(p->weights.parts[0][2], 3.0f);
+  EXPECT_FLOAT_EQ(p->weights.parts[1][1], 0.5f);
   EXPECT_EQ(encode_message(d), buf);
 }
 

@@ -290,6 +290,73 @@ TEST(Fabric, DeadLetterCapZeroKeepsCountersOnly) {
   EXPECT_EQ(fabric.dead_letter_evictions(), 0u);
 }
 
+/// Dense gradient with `n` float values: pins exactly n * 4 payload bytes.
+GradientUpdate dense_payload_update(std::size_t n) {
+  GradientUpdate u;
+  u.from = 0;
+  VariableGrad vg;
+  vg.var_index = 0;
+  vg.dense_size = static_cast<std::uint32_t>(n);
+  vg.values = std::vector<float>(n, 1.0f);
+  u.vars.push_back(std::move(vg));
+  return u;
+}
+
+TEST(Fabric, DeadLetterQueueEvictsByPinnedPayloadBytes) {
+  sim::Engine e;
+  sim::Network net(e, 2);
+  FabricOptions options;
+  options.dead_letter_cap = 100;  // record bound far away: bytes bind first
+  options.dead_letter_max_bytes = 1000;  // each message pins 400 bytes
+  Fabric fabric(net, options);
+  fabric.attach(0, [](std::size_t, MessagePtr) {});
+  for (int i = 0; i < 5; ++i) fabric.send(0, 1, dense_payload_update(100));
+  e.run();
+  EXPECT_EQ(fabric.dead_letters(), 5u);
+  // 5 x 400 B pinned exceeds the 1000 B cap: evict oldest-first down to 2
+  // records / 800 B even though the record cap (100) was never reached.
+  EXPECT_EQ(fabric.recent_dead_letters().size(), 2u);
+  EXPECT_EQ(fabric.dead_letter_evictions(), 3u);
+  EXPECT_EQ(fabric.dead_letter_pinned_bytes(), 800u);
+  for (const DeadLetter& dl : fabric.recent_dead_letters()) {
+    EXPECT_EQ(dl.payload_bytes, 400u);
+    ASSERT_NE(dl.msg, nullptr);
+    EXPECT_EQ(payload_bytes(*dl.msg), 400u);
+  }
+}
+
+TEST(Fabric, DeadLetterControlMessagesPinNoBytes) {
+  sim::Engine e;
+  sim::Network net(e, 2);
+  FabricOptions options;
+  options.dead_letter_cap = 3;
+  Fabric fabric(net, options);
+  fabric.attach(0, [](std::size_t, MessagePtr) {});
+  for (int i = 0; i < 5; ++i) fabric.send(0, 1, Heartbeat{0, 1});
+  e.run();
+  // Control messages carry no payload views: only the record cap binds.
+  EXPECT_EQ(fabric.recent_dead_letters().size(), 3u);
+  EXPECT_EQ(fabric.dead_letter_pinned_bytes(), 0u);
+}
+
+#if DLION_OBS_ENABLED
+TEST(Fabric, DeadLetterPinnedBytesGaugeTracksRetention) {
+  sim::Engine e;
+  sim::Network net(e, 2);
+  FabricOptions options;
+  options.dead_letter_cap = 100;
+  options.dead_letter_max_bytes = 1000;
+  Fabric fabric(net, options);
+  obs::Observability obs(true);
+  fabric.set_obs(&obs);
+  fabric.attach(0, [](std::size_t, MessagePtr) {});
+  for (int i = 0; i < 5; ++i) fabric.send(0, 1, dense_payload_update(100));
+  e.run();
+  EXPECT_DOUBLE_EQ(
+      obs.metrics().gauge("comm.dead_letter_pinned_bytes").value(), 800.0);
+}
+#endif  // DLION_OBS_ENABLED
+
 TEST_F(FabricTest, TargetedBroadcastSkipsUnflaggedWorkers) {
   std::vector<bool> targets = {true, false, true};
   fabric_.broadcast(2, LossReport{2, 0, 0.5}, targets);

@@ -29,12 +29,16 @@ comm::VariableGrad two_pass_max_n(std::span<const float> grad, double n) {
   v.dense_size = static_cast<std::uint32_t>(grad.size());
   const float mx = tensor::max_abs(grad);
   const double thr = max_n_threshold(n, mx);
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
   for (std::size_t i = 0; i < grad.size(); ++i) {
     if (std::fabs(grad[i]) >= thr) {
-      v.indices.push_back(static_cast<std::uint32_t>(i));
-      v.values.push_back(grad[i]);
+      indices.push_back(static_cast<std::uint32_t>(i));
+      values.push_back(grad[i]);
     }
   }
+  v.indices = indices;
+  v.values = values;
   return v;
 }
 

@@ -55,7 +55,7 @@ comm::GradientUpdate dense_update(const nn::Model& model, float value) {
     comm::VariableGrad vg;
     vg.var_index = static_cast<std::uint32_t>(v);
     vg.dense_size = static_cast<std::uint32_t>(vars[v]->size());
-    vg.values.assign(vars[v]->size(), value);
+    vg.values = std::vector<float>(vars[v]->size(), value);
     u.vars.push_back(std::move(vg));
   }
   return u;

@@ -64,7 +64,7 @@ TEST_F(WorkerMessagesTest, GradientUpdateMovesWeights) {
   vg.var_index = 0;
   vg.dense_size =
       static_cast<std::uint32_t>(worker_->model().variables()[0]->size());
-  vg.values.assign(vg.dense_size, 1.0f);
+  vg.values = std::vector<float>(vg.dense_size, 1.0f);
   update.vars.push_back(std::move(vg));
   fabric_.send(1, 0, update);
   engine_.run();
@@ -80,7 +80,7 @@ TEST_F(WorkerMessagesTest, DktRequestAnsweredWithWeights) {
   for (const auto& [from, msg] : peer_inbox_) {
     if (const auto* snap = std::get_if<comm::WeightSnapshot>(msg.get())) {
       EXPECT_EQ(snap->from, 0u);
-      EXPECT_EQ(snap->weights.values.size(),
+      EXPECT_EQ(snap->weights.parts.size(),
                 worker_->model().num_variables());
     }
   }
@@ -90,8 +90,9 @@ TEST_F(WorkerMessagesTest, WeightSnapshotMergesIntoModel) {
   comm::WeightSnapshot snap;
   snap.from = 1;
   snap.loss = 0.01;
-  snap.weights = worker_->model().weights();
-  for (auto& t : snap.weights.values) t.fill(2.0f);
+  for (const auto& var : worker_->model().variables()) {
+    snap.weights.parts.emplace_back(std::vector<float>(var->size(), 2.0f));
+  }
   fabric_.send(1, 0, snap);
   engine_.run();
   // lambda = 1: the snapshot replaces the local weights.

@@ -138,6 +138,11 @@ TEST(Replica, WarmReplicaServesFromThePool) {
   EXPECT_EQ(rep->pool().hits(), 4u);
 }
 
+comm::Payload<float> payload_from(const tensor::Tensor& t) {
+  return comm::Payload<float>(
+      std::vector<float>(t.data(), t.data() + t.size()));
+}
+
 comm::ModelPublish full_publish(const nn::Model& model,
                                 std::uint64_t version,
                                 std::uint64_t iteration) {
@@ -146,7 +151,9 @@ comm::ModelPublish full_publish(const nn::Model& model,
   msg.iteration = iteration;
   msg.first_var = 0;
   msg.total_vars = static_cast<std::uint32_t>(model.variables().size());
-  msg.weights = model.weights();
+  for (const auto& t : model.weights().values) {
+    msg.weights.parts.push_back(payload_from(t));
+  }
   return msg;
 }
 
@@ -200,7 +207,7 @@ TEST(Replica, ChunkedPublishAdoptsOnLastChunk) {
     msg.iteration = 10;
     msg.first_var = first;
     msg.total_vars = total;
-    msg.weights.values.push_back(snapshot.values[first]);
+    msg.weights.parts.push_back(payload_from(snapshot.values[first]));
     rep->on_publish(msg, 1.0);
     if (first + 1 < total) {
       EXPECT_EQ(rep->weight_version(), 0u) << "chunk " << first;

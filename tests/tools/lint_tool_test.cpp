@@ -81,6 +81,10 @@ TEST(LintToolTest, FixtureFailsWithDiagnosticsAtKnownLines) {
       {"bad_nondet.cpp:44", "dlion-missing-override"},
       {"bad_message.h:10", "dlion-uninit-pod"},
       {"bad_message.h:13", "dlion-uninit-pod"},
+      {"comm/bad_payload.h:11", "dlion-owned-payload"},
+      {"comm/bad_payload.h:12", "dlion-owned-payload"},
+      {"comm/bad_payload.h:16", "dlion-owned-payload"},
+      {"comm/bad_payload.h:17", "dlion-owned-payload"},
   };
   for (const auto& e : expected) {
     EXPECT_NE(r.output.find(e.loc), std::string::npos)
@@ -90,6 +94,8 @@ TEST(LintToolTest, FixtureFailsWithDiagnosticsAtKnownLines) {
   }
   // The clean fixture must not be flagged at all.
   EXPECT_EQ(r.output.find("good_clean.cpp:"), std::string::npos) << r.output;
+  // The codec-boundary escape hatch suppresses the owned-payload rule.
+  EXPECT_EQ(r.output.find("bad_payload.h:22"), std::string::npos) << r.output;
 }
 
 TEST(LintToolTest, JsonReportIsWellFormedAndCounted) {

@@ -432,6 +432,39 @@ void rule_uninit_pod(const FileContext& ctx, Emit diags) {
   }
 }
 
+// Rule: dlion-owned-payload
+// Data-lane messages under comm/ carry comm::Payload views into refcounted
+// arena blocks (DESIGN.md "Zero-copy data plane"); an owned
+// std::vector<float> / std::vector<std::uint32_t> payload member - or
+// growing a payload element-wise via push_back/insert/assign - reintroduces
+// the per-message copies the zero-copy refactor eliminated. Member
+// declarations are audited in headers (where the wire structs live);
+// element-wise growth is flagged everywhere under comm/. The codec boundary
+// legitimately materializes owned bytes and escapes with
+// `// dlion-lint: allow(dlion-owned-payload)`.
+void rule_owned_payload(const FileContext& ctx, Emit diags) {
+  if (ctx.rel_path.find("comm/") == std::string::npos) return;
+  static const std::regex owned_member(
+      R"(\bstd::vector\s*<\s*(?:float|std::uint32_t|uint32_t)\s*>\s+[A-Za-z_]\w*\s*;)");
+  static const std::regex payload_growth(
+      R"((?:\.|->)\s*(?:values|indices)\s*\.\s*(?:push_back|emplace_back|insert|assign|resize)\s*\()");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    if (ctx.is_header && std::regex_search(line, owned_member)) {
+      emit(diags, ctx, static_cast<int>(i) + 1, "dlion-owned-payload",
+           "owned vector payload member in a comm struct; data-lane "
+           "messages must carry comm::Payload views (zero-copy data "
+           "plane) - stage through a PayloadWriter instead");
+    }
+    if (std::regex_search(line, payload_growth)) {
+      emit(diags, ctx, static_cast<int>(i) + 1, "dlion-owned-payload",
+           "element-wise growth of a payload field copies bytes the "
+           "zero-copy plane shares by view; build an owned vector and "
+           "stage it once via PayloadWriter::copy / make_payload");
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
@@ -632,6 +665,7 @@ int main(int argc, char** argv) {
     rule_float_accumulate(ctx, diags);
     rule_missing_override(ctx, diags);
     rule_uninit_pod(ctx, diags);
+    rule_owned_payload(ctx, diags);
   }
   diags.erase(std::remove_if(diags.begin(), diags.end(),
                              [&](const Diagnostic& d) {
