@@ -15,14 +15,28 @@
 
 namespace benchalloc {
 
+/// Benches that interleave several measured configurations (obs_overhead's
+/// round-robin reps) give each configuration its own counter slot, so
+/// zeroing one configuration's window can never clobber another's totals
+/// and a straggling tracked allocation (a worker-thread free-list refill
+/// landing around the stop() edge) is charged to the slot that was active,
+/// not to whichever configuration starts next.
+inline constexpr int kSlots = 8;
+
+struct SlotCounters {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+
 inline std::atomic<bool> g_track{false};
-inline std::atomic<std::uint64_t> g_count{0};
-inline std::atomic<std::uint64_t> g_bytes{0};
+inline std::atomic<int> g_slot{0};
+inline SlotCounters g_slots[kSlots];
 
 inline void note(std::size_t size) {
   if (g_track.load(std::memory_order_relaxed)) {
-    g_count.fetch_add(1, std::memory_order_relaxed);
-    g_bytes.fetch_add(size, std::memory_order_relaxed);
+    SlotCounters& s = g_slots[g_slot.load(std::memory_order_relaxed)];
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.bytes.fetch_add(size, std::memory_order_relaxed);
   }
 }
 
@@ -44,10 +58,12 @@ inline void* checked_aligned(std::size_t size, std::size_t align) {
   return p;
 }
 
-/// Zero the counters and start tracking.
-inline void start() {
-  g_count.store(0);
-  g_bytes.store(0);
+/// Zero `slot`'s counters, make it the active slot, and start tracking.
+inline void start(int slot = 0) {
+  if (slot < 0 || slot >= kSlots) slot = 0;
+  g_slot.store(slot);
+  g_slots[slot].count.store(0);
+  g_slots[slot].bytes.store(0);
   g_track.store(true);
 }
 
@@ -56,10 +72,17 @@ struct Totals {
   std::uint64_t bytes = 0;
 };
 
-/// Stop tracking and return what was counted since start().
+/// Stop tracking and return what the active slot counted since start().
 inline Totals stop() {
   g_track.store(false);
-  return Totals{g_count.load(), g_bytes.load()};
+  const SlotCounters& s = g_slots[g_slot.load()];
+  return Totals{s.count.load(), s.bytes.load()};
+}
+
+/// Read a slot's accumulated totals without changing tracking state.
+inline Totals totals(int slot) {
+  if (slot < 0 || slot >= kSlots) slot = 0;
+  return Totals{g_slots[slot].count.load(), g_slots[slot].bytes.load()};
 }
 
 }  // namespace benchalloc

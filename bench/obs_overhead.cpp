@@ -12,12 +12,23 @@
 // enabled run's artifacts (Chrome trace, metrics JSON/CSV, telemetry
 // summary, critical-path report) are exported for inspection.
 //
+// With --workers=N the bench instead runs the scale configuration (ROADMAP
+// item 1): N workers in micro-clouds of --groups, full observability with a
+// streaming Chrome sink, deterministic sampling, window-only retention, and
+// per-micro-cloud metric rollups. It reports the trace-memory numbers that
+// gate the obs-scale-smoke CI job (admitted/sampled events, retained bytes,
+// bytes per retained event, sink checksum, peak RSS) and exits nonzero if
+// --max-retained-bytes is exceeded.
+//
 // Usage: obs_overhead [--scale=bench|paper] [--env="Hetero SYS A"]
 //                     [--timing-reps=5] [--out=BENCH_obs.json] [--csv-dir=out]
+//        obs_overhead --workers=256 [--groups=8] [--scale-duration=30]
+//                     [--max-retained-bytes=N] [--scale-out=PATH]
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -25,6 +36,7 @@
 #include "common/table.h"
 #include "obs/critical_path.h"
 #include "obs/obs.h"
+#include "obs/trace_sink.h"
 
 // Global allocation hook (defines operator new/delete; one TU per binary).
 #include "alloc_hook.h"
@@ -54,11 +66,13 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 using MakeObs = std::function<std::unique_ptr<obs::Observability>()>;
 
 void run_rep(const exp::RunSpec& base, const exp::Workload& workload,
-             const MakeObs& make_obs, Timed& out) {
+             const MakeObs& make_obs, int slot, Timed& out) {
   exp::RunSpec spec = base;
   std::unique_ptr<obs::Observability> o = make_obs();
   spec.obs = o.get();
-  benchalloc::start();
+  // One counter slot per configuration: the reps interleave round-robin,
+  // so a shared counter would let one config's window bleed into the next.
+  benchalloc::start(slot);
   const auto t0 = std::chrono::steady_clock::now();
   exp::RunResult result = exp::run_experiment(spec, workload);
   const double ms = ms_since(t0);
@@ -85,6 +99,147 @@ bool same_results(const exp::RunResult& a, const exp::RunResult& b) {
 
 std::string fmt_json_double(double v) { return dlion::bench::jnum(v, 3); }
 
+/// Peak resident set size in kB (VmHWM from /proc/self/status); 0 when the
+/// platform doesn't expose it. Report-only — RSS depends on the allocator
+/// and is never gated.
+std::uint64_t peak_rss_kb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line.c_str(), "VmHWM: %llu kB", &kb) == 1) return kb;
+  }
+  return 0;
+}
+
+/// The --workers=N scale configuration: N workers, full observability,
+/// streaming sink + deterministic sampling + window-only retention +
+/// per-micro-cloud rollups. Returns the process exit code.
+int run_scale(const bench::BenchContext& ctx, std::size_t workers) {
+  const std::size_t groups =
+      static_cast<std::size_t>(ctx.config.get_int("groups", 8));
+  const double dur = ctx.config.get_double("scale-duration", 30.0);
+  const std::uint64_t max_retained = static_cast<std::uint64_t>(
+      ctx.config.get_int("max-retained-bytes", 0));
+  const std::string scale_out = ctx.config.get_string("scale-out", "");
+
+  bench::print_header(
+      "Observability at scale (" + std::to_string(workers) + " workers, " +
+          std::to_string(groups) + "/micro-cloud)",
+      ctx.scale);
+
+  const exp::Workload workload = exp::make_workload("cpu", ctx.scale);
+  exp::Environment env = exp::make_scale_environment(workers, groups);
+  exp::RunSpec spec = bench::make_run_spec(ctx.scale, "dlion", env.name, dur);
+  spec.env_override = std::move(env);
+
+  // Full observability, bounded memory: per-micro-cloud rollups keep series
+  // cardinality O(workers / groups); the sampler keeps every 16th worker
+  // lane (plus a 64-event head elsewhere and every 64th flow chain) except
+  // in the [0.5, 0.6) * duration full-fidelity window, which is retained
+  // in memory for critical-path attribution. Everything else streams to
+  // the sink and is dropped from storage.
+  auto o = std::make_unique<obs::Observability>();
+  o->metrics().set_rollup({groups, dur / 10.0});
+  obs::TraceSampleConfig sc;
+  sc.track_stride = 16;
+  sc.head_events_per_track = 64;
+  sc.flow_stride = 64;
+  sc.full_t0 = 0.5 * dur;
+  sc.full_t1 = 0.6 * dur;
+  o->tracer().set_sampling(sc);
+  o->tracer().set_retain_all(false);
+  std::ostringstream stream;
+  obs::ChromeStreamSink sink(stream);
+  o->tracer().set_sink(&sink);
+
+  spec.obs = o.get();
+  benchalloc::start();
+  const auto t0 = std::chrono::steady_clock::now();
+  exp::RunResult result = exp::run_experiment(spec, workload);
+  const double wall_ms = ms_since(t0);
+  const benchalloc::Totals totals = benchalloc::stop();
+  o->tracer().finish();
+
+  const obs::Tracer& tr = o->tracer();
+  const std::uint64_t admitted = tr.admitted_events();
+  const std::uint64_t sampled_out = tr.sampled_out_events();
+  const std::size_t retained = tr.event_count();
+  const std::size_t retained_bytes = tr.retained_bytes();
+  const obs::CriticalPathReport report =
+      obs::compute_critical_path(o->tracer(), {dur / 10.0});
+
+  common::Table table({"measure", "value"});
+  auto row = [&table](const char* k, std::uint64_t v) {
+    table.row().cell(k).cell(static_cast<long long>(v));
+  };
+  row("simulated iterations", result.total_iterations);
+  row("events admitted", admitted);
+  row("events sampled out", sampled_out);
+  row("events retained (full window)", retained);
+  row("retained bytes", retained_bytes);
+  table.row().cell("bytes / retained event").cell(
+      retained > 0 ? static_cast<double>(retained_bytes) /
+                         static_cast<double>(retained)
+                   : 0.0,
+      1);
+  row("sink events", sink.events_written());
+  row("sink bytes", sink.bytes_written());
+  table.row().cell("sink checksum").cell(bench::hex64(sink.checksum()));
+  row("metric series (rolled up)", o->metrics().size());
+  table.row().cell("critical path valid").cell(report.valid ? "yes" : "NO");
+  row("allocs", totals.count);
+  row("peak RSS (kB)", peak_rss_kb());
+  table.row().cell("wall (ms)").cell(wall_ms, 2);
+  table.print(std::cout);
+  if (report.valid) {
+    std::cout << "\ncritical path: straggler=" << report.straggler
+              << " bottleneck=" << report.bottleneck_link << "\n";
+  }
+
+  if (!scale_out.empty()) {
+    // Everything except wall_ms / allocs / peak_rss_kb is deterministic for
+    // a given (workers, groups, duration, seed) — the sink checksum is the
+    // cross-thread-count identity fingerprint the CI smoke job compares.
+    std::ofstream js(scale_out, std::ios::trunc);
+    js << "{\n";
+    js << "  \"schema\": \"dlion-obs-scale-v1\",\n";
+    js << "  \"bench\": \"obs_overhead\",\n";
+    js << "  \"workers\": " << workers << ",\n";
+    js << "  \"groups\": " << groups << ",\n";
+    js << "  \"duration_s\": " << fmt_json_double(dur) << ",\n";
+    js << "  \"iterations\": " << result.total_iterations << ",\n";
+    js << "  \"events_admitted\": " << admitted << ",\n";
+    js << "  \"events_sampled_out\": " << sampled_out << ",\n";
+    js << "  \"retained_events\": " << retained << ",\n";
+    js << "  \"retained_bytes\": " << retained_bytes << ",\n";
+    js << "  \"sink_events\": " << sink.events_written() << ",\n";
+    js << "  \"sink_bytes\": " << sink.bytes_written() << ",\n";
+    js << "  \"sink_checksum\": \"" << bench::hex64(sink.checksum())
+       << "\",\n";
+    js << "  \"metric_series\": " << o->metrics().size() << ",\n";
+    js << "  \"critical_path_valid\": " << (report.valid ? "true" : "false")
+       << ",\n";
+    js << "  \"wall_ms\": " << fmt_json_double(wall_ms) << ",\n";
+    js << "  \"allocs\": " << totals.count << ",\n";
+    js << "  \"peak_rss_kb\": " << peak_rss_kb() << "\n";
+    js << "}\n";
+    std::cout << "\n[json] wrote " << scale_out << "\n";
+  }
+
+  if (max_retained > 0 && retained_bytes > max_retained) {
+    std::cerr << "FAIL: retained trace memory " << retained_bytes
+              << " bytes exceeds budget " << max_retained << "\n";
+    return 1;
+  }
+  if (!report.valid) {
+    std::cerr << "FAIL: critical path invalid (full-fidelity window "
+                 "retained no spans)\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -94,6 +249,10 @@ int main(int argc, char** argv) {
   const int reps =
       static_cast<int>(ctx.config.get_int("timing-reps", 5));
   const std::string out_path = ctx.config.get_string("out", "");
+
+  const auto workers =
+      static_cast<std::size_t>(ctx.config.get_int("workers", 0));
+  if (workers > 0) return run_scale(ctx, workers);
 
   bench::print_header("Observability overhead (6-worker " + env_name + ")",
                       ctx.scale);
@@ -131,7 +290,9 @@ int main(int argc, char** argv) {
   Timed timed[4];
   for (Timed& t : timed) t.best_ms = 1e300;
   for (int r = 0; r < reps; ++r) {
-    for (int c = 0; c < 4; ++c) run_rep(spec, workload, makers[c], timed[c]);
+    for (int c = 0; c < 4; ++c) {
+      run_rep(spec, workload, makers[c], c, timed[c]);
+    }
   }
   Timed& off = timed[0];
   Timed& disabled = timed[1];
@@ -212,6 +373,7 @@ int main(int argc, char** argv) {
     // run-to-run; everything else is deterministic for a given scale/env.
     std::ofstream js(out_path, std::ios::trunc);
     js << "{\n";
+    js << "  \"schema\": \"dlion-obs-v2\",\n";
     js << "  \"bench\": \"obs_overhead\",\n";
     js << "  \"env\": \"" << env_name << "\",\n";
     js << "  \"scale\": \"" << (ctx.scale.paper ? "paper" : "bench")

@@ -11,7 +11,7 @@
 //
 // Usage:
 //   trace_explain [--env="Hetero SYS A"] [--duration=120] [--epoch=0]
-//                 [--churn] [--watchdog] [--out-dir=DIR]
+//                 [--churn] [--watchdog] [--summary-only] [--out-dir=DIR]
 //
 //   --env       Table 3 environment name (see exp/environments.h).
 //   --duration  simulated seconds (default 120).
@@ -21,8 +21,15 @@
 //               the chosen environment and arm spike detectors.
 //   --watchdog  arm the watchdog with default thresholds even without
 //               --churn.
+//   --summary-only
+//               print only the attribution headline (straggler, bottleneck
+//               link, category split) and the watchdog verdict; skips the
+//               per-epoch table and all file exports. The CI-friendly mode:
+//               a few lines of output no matter how big the run is.
 //   --out-dir   also write critical_path.{json,txt}, trace.json (load in
-//               Perfetto), and telemetry.json into DIR.
+//               Perfetto), and telemetry.json into DIR (ignored with
+//               --summary-only).
+#include <cstdio>
 #include <iostream>
 #include <string>
 
@@ -42,6 +49,7 @@ int main(int argc, char** argv) {
   const double epoch_arg = cfg.get_double("epoch", 0.0);
   const bool churn = cfg.get_bool("churn", false);
   const bool arm_watchdog = cfg.get_bool("watchdog", false) || churn;
+  const bool summary_only = cfg.get_bool("summary-only", false);
   const std::string out_dir = cfg.get_string("out-dir", "");
   const double epoch_s = epoch_arg > 0.0 ? epoch_arg : duration / 10.0;
 
@@ -91,7 +99,23 @@ int main(int argc, char** argv) {
                  "-DDLION_OBS=OFF?\n";
     return 0;
   }
-  std::cout << report.attribution_table() << "\n";
+  if (summary_only) {
+    const obs::CriticalPathSummary s = obs::summary_of(report);
+    std::cout << "critical path: " << s.total_s << " s\n"
+              << "  straggler:  "
+              << (s.straggler.empty() ? "(none)" : s.straggler) << "\n"
+              << "  bottleneck: "
+              << (report.bottleneck_link.empty() ? "(none)"
+                                                 : report.bottleneck_link)
+              << "\n";
+    for (std::size_t c = 0; c < obs::kNumPathCategories; ++c) {
+      const auto cat = static_cast<obs::PathCategory>(c);
+      std::printf("  %-8s %6.1f%%\n", obs::path_category_name(cat),
+                  report.category_fraction(cat) * 100.0);
+    }
+  } else {
+    std::cout << report.attribution_table() << "\n";
+  }
 
   if (arm_watchdog) {
     if (result.telemetry.watchdog_events.empty()) {
@@ -107,7 +131,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!out_dir.empty()) {
+  if (!out_dir.empty() && !summary_only) {
     try {
       exp::write_critical_path_json(report, out_dir + "/critical_path.json");
       exp::write_critical_path_table(report, out_dir + "/critical_path.txt");

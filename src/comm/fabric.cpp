@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/track_names.h"
 #include "obs/watchdog.h"
 
 namespace dlion::comm {
@@ -58,8 +59,7 @@ void Fabric::set_obs(obs::Observability* o) {
   // core::Worker::set_obs regardless of attach order).
   obs_worker_tracks_.resize(size());
   for (std::size_t w = 0; w < size(); ++w) {
-    obs_worker_tracks_[w] =
-        o->tracer().track("workers", "worker " + std::to_string(w));
+    obs_worker_tracks_[w] = o->tracer().track("workers", obs::worker_track(w));
   }
 }
 

@@ -9,6 +9,7 @@
 #include "core/link_prioritizer.h"
 #include "core/weighted_update.h"
 #include "nn/checkpoint.h"
+#include "obs/track_names.h"
 #include "obs/watchdog.h"
 
 namespace dlion::core {
@@ -93,9 +94,9 @@ void Worker::set_obs(obs::Observability* o) {
   obs_track_ = 0;
   obs_h_ = ObsHandles{};
   if (o == nullptr) return;
-  obs_track_ = o->tracer().track("workers", "worker " + std::to_string(id_));
+  obs_track_ = o->tracer().track("workers", obs::worker_track(id_));
   obs::MetricsRegistry& m = o->metrics();
-  const obs::Labels labels{{"worker", std::to_string(id_)}};
+  const obs::Labels labels{{"worker", obs::id_str(id_)}};
   obs_h_.iterations = &m.counter("core.iterations", labels);
   obs_h_.dkt_boundaries = &m.counter("core.dkt_boundaries", labels);
   obs_h_.dkt_pulls = &m.counter("core.dkt_pulls", labels);

@@ -216,6 +216,29 @@ std::vector<std::string> elastic_environment_names() {
   return {"flash-crowd", "diurnal", "scale-in"};
 }
 
+Environment make_scale_environment(std::size_t n_workers,
+                                   std::size_t group_size, double inter_mbps,
+                                   double cores) {
+  if (n_workers == 0) {
+    throw std::invalid_argument("make_scale_environment: n_workers == 0");
+  }
+  if (group_size == 0) group_size = n_workers;
+  Environment env;
+  env.name = "Scale N=" + std::to_string(n_workers) +
+             " G=" + std::to_string(group_size);
+  env.compute = std::vector<sim::ComputeSpec>(n_workers, cpu_cores(cores));
+  env.network_setup = [n_workers, group_size, inter_mbps](sim::Network& net) {
+    for (std::size_t i = 0; i < n_workers; ++i) {
+      for (std::size_t j = 0; j < n_workers; ++j) {
+        if (i == j || i / group_size == j / group_size) continue;
+        net.set_link(i, j, sim::Schedule(inter_mbps));
+        net.set_latency(i, j, 0.02);  // inter-cloud WAN RTT/2 ~ 20 ms
+      }
+    }
+  };
+  return env;
+}
+
 Environment make_wan_matrix_environment() {
   Environment env;
   env.name = "WAN Table2";

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "obs/json_util.h"
+#include "obs/track_names.h"
 
 namespace dlion::obs {
 
@@ -128,6 +129,20 @@ std::vector<double> Histogram::default_time_bounds() {
   return b;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.bounds_ != bounds_) {
+    throw std::invalid_argument("Histogram::merge: bucket bounds differ");
+  }
+  if (other.count_ == 0) return;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 std::vector<double> Histogram::default_size_bounds() {
   // 1 .. 1e9, three log-spaced buckets per decade.
   std::vector<double> b;
@@ -139,10 +154,112 @@ std::vector<double> Histogram::default_size_bounds() {
   return b;
 }
 
+// ----------------------------------------------------------------- Windowed
+
+Windowed::Windowed(double window_s)
+    : window_s_(window_s > 0.0 ? window_s : 1.0) {}
+
+WindowStats& Windowed::at_window(std::uint64_t w) {
+  // Fast path: observations arrive in nondecreasing time, so the target is
+  // almost always the last (or a brand-new) window.
+  if (!windows_.empty() && windows_.back().window == w) {
+    return windows_.back();
+  }
+  if (windows_.empty() || windows_.back().window < w) {
+    windows_.push_back(WindowStats{w, 0, 0.0, 0.0, 0.0});
+    return windows_.back();
+  }
+  const auto it = std::lower_bound(
+      windows_.begin(), windows_.end(), w,
+      [](const WindowStats& s, std::uint64_t x) { return s.window < x; });
+  if (it != windows_.end() && it->window == w) return *it;
+  return *windows_.insert(it, WindowStats{w, 0, 0.0, 0.0, 0.0});
+}
+
+void Windowed::observe(double t, double v) {
+  const std::uint64_t w =
+      t <= 0.0 ? 0 : static_cast<std::uint64_t>(t / window_s_);
+  WindowStats& s = at_window(w);
+  if (s.count == 0 || v < s.min) s.min = v;
+  if (s.count == 0 || v > s.max) s.max = v;
+  s.sum += v;
+  ++s.count;
+}
+
+std::uint64_t Windowed::count() const {
+  std::uint64_t n = 0;
+  for (const WindowStats& s : windows_) n += s.count;
+  return n;
+}
+
+double Windowed::sum() const {
+  double total = 0.0;
+  for (const WindowStats& s : windows_) total += s.sum;
+  return total;
+}
+
+double Windowed::observed_min() const {
+  double m = 0.0;
+  bool any = false;
+  for (const WindowStats& s : windows_) {
+    if (s.count == 0) continue;
+    if (!any || s.min < m) m = s.min;
+    any = true;
+  }
+  return any ? m : std::nan("");
+}
+
+double Windowed::observed_max() const {
+  double m = 0.0;
+  bool any = false;
+  for (const WindowStats& s : windows_) {
+    if (s.count == 0) continue;
+    if (!any || s.max > m) m = s.max;
+    any = true;
+  }
+  return any ? m : std::nan("");
+}
+
+void Windowed::merge(const Windowed& other) {
+  if (other.window_s_ != window_s_) {
+    throw std::invalid_argument("Windowed::merge: window sizes differ");
+  }
+  for (const WindowStats& o : other.windows_) {
+    if (o.count == 0) continue;
+    WindowStats& s = at_window(o.window);
+    if (s.count == 0 || o.min < s.min) s.min = o.min;
+    if (s.count == 0 || o.max > s.max) s.max = o.max;
+    s.sum += o.sum;
+    s.count += o.count;
+  }
+}
+
 // ---------------------------------------------------------- MetricsRegistry
 
+Labels MetricsRegistry::resolve_labels(const Labels& labels) const {
+  if (rollup_.worker_group <= 1) return labels;
+  Labels out = labels;
+  for (auto& [key, value] : out) {
+    if (key != "worker" || value.empty()) continue;
+    bool digits = true;
+    std::size_t id = 0;
+    for (char c : value) {
+      if (c < '0' || c > '9') {
+        digits = false;
+        break;
+      }
+      id = id * 10 + static_cast<std::size_t>(c - '0');
+    }
+    if (!digits) continue;
+    key = "mc";
+    value = id_str(id / rollup_.worker_group);
+  }
+  return out;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name,
-                                  const Labels& labels) {
+                                  const Labels& raw_labels) {
+  const Labels labels = resolve_labels(raw_labels);
   auto key = std::make_pair(name, canonical_labels(labels));
   auto it = counters_.find(key);
   if (it == counters_.end()) {
@@ -156,7 +273,9 @@ Counter& MetricsRegistry::counter(const std::string& name,
   return *it->second.second;
 }
 
-Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const Labels& raw_labels) {
+  const Labels labels = resolve_labels(raw_labels);
   auto key = std::make_pair(name, canonical_labels(labels));
   auto it = gauges_.find(key);
   if (it == gauges_.end()) {
@@ -171,8 +290,9 @@ Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
-                                      const Labels& labels,
+                                      const Labels& raw_labels,
                                       std::vector<double> bounds) {
+  const Labels labels = resolve_labels(raw_labels);
   auto key = std::make_pair(name, canonical_labels(labels));
   auto it = histograms_.find(key);
   if (it == histograms_.end()) {
@@ -188,8 +308,30 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *it->second.second;
 }
 
+Windowed& MetricsRegistry::windowed(const std::string& name,
+                                    const Labels& raw_labels,
+                                    double window_s) {
+  const Labels labels = resolve_labels(raw_labels);
+  auto key = std::make_pair(name, canonical_labels(labels));
+  auto it = windowed_.find(key);
+  if (it == windowed_.end()) {
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    const double w = window_s > 0.0
+                         ? window_s
+                         : (rollup_.window_s > 0.0 ? rollup_.window_s : 1.0);
+    it = windowed_
+             .emplace(std::move(key),
+                      std::make_pair(std::move(sorted),
+                                     std::make_unique<Windowed>(w)))
+             .first;
+  }
+  return *it->second.second;
+}
+
 std::size_t MetricsRegistry::size() const {
-  return counters_.size() + gauges_.size() + histograms_.size();
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         windowed_.size();
 }
 
 double MetricsRegistry::counter_total(const std::string& name) const {
@@ -210,6 +352,34 @@ const Histogram* MetricsRegistry::find_histogram(
   return nullptr;
 }
 
+const Windowed* MetricsRegistry::find_windowed(const std::string& name) const {
+  auto it = windowed_.lower_bound({name, std::string()});
+  if (it != windowed_.end() && it->first.first == name) {
+    return it->second.second.get();
+  }
+  return nullptr;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& shard) {
+  for (const auto& [key, entry] : shard.counters_) {
+    counter(key.first, entry.first).inc(entry.second->value());
+  }
+  for (const auto& [key, entry] : shard.gauges_) {
+    Gauge& g = gauge(key.first, entry.first);
+    g.set(std::max(g.value(), entry.second->value()));
+  }
+  for (const auto& [key, entry] : shard.histograms_) {
+    Histogram& h = histogram(key.first, entry.first,
+                             entry.second->bounds());
+    h.merge(*entry.second);
+  }
+  for (const auto& [key, entry] : shard.windowed_) {
+    Windowed& w =
+        windowed(key.first, entry.first, entry.second->window_s());
+    w.merge(*entry.second);
+  }
+}
+
 std::vector<MetricsRegistry::Row> MetricsRegistry::rows() const {
   std::vector<Row> out;
   out.reserve(size());
@@ -223,7 +393,11 @@ std::vector<MetricsRegistry::Row> MetricsRegistry::rows() const {
   }
   for (const auto& [key, entry] : histograms_) {
     out.push_back({"histogram", key.first, entry.first,
-                   entry.second->sum(), entry.second.get()});
+                   entry.second->sum(), entry.second.get(), nullptr});
+  }
+  for (const auto& [key, entry] : windowed_) {
+    out.push_back({"windowed", key.first, entry.first, entry.second->sum(),
+                   nullptr, entry.second.get()});
   }
   std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
     if (a.name != b.name) return a.name < b.name;
@@ -234,14 +408,32 @@ std::vector<MetricsRegistry::Row> MetricsRegistry::rows() const {
 }
 
 std::string MetricsRegistry::to_json() const {
-  std::string out = "{\"metrics\":[";
+  std::string out = "{\"schema\":\"dlion-metrics-v2\",\"metrics\":[";
   bool first = true;
   for (const Row& r : rows()) {
     if (!first) out += ",";
     first = false;
     out += "{\"type\":\"" + json_escape(r.type) + "\",\"name\":\"" +
            json_escape(r.name) + "\",\"labels\":" + labels_json(r.labels);
-    if (r.hist == nullptr) {
+    if (r.win != nullptr) {
+      const Windowed& w = *r.win;
+      out += ",\"window_s\":" + fmt_double(w.window_s());
+      out += ",\"count\":" + fmt_double(static_cast<double>(w.count()));
+      out += ",\"sum\":" + fmt_double(w.sum());
+      out += ",\"windows\":[";
+      bool wfirst = true;
+      for (const WindowStats& s : w.windows()) {
+        if (s.count == 0) continue;  // sparse export
+        if (!wfirst) out += ",";
+        wfirst = false;
+        out += "{\"w\":" + fmt_double(static_cast<double>(s.window)) +
+               ",\"count\":" + fmt_double(static_cast<double>(s.count)) +
+               ",\"sum\":" + fmt_double(s.sum) +
+               ",\"min\":" + fmt_double(s.min) +
+               ",\"max\":" + fmt_double(s.max) + "}";
+      }
+      out += "]";
+    } else if (r.hist == nullptr) {
       out += ",\"value\":" + fmt_double(r.value);
     } else {
       const Histogram& h = *r.hist;
@@ -283,7 +475,15 @@ std::string MetricsRegistry::to_csv() const {
     // quotes, newlines) so the common case stays byte-compatible.
     out << csv_field(r.type) << "," << csv_field(r.name) << ","
         << csv_quoted(canonical_labels(r.labels)) << ",";
-    if (r.hist == nullptr) {
+    if (r.win != nullptr) {
+      // Windowed rows reuse the histogram columns: aggregate count/sum/
+      // min/max across all windows, no quantiles (per-window detail lives
+      // in the JSON export).
+      const Windowed& w = *r.win;
+      out << "," << w.count() << "," << cell(w.sum()) << ","
+          << cell(w.observed_min()) << "," << cell(w.observed_max())
+          << ",,,\n";
+    } else if (r.hist == nullptr) {
       out << fmt_double(r.value) << ",,,,,,,\n";
     } else {
       const Histogram& h = *r.hist;

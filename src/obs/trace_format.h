@@ -1,0 +1,35 @@
+// Chrome trace-event JSON fragment builders shared by the batch exporter
+// (Tracer::chrome_json) and the streaming sinks (obs/trace_sink.h), so the
+// two paths emit byte-identical event records. Every function returns one
+// complete JSON object (no separators, no enclosing array).
+//
+// All formatting is fixed-width snprintf with "C"-locale semantics so
+// exports are byte-stable across platforms — the same contract the batch
+// exporter has had since PR 2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/tracer.h"
+
+namespace dlion::obs::trace_format {
+
+/// Microsecond timestamp with nanosecond resolution ("%.3f" of µs).
+std::string fmt_us(double seconds);
+/// Argument/counter value ("%.9g").
+std::string fmt_value(double v);
+
+std::string process_meta(std::uint32_t pid, const std::string& process);
+std::string thread_meta(std::uint32_t pid, std::uint32_t tid,
+                        const std::string& thread);
+std::string span_event(const Tracer::Span& s, std::uint32_t pid,
+                       std::uint32_t tid);
+std::string instant_event(const Tracer::Instant& i, std::uint32_t pid,
+                          std::uint32_t tid);
+std::string sample_event(const Tracer::Sample& c, std::uint32_t pid,
+                         std::uint32_t tid);
+std::string flow_event(const Tracer::Flow& f, std::uint32_t pid,
+                       std::uint32_t tid);
+
+}  // namespace dlion::obs::trace_format

@@ -1,0 +1,184 @@
+#include "obs/trace_sink.h"
+
+#include <stdexcept>
+
+#include "obs/trace_format.h"
+
+namespace dlion::obs {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv1a(std::uint64_t& hash, const std::string& bytes) {
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= kFnvPrime;
+  }
+}
+
+bool pid_seen(std::vector<std::uint32_t>& named, std::uint32_t pid) {
+  for (std::uint32_t p : named) {
+    if (p == pid) return true;
+  }
+  named.push_back(pid);
+  return false;
+}
+
+void note_track(std::vector<std::pair<std::uint32_t, std::uint32_t>>& tracks,
+                TrackId id, std::uint32_t pid, std::uint32_t tid) {
+  if (tracks.size() < id) tracks.resize(id);
+  tracks[id - 1] = {pid, tid};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- ChromeStreamSink
+
+ChromeStreamSink::ChromeStreamSink(std::ostream& out) : out_(&out) {}
+
+ChromeStreamSink::ChromeStreamSink(const std::string& path)
+    : file_(path, std::ios::trunc), out_(&file_) {
+  if (!file_.is_open()) {
+    throw std::runtime_error("ChromeStreamSink: cannot open '" + path + "'");
+  }
+}
+
+ChromeStreamSink::~ChromeStreamSink() { finish(); }
+
+void ChromeStreamSink::emit(const std::string& event_json) {
+  std::string chunk;
+  if (first_) {
+    chunk = "{\"traceEvents\":[";
+    first_ = false;
+  } else {
+    chunk = ",\n";
+  }
+  chunk += event_json;
+  *out_ << chunk;
+  bytes_ += chunk.size();
+  fnv1a(hash_, chunk);
+  ++events_;
+}
+
+std::pair<std::uint32_t, std::uint32_t> ChromeStreamSink::ids(
+    TrackId id) const {
+  if (id == 0 || id > tracks_.size()) return {0, 0};
+  return tracks_[id - 1];
+}
+
+void ChromeStreamSink::on_track(TrackId id, std::uint32_t pid,
+                                std::uint32_t tid, const std::string& process,
+                                const std::string& thread) {
+  note_track(tracks_, id, pid, tid);
+  if (!pid_seen(pids_named_, pid)) {
+    emit(trace_format::process_meta(pid, process));
+  }
+  emit(trace_format::thread_meta(pid, tid, thread));
+}
+
+void ChromeStreamSink::on_span(const Tracer::Span& s) {
+  const auto [pid, tid] = ids(s.track);
+  emit(trace_format::span_event(s, pid, tid));
+}
+
+void ChromeStreamSink::on_instant(const Tracer::Instant& i) {
+  const auto [pid, tid] = ids(i.track);
+  emit(trace_format::instant_event(i, pid, tid));
+}
+
+void ChromeStreamSink::on_sample(const Tracer::Sample& c) {
+  const auto [pid, tid] = ids(c.track);
+  emit(trace_format::sample_event(c, pid, tid));
+}
+
+void ChromeStreamSink::on_flow(const Tracer::Flow& f) {
+  const auto [pid, tid] = ids(f.track);
+  emit(trace_format::flow_event(f, pid, tid));
+}
+
+void ChromeStreamSink::finish() {
+  if (finished_) return;
+  finished_ = true;
+  std::string tail = first_ ? std::string("{\"traceEvents\":[\n]}")
+                            : std::string("\n]}");
+  *out_ << tail;
+  bytes_ += tail.size();
+  fnv1a(hash_, tail);
+  out_->flush();
+}
+
+// ----------------------------------------------------------------- RingSink
+
+RingSink::RingSink(std::size_t capacity) : cap_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(cap_);
+}
+
+void RingSink::push(std::string event_json) {
+  ++total_;
+  if (ring_.size() < cap_) {
+    ring_.push_back(std::move(event_json));
+    return;
+  }
+  ring_[next_] = std::move(event_json);
+  next_ = (next_ + 1) % cap_;
+}
+
+std::pair<std::uint32_t, std::uint32_t> RingSink::ids(TrackId id) const {
+  if (id == 0 || id > tracks_.size()) return {0, 0};
+  return tracks_[id - 1];
+}
+
+void RingSink::on_track(TrackId id, std::uint32_t pid, std::uint32_t tid,
+                        const std::string& process,
+                        const std::string& thread) {
+  note_track(tracks_, id, pid, tid);
+  if (!pid_seen(pids_named_, pid)) {
+    meta_.push_back(trace_format::process_meta(pid, process));
+  }
+  meta_.push_back(trace_format::thread_meta(pid, tid, thread));
+}
+
+void RingSink::on_span(const Tracer::Span& s) {
+  const auto [pid, tid] = ids(s.track);
+  push(trace_format::span_event(s, pid, tid));
+}
+
+void RingSink::on_instant(const Tracer::Instant& i) {
+  const auto [pid, tid] = ids(i.track);
+  push(trace_format::instant_event(i, pid, tid));
+}
+
+void RingSink::on_sample(const Tracer::Sample& c) {
+  const auto [pid, tid] = ids(c.track);
+  push(trace_format::sample_event(c, pid, tid));
+}
+
+void RingSink::on_flow(const Tracer::Flow& f) {
+  const auto [pid, tid] = ids(f.track);
+  push(trace_format::flow_event(f, pid, tid));
+}
+
+std::string RingSink::chrome_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&out, &first] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (const std::string& m : meta_) {
+    sep();
+    out += m;
+  }
+  // Oldest-first: the slot at next_ is the oldest once the ring has wrapped.
+  const std::size_t n = ring_.size();
+  const std::size_t start = n < cap_ ? 0 : next_;
+  for (std::size_t k = 0; k < n; ++k) {
+    sep();
+    out += ring_[(start + k) % n];
+  }
+  out += "\n]}";
+  return out;
+}
+
+}  // namespace dlion::obs

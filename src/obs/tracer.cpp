@@ -1,17 +1,18 @@
 #include "obs/tracer.h"
 
+#include <cctype>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
 
 #include "obs/json_util.h"
+#include "obs/trace_format.h"
+#include "obs/trace_sink.h"
 
 namespace dlion::obs {
 
-namespace {
+namespace trace_format {
 
-/// Microsecond timestamp with nanosecond resolution, fixed format so
-/// exports are byte-stable across platforms.
 std::string fmt_us(double seconds) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
@@ -24,6 +25,8 @@ std::string fmt_value(double v) {
   return buf;
 }
 
+namespace {
+
 void append_args(std::string& out, const std::vector<Tracer::Arg>& args) {
   out += ",\"args\":{";
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -33,7 +36,123 @@ void append_args(std::string& out, const std::vector<Tracer::Arg>& args) {
   out += "}";
 }
 
+std::string ids(std::uint32_t pid, std::uint32_t tid) {
+  return ",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(tid);
+}
+
 }  // namespace
+
+std::string process_meta(std::uint32_t pid, const std::string& process) {
+  return "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+         json_escape(process) + "\"}}";
+}
+
+std::string thread_meta(std::uint32_t pid, std::uint32_t tid,
+                        const std::string& thread) {
+  return "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+         ",\"args\":{\"name\":\"" + json_escape(thread) + "\"}}";
+}
+
+std::string span_event(const Tracer::Span& s, std::uint32_t pid,
+                       std::uint32_t tid) {
+  std::string out = "{\"ph\":\"X\",\"name\":\"" + json_escape(s.name) +
+                    "\",\"ts\":" + fmt_us(s.t0) +
+                    ",\"dur\":" + fmt_us(s.t1 - s.t0) + ids(pid, tid);
+  append_args(out, s.args);
+  out += "}";
+  return out;
+}
+
+std::string instant_event(const Tracer::Instant& i, std::uint32_t pid,
+                          std::uint32_t tid) {
+  std::string out = "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" +
+                    json_escape(i.name) + "\",\"ts\":" + fmt_us(i.t) +
+                    ids(pid, tid);
+  append_args(out, i.args);
+  out += "}";
+  return out;
+}
+
+std::string sample_event(const Tracer::Sample& c, std::uint32_t pid,
+                         std::uint32_t tid) {
+  return "{\"ph\":\"C\",\"name\":\"" + json_escape(c.name) +
+         "\",\"ts\":" + fmt_us(c.t) + ids(pid, tid) +
+         ",\"args\":{\"value\":" + fmt_value(c.value) + "}}";
+}
+
+std::string flow_event(const Tracer::Flow& f, std::uint32_t pid,
+                       std::uint32_t tid) {
+  const char* ph = f.phase == Tracer::FlowPhase::kStart
+                       ? "s"
+                       : f.phase == Tracer::FlowPhase::kStep ? "t" : "f";
+  // The 64-bit flow id goes out as a hex string: JSON numbers are doubles
+  // in most viewers and would silently round ids above 2^53.
+  char idbuf[24];
+  std::snprintf(idbuf, sizeof(idbuf), "0x%llx",
+                static_cast<unsigned long long>(f.id));
+  std::string out = std::string("{\"ph\":\"") + ph +
+                    "\",\"cat\":\"flow\",\"name\":\"" + json_escape(f.name) +
+                    "\",\"id\":\"" + idbuf + "\",\"ts\":" + fmt_us(f.t) +
+                    ids(pid, tid);
+  // Bind the finish point to its enclosing slice (Chrome flow semantics).
+  if (f.phase == Tracer::FlowPhase::kEnd) out += ",\"bp\":\"e\"";
+  out += "}";
+  return out;
+}
+
+}  // namespace trace_format
+
+namespace {
+
+/// First digit run in a lane name ("worker 0012" -> 12, "link 3->4" -> 3);
+/// false when the name has no digits.
+bool parse_first_uint(const std::string& s, std::uint64_t& out) {
+  std::size_t i = 0;
+  while (i < s.size() &&
+         !std::isdigit(static_cast<unsigned char>(s[i]))) {
+    ++i;
+  }
+  if (i == s.size()) return false;
+  out = 0;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+    out = out * 10 + static_cast<std::uint64_t>(s[i] - '0');
+    ++i;
+  }
+  return true;
+}
+
+std::size_t args_bytes(const std::vector<Tracer::Arg>& args) {
+  std::size_t n = args.size() * sizeof(Tracer::Arg);
+  for (const Tracer::Arg& a : args) n += a.key.size();
+  return n;
+}
+
+}  // namespace
+
+Tracer::TrackSample Tracer::sample_state(const std::string& thread) const {
+  TrackSample ts;
+  if (!sample_.track_sampling()) return ts;  // everything sampled
+  std::uint64_t id = 0;
+  if (!parse_first_uint(thread, id)) return ts;  // non-numeric lanes kept
+  ts.sampled = (id % sample_.track_stride) == 0;
+  ts.head_left = ts.sampled ? 0 : sample_.head_events_per_track;
+  return ts;
+}
+
+bool Tracer::admit(TrackId track, double t0, double t1) {
+  if (!sample_.track_sampling()) return true;
+  if (in_window(t0, t1)) return true;
+  TrackSample& ts = tsample_[track - 1];
+  if (ts.sampled) return true;
+  if (ts.head_left > 0) {
+    --ts.head_left;
+    return true;
+  }
+  return false;
+}
 
 TrackId Tracer::track(const std::string& process, const std::string& thread) {
   const auto key = std::make_pair(process, thread);
@@ -53,9 +172,35 @@ TrackId Tracer::track(const std::string& process, const std::string& thread) {
   t.thread = thread;
   tracks_.push_back(std::move(t));
   open_.emplace_back();
+  tsample_.push_back(sample_state(thread));
   const TrackId id = static_cast<TrackId>(tracks_.size());  // 1-based
   track_index_.emplace(key, id);
+  if (sink_ != nullptr) {
+    const Track& nt = tracks_.back();
+    sink_->on_track(id, nt.pid, nt.tid, nt.process, nt.thread);
+  }
   return id;
+}
+
+void Tracer::set_sink(TraceSink* sink) {
+  sink_ = sink;
+  if (sink_ == nullptr) return;
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    const Track& t = tracks_[i];
+    sink_->on_track(static_cast<TrackId>(i + 1), t.pid, t.tid, t.process,
+                    t.thread);
+  }
+}
+
+void Tracer::finish() {
+  if (sink_ != nullptr) sink_->finish();
+}
+
+void Tracer::set_sampling(const TraceSampleConfig& cfg) {
+  sample_ = cfg;
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    tsample_[i] = sample_state(tracks_[i].thread);
+  }
 }
 
 void Tracer::begin(TrackId track, std::string name, double t,
@@ -64,42 +209,88 @@ void Tracer::begin(TrackId track, std::string name, double t,
   open_[track - 1].push_back(Open{std::move(name), t, std::move(args)});
 }
 
+void Tracer::record_span(Span&& s) {
+  if (!admit(s.track, s.t0, s.t1)) {
+    ++sampled_out_;
+    return;
+  }
+  ++admitted_;
+  if (sink_ != nullptr) sink_->on_span(s);
+  if (retain_all_ || in_window(s.t0, s.t1)) {
+    retained_bytes_ += sizeof(Span) + s.name.size() + args_bytes(s.args);
+    reserve_growth(spans_);
+    spans_.push_back(std::move(s));
+  }
+}
+
 void Tracer::end(TrackId track, double t) {
   if (track == 0 || track > tracks_.size()) return;
   auto& stack = open_[track - 1];
   if (stack.empty()) return;  // unmatched end: ignore
   Open span = std::move(stack.back());
   stack.pop_back();
-  reserve_growth(spans_);
-  spans_.push_back(
+  record_span(
       Span{track, std::move(span.name), span.t0, t, std::move(span.args)});
 }
 
 void Tracer::complete(TrackId track, std::string name, double t0, double t1,
                       std::vector<Arg> args) {
   if (track == 0 || track > tracks_.size()) return;
-  reserve_growth(spans_);
-  spans_.push_back(Span{track, std::move(name), t0, t1, std::move(args)});
+  record_span(Span{track, std::move(name), t0, t1, std::move(args)});
 }
 
 void Tracer::instant(TrackId track, std::string name, double t,
                      std::vector<Arg> args) {
   if (track == 0 || track > tracks_.size()) return;
-  reserve_growth(instants_);
-  instants_.push_back(Instant{track, std::move(name), t, std::move(args)});
+  if (!admit(track, t, t)) {
+    ++sampled_out_;
+    return;
+  }
+  ++admitted_;
+  Instant i{track, std::move(name), t, std::move(args)};
+  if (sink_ != nullptr) sink_->on_instant(i);
+  if (retain_all_ || in_window(t, t)) {
+    retained_bytes_ += sizeof(Instant) + i.name.size() + args_bytes(i.args);
+    reserve_growth(instants_);
+    instants_.push_back(std::move(i));
+  }
 }
 
 void Tracer::counter(TrackId track, std::string name, double t, double value) {
   if (track == 0 || track > tracks_.size()) return;
-  reserve_growth(samples_);
-  samples_.push_back(Sample{track, std::move(name), t, value});
+  if (!admit(track, t, t)) {
+    ++sampled_out_;
+    return;
+  }
+  ++admitted_;
+  Sample c{track, std::move(name), t, value};
+  if (sink_ != nullptr) sink_->on_sample(c);
+  if (retain_all_ || in_window(t, t)) {
+    retained_bytes_ += sizeof(Sample) + c.name.size();
+    reserve_growth(samples_);
+    samples_.push_back(std::move(c));
+  }
 }
 
 void Tracer::flow(TrackId track, FlowPhase phase, std::string name, double t,
                   std::uint64_t id) {
   if (track == 0 || track > tracks_.size() || id == 0) return;
-  reserve_growth(flows_);
-  flows_.push_back(Flow{track, phase, std::move(name), t, id});
+  // Flow admission keys off the chain's deterministic sequence number so
+  // the s/t/f points of one chain live or die together (track sampling
+  // would strand arrows between kept and dropped lanes).
+  if (sample_.flow_sampling() && !in_window(t, t) &&
+      ((id & sample_.flow_seq_mask) % sample_.flow_stride) != 0) {
+    ++sampled_out_;
+    return;
+  }
+  ++admitted_;
+  Flow f{track, phase, std::move(name), t, id};
+  if (sink_ != nullptr) sink_->on_flow(f);
+  if (retain_all_ || in_window(t, t)) {
+    retained_bytes_ += sizeof(Flow) + f.name.size();
+    reserve_growth(flows_);
+    flows_.push_back(std::move(f));
+  }
 }
 
 const std::string& Tracer::track_process(TrackId id) const {
@@ -114,6 +305,16 @@ const std::string& Tracer::track_thread(TrackId id) const {
   return tracks_[id - 1].thread;
 }
 
+std::uint32_t Tracer::track_pid(TrackId id) const {
+  if (id == 0 || id > tracks_.size()) return 0;
+  return tracks_[id - 1].pid;
+}
+
+std::uint32_t Tracer::track_tid(TrackId id) const {
+  if (id == 0 || id > tracks_.size()) return 0;
+  return tracks_[id - 1].tid;
+}
+
 std::size_t Tracer::open_spans() const {
   std::size_t n = 0;
   for (const auto& stack : open_) n += stack.size();
@@ -126,6 +327,12 @@ void Tracer::clear() {
   instants_.clear();
   samples_.clear();
   flows_.clear();
+  admitted_ = 0;
+  sampled_out_ = 0;
+  retained_bytes_ = 0;
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    tsample_[i] = sample_state(tracks_[i].thread);
+  }
 }
 
 std::string Tracer::chrome_json() const {
@@ -139,60 +346,35 @@ std::string Tracer::chrome_json() const {
   // Metadata: process names (one per pid), then thread names per track.
   for (const auto& [process, pid] : pids_) {
     sep();
-    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
-           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
-           json_escape(process) + "\"}}";
+    out += trace_format::process_meta(pid, process);
   }
   for (const Track& t : tracks_) {
     sep();
-    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
-           std::to_string(t.pid) + ",\"tid\":" + std::to_string(t.tid) +
-           ",\"args\":{\"name\":\"" + json_escape(t.thread) + "\"}}";
+    out += trace_format::thread_meta(t.pid, t.tid, t.thread);
   }
 
-  auto ids = [this](TrackId id) {
-    const Track& t = tracks_[id - 1];
-    return ",\"pid\":" + std::to_string(t.pid) +
-           ",\"tid\":" + std::to_string(t.tid);
+  auto pidtid = [this](TrackId id) -> const Track& {
+    return tracks_[id - 1];
   };
-
   for (const Span& s : spans_) {
     sep();
-    out += "{\"ph\":\"X\",\"name\":\"" + json_escape(s.name) +
-           "\",\"ts\":" + fmt_us(s.t0) +
-           ",\"dur\":" + fmt_us(s.t1 - s.t0) + ids(s.track);
-    append_args(out, s.args);
-    out += "}";
+    const Track& t = pidtid(s.track);
+    out += trace_format::span_event(s, t.pid, t.tid);
   }
   for (const Flow& f : flows_) {
     sep();
-    const char* ph = f.phase == FlowPhase::kStart
-                         ? "s"
-                         : f.phase == FlowPhase::kStep ? "t" : "f";
-    // The 64-bit flow id goes out as a hex string: JSON numbers are doubles
-    // in most viewers and would silently round ids above 2^53.
-    char idbuf[24];
-    std::snprintf(idbuf, sizeof(idbuf), "0x%llx",
-                  static_cast<unsigned long long>(f.id));
-    out += std::string("{\"ph\":\"") + ph + "\",\"cat\":\"flow\",\"name\":\"" +
-           json_escape(f.name) + "\",\"id\":\"" + idbuf +
-           "\",\"ts\":" + fmt_us(f.t) + ids(f.track);
-    // Bind the finish point to its enclosing slice (Chrome flow semantics).
-    if (f.phase == FlowPhase::kEnd) out += ",\"bp\":\"e\"";
-    out += "}";
+    const Track& t = pidtid(f.track);
+    out += trace_format::flow_event(f, t.pid, t.tid);
   }
   for (const Instant& i : instants_) {
     sep();
-    out += "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" + json_escape(i.name) +
-           "\",\"ts\":" + fmt_us(i.t) + ids(i.track);
-    append_args(out, i.args);
-    out += "}";
+    const Track& t = pidtid(i.track);
+    out += trace_format::instant_event(i, t.pid, t.tid);
   }
   for (const Sample& c : samples_) {
     sep();
-    out += "{\"ph\":\"C\",\"name\":\"" + json_escape(c.name) +
-           "\",\"ts\":" + fmt_us(c.t) + ids(c.track) +
-           ",\"args\":{\"value\":" + fmt_value(c.value) + "}}";
+    const Track& t = pidtid(c.track);
+    out += trace_format::sample_event(c, t.pid, t.tid);
   }
   out += "\n]}";
   return out;

@@ -11,6 +11,13 @@
 // attached tracer cannot perturb a run (the determinism contract in
 // DESIGN.md). Storage is append-only vectors; one recorded span costs a
 // push_back.
+//
+// Scale mode (DESIGN.md "Observability at scale"): for large-N runs the
+// tracer can (a) stream admitted events to a TraceSink as they close
+// instead of — or in addition to — retaining them, and (b) sample
+// deterministically via TraceSampleConfig, keyed off track ids and flow
+// sequence numbers, never entropy. Both default off: an unconfigured
+// Tracer behaves exactly as before (retain everything, no sink).
 #pragma once
 
 #include <cstdint>
@@ -24,6 +31,43 @@ namespace dlion::obs {
 
 /// Opaque track handle; 0 is reserved as "invalid / not yet created".
 using TrackId = std::uint32_t;
+
+class TraceSink;  // obs/trace_sink.h
+
+/// Deterministic sampling policy for large-N traces. Every decision is a
+/// pure function of (track name, flow id, event time) — same run, same
+/// sampled trace, at any DLION_THREADS.
+struct TraceSampleConfig {
+  /// Keep every event on tracks whose numeric id — the first digit run in
+  /// the thread name ("worker 0012" -> 12, "link 0003->0004" -> 3) —
+  /// satisfies id % track_stride == 0. Tracks without digits ("control",
+  /// "tier") are always kept: they are low-volume by construction.
+  /// 1 keeps every track (sampling off).
+  std::uint64_t track_stride = 1;
+  /// Per-track head budget: the first N span/instant/sample events of a
+  /// sampled-out track are kept anyway, so every lane shows its startup
+  /// shape. 0 = none.
+  std::uint64_t head_events_per_track = 0;
+  /// Keep flow chains whose sequence number — (id & flow_seq_mask) —
+  /// satisfies seq % flow_stride == 0. The same decision applies to the
+  /// s/t/f points of one chain (they share the id), so sampled chains stay
+  /// whole. 1 keeps every flow.
+  std::uint64_t flow_stride = 1;
+  /// Low-bit mask isolating the per-source sequence counter inside a flow
+  /// id. The default matches comm::make_flow_id's layout (kFlowSeqBits low
+  /// bits are the deterministic per-sender sequence).
+  std::uint64_t flow_seq_mask = (std::uint64_t{1} << 40) - 1;
+  /// Full-fidelity window [full_t0, full_t1): every event overlapping it is
+  /// admitted AND retained regardless of the strides, so critical-path
+  /// attribution over the window sees an unsampled trace. Empty (t1 <= t0)
+  /// by default. Flow chains straddling a window edge may be partial.
+  double full_t0 = 0.0;
+  double full_t1 = 0.0;
+
+  bool track_sampling() const { return track_stride > 1; }
+  bool flow_sampling() const { return flow_stride > 1; }
+  bool window_active() const { return full_t1 > full_t0; }
+};
 
 class Tracer {
  public:
@@ -100,6 +144,38 @@ class Tracer {
   void flow(TrackId track, FlowPhase phase, std::string name, double t,
             std::uint64_t id);
 
+  // ----------------------------------------------------------- scale mode
+
+  /// Attach a streaming sink (non-owning; nullptr detaches). Admitted
+  /// events are forwarded as they close; already-known tracks are replayed
+  /// to the new sink immediately. Call finish() when the run ends so the
+  /// sink can close its output.
+  void set_sink(TraceSink* sink);
+  TraceSink* sink() const { return sink_; }
+  /// Forwards to the sink's finish() (no-op without one).
+  void finish();
+
+  /// Install the deterministic sampling policy. Rejected events are
+  /// counted (`sampled_out_events`) and never reach the sink or storage.
+  /// Per-track head budgets reset to the new config.
+  void set_sampling(const TraceSampleConfig& cfg);
+  const TraceSampleConfig& sampling() const { return sample_; }
+
+  /// When false, admitted events are forwarded to the sink but stored only
+  /// if they overlap the sampling config's full-fidelity window — memory
+  /// becomes O(window + head budgets) instead of O(events). Default true
+  /// (retain everything; the pre-scale behavior).
+  void set_retain_all(bool retain) { retain_all_ = retain; }
+  bool retain_all() const { return retain_all_; }
+
+  /// Events past the sampler (= forwarded to the sink, if any).
+  std::uint64_t admitted_events() const { return admitted_; }
+  /// Events rejected by the sampler.
+  std::uint64_t sampled_out_events() const { return sampled_out_; }
+  /// Approximate heap footprint of the *retained* events (struct +
+  /// name/arg payload bytes; excludes vector slack and track metadata).
+  std::size_t retained_bytes() const { return retained_bytes_; }
+
   const std::vector<Span>& spans() const { return spans_; }
   const std::vector<Instant>& instants() const { return instants_; }
   const std::vector<Sample>& samples() const { return samples_; }
@@ -113,6 +189,8 @@ class Tracer {
   /// Track metadata lookup (1-based ids; empty strings for invalid ids).
   const std::string& track_process(TrackId id) const;
   const std::string& track_thread(TrackId id) const;
+  std::uint32_t track_pid(TrackId id) const;
+  std::uint32_t track_tid(TrackId id) const;
 
   void clear();
 
@@ -134,6 +212,11 @@ class Tracer {
     double t0 = 0.0;
     std::vector<Arg> args;
   };
+  /// Per-track sampling state, recomputed by set_sampling().
+  struct TrackSample {
+    bool sampled = true;
+    std::uint64_t head_left = 0;
+  };
 
   /// Hot-path growth policy: pre-reserve a sizeable first block and then
   /// double, so a long run's recording cost is dominated by the push_back
@@ -145,6 +228,16 @@ class Tracer {
     }
   }
 
+  TrackSample sample_state(const std::string& thread) const;
+  bool in_window(double t0, double t1) const {
+    return sample_.window_active() && t1 >= sample_.full_t0 &&
+           t0 < sample_.full_t1;
+  }
+  /// Span/instant/sample admission; consumes head budget on sampled-out
+  /// tracks.
+  bool admit(TrackId track, double t0, double t1);
+  void record_span(Span&& s);
+
   std::vector<Track> tracks_;                      // index = TrackId - 1
   std::map<std::pair<std::string, std::string>, TrackId> track_index_;
   std::map<std::string, std::uint32_t> pids_;      // process -> pid
@@ -153,6 +246,14 @@ class Tracer {
   std::vector<Instant> instants_;
   std::vector<Sample> samples_;
   std::vector<Flow> flows_;
+
+  TraceSink* sink_ = nullptr;  // non-owning, optional
+  TraceSampleConfig sample_;
+  std::vector<TrackSample> tsample_;  // index = TrackId - 1
+  bool retain_all_ = true;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t sampled_out_ = 0;
+  std::size_t retained_bytes_ = 0;
 };
 
 }  // namespace dlion::obs

@@ -1,0 +1,31 @@
+#include "obs/track_names.h"
+
+#include <cstdio>
+
+namespace dlion::obs {
+
+namespace {
+int g_pad_width = kDefaultIdPadWidth;
+}  // namespace
+
+void set_id_pad_width(int width) {
+  g_pad_width = width < 0 ? 0 : (width > 16 ? 16 : width);
+}
+
+int id_pad_width() { return g_pad_width; }
+
+std::string id_str(std::size_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%0*zu", g_pad_width, id);
+  return buf;
+}
+
+std::string worker_track(std::size_t id) { return "worker " + id_str(id); }
+
+std::string link_track(std::size_t from, std::size_t to) {
+  return "link " + id_str(from) + "->" + id_str(to);
+}
+
+std::string replica_track(std::size_t id) { return "replica " + id_str(id); }
+
+}  // namespace dlion::obs

@@ -4,13 +4,14 @@
 #include <cstdio>
 #include <limits>
 
+#include "obs/track_names.h"
+
 namespace dlion::obs {
 
 namespace {
 std::string worker_tag(std::size_t worker) {
-  return worker == WatchdogEvent::kClusterWide
-             ? std::string("cluster")
-             : "worker " + std::to_string(worker);
+  return worker == WatchdogEvent::kClusterWide ? std::string("cluster")
+                                               : worker_track(worker);
 }
 
 /// Compact double for human-readable detail strings ("12.5", not

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "obs/track_names.h"
 
 namespace dlion::serve {
 
@@ -25,8 +26,8 @@ Replica::Replica(sim::Engine& engine, ReplicaConfig config,
     metrics_->batch_size_counts.resize(config_.batching.max_batch + 1, 0);
   }
   if (obs::on(obs_)) {
-    obs_track_ = obs_->tracer().track(
-        "serving", "replica " + std::to_string(config_.id));
+    obs_track_ =
+        obs_->tracer().track("serving", obs::replica_track(config_.id));
   }
 }
 

@@ -11,20 +11,46 @@ EventId Engine::at(common::SimTime t, EventFn fn) {
   if (t < now_) {
     throw std::invalid_argument("Engine::at: time in the past");
   }
-  return queue_.push(t, std::move(fn));
+  EventId id = queue_.push(t, std::move(fn));
+  if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
+  return id;
 }
 
 EventId Engine::after(common::SimTime delay, EventFn fn) {
   if (delay < 0.0) {
     throw std::invalid_argument("Engine::after: negative delay");
   }
-  return queue_.push(now_ + delay, std::move(fn));
+  EventId id = queue_.push(now_ + delay, std::move(fn));
+  if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
+  return id;
 }
 
 void Engine::set_obs(obs::Observability* o) {
   obs_ = o;
-  obs_events_ =
-      o != nullptr ? &o->metrics().counter("sim.events_executed") : nullptr;
+  obs_events_ = nullptr;
+  obs_depth_ = nullptr;
+  obs_peak_depth_ = nullptr;
+  obs_events_windowed_ = nullptr;
+  if (o == nullptr) return;
+  obs::MetricsRegistry& m = o->metrics();
+  obs_events_ = &m.counter("sim.events_executed");
+  obs_depth_ = &m.gauge("sim.queue.depth");
+  obs_peak_depth_ = &m.gauge("sim.queue.peak_depth");
+  if (m.rollup().window_s > 0.0) {
+    obs_events_windowed_ = &m.windowed("sim.events_executed_windowed");
+  }
+}
+
+void Engine::note_executed() {
+  ++executed_;
+  if (obs::on(obs_)) {
+    obs_events_->inc();
+    obs_depth_->set(static_cast<double>(queue_.size()));
+    obs_peak_depth_->set(static_cast<double>(peak_pending_));
+    if (obs_events_windowed_ != nullptr) {
+      obs_events_windowed_->observe(now_, 1.0);
+    }
+  }
 }
 
 void Engine::run_until(common::SimTime t_end) {
@@ -38,8 +64,7 @@ void Engine::run_until(common::SimTime t_end) {
                                    std::to_string(now_) + " to t=" +
                                    std::to_string(time));
     now_ = time;
-    ++executed_;
-    if (obs::on(obs_)) obs_events_->inc();
+    note_executed();
     fn();
   }
   // A requested stop freezes the clock at the aborting event so callers
@@ -55,8 +80,7 @@ void Engine::run() {
                                    std::to_string(now_) + " to t=" +
                                    std::to_string(time));
     now_ = time;
-    ++executed_;
-    if (obs::on(obs_)) obs_events_->inc();
+    note_executed();
     fn();
   }
 }

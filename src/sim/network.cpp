@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/track_names.h"
 #include "obs/watchdog.h"
 
 namespace dlion::sim {
@@ -58,7 +59,7 @@ void Network::set_obs(obs::Observability* o) {
   obs_link_tracks_.assign(n_, std::vector<obs::TrackId>(n_, 0));
   obs::MetricsRegistry& m = o->metrics();
   for (std::size_t w = 0; w < n_; ++w) {
-    const obs::Labels labels{{"worker", std::to_string(w)}};
+    const obs::Labels labels{{"worker", obs::id_str(w)}};
     obs_handles_[w].messages_sent = &m.counter("sim.net.messages_sent", labels);
     obs_handles_[w].bytes_sent = &m.counter("sim.net.bytes_sent", labels);
     obs_handles_[w].messages_dropped =
@@ -72,8 +73,7 @@ void Network::set_obs(obs::Observability* o) {
 obs::TrackId Network::link_track(std::size_t from, std::size_t to) {
   obs::TrackId& id = obs_link_tracks_[from][to];
   if (id == 0) {
-    id = obs_->tracer().track("network", "link " + std::to_string(from) +
-                                             "->" + std::to_string(to));
+    id = obs_->tracer().track("network", obs::link_track(from, to));
   }
   return id;
 }

@@ -13,6 +13,7 @@
 #include "exp/experiment.h"
 #include "obs/obs.h"
 #include "obs/tracer.h"
+#include "obs/track_names.h"
 #include "sim/network.h"
 #include "sim/resource_schedule.h"
 
@@ -221,7 +222,7 @@ TEST(CriticalPath, HeteroComputeAttributionNamesTheStraggler) {
   run_env(env, &o);
   const obs::CriticalPathReport r = obs::compute_critical_path(o.tracer());
   ASSERT_TRUE(r.valid);
-  EXPECT_EQ(r.straggler, "worker 2")
+  EXPECT_EQ(r.straggler, obs::worker_track(2))
       << "6x-slower worker 2 should dominate the critical path";
   // The full-run fractions are self-consistent.
   double total = 0.0;
@@ -245,7 +246,7 @@ TEST(CriticalPath, HeteroNetworkAttributionNamesTheSlowLink) {
   run_env(env, &o);
   const obs::CriticalPathReport r = obs::compute_critical_path(o.tracer());
   ASSERT_TRUE(r.valid);
-  EXPECT_EQ(r.bottleneck_link.rfind("link 2->", 0), 0u)
+  EXPECT_EQ(r.bottleneck_link.rfind("link " + obs::id_str(2) + "->", 0), 0u)
       << "got '" << r.bottleneck_link << "'";
 }
 

@@ -1,0 +1,174 @@
+// End-to-end tests for the dlion-benchdiff binary (the perf-regression
+// gate). The build injects:
+//   DLION_BENCHDIFF_BINARY - absolute path to the built tool
+//   DLION_REPO_ROOT        - absolute path to the source tree
+// Tests shell out to the real executable, exactly as CI's bench-regress
+// step does — the gate being relied on is the gate being tested.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef DLION_BENCHDIFF_BINARY
+#error "build must define DLION_BENCHDIFF_BINARY"
+#endif
+#ifndef DLION_REPO_ROOT
+#error "build must define DLION_REPO_ROOT"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+std::string temp_path(const char* name) {
+  // Prefix with the test name: under `ctest -j` these tests run as
+  // separate concurrent processes and must not clobber each other.
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + info->name() + std::string("_") + name;
+}
+
+RunResult run_benchdiff(const std::string& args) {
+  const std::string out_path = temp_path("benchdiff_out.txt");
+  const std::string cmd = std::string("\"") + DLION_BENCHDIFF_BINARY + "\" " +
+                          args + " > " + out_path + " 2>&1";
+  const int status = std::system(cmd.c_str());
+  RunResult r;
+#if defined(_WIN32)
+  r.exit_code = status;
+#else
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+  std::ifstream in(out_path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  r.output = buf.str();
+  return r;
+}
+
+std::string write_file(const char* name, const std::string& content) {
+  const std::string path = temp_path(name);
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  return path;
+}
+
+// A miniature bench report in the committed anchors' shape.
+std::string report(double msgs_per_sec, int allocs, double gflops,
+                   double p99_ms, const char* schema = "dlion-test-v1") {
+  std::ostringstream js;
+  js << "{\"schema\": \"" << schema << "\", "
+     << "\"comm\": {\"msgs_per_sec\": " << msgs_per_sec
+     << ", \"allocs_per_msg\": " << allocs << "}, "
+     << "\"gemm\": {\"packed_gflops\": " << gflops << "}, "
+     << "\"serve\": {\"p99_ms\": " << p99_ms << "}, "
+     << "\"timing\": {\"wall_ms\": 123.4}}";
+  return js.str();
+}
+
+TEST(BenchdiffTool, CommittedAnchorVsItselfPasses) {
+  const std::string anchor =
+      std::string(DLION_REPO_ROOT) + "/BENCH_hotpath.json";
+  const RunResult r = run_benchdiff("\"" + anchor + "\" \"" + anchor + "\"");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 regression(s)"), std::string::npos) << r.output;
+}
+
+TEST(BenchdiffTool, TenPercentThroughputRegressionFails) {
+  const std::string base = write_file("base.json", report(1000, 5, 50, 2));
+  // 12% msgs/s drop: outside the 10% throughput tolerance.
+  const std::string cand = write_file("cand.json", report(880, 5, 50, 2));
+  const RunResult r = run_benchdiff("\"" + base + "\" \"" + cand + "\"");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("msgs_per_sec"), std::string::npos);
+  EXPECT_NE(r.output.find("REGRESS"), std::string::npos);
+}
+
+TEST(BenchdiffTool, SmallThroughputDipWithinTolerancePasses) {
+  const std::string base = write_file("base.json", report(1000, 5, 50, 2));
+  const std::string cand = write_file("cand.json", report(950, 5, 50, 2));
+  const RunResult r = run_benchdiff("\"" + base + "\" \"" + cand + "\"");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(BenchdiffTool, SingleExtraAllocFails) {
+  // Alloc counters are deterministic, so they get zero slack.
+  const std::string base = write_file("base.json", report(1000, 5, 50, 2));
+  const std::string cand = write_file("cand.json", report(1000, 6, 50, 2));
+  const RunResult r = run_benchdiff("\"" + base + "\" \"" + cand + "\"");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("allocs_per_msg"), std::string::npos);
+}
+
+TEST(BenchdiffTool, LatencyRegressionFailsAndImprovementPasses) {
+  const std::string base = write_file("base.json", report(1000, 5, 50, 10));
+  const std::string worse = write_file("worse.json", report(1000, 5, 50, 12));
+  EXPECT_EQ(run_benchdiff("\"" + base + "\" \"" + worse + "\"").exit_code, 1);
+  const std::string better = write_file("better.json", report(1000, 5, 50, 5));
+  const RunResult r = run_benchdiff("\"" + base + "\" \"" + better + "\"");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("1 improvement(s)"), std::string::npos) << r.output;
+}
+
+TEST(BenchdiffTool, LenientTimingsDemotesThroughputButNotAllocs) {
+  const std::string base = write_file("base.json", report(1000, 5, 50, 2));
+  // Throughput tanks (timing-derived -> demoted), allocs also grow (hard).
+  const std::string slow = write_file("slow.json", report(500, 5, 50, 2));
+  EXPECT_EQ(run_benchdiff("--lenient-timings \"" + base + "\" \"" + slow +
+                          "\"")
+                .exit_code,
+            0);
+  const std::string leaky = write_file("leaky.json", report(500, 9, 50, 2));
+  EXPECT_EQ(run_benchdiff("--lenient-timings \"" + base + "\" \"" + leaky +
+                          "\"")
+                .exit_code,
+            1);
+}
+
+TEST(BenchdiffTool, SchemaChangeIsExact) {
+  const std::string base = write_file("base.json", report(1000, 5, 50, 2));
+  const std::string cand =
+      write_file("cand.json", report(1000, 5, 50, 2, "dlion-test-v2"));
+  const RunResult r = run_benchdiff("\"" + base + "\" \"" + cand + "\"");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("schema"), std::string::npos);
+}
+
+TEST(BenchdiffTool, GatedMetricVanishingFails) {
+  const std::string base = write_file("base.json", report(1000, 5, 50, 2));
+  const std::string cand = write_file(
+      "cand.json", "{\"schema\": \"dlion-test-v1\", \"timing\": "
+                   "{\"wall_ms\": 99.0}}");
+  const RunResult r = run_benchdiff("\"" + base + "\" \"" + cand + "\"");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("(missing)"), std::string::npos);
+}
+
+TEST(BenchdiffTool, CustomRulesFileReplacesThePolicy) {
+  const std::string base = write_file("base.json", report(1000, 5, 50, 2));
+  const std::string cand = write_file("cand.json", report(500, 9, 50, 2));
+  // A policy that only gates gflops: the msgs/s and alloc regressions
+  // above fall through to the implicit catch-all info rule.
+  const std::string rules = write_file("rules.txt",
+                                       "# only gate the kernel\n"
+                                       "*gflops* higher rel=10\n");
+  const RunResult r = run_benchdiff("--rules=" + rules + " \"" + base +
+                                    "\" \"" + cand + "\"");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(BenchdiffTool, UsageAndParseErrorsExitTwo) {
+  EXPECT_EQ(run_benchdiff("").exit_code, 2);
+  EXPECT_EQ(run_benchdiff("one.json").exit_code, 2);
+  const std::string bad = write_file("bad.json", "{not json");
+  const std::string good = write_file("good.json", report(1, 1, 1, 1));
+  EXPECT_EQ(run_benchdiff("\"" + bad + "\" \"" + good + "\"").exit_code, 2);
+}
+
+}  // namespace

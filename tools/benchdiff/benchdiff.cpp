@@ -1,0 +1,421 @@
+// benchdiff — the perf-regression gate for the committed BENCH_*.json
+// anchors (DESIGN.md, "Gating performance").
+//
+// Diffs two bench-report JSON files (baseline vs candidate), flattening
+// every scalar leaf to a dotted path (`comm.msgs_per_sec`,
+// `gemm_single_thread[0].packed_gflops`, ...) and judging each against an
+// ordered, first-match list of glob rules. A rule says which direction is
+// good (higher-better throughput, lower-better latency/allocs, exact for
+// determinism flags) and how much slack the metric gets (relative %,
+// absolute, or none). Prints an aligned table of every gated metric and
+// exits nonzero when any of them regressed, so CI can run
+//
+//   dlion-benchdiff BENCH_hotpath.json build/BENCH_hotpath_t1.json
+//
+// against the committed anchor and fail the job on a real slowdown.
+//
+// Wall-clock metrics are meaningless across machines, so every
+// timing-derived rule carries a `timing` tag; `--lenient-timings`
+// downgrades those to report-only while the deterministic gates (allocs,
+// copies, event counts, bit-identity flags) stay hard. Custom policies
+// load with `--rules=FILE` (one rule per line: `pattern kind [rel=R]
+// [abs=A] [timing]`).
+//
+// Exit codes: 0 = no regression, 1 = regression (or gated metric
+// missing from the candidate), 2 = usage / parse error.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/json_lite.h"
+
+namespace {
+
+using dlion::obs::jsonlite::Json;
+using dlion::obs::jsonlite::JsonParser;
+
+// ---------------------------------------------------------------------------
+// Leaves: every scalar in the report, addressed by dotted path.
+
+struct Leaf {
+  bool is_num = false;
+  double num = 0.0;
+  std::string str;  // string / "true" / "false" / "null" when !is_num
+};
+
+std::string fmt_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string leaf_str(const Leaf& l) { return l.is_num ? fmt_num(l.num) : l.str; }
+
+void flatten(const Json& j, const std::string& path,
+             std::map<std::string, Leaf>& out) {
+  switch (j.kind) {
+    case Json::Kind::kObject:
+      for (const auto& [k, v] : j.object) {
+        flatten(v, path.empty() ? k : path + "." + k, out);
+      }
+      break;
+    case Json::Kind::kArray:
+      for (std::size_t i = 0; i < j.array.size(); ++i) {
+        flatten(j.array[i], path + "[" + std::to_string(i) + "]", out);
+      }
+      break;
+    case Json::Kind::kNumber:
+      out[path] = Leaf{true, j.number, {}};
+      break;
+    case Json::Kind::kString:
+      out[path] = Leaf{false, 0.0, j.str};
+      break;
+    case Json::Kind::kBool:
+      out[path] = Leaf{false, 0.0, j.boolean ? "true" : "false"};
+      break;
+    case Json::Kind::kNull:
+      out[path] = Leaf{false, 0.0, "null"};
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rules: ordered, first glob match wins.
+
+enum class Kind { kHigherBetter, kLowerBetter, kExact, kInfo };
+
+struct Rule {
+  std::string pattern;
+  Kind kind = Kind::kInfo;
+  double rel_pct = 0.0;  // relative tolerance, percent of |baseline|
+  double abs_tol = 0.0;  // absolute tolerance, same units as the metric
+  bool timing = false;   // wall-clock derived: --lenient-timings demotes it
+};
+
+// `*`-only glob (the paths have no other metacharacters worth supporting).
+bool glob_match(const char* pat, const char* s) {
+  for (; *pat != '\0'; ++pat, ++s) {
+    if (*pat == '*') {
+      while (pat[1] == '*') ++pat;
+      if (pat[1] == '\0') return true;
+      for (; *s != '\0'; ++s) {
+        if (glob_match(pat + 1, s)) return true;
+      }
+      return false;
+    }
+    if (*s != *pat) return false;
+  }
+  return *s == '\0';
+}
+
+// The built-in policy, tuned to the schemas of the committed anchors
+// (BENCH_hotpath.json, BENCH_obs.json). Order matters: first match wins,
+// `*` at the end makes everything else report-only.
+std::vector<Rule> default_rules() {
+  return {
+      // Determinism and schema identity: any drift is a failure.
+      {"*schema*", Kind::kExact},
+      {"*bitmatch*", Kind::kExact},
+      {"*identical*", Kind::kExact},
+      // Checksums legitimately change whenever numerics change; the
+      // serial==parallel comparison above is the real gate.
+      {"*checksum*", Kind::kInfo},
+      // Deterministic efficiency counters: zero slack.
+      {"*allocs*", Kind::kLowerBetter},
+      {"*copies*", Kind::kLowerBetter},
+      {"*copy_bytes*", Kind::kLowerBetter},
+      {"*trace_events*", Kind::kExact},
+      {"*metric_series*", Kind::kExact},
+      // Throughput (higher is better) and latency (lower is better):
+      // 10% slack, demoted to report-only under --lenient-timings.
+      {"*gflops*", Kind::kHigherBetter, 10.0, 0.0, true},
+      {"*per_sec*", Kind::kHigherBetter, 10.0, 0.0, true},
+      {"*per_s", Kind::kHigherBetter, 10.0, 0.0, true},
+      {"*gelems_per_s*", Kind::kHigherBetter, 10.0, 0.0, true},
+      {"*p50*", Kind::kLowerBetter, 10.0, 0.0, true},
+      {"*p90*", Kind::kLowerBetter, 10.0, 0.0, true},
+      {"*p99*", Kind::kLowerBetter, 10.0, 0.0, true},
+      {"*latency*", Kind::kLowerBetter, 10.0, 0.0, true},
+      {"*ms_per_step*", Kind::kLowerBetter, 25.0, 0.0, true},
+      // Instrumentation overhead: one percentage point of absolute slack.
+      {"*overhead_pct*", Kind::kLowerBetter, 0.0, 1.0, true},
+      {"*wall_ms*", Kind::kInfo},
+      {"*", Kind::kInfo},
+  };
+}
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kHigherBetter: return "higher";
+    case Kind::kLowerBetter: return "lower";
+    case Kind::kExact: return "exact";
+    case Kind::kInfo: return "info";
+  }
+  return "?";
+}
+
+bool parse_rules_file(const std::string& path, std::vector<Rule>& out,
+                      std::string& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err = "cannot open rules file '" + path + "'";
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    Rule r;
+    std::string kind;
+    if (!(ls >> r.pattern >> kind)) continue;  // blank / comment-only line
+    if (kind == "higher") {
+      r.kind = Kind::kHigherBetter;
+    } else if (kind == "lower") {
+      r.kind = Kind::kLowerBetter;
+    } else if (kind == "exact") {
+      r.kind = Kind::kExact;
+    } else if (kind == "info") {
+      r.kind = Kind::kInfo;
+    } else {
+      err = path + ":" + std::to_string(lineno) + ": unknown kind '" + kind +
+            "' (want higher|lower|exact|info)";
+      return false;
+    }
+    std::string tok;
+    while (ls >> tok) {
+      if (tok.rfind("rel=", 0) == 0) {
+        r.rel_pct = std::stod(tok.substr(4));
+      } else if (tok.rfind("abs=", 0) == 0) {
+        r.abs_tol = std::stod(tok.substr(4));
+      } else if (tok == "timing") {
+        r.timing = true;
+      } else {
+        err = path + ":" + std::to_string(lineno) + ": unknown token '" +
+              tok + "'";
+        return false;
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  // A custom file replaces the policy wholesale; keep unmatched metrics
+  // visible instead of silently dropping them.
+  out.push_back(Rule{"*", Kind::kInfo});
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Judging.
+
+enum class Verdict { kOk, kBetter, kRegression, kInfo };
+
+struct Row {
+  std::string path;
+  std::string base, cand, delta;
+  const Rule* rule = nullptr;
+  Verdict verdict = Verdict::kInfo;
+};
+
+Verdict judge(const Rule& r, const Leaf& base, const Leaf& cand,
+              bool lenient_timings) {
+  const Kind kind =
+      (lenient_timings && r.timing) ? Kind::kInfo : r.kind;
+  if (kind == Kind::kInfo) return Verdict::kInfo;
+  if (!base.is_num || !cand.is_num || kind == Kind::kExact) {
+    const bool same = base.is_num == cand.is_num &&
+                      (base.is_num ? base.num == cand.num
+                                   : base.str == cand.str);
+    return same ? Verdict::kOk : Verdict::kRegression;
+  }
+  const double tol =
+      std::max(r.abs_tol, (base.num < 0 ? -base.num : base.num) *
+                              r.rel_pct / 100.0);
+  const double d = cand.num - base.num;
+  if (kind == Kind::kHigherBetter) {
+    if (d < -tol) return Verdict::kRegression;
+    if (d > tol) return Verdict::kBetter;
+  } else {  // lower-better
+    if (d > tol) return Verdict::kRegression;
+    if (d < -tol) return Verdict::kBetter;
+  }
+  return Verdict::kOk;
+}
+
+const char* verdict_str(Verdict v) {
+  switch (v) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kBetter: return "BETTER";
+    case Verdict::kRegression: return "REGRESS";
+    case Verdict::kInfo: return ".";
+  }
+  return "?";
+}
+
+bool load_json(const std::string& path, Json& out, std::string& err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    err = "cannot open '" + path + "'";
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();  // JsonParser keeps a reference
+  JsonParser parser(text);
+  if (!parser.parse(out)) {
+    err = "'" + path + "' is not valid JSON";
+    return false;
+  }
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [options] BASELINE.json CANDIDATE.json\n"
+         "Diff two bench reports against per-metric tolerance rules.\n"
+         "  --rules=FILE       replace the built-in rules (pattern kind\n"
+         "                     [rel=R] [abs=A] [timing] per line)\n"
+         "  --lenient-timings  demote wall-clock-derived rules to\n"
+         "                     report-only (for cross-machine CI anchors)\n"
+         "  --all              also print report-only (info) metrics\n"
+         "exit: 0 ok, 1 regression, 2 usage/parse error\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string rules_path;
+  bool lenient_timings = false;
+  bool show_all = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rules=", 0) == 0) {
+      rules_path = arg.substr(8);
+    } else if (arg == "--lenient-timings") {
+      lenient_timings = true;
+    } else if (arg == "--all") {
+      show_all = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "benchdiff: unknown option '" << arg << "'\n";
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) return usage(argv[0]);
+
+  std::string err;
+  std::vector<Rule> rules;
+  if (rules_path.empty()) {
+    rules = default_rules();
+  } else if (!parse_rules_file(rules_path, rules, err)) {
+    std::cerr << "benchdiff: " << err << "\n";
+    return 2;
+  }
+
+  Json base_json, cand_json;
+  if (!load_json(files[0], base_json, err) ||
+      !load_json(files[1], cand_json, err)) {
+    std::cerr << "benchdiff: " << err << "\n";
+    return 2;
+  }
+  std::map<std::string, Leaf> base, cand;
+  flatten(base_json, "", base);
+  flatten(cand_json, "", cand);
+
+  // Union of paths, in baseline order first (std::map keeps both sorted,
+  // so the merged walk is deterministic).
+  std::vector<Row> rows;
+  std::size_t gated = 0, regressions = 0, improvements = 0;
+  auto rule_for = [&rules](const std::string& path) -> const Rule* {
+    for (const Rule& r : rules) {
+      if (glob_match(r.pattern.c_str(), path.c_str())) return &r;
+    }
+    return nullptr;
+  };
+  auto bi = base.begin();
+  auto ci = cand.begin();
+  while (bi != base.end() || ci != cand.end()) {
+    Row row;
+    const Rule* rule = nullptr;
+    if (ci == cand.end() || (bi != base.end() && bi->first < ci->first)) {
+      // Present in the baseline only: a gated metric vanishing from the
+      // candidate is a regression (the bench stopped reporting it).
+      row.path = bi->first;
+      row.base = leaf_str(bi->second);
+      row.cand = "(missing)";
+      rule = rule_for(row.path);
+      const bool hard = rule != nullptr && rule->kind != Kind::kInfo &&
+                        !(lenient_timings && rule->timing);
+      row.verdict = hard ? Verdict::kRegression : Verdict::kInfo;
+      ++bi;
+    } else if (bi == base.end() || ci->first < bi->first) {
+      row.path = ci->first;
+      row.base = "(missing)";
+      row.cand = leaf_str(ci->second);
+      rule = rule_for(row.path);
+      row.verdict = Verdict::kInfo;  // new metrics never fail the gate
+      ++ci;
+    } else {
+      row.path = bi->first;
+      const Leaf& b = bi->second;
+      const Leaf& c = ci->second;
+      row.base = leaf_str(b);
+      row.cand = leaf_str(c);
+      if (b.is_num && c.is_num && b.num != 0.0) {
+        row.delta = fmt_num((c.num - b.num) / (b.num < 0 ? -b.num : b.num) *
+                            100.0) + "%";
+      }
+      rule = rule_for(row.path);
+      row.verdict = judge(*rule, b, c, lenient_timings);
+      ++bi;
+      ++ci;
+    }
+    row.rule = rule;
+    if (row.verdict != Verdict::kInfo) ++gated;
+    if (row.verdict == Verdict::kRegression) ++regressions;
+    if (row.verdict == Verdict::kBetter) ++improvements;
+    rows.push_back(std::move(row));
+  }
+
+  dlion::common::Table table(
+      {"metric", "baseline", "candidate", "delta", "rule", "verdict"});
+  std::size_t hidden = 0;
+  for (const Row& row : rows) {
+    if (row.verdict == Verdict::kInfo && !show_all) {
+      ++hidden;
+      continue;
+    }
+    std::string rule_desc = kind_name(
+        (lenient_timings && row.rule->timing) ? Kind::kInfo : row.rule->kind);
+    if (row.rule->rel_pct > 0.0) rule_desc += " " + fmt_num(row.rule->rel_pct) + "%";
+    if (row.rule->abs_tol > 0.0) rule_desc += " abs " + fmt_num(row.rule->abs_tol);
+    table.row()
+        .cell(row.path)
+        .cell(row.base)
+        .cell(row.cand)
+        .cell(row.delta.empty() ? "-" : row.delta)
+        .cell(rule_desc)
+        .cell(verdict_str(row.verdict));
+  }
+  std::cout << "benchdiff: " << files[0] << " -> " << files[1] << "\n";
+  if (table.num_rows() > 0) table.print(std::cout);
+  std::cout << rows.size() << " metrics, " << gated << " gated, "
+            << regressions << " regression(s), " << improvements
+            << " improvement(s)";
+  if (hidden > 0) std::cout << " (" << hidden << " info rows hidden; --all shows them)";
+  std::cout << "\n";
+  return regressions > 0 ? 1 : 0;
+}
