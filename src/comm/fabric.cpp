@@ -89,6 +89,7 @@ common::Bytes Fabric::charged_bytes(const GradientUpdate& update) const {
 
 bool Fabric::deliver(std::size_t from, std::size_t to, const MessagePtr& msg,
                      FlowId flow, std::uint64_t epoch) {
+  DLION_AFFINITY_DCHECK(affinity_);
   DLION_DCHECK(to < handlers_.size(), "delivery to out-of-range worker");
   DLION_DCHECK(msg != nullptr);
   if (epoch < epoch_floor_[to]) {
@@ -139,6 +140,7 @@ bool Fabric::deliver(std::size_t from, std::size_t to, const MessagePtr& msg,
 
 void Fabric::record_dead_letter(std::size_t from, std::size_t to,
                                 const MessagePtr& msg) {
+  DLION_AFFINITY_DCHECK(affinity_);
   if (dead_letter_cap_ == 0) return;  // counters only, no records
   const common::Bytes pinned = payload_bytes(*msg);
   dead_letter_queue_.push_back(
@@ -170,6 +172,7 @@ void Fabric::set_epoch_floor(std::size_t worker, std::uint64_t epoch) {
 
 void Fabric::transmit(std::size_t from, std::size_t to, MessagePtr msg,
                       common::Bytes bytes, Kind kind, std::uint64_t seq) {
+  DLION_AFFINITY_DCHECK(affinity_);
   // Flow ids advance unconditionally: the stamp exists whether or not an
   // observer is attached, so attaching one cannot shift any id (and the id
   // itself never influences delivery — see Network::send).

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "comm/codec.h"
+#include "common/thread_affinity.h"
 #include "comm/message.h"
 #include "obs/obs.h"
 #include "sim/network.h"
@@ -213,6 +214,9 @@ class Fabric {
 
   sim::Network* network_;
   double byte_scale_;
+  /// All sends and deliveries run on the simulation thread (no locks on
+  /// the message path); checked in debug/sanitize builds.
+  common::ThreadAffinity affinity_;
   std::size_t dead_letter_cap_;
   common::Bytes dead_letter_max_bytes_;
   std::vector<Handler> handlers_;

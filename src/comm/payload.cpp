@@ -43,6 +43,7 @@ std::uint64_t payload_copy_bytes() {
 }
 
 PayloadHandle PayloadArena::acquire(std::size_t min_bytes) {
+  DLION_AFFINITY_DCHECK(affinity_);
   // Deterministic index-order scan for an unpinned block that fits. The
   // arena's own handle is the one remaining owner of a recyclable block, so
   // use_count() == 1 means no Payload or writer holds it. All messaging

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_affinity.h"
 
 namespace dlion::comm {
 
@@ -243,6 +244,10 @@ class PayloadArena {
   std::size_t capacity_bytes() const;
 
  private:
+  /// Block acquisition/recycling is single-threaded by contract (Payload
+  /// *copies* are thread-safe atomic increfs; the arena itself is not).
+  /// Checked in debug/sanitize builds.
+  common::ThreadAffinity affinity_;
   std::vector<PayloadHandle> blocks_;
 };
 

@@ -1,0 +1,69 @@
+// Clang thread-safety (capability) annotations, compiled out elsewhere.
+//
+// The static half of the concurrency audit (DESIGN.md "Correctness & static
+// analysis"): these macros attach Clang's capability attributes to mutexes
+// and the data they guard, so `clang++ -Wthread-safety` proves lock
+// discipline at compile time — every access to a DLION_GUARDED_BY member
+// must happen with its mutex held, acquire/release must pair, and a
+// function's locking contract (DLION_REQUIRES / DLION_EXCLUDES) is checked
+// at every call site. The build configuration `-DDLION_ANNOTATE=ON` turns
+// the analysis into a hard gate (-Werror); see the CI `annotate` job.
+//
+// On GCC (the pinned build image) and on Clang without the attribute, every
+// macro expands to nothing: annotations cost zero in code size, layout, and
+// runtime, and never change overload resolution.
+//
+// Vocabulary (mirrors the Clang Thread Safety Analysis docs):
+//
+//   DLION_CAPABILITY(x)        the class IS a capability (our common::Mutex)
+//   DLION_SCOPED_CAPABILITY    RAII class that acquires in its constructor
+//                              and releases in its destructor (MutexLock)
+//   DLION_GUARDED_BY(mu)       data member readable/writable only with `mu`
+//   DLION_PT_GUARDED_BY(mu)    pointee (not the pointer) guarded by `mu`
+//   DLION_REQUIRES(...)        caller must hold the listed capabilities
+//   DLION_EXCLUDES(...)        caller must NOT hold them (deadlock guard)
+//   DLION_ACQUIRE(...)         function acquires and does not release
+//   DLION_RELEASE(...)         function releases a held capability
+//   DLION_TRY_ACQUIRE(b, ...)  acquires iff the return value equals `b`
+//   DLION_ASSERT_CAPABILITY    runtime-checked "I already hold this"
+//   DLION_RETURN_CAPABILITY(x) function returns a reference to capability x
+//   DLION_NO_THREAD_SAFETY_ANALYSIS  opt a definition out (constructors of
+//                              the primitives themselves, test shims)
+//
+// Only `std::mutex` wrapped as common::Mutex participates: libstdc++ does
+// not annotate its primitives, so a bare std::mutex member is invisible to
+// the analysis (and flagged by dlion-lint's `dlion-unannotated-mutex`).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DLION_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DLION_THREAD_ANNOTATION
+#define DLION_THREAD_ANNOTATION(x)  // expands to nothing on GCC/MSVC
+#endif
+
+#define DLION_CAPABILITY(x) DLION_THREAD_ANNOTATION(capability(x))
+#define DLION_SCOPED_CAPABILITY DLION_THREAD_ANNOTATION(scoped_lockable)
+#define DLION_GUARDED_BY(x) DLION_THREAD_ANNOTATION(guarded_by(x))
+#define DLION_PT_GUARDED_BY(x) DLION_THREAD_ANNOTATION(pt_guarded_by(x))
+#define DLION_REQUIRES(...) \
+  DLION_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define DLION_EXCLUDES(...) \
+  DLION_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define DLION_ACQUIRE(...) \
+  DLION_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define DLION_RELEASE(...) \
+  DLION_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define DLION_TRY_ACQUIRE(...) \
+  DLION_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define DLION_ASSERT_CAPABILITY(x) \
+  DLION_THREAD_ANNOTATION(assert_capability(x))
+#define DLION_RETURN_CAPABILITY(x) DLION_THREAD_ANNOTATION(lock_returned(x))
+#define DLION_ACQUIRED_BEFORE(...) \
+  DLION_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define DLION_ACQUIRED_AFTER(...) \
+  DLION_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define DLION_NO_THREAD_SAFETY_ANALYSIS \
+  DLION_THREAD_ANNOTATION(no_thread_safety_analysis)

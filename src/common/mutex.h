@@ -1,0 +1,90 @@
+// Annotated mutual-exclusion primitives.
+//
+// Thin, zero-overhead wrappers over the standard primitives that carry the
+// Clang capability attributes from common/annotations.h. libstdc++ ships
+// std::mutex without annotations, so a bare std::mutex is a blind spot for
+// `-Wthread-safety`; wrapping it once here lets every lock in the tree
+// participate in the analysis. dlion-lint's `dlion-unannotated-mutex` rule
+// enforces the convention: mutex members are declared as common::Mutex and
+// the data they protect is tagged DLION_GUARDED_BY.
+//
+// Locking style rules (checked statically under -DDLION_ANNOTATE=ON and
+// textually by dlion-lint everywhere):
+//
+//   * hold locks through MutexLock, never bare lock()/unlock() pairs — an
+//     exception between the pair leaks the lock (`dlion-lock-no-raii`);
+//   * no lambda predicates on CondVar::wait from annotated scopes: Clang
+//     analyzes a lambda body as a separate unlocked function, so spell the
+//     predicate as a `while (!cond) cv.wait(mu);` loop instead.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace dlion::common {
+
+class CondVar;
+
+/// std::mutex with the `capability` attribute: the unit of lock discipline
+/// the thread-safety analysis reasons about. Constexpr-constructible, so
+/// file-scope instances need no dynamic initialization.
+class DLION_CAPABILITY("mutex") Mutex {
+ public:
+  constexpr Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DLION_ACQUIRE() { m_.lock(); }
+  void unlock() DLION_RELEASE() { m_.unlock(); }
+  bool try_lock() DLION_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// RAII lock over a Mutex (a scoped capability: acquires on construction,
+/// releases on destruction). The only sanctioned way to hold a Mutex.
+class DLION_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DLION_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DLION_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over common::Mutex. wait() takes the Mutex itself
+/// (which the caller must hold — DLION_REQUIRES) rather than a lock object,
+/// mirroring absl::CondVar, so the analysis sees the capability stay
+/// logically held across the wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, block, and reacquire before returning. The
+  /// caller must hold `mu` (and, as with any condition variable, re-check
+  /// its predicate in a loop).
+  void wait(Mutex& mu) DLION_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait and
+    // release the unique_lock's ownership claim afterwards: the capability
+    // is held on entry and on exit, exactly as annotated.
+    std::unique_lock<std::mutex> native(mu.m_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dlion::common

@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
+
 namespace dlion::common {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -22,7 +25,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -31,7 +34,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(task));
   }
   cv_.notify_one();
@@ -41,8 +44,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      // Spelled as a loop, not a lambda predicate: Clang's thread-safety
+      // analysis treats a lambda body as a separate (unlocked) function,
+      // so guarded members must be read inline where the lock is visible.
+      while (!stop_ && tasks_.empty()) cv_.wait(mutex_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -69,10 +75,12 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   struct Shared {
     std::atomic<std::size_t> next;
     std::atomic<std::size_t> remaining;
-    std::mutex m;
-    std::condition_variable done;
-    std::exception_ptr error;
-    std::mutex error_m;
+    // Wait-only mutex: the guarded condition is `remaining == 0`, an
+    // atomic read, so there is no non-atomic state to DLION_GUARDED_BY.
+    Mutex m;  // dlion-lint: allow(dlion-unannotated-mutex)
+    CondVar done;
+    Mutex error_m;
+    std::exception_ptr error DLION_GUARDED_BY(error_m);
   } shared;
   shared.next.store(begin);
   const std::size_t num_chunks = (n + chunk - 1) / chunk;
@@ -86,12 +94,18 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       try {
         for (std::size_t i = start; i < stop; ++i) fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(shared.error_m);
+        MutexLock lock(shared.error_m);
         if (!shared.error) shared.error = std::current_exception();
       }
     }
-    if (shared.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(shared.m);
+    // acq_rel, not relaxed: the release half publishes this chunk's writes
+    // (fn side effects, a captured shared.error) to whichever party observes
+    // the count hit zero via the paired acquire load below; the acquire half
+    // makes the last decrementer see every earlier chunk's writes before it
+    // signals completion.
+    if (shared.remaining.fetch_sub(  // dlion-lint: allow(dlion-atomic-rmw-order)
+            1, std::memory_order_acq_rel) == 1) {
+      MutexLock lock(shared.m);
       shared.done.notify_one();
     }
   };
@@ -100,24 +114,26 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   for (std::size_t c = 1; c < num_chunks; ++c) enqueue(run_chunk);
   run_chunk();
   {
-    std::unique_lock<std::mutex> lock(shared.m);
-    shared.done.wait(lock, [&shared] {
-      return shared.remaining.load(std::memory_order_acquire) == 0;
-    });
+    MutexLock lock(shared.m);
+    while (shared.remaining.load(std::memory_order_acquire) != 0) {
+      shared.done.wait(shared.m);
+    }
   }
-  if (shared.error) std::rethrow_exception(shared.error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(shared.error_m);
+    error = shared.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 namespace {
-std::unique_ptr<ThreadPool>& global_slot() {
-  static std::unique_ptr<ThreadPool> pool;
-  return pool;
-}
-
-std::mutex& global_mutex() {
-  static std::mutex m;
-  return m;
-}
+// File-scope (not function-local static) so the pointer can carry a
+// DLION_GUARDED_BY the analysis enforces at every access. Both are
+// constinit-safe; destruction order within this TU is the reverse of
+// declaration, so the pool dies before its mutex.
+constinit Mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool DLION_GUARDED_BY(g_global_mutex);
 
 // Maps the DLION_THREADS convention (total threads including the caller)
 // onto a ThreadPool constructor argument: 0/unset = hardware default,
@@ -142,15 +158,16 @@ std::size_t ctor_arg_from_env() {
 }  // namespace
 
 ThreadPool& ThreadPool::global() {
-  std::lock_guard<std::mutex> lock(global_mutex());
-  auto& pool = global_slot();
-  if (!pool) pool = std::make_unique<ThreadPool>(ctor_arg_from_env());
-  return *pool;
+  MutexLock lock(g_global_mutex);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(ctor_arg_from_env());
+  }
+  return *g_global_pool;
 }
 
 void ThreadPool::reset_global_for_testing(std::size_t total_threads) {
-  std::lock_guard<std::mutex> lock(global_mutex());
-  global_slot() = std::make_unique<ThreadPool>(
+  MutexLock lock(g_global_mutex);
+  g_global_pool = std::make_unique<ThreadPool>(
       ctor_arg_from_total(static_cast<long>(total_threads)));
 }
 

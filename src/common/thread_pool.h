@@ -10,14 +10,15 @@
 // threads, no detach, tasks not raw threads.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace dlion::common {
 
@@ -60,14 +61,14 @@ class ThreadPool {
   static void reset_global_for_testing(std::size_t total_threads);
 
  private:
-  void enqueue(std::function<void()> task);
-  void worker_loop();
+  void enqueue(std::function<void()> task) DLION_EXCLUDES(mutex_);
+  void worker_loop() DLION_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ DLION_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stop_ DLION_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dlion::common

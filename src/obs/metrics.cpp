@@ -259,6 +259,7 @@ Labels MetricsRegistry::resolve_labels(const Labels& labels) const {
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const Labels& raw_labels) {
+  DLION_AFFINITY_DCHECK(affinity_);
   const Labels labels = resolve_labels(raw_labels);
   auto key = std::make_pair(name, canonical_labels(labels));
   auto it = counters_.find(key);
@@ -275,6 +276,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const Labels& raw_labels) {
+  DLION_AFFINITY_DCHECK(affinity_);
   const Labels labels = resolve_labels(raw_labels);
   auto key = std::make_pair(name, canonical_labels(labels));
   auto it = gauges_.find(key);
@@ -292,6 +294,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name,
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const Labels& raw_labels,
                                       std::vector<double> bounds) {
+  DLION_AFFINITY_DCHECK(affinity_);
   const Labels labels = resolve_labels(raw_labels);
   auto key = std::make_pair(name, canonical_labels(labels));
   auto it = histograms_.find(key);
@@ -311,6 +314,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 Windowed& MetricsRegistry::windowed(const std::string& name,
                                     const Labels& raw_labels,
                                     double window_s) {
+  DLION_AFFINITY_DCHECK(affinity_);
   const Labels labels = resolve_labels(raw_labels);
   auto key = std::make_pair(name, canonical_labels(labels));
   auto it = windowed_.find(key);
@@ -361,6 +365,7 @@ const Windowed* MetricsRegistry::find_windowed(const std::string& name) const {
 }
 
 void MetricsRegistry::merge_from(const MetricsRegistry& shard) {
+  DLION_AFFINITY_DCHECK(affinity_);
   for (const auto& [key, entry] : shard.counters_) {
     counter(key.first, entry.first).inc(entry.second->value());
   }

@@ -36,6 +36,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_affinity.h"
+
 namespace dlion::obs {
 
 /// Metric labels as (key, value) pairs. Order is irrelevant: keys are
@@ -232,6 +234,10 @@ class MetricsRegistry {
   Labels resolve_labels(const Labels& labels) const;
 
   RollupConfig rollup_;
+  /// Series creation/merge is single-threaded by contract (handles are
+  /// cached by recorders; the registry itself takes no lock). Checked in
+  /// debug/sanitize builds.
+  common::ThreadAffinity affinity_;
   SeriesMap<Counter> counters_;
   SeriesMap<Gauge> gauges_;
   SeriesMap<Histogram> histograms_;

@@ -47,6 +47,7 @@ ChromeStreamSink::ChromeStreamSink(const std::string& path)
 ChromeStreamSink::~ChromeStreamSink() { finish(); }
 
 void ChromeStreamSink::emit(const std::string& event_json) {
+  DLION_AFFINITY_DCHECK(affinity_);
   std::string chunk;
   if (first_) {
     chunk = "{\"traceEvents\":[";
@@ -115,6 +116,7 @@ RingSink::RingSink(std::size_t capacity) : cap_(capacity == 0 ? 1 : capacity) {
 }
 
 void RingSink::push(std::string event_json) {
+  DLION_AFFINITY_DCHECK(affinity_);
   ++total_;
   if (ring_.size() < cap_) {
     ring_.push_back(std::move(event_json));

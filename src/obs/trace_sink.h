@@ -89,6 +89,9 @@ class ChromeStreamSink final : public TraceSink {
   std::uint64_t hash_ = 1469598103934665603ull;  // FNV-1a offset basis
   std::vector<std::pair<std::uint32_t, std::uint32_t>> tracks_;  // id-1 -> (pid,tid)
   std::vector<std::uint32_t> pids_named_;
+  /// Driven synchronously from the recording thread (single-threaded by
+  /// contract; checked in debug/sanitize builds).
+  common::ThreadAffinity affinity_;
 };
 
 /// Bounded in-memory ring of the last `capacity` events (formatted JSON
@@ -129,6 +132,7 @@ class RingSink final : public TraceSink {
   std::vector<std::string> meta_;  // process/thread metadata records
   std::vector<std::pair<std::uint32_t, std::uint32_t>> tracks_;
   std::vector<std::uint32_t> pids_named_;
+  common::ThreadAffinity affinity_;  // single-threaded by contract
 };
 
 /// Forwards every callback to two sinks (both non-owning, either may be

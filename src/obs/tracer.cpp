@@ -155,6 +155,7 @@ bool Tracer::admit(TrackId track, double t0, double t1) {
 }
 
 TrackId Tracer::track(const std::string& process, const std::string& thread) {
+  DLION_AFFINITY_DCHECK(affinity_);
   const auto key = std::make_pair(process, thread);
   auto it = track_index_.find(key);
   if (it != track_index_.end()) return it->second;
@@ -210,6 +211,7 @@ void Tracer::begin(TrackId track, std::string name, double t,
 }
 
 void Tracer::record_span(Span&& s) {
+  DLION_AFFINITY_DCHECK(affinity_);
   if (!admit(s.track, s.t0, s.t1)) {
     ++sampled_out_;
     return;
@@ -241,6 +243,7 @@ void Tracer::complete(TrackId track, std::string name, double t0, double t1,
 
 void Tracer::instant(TrackId track, std::string name, double t,
                      std::vector<Arg> args) {
+  DLION_AFFINITY_DCHECK(affinity_);
   if (track == 0 || track > tracks_.size()) return;
   if (!admit(track, t, t)) {
     ++sampled_out_;
@@ -257,6 +260,7 @@ void Tracer::instant(TrackId track, std::string name, double t,
 }
 
 void Tracer::counter(TrackId track, std::string name, double t, double value) {
+  DLION_AFFINITY_DCHECK(affinity_);
   if (track == 0 || track > tracks_.size()) return;
   if (!admit(track, t, t)) {
     ++sampled_out_;
@@ -274,6 +278,7 @@ void Tracer::counter(TrackId track, std::string name, double t, double value) {
 
 void Tracer::flow(TrackId track, FlowPhase phase, std::string name, double t,
                   std::uint64_t id) {
+  DLION_AFFINITY_DCHECK(affinity_);
   if (track == 0 || track > tracks_.size() || id == 0) return;
   // Flow admission keys off the chain's deterministic sequence number so
   // the s/t/f points of one chain live or die together (track sampling

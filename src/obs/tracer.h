@@ -27,6 +27,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_affinity.h"
+
 namespace dlion::obs {
 
 /// Opaque track handle; 0 is reserved as "invalid / not yet created".
@@ -248,6 +250,10 @@ class Tracer {
   std::vector<Flow> flows_;
 
   TraceSink* sink_ = nullptr;  // non-owning, optional
+  /// Recording is single-threaded by contract (no lock on the hot path);
+  /// debug/sanitize builds verify every mutating entry point stays on the
+  /// binding thread (common/thread_affinity.h).
+  common::ThreadAffinity affinity_;
   TraceSampleConfig sample_;
   std::vector<TrackSample> tsample_;  // index = TrackId - 1
   bool retain_all_ = true;

@@ -1,0 +1,44 @@
+// Firing fixture for the v2 semantic rules (concurrency family). Each
+// marked line must produce exactly the diagnostic named in the comment;
+// lint_v2_test.cpp asserts the file:line pairs.
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace fixture {
+
+class BadLocks {
+ public:
+  void touch() {
+    guard_.lock();  // line 16: dlion-lock-no-raii
+    ++count_;
+    guard_.unlock();  // line 18: dlion-lock-no-raii
+  }
+
+ private:
+  std::mutex legacy_;  // line 22: dlion-unannotated-mutex (std family)
+  dlion::common::Mutex guard_;  // line 23: dlion-unannotated-mutex (guards nothing)
+  int count_ = 0;
+};
+
+class BadAtomics {
+ public:
+  void bump() {
+    hits_.fetch_add(1);  // line 30: dlion-atomic-rmw-order (defaulted seq_cst)
+    mode_.exchange(2, std::memory_order_acquire);  // line 31: dlion-atomic-rmw-order
+  }
+
+ private:
+  std::atomic<int> hits_{0};
+  std::atomic<int> mode_{0};
+};
+
+inline void spawn_worker() {
+  std::thread worker([] {});  // line 40: dlion-raw-thread
+  worker.detach();  // line 41: dlion-raw-thread (detach)
+}
+
+}  // namespace fixture

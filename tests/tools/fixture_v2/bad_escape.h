@@ -1,0 +1,27 @@
+// Firing fixture for dlion-payload-escape: arena-backed payload views in
+// static storage, and raw view pointers captured into members.
+#pragma once
+
+#include "comm/payload.h"
+
+namespace fixture {
+
+static comm::Payload<float> g_cached_weights;  // line 9: dlion-payload-escape
+
+comm::WeightPayload g_last_update;  // line 11: dlion-payload-escape
+
+class ViewHolder {
+ public:
+  void capture(const comm::Payload<float>& p) {
+    view_ = p.data();  // line 16: dlion-payload-escape
+  }
+  void capture_span(const comm::Payload<float>& p) {
+    this->span = p.span();  // line 19: dlion-payload-escape
+  }
+
+ private:
+  const float* view_ = nullptr;
+  int span = 0;  // stand-in member; type is irrelevant to the rule
+};
+
+}  // namespace fixture

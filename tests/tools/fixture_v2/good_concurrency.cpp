@@ -1,0 +1,54 @@
+// Non-firing fixture: the blessed spellings of everything the v2 semantic
+// rules flag in bad_concurrency.cpp / bad_escape.h. A clean run over this
+// file is asserted by lint_v2_test.cpp.
+#include <atomic>
+#include <thread>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "comm/payload.h"
+
+namespace fixture {
+
+// Annotated mutex guarding annotated state, RAII critical sections.
+class GoodLocks {
+ public:
+  void touch() {
+    dlion::common::MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  dlion::common::Mutex mu_;
+  int count_ DLION_GUARDED_BY(mu_) = 0;
+};
+
+// Relaxed RMW on counters; a justified stronger order carries an inline
+// allow; plain loads/stores of any order are not RMW and never flagged.
+class GoodAtomics {
+ public:
+  void bump() {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    ready_.store(true, std::memory_order_release);
+    publish_.fetch_add(  // dlion-lint: allow(dlion-atomic-rmw-order)
+        1, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<int> hits_{0};
+  std::atomic<bool> ready_{false};
+  std::atomic<int> publish_{0};
+};
+
+// std::thread::id is pool bookkeeping, not thread construction.
+inline bool on_thread(std::thread::id id) {
+  return id == std::this_thread::get_id();
+}
+
+// Payloads staying on the stack, views consumed in place.
+inline float first_element(const comm::Payload<float>& p) {
+  const float* local_view = p.data();
+  return local_view != nullptr ? local_view[0] : 0.0f;
+}
+
+}  // namespace fixture

@@ -1,4 +1,5 @@
-// dlion-lint: a purpose-built determinism linter for the DLion tree.
+// dlion-lint: a purpose-built determinism and concurrency linter for the
+// DLion tree.
 //
 // The simulator's headline guarantee is bit-identical runs: same seed, same
 // outputs, independent of thread count, observability mode, or host. Most
@@ -20,14 +21,31 @@
 //     signature drift breaks the strategy plugins in ways only visible as
 //     behavioral divergence).
 //
+// v2 adds a real tokenizer, a brace/scope tracker, and a lightweight symbol
+// table (lexer.cpp / scope_model.cpp), on top of which five semantic rules
+// audit the concurrency and lifetime contracts the thread-safety
+// annotations (src/common/annotations.h) enforce at compile time under
+// Clang — so the invariants hold on GCC-only hosts too:
+//
+//   * payload views escaping into static storage or raw-pointer members,
+//   * std::mutex where common::Mutex (capability-annotated) is required,
+//     and mutexes that guard no annotated state,
+//   * atomic RMW with defaulted/strengthened memory order,
+//   * raw std::thread construction or .detach() outside the pool,
+//   * bare lock()/unlock() instead of RAII critical sections.
+//
 // General-purpose tools either cannot see these (clang-tidy has no notion of
-// "this TU writes run artifacts") or are unavailable in the build image, so
-// this linter implements them as text-level rules: comments and string
-// literals are stripped (line structure preserved), then each rule scans the
-// remaining code. False-positive escape hatches, in priority order:
+// "this TU writes run artifacts") or are unavailable in the build image. The
+// v1 text rules are preserved byte-for-byte (rules/text_rules.cpp; an
+// equivalence test pins their output). False-positive escape hatches, in
+// priority order:
 //
 //   1. inline: append `// dlion-lint: allow(<rule-id>)` to the line,
 //   2. per-file: add `<rule-id> <path-substring>` to the allowlist file.
+//
+// Allowlist hygiene is itself checked: an entry whose path matches scanned
+// files but which suppressed nothing is reported as dlion-stale-allowlist
+// (dead suppressions otherwise hide future regressions silently).
 //
 // Output is clang-style `file:line: error: message [rule-id]` on stdout plus
 // an optional machine-readable JSON report (--json). Exit codes: 0 clean,
@@ -40,34 +58,19 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint_types.h"
+#include "rules.h"
+
 namespace fs = std::filesystem;
 
+namespace dlion_lint {
 namespace {
-
-struct Diagnostic {
-  std::string file;  // path relative to --root (stable across machines)
-  int line = 0;
-  std::string rule;
-  std::string message;
-
-  bool operator<(const Diagnostic& o) const {
-    if (file != o.file) return file < o.file;
-    if (line != o.line) return line < o.line;
-    return rule < o.rule;
-  }
-};
-
-struct AllowEntry {
-  std::string rule;  // "*" matches every rule
-  std::string path_substring;
-};
 
 struct Options {
   fs::path root;                  // repo root; paths are reported relative
@@ -75,406 +78,18 @@ struct Options {
   fs::path allowlist_path;
   fs::path json_path;
   bool verbose = false;
+  bool text_rules_only = false;  // v1 compatibility mode
+  bool stale_check = true;       // report dead allowlist entries
 };
 
-// ---------------------------------------------------------------------------
-// Source preprocessing: strip comments and string/char literals while keeping
-// byte-for-byte line structure, so diagnostics point at real lines and rules
-// never fire on prose. Raw strings are handled; escapes inside literals too.
-// ---------------------------------------------------------------------------
-std::string strip_comments_and_strings(const std::string& src) {
-  std::string out;
-  out.reserve(src.size());
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  State state = State::kCode;
-  std::string raw_delim;  // delimiter for the active raw string literal
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                   src[i - 1])) &&
-                               src[i - 1] != '_'))) {
-          // R"delim( ... )delim"
-          std::size_t j = i + 2;
-          raw_delim.clear();
-          while (j < src.size() && src[j] != '(') raw_delim += src[j++];
-          state = State::kRawString;
-          out += ' ';  // for 'R'
-          out += ' ';  // for '"'
-          for (std::size_t k = 0; k < raw_delim.size() + 1 && i + 2 + k < src.size();
-               ++k) {
-            out += src[i + 2 + k] == '\n' ? '\n' : ' ';
-          }
-          i = j;  // now positioned at '('
-        } else if (c == '"') {
-          state = State::kString;
-          out += ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          out += ' ';
-        } else {
-          out += c;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-          out += '\n';
-        } else {
-          out += ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          out += "  ";
-          ++i;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out += ' ';
-          if (next != '\0') {
-            out += next == '\n' ? '\n' : ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          state = State::kCode;
-          out += ' ';
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out += ' ';
-          if (next != '\0') {
-            out += ' ';
-            ++i;
-          }
-        } else if (c == '\'') {
-          state = State::kCode;
-          out += ' ';
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kRawString: {
-        // Look for )delim"
-        if (c == ')' &&
-            src.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
-            i + 1 + raw_delim.size() < src.size() &&
-            src[i + 1 + raw_delim.size()] == '"') {
-          for (std::size_t k = 0; k < raw_delim.size() + 2; ++k) {
-            out += src[i + k] == '\n' ? '\n' : ' ';
-          }
-          i += raw_delim.size() + 1;
-          state = State::kCode;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  lines.push_back(cur);
-  return lines;
-}
-
-// ---------------------------------------------------------------------------
-// Rule engine
-// ---------------------------------------------------------------------------
-struct FileContext {
-  std::string rel_path;               // reported path
-  std::vector<std::string> raw;       // original lines (for suppressions)
-  std::vector<std::string> code;      // stripped lines (rules scan these)
-  bool writes_artifacts = false;      // TU emits JSON/CSV/checksum output
-  bool in_tensor_lib = false;         // under src/tensor/
-  bool is_header = false;
-  // Line numbers (1-based) carrying `// dlion-lint: allow(rule)` markers,
-  // mapped to the set of rule ids allowed on that line ("*" = all).
-  std::map<int, std::set<std::string>> inline_allows;
-};
-
-bool line_allows(const FileContext& ctx, int line, const std::string& rule) {
-  auto it = ctx.inline_allows.find(line);
-  if (it == ctx.inline_allows.end()) return false;
-  return it->second.count("*") != 0 || it->second.count(rule) != 0;
-}
-
-using Emit = std::vector<Diagnostic>&;
-
-void emit(Emit diags, const FileContext& ctx, int line, std::string rule,
-          std::string message) {
-  if (line_allows(ctx, line, rule)) return;
-  diags.push_back({ctx.rel_path, line, std::move(rule), std::move(message)});
-}
-
-// Rule: dlion-nondet-unordered-iteration
-// Collect identifiers declared with std::unordered_{map,set} anywhere in the
-// file, then flag range-for loops or .begin()/.end()/iterator walks over them
-// — but only in TUs that also write run artifacts (JSON/CSV/checksums),
-// because that's where visit order becomes observable output.
-void rule_unordered_iteration(const FileContext& ctx, Emit diags) {
-  static const std::regex decl_re(
-      R"(std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*>\s*>?\s*([A-Za-z_]\w*)\s*[;{=\(])");
-  static const std::regex member_re(
-      R"(std::unordered_(?:map|set|multimap|multiset)\s*<.*>\s+([A-Za-z_]\w*)_?\s*;)");
-  std::set<std::string> unordered_names;
-  for (const std::string& line : ctx.code) {
-    for (auto it = std::sregex_iterator(line.begin(), line.end(), decl_re);
-         it != std::sregex_iterator(); ++it) {
-      unordered_names.insert((*it)[1].str());
-    }
-    for (auto it = std::sregex_iterator(line.begin(), line.end(), member_re);
-         it != std::sregex_iterator(); ++it) {
-      unordered_names.insert((*it)[1].str());
-    }
-  }
-  if (unordered_names.empty()) return;
-  if (!ctx.writes_artifacts) return;
-  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
-    const std::string& line = ctx.code[i];
-    for (const std::string& name : unordered_names) {
-      const std::regex range_for(R"(for\s*\([^;)]*:\s*)" + name + R"(\b)");
-      const std::regex begin_walk("\\b" + name + R"((?:_)?\s*\.\s*(?:c?begin|c?end)\s*\()");
-      if (std::regex_search(line, range_for) ||
-          std::regex_search(line, begin_walk)) {
-        emit(diags, ctx, static_cast<int>(i) + 1,
-             "dlion-nondet-unordered-iteration",
-             "iteration over unordered container '" + name +
-                 "' in a TU that writes JSON/CSV/checksum output; visit "
-                 "order is hash-seed dependent - use a sorted container or "
-                 "sort keys first");
-      }
-    }
-  }
-}
-
-// Rule: dlion-nondet-entropy
-// OS entropy / wall-clock time sources. Allowed only via allowlist (the
-// seeded RNG implementation and bench timers).
-void rule_entropy(const FileContext& ctx, Emit diags) {
-  struct Pattern {
-    std::regex re;
-    const char* what;
-  };
-  static const std::vector<Pattern> patterns = [] {
-    std::vector<Pattern> p;
-    p.push_back({std::regex(R"(\bstd::random_device\b)"),
-                 "std::random_device draws OS entropy"});
-    p.push_back({std::regex(R"((?:^|[^:\w])rand\s*\(\s*\))"),
-                 "rand() is seeded from process state"});
-    p.push_back({std::regex(R"((?:^|[^:\w])s?rand\s*\(\s*time\s*\()"),
-                 "time-seeded rand()"});
-    p.push_back({std::regex(R"(\btime\s*\(\s*(?:nullptr|NULL|0)\s*\))"),
-                 "time(nullptr) reads the wall clock"});
-    p.push_back({std::regex(R"(\bstd::chrono::(?:system|steady|high_resolution)_clock\b)"),
-                 "host clocks vary per run; use the sim virtual clock"});
-    p.push_back({std::regex(R"(\bgettimeofday\s*\()"),
-                 "gettimeofday reads the wall clock"});
-    return p;
-  }();
-  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
-    for (const Pattern& p : patterns) {
-      if (std::regex_search(ctx.code[i], p.re)) {
-        emit(diags, ctx, static_cast<int>(i) + 1, "dlion-nondet-entropy",
-             std::string(p.what) +
-                 "; deterministic replays require common::Rng / sim time");
-      }
-    }
-  }
-}
-
-// Rule: dlion-nondet-pointer-key
-// Ordered containers keyed by pointer compare allocation addresses, which
-// ASLR randomizes; iteration order then differs between runs.
-void rule_pointer_key(const FileContext& ctx, Emit diags) {
-  static const std::regex re(
-      R"(\bstd::(?:map|set|multimap|multiset)\s*<\s*(?:const\s+)?[A-Za-z_][\w:]*\s*\*)");
-  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
-    if (std::regex_search(ctx.code[i], re)) {
-      emit(diags, ctx, static_cast<int>(i) + 1, "dlion-nondet-pointer-key",
-           "ordered container keyed by pointer value; iteration order "
-           "follows ASLR-randomized addresses - key by a stable id instead");
-    }
-  }
-}
-
-// Rule: dlion-nondet-float-accumulate
-// Floating-point accumulation order is a tested contract owned by
-// src/tensor; ad-hoc std::accumulate over floats elsewhere invites
-// reassociation drift when someone later parallelizes or reorders.
-void rule_float_accumulate(const FileContext& ctx, Emit diags) {
-  if (ctx.in_tensor_lib) return;
-  static const std::regex re(
-      R"(\bstd::accumulate\s*\([^;]*[,(]\s*(?:0\.\d*f?|\d+\.\d*f|0\.f|(?:float|double)\s*[{(]))");
-  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
-    if (std::regex_search(ctx.code[i], re)) {
-      emit(diags, ctx, static_cast<int>(i) + 1,
-           "dlion-nondet-float-accumulate",
-           "floating-point std::accumulate outside src/tensor; summation "
-           "order is a determinism contract - use the tensor reductions");
-    }
-  }
-}
-
-// Rule: dlion-missing-override
-// Inside a class/struct that names a base (`: public Base`), a `virtual`
-// method declaration without `override`/`final` silently stops overriding
-// when the base signature changes. (Pure-virtual base declarations live in
-// classes without bases and are not flagged.)
-void rule_missing_override(const FileContext& ctx, Emit diags) {
-  static const std::regex class_with_base(
-      R"(\b(?:class|struct)\s+[A-Za-z_]\w*(?:\s+final)?\s*:\s*(?:public|protected|private)\b)");
-  static const std::regex virtual_decl(R"(\bvirtual\b)");
-  static const std::regex has_override(R"(\boverride\b|\bfinal\b|\s*=\s*0)");
-  static const std::regex dtor(R"(\bvirtual\s+~)");
-  int depth = 0;
-  int derived_depth = -1;  // brace depth at which the derived class body opened
-  bool pending_derived = false;
-  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
-    const std::string& line = ctx.code[i];
-    if (std::regex_search(line, class_with_base)) pending_derived = true;
-    for (char c : line) {
-      if (c == '{') {
-        ++depth;
-        if (pending_derived && derived_depth < 0) {
-          derived_depth = depth;
-          pending_derived = false;
-        }
-      } else if (c == '}') {
-        if (derived_depth == depth) derived_depth = -1;
-        --depth;
-      }
-    }
-    if (derived_depth > 0 && depth >= derived_depth &&
-        std::regex_search(line, virtual_decl) &&
-        !std::regex_search(line, has_override) &&
-        !std::regex_search(line, dtor)) {
-      emit(diags, ctx, static_cast<int>(i) + 1, "dlion-missing-override",
-           "'virtual' in a derived class without 'override'; base-signature "
-           "drift would silently fork behavior - mark it override");
-    }
-  }
-}
-
-// Rule: dlion-uninit-pod
-// Wire-message and config structs must brace- or equals-initialize every
-// POD member: an uninitialized field encodes stack garbage, which is the
-// definition of nondeterministic bytes on the wire / in run artifacts.
-void rule_uninit_pod(const FileContext& ctx, Emit diags) {
-  const bool is_message_or_config =
-      ctx.rel_path.find("message") != std::string::npos ||
-      ctx.rel_path.find("config") != std::string::npos;
-  if (!is_message_or_config || !ctx.is_header) return;
-  static const std::regex struct_open(R"(\b(?:struct|class)\s+[A-Za-z_]\w*)");
-  static const std::regex pod_member_no_init(
-      R"(^\s*(?:float|double|bool|char|(?:unsigned\s+)?(?:int|long|short)|std::size_t|std::u?int(?:8|16|32|64)_t|common::(?:SimTime|Bytes|Seconds))\s+[A-Za-z_]\w*\s*;\s*$)");
-  int depth = 0;
-  int struct_depth = -1;
-  bool pending_struct = false;
-  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
-    const std::string& line = ctx.code[i];
-    if (std::regex_search(line, struct_open)) pending_struct = true;
-    if (struct_depth > 0 && depth >= struct_depth &&
-        std::regex_match(line, pod_member_no_init)) {
-      emit(diags, ctx, static_cast<int>(i) + 1, "dlion-uninit-pod",
-           "uninitialized POD member in a wire/config struct; garbage bytes "
-           "are nondeterministic - add '= 0' / '{}' default");
-    }
-    for (char c : line) {
-      if (c == '{') {
-        ++depth;
-        if (pending_struct && struct_depth < 0) {
-          struct_depth = depth;
-          pending_struct = false;
-        }
-      } else if (c == '}') {
-        if (struct_depth == depth) struct_depth = -1;
-        --depth;
-      }
-    }
-  }
-}
-
-// Rule: dlion-owned-payload
-// Data-lane messages under comm/ carry comm::Payload views into refcounted
-// arena blocks (DESIGN.md "Zero-copy data plane"); an owned
-// std::vector<float> / std::vector<std::uint32_t> payload member - or
-// growing a payload element-wise via push_back/insert/assign - reintroduces
-// the per-message copies the zero-copy refactor eliminated. Member
-// declarations are audited in headers (where the wire structs live);
-// element-wise growth is flagged everywhere under comm/. The codec boundary
-// legitimately materializes owned bytes and escapes with
-// `// dlion-lint: allow(dlion-owned-payload)`.
-void rule_owned_payload(const FileContext& ctx, Emit diags) {
-  if (ctx.rel_path.find("comm/") == std::string::npos) return;
-  static const std::regex owned_member(
-      R"(\bstd::vector\s*<\s*(?:float|std::uint32_t|uint32_t)\s*>\s+[A-Za-z_]\w*\s*;)");
-  static const std::regex payload_growth(
-      R"((?:\.|->)\s*(?:values|indices)\s*\.\s*(?:push_back|emplace_back|insert|assign|resize)\s*\()");
-  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
-    const std::string& line = ctx.code[i];
-    if (ctx.is_header && std::regex_search(line, owned_member)) {
-      emit(diags, ctx, static_cast<int>(i) + 1, "dlion-owned-payload",
-           "owned vector payload member in a comm struct; data-lane "
-           "messages must carry comm::Payload views (zero-copy data "
-           "plane) - stage through a PayloadWriter instead");
-    }
-    if (std::regex_search(line, payload_growth)) {
-      emit(diags, ctx, static_cast<int>(i) + 1, "dlion-owned-payload",
-           "element-wise growth of a payload field copies bytes the "
-           "zero-copy plane shares by view; build an owned vector and "
-           "stage it once via PayloadWriter::copy / make_payload");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
 const std::regex kArtifactWriter(
     R"(\b(?:to_json|write_json|json_escape|to_csv|write_csv|csv|checksum|fnv1a|Telemetry|MetricsRegistry|export_chrome_trace|std::ofstream)\b)",
     std::regex::icase);
 
 const std::regex kInlineAllow(R"(dlion-lint:\s*allow\(([^)]*)\))");
 
-FileContext load_file(const fs::path& path, const fs::path& root) {
+FileContext load_file(const fs::path& path, const fs::path& root,
+                      bool build_semantic_view) {
   FileContext ctx;
   std::error_code ec;
   fs::path rel = fs::relative(path, root, ec);
@@ -512,6 +127,10 @@ FileContext load_file(const fs::path& path, const fs::path& root) {
       }
     }
   }
+  if (build_semantic_view) {
+    ctx.tokens = lex(src);
+    ctx.model = build_scope_model(ctx.tokens);
+  }
   return ctx;
 }
 
@@ -524,24 +143,31 @@ std::vector<AllowEntry> load_allowlist(const fs::path& path) {
     std::exit(2);
   }
   std::string line;
+  int line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream ls(line);
     AllowEntry e;
-    if (ls >> e.rule >> e.path_substring) entries.push_back(e);
+    if (ls >> e.rule >> e.path_substring) {
+      e.line = line_no;
+      entries.push_back(e);
+    }
   }
   return entries;
 }
 
-bool allowlisted(const std::vector<AllowEntry>& allow, const Diagnostic& d) {
-  for (const AllowEntry& e : allow) {
+/// Index of the first allowlist entry matching the diagnostic, or -1.
+int allowlisted(const std::vector<AllowEntry>& allow, const Diagnostic& d) {
+  for (std::size_t i = 0; i < allow.size(); ++i) {
+    const AllowEntry& e = allow[i];
     if ((e.rule == "*" || e.rule == d.rule) &&
         d.file.find(e.path_substring) != std::string::npos) {
-      return true;
+      return static_cast<int>(i);
     }
   }
-  return false;
+  return -1;
 }
 
 std::string json_escape(const std::string& s) {
@@ -585,6 +211,7 @@ void write_json_report(const fs::path& path,
 void usage() {
   std::cerr
       << "usage: dlion-lint [--root DIR] [--allowlist FILE] [--json FILE]\n"
+         "                  [--text-rules-only] [--no-stale-check]\n"
          "                  [--verbose] [PATH...]\n"
          "Scans PATH (default: <root>/src) for nondeterminism hazards.\n"
          "Exit: 0 clean, 1 diagnostics found, 2 usage/IO error.\n";
@@ -596,9 +223,7 @@ bool is_cxx_source(const fs::path& p) {
          ext == ".hpp" || ext == ".inl";
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   Options opt;
   opt.root = fs::current_path();
   for (int i = 1; i < argc; ++i) {
@@ -619,6 +244,10 @@ int main(int argc, char** argv) {
       opt.json_path = need_value("--json");
     } else if (arg == "--verbose") {
       opt.verbose = true;
+    } else if (arg == "--text-rules-only") {
+      opt.text_rules_only = true;
+    } else if (arg == "--no-stale-check") {
+      opt.stale_check = false;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -656,22 +285,50 @@ int main(int argc, char** argv) {
   const std::vector<AllowEntry> allow = load_allowlist(opt.allowlist_path);
 
   std::vector<Diagnostic> diags;
+  std::vector<std::string> scanned_paths;
   for (const fs::path& file : files) {
-    const FileContext ctx = load_file(file, opt.root);
+    const FileContext ctx = load_file(file, opt.root, !opt.text_rules_only);
+    scanned_paths.push_back(ctx.rel_path);
     if (opt.verbose) std::cerr << "dlion-lint: scanning " << ctx.rel_path << "\n";
-    rule_unordered_iteration(ctx, diags);
-    rule_entropy(ctx, diags);
-    rule_pointer_key(ctx, diags);
-    rule_float_accumulate(ctx, diags);
-    rule_missing_override(ctx, diags);
-    rule_uninit_pod(ctx, diags);
-    rule_owned_payload(ctx, diags);
+    run_text_rules(ctx, diags);
+    if (!opt.text_rules_only) run_semantic_rules(ctx, diags);
   }
+  std::vector<std::size_t> suppressed_by(allow.size(), 0);
   diags.erase(std::remove_if(diags.begin(), diags.end(),
                              [&](const Diagnostic& d) {
-                               return allowlisted(allow, d);
+                               const int e = allowlisted(allow, d);
+                               if (e < 0) return false;
+                               ++suppressed_by[static_cast<std::size_t>(e)];
+                               return true;
                              }),
               diags.end());
+
+  // Dead-suppression detection: an entry whose path substring matched at
+  // least one scanned file yet suppressed nothing no longer corresponds to
+  // any diagnostic — it would silently swallow the next real finding.
+  // Entries touching no scanned file are skipped (a partial-tree scan says
+  // nothing about them).
+  if (opt.stale_check && !opt.allowlist_path.empty()) {
+    std::error_code ec;
+    fs::path rel = fs::relative(opt.allowlist_path, opt.root, ec);
+    const std::string allow_rel =
+        (ec ? opt.allowlist_path : rel).generic_string();
+    for (std::size_t e = 0; e < allow.size(); ++e) {
+      if (suppressed_by[e] != 0) continue;
+      const bool in_scope = std::any_of(
+          scanned_paths.begin(), scanned_paths.end(),
+          [&](const std::string& p) {
+            return p.find(allow[e].path_substring) != std::string::npos;
+          });
+      if (!in_scope) continue;
+      diags.push_back(
+          {allow_rel, allow[e].line, "dlion-stale-allowlist",
+           "allowlist entry '" + allow[e].rule + " " +
+               allow[e].path_substring +
+               "' suppressed no diagnostic in the scanned files; delete "
+               "it (dead suppressions hide future regressions)"});
+    }
+  }
   std::sort(diags.begin(), diags.end());
 
   for (const Diagnostic& d : diags) {
@@ -689,3 +346,8 @@ int main(int argc, char** argv) {
             << files.size() << " file(s)\n";
   return 1;
 }
+
+}  // namespace
+}  // namespace dlion_lint
+
+int main(int argc, char** argv) { return dlion_lint::run(argc, argv); }

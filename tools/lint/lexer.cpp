@@ -1,0 +1,475 @@
+#include "lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace dlion_lint {
+
+// ---------------------------------------------------------------------------
+// v1 text view: strip comments and string/char literals while keeping
+// byte-for-byte line structure, so diagnostics point at real lines and rules
+// never fire on prose. Raw strings are handled; escapes inside literals too.
+// Moved verbatim from the v1 single-TU linter — text-rule diagnostics must
+// stay bit-identical (tested against a committed golden transcript).
+// ---------------------------------------------------------------------------
+std::string strip_comments_and_strings(const std::string& src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // delimiter for the active raw string literal
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   src[i - 1])) &&
+                               src[i - 1] != '_'))) {
+          // R"delim( ... )delim"
+          std::size_t j = i + 2;
+          raw_delim.clear();
+          while (j < src.size() && src[j] != '(') raw_delim += src[j++];
+          state = State::kRawString;
+          out += ' ';  // for 'R'
+          out += ' ';  // for '"'
+          for (std::size_t k = 0; k < raw_delim.size() + 1 && i + 2 + k < src.size();
+               ++k) {
+            out += src[i + 2 + k] == '\n' ? '\n' : ' ';
+          }
+          i = j;  // now positioned at '('
+        } else if (c == '"') {
+          state = State::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += ' ';
+          if (next != '\0') {
+            out += next == '\n' ? '\n' : ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += ' ';
+          if (next != '\0') {
+            out += ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kRawString: {
+        // Look for )delim"
+        if (c == ')' &&
+            src.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            i + 1 + raw_delim.size() < src.size() &&
+            src[i + 1 + raw_delim.size()] == '"') {
+          for (std::size_t k = 0; k < raw_delim.size() + 2; ++k) {
+            out += src[i + k] == '\n' ? '\n' : ' ';
+          }
+          i += raw_delim.size() + 1;
+          state = State::kCode;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// v2 token stream
+// ---------------------------------------------------------------------------
+namespace {
+
+/// Cursor over the source that transparently applies phase-2 line splicing
+/// (backslash-newline removed) *except* inside raw string literals, where
+/// the standard reverts it. Physical line numbers are tracked through both.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& s) : s_(s) { skip_splices(); }
+
+  bool eof() const { return i_ >= s_.size(); }
+  int line() const { return line_; }
+
+  /// Current character ('\0' at EOF).
+  char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+
+  /// k-th character ahead, splice-aware (0 = current).
+  char peek_ahead(std::size_t k) const {
+    std::size_t j = i_;
+    for (std::size_t n = 0; n < k; ++n) {
+      if (j >= s_.size()) return '\0';
+      ++j;
+      j = splice_target(j);
+    }
+    return j < s_.size() ? s_[j] : '\0';
+  }
+
+  /// Consume one character (splice-aware unless raw mode is on).
+  void advance() {
+    if (i_ >= s_.size()) return;
+    if (s_[i_] == '\n') ++line_;
+    ++i_;
+    skip_splices();
+  }
+
+  /// Raw mode: no splicing (inside raw string literals).
+  void set_raw(bool raw) {
+    raw_ = raw;
+    if (!raw_) skip_splices();
+  }
+
+ private:
+  /// Position after any run of backslash-newline sequences starting at j.
+  std::size_t splice_target(std::size_t j) const {
+    if (raw_) return j;
+    while (j + 1 < s_.size() && s_[j] == '\\' &&
+           (s_[j + 1] == '\n' ||
+            (s_[j + 1] == '\r' && j + 2 < s_.size() && s_[j + 2] == '\n'))) {
+      j += s_[j + 1] == '\n' ? 2 : 3;
+    }
+    return j;
+  }
+
+  void skip_splices() {
+    if (raw_) return;
+    while (i_ + 1 < s_.size() && s_[i_] == '\\' &&
+           (s_[i_ + 1] == '\n' ||
+            (s_[i_ + 1] == '\r' && i_ + 2 < s_.size() && s_[i_ + 2] == '\n'))) {
+      i_ += s_[i_ + 1] == '\n' ? 2 : 3;
+      ++line_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  bool raw_ = false;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators, longest first (maximal munch).
+constexpr std::array<const char*, 25> kPuncts = {
+    "<<=", ">>=", "<=>", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "^=",  "&=", "|="};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> tokens;
+  Cursor cur(src);
+  bool bol = true;  // at beginning of (logical) line, whitespace aside
+
+  auto push = [&tokens](TokenKind kind, std::string text, int line) {
+    tokens.push_back(Token{kind, std::move(text), line});
+  };
+
+  // Consume a non-raw string/char literal body (opening quote consumed).
+  auto consume_quoted = [&cur](char quote, std::string& text) {
+    while (!cur.eof()) {
+      const char c = cur.peek();
+      if (c == '\\') {
+        text += c;
+        cur.advance();
+        if (!cur.eof()) {
+          text += cur.peek();
+          cur.advance();
+        }
+        continue;
+      }
+      text += c;
+      cur.advance();
+      if (c == quote || c == '\n') break;  // newline: unterminated literal
+    }
+  };
+
+  // Consume a raw string literal; cursor sits on the opening '"'.
+  auto consume_raw_string = [&cur](std::string& text) {
+    text += cur.peek();  // '"'
+    cur.advance();
+    std::string delim;
+    while (!cur.eof() && cur.peek() != '(') {
+      delim += cur.peek();
+      text += cur.peek();
+      cur.advance();
+    }
+    cur.set_raw(true);  // splicing reverts inside the raw body
+    const std::string close = ")" + delim + "\"";
+    std::string window;
+    while (!cur.eof()) {
+      text += cur.peek();
+      window += cur.peek();
+      if (window.size() > close.size()) window.erase(window.begin());
+      cur.advance();
+      if (window == close) break;
+    }
+    cur.set_raw(false);
+  };
+
+  while (!cur.eof()) {
+    const char c = cur.peek();
+    const int line = cur.line();
+
+    if (c == '\n') {
+      bol = true;
+      cur.advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.advance();
+      continue;
+    }
+    // Comments.
+    if (c == '/' && cur.peek_ahead(1) == '/') {
+      while (!cur.eof() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+    if (c == '/' && cur.peek_ahead(1) == '*') {
+      cur.advance();
+      cur.advance();
+      while (!cur.eof() &&
+             !(cur.peek() == '*' && cur.peek_ahead(1) == '/')) {
+        cur.advance();
+      }
+      cur.advance();
+      cur.advance();
+      continue;
+    }
+    // Preprocessor directive: '#' (or digraph '%:') first on the line.
+    // Captured as one token so macro bodies never read as code; splices
+    // keep multi-line defines inside the single directive.
+    if (bol && (c == '#' || (c == '%' && cur.peek_ahead(1) == ':'))) {
+      cur.advance();
+      if (c == '%') cur.advance();
+      while (!cur.eof() && (cur.peek() == ' ' || cur.peek() == '\t')) {
+        cur.advance();
+      }
+      std::string name;
+      while (!cur.eof() && ident_char(cur.peek())) {
+        name += cur.peek();
+        cur.advance();
+      }
+      while (!cur.eof() && cur.peek() != '\n') cur.advance();
+      push(TokenKind::kDirective, std::move(name), line);
+      bol = true;
+      continue;
+    }
+    bol = false;
+    if (c == '"') {
+      std::string text(1, '"');
+      cur.advance();
+      consume_quoted('"', text);
+      push(TokenKind::kString, std::move(text), line);
+      continue;
+    }
+    if (c == '\'') {
+      std::string text(1, '\'');
+      cur.advance();
+      consume_quoted('\'', text);
+      push(TokenKind::kChar, std::move(text), line);
+      continue;
+    }
+    if (ident_start(c)) {
+      std::string text;
+      while (!cur.eof() && ident_char(cur.peek())) {
+        text += cur.peek();
+        cur.advance();
+      }
+      // A literal prefix is an identifier-shaped run attached directly to
+      // the opening quote: R"...", u8"...", LR"...", L'x'.
+      const bool raw_prefix = text == "R" || text == "u8R" || text == "uR" ||
+                              text == "UR" || text == "LR";
+      const bool enc_prefix =
+          text == "u8" || text == "u" || text == "U" || text == "L";
+      if (raw_prefix && cur.peek() == '"') {
+        consume_raw_string(text);
+        push(TokenKind::kString, std::move(text), line);
+        continue;
+      }
+      if (enc_prefix && cur.peek() == '"') {
+        text += '"';
+        cur.advance();
+        consume_quoted('"', text);
+        push(TokenKind::kString, std::move(text), line);
+        continue;
+      }
+      if (enc_prefix && text != "u8" && cur.peek() == '\'') {
+        text += '\'';
+        cur.advance();
+        consume_quoted('\'', text);
+        push(TokenKind::kChar, std::move(text), line);
+        continue;
+      }
+      push(TokenKind::kIdentifier, std::move(text), line);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(
+                         cur.peek_ahead(1))))) {
+      std::string text;
+      char prev = '\0';
+      while (!cur.eof()) {
+        const char d = cur.peek();
+        const bool sign_ok = (d == '+' || d == '-') &&
+                             (prev == 'e' || prev == 'E' || prev == 'p' ||
+                              prev == 'P');
+        if (!(ident_char(d) || d == '.' || d == '\'' || sign_ok)) break;
+        text += d;
+        prev = d;
+        cur.advance();
+      }
+      push(TokenKind::kNumber, std::move(text), line);
+      continue;
+    }
+    // Digraphs, normalized to the primary spelling.
+    if (c == '<' && cur.peek_ahead(1) == '%') {
+      cur.advance();
+      cur.advance();
+      push(TokenKind::kPunct, "{", line);
+      continue;
+    }
+    if (c == '%' && cur.peek_ahead(1) == '>') {
+      cur.advance();
+      cur.advance();
+      push(TokenKind::kPunct, "}", line);
+      continue;
+    }
+    if (c == ':' && cur.peek_ahead(1) == '>') {
+      cur.advance();
+      cur.advance();
+      push(TokenKind::kPunct, "]", line);
+      continue;
+    }
+    if (c == '%' && cur.peek_ahead(1) == ':') {
+      // %:%: is the ## digraph ('%:' alone as '#' only appears at bol and
+      // was handled by the directive branch above).
+      if (cur.peek_ahead(2) == '%' && cur.peek_ahead(3) == ':') {
+        for (int n = 0; n < 4; ++n) cur.advance();
+        push(TokenKind::kPunct, "##", line);
+      } else {
+        cur.advance();
+        cur.advance();
+        push(TokenKind::kPunct, "#", line);
+      }
+      continue;
+    }
+    if (c == '<' && cur.peek_ahead(1) == ':') {
+      // [lex.pptoken]: '<:' is '[' unless followed by a ':' that is not
+      // itself followed by ':' or '>' — so 'vector<::ns::T>' lexes as
+      // '<' '::', not '[' ':'.
+      const char c2 = cur.peek_ahead(2);
+      const char c3 = cur.peek_ahead(3);
+      if (c2 == ':' && c3 != ':' && c3 != '>') {
+        cur.advance();
+        push(TokenKind::kPunct, "<", line);
+      } else {
+        cur.advance();
+        cur.advance();
+        push(TokenKind::kPunct, "[", line);
+      }
+      continue;
+    }
+    // Multi-character punctuators (maximal munch), then single characters.
+    {
+      bool matched = false;
+      for (const char* p : kPuncts) {
+        const std::size_t len = std::char_traits<char>::length(p);
+        bool ok = true;
+        for (std::size_t n = 0; n < len; ++n) {
+          if (cur.peek_ahead(n) != p[n]) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          for (std::size_t n = 0; n < len; ++n) cur.advance();
+          push(TokenKind::kPunct, p, line);
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+    }
+    push(TokenKind::kPunct, std::string(1, c), line);
+    cur.advance();
+  }
+  return tokens;
+}
+
+}  // namespace dlion_lint

@@ -1,0 +1,51 @@
+// dlion-lint v2 lexer.
+//
+// Two views of a C++ source file:
+//
+//  * strip_comments_and_strings() / split_lines(): the v1 text view —
+//    comments and literals blanked, byte-for-byte line structure kept.
+//    The regex-based text rules scan this; the implementation is the v1
+//    algorithm moved verbatim, so v1 diagnostics stay bit-identical.
+//
+//  * lex(): the v2 token stream. Real tokens with physical line numbers,
+//    handling the lexical corners the line-oriented pass could not:
+//    backslash-newline continuations (spliced, with tokens attributed to
+//    their *starting* physical line), raw string literals with arbitrary
+//    delimiters, digraphs (`<%` `%>` `<:` `:>` `%:` normalized to the
+//    primary spelling, including the `<::` disambiguation), and
+//    preprocessor directives (captured as one kDirective token so macro
+//    bodies never masquerade as code). The scope model and every semantic
+//    rule are built on this stream.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dlion_lint {
+
+// --- v1 text view (byte-compatible with the original linter) -------------
+std::string strip_comments_and_strings(const std::string& src);
+std::vector<std::string> split_lines(const std::string& text);
+
+// --- v2 token stream ------------------------------------------------------
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (rules distinguish by text)
+  kNumber,      // pp-number (integer/float literal, suffixes included)
+  kPunct,       // operator/punctuator, digraphs normalized ("{", "::", ...)
+  kString,      // string literal, prefixes/raw form included; text = lexeme
+  kChar,        // character literal
+  kDirective,   // whole preprocessor directive; text = directive name
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based physical line of the token's first character
+};
+
+/// Tokenize `src`. Never throws; unterminated literals/comments end the
+/// token they started. Comments and whitespace produce no tokens.
+std::vector<Token> lex(const std::string& src);
+
+}  // namespace dlion_lint

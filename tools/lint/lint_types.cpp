@@ -1,0 +1,17 @@
+#include "lint_types.h"
+
+namespace dlion_lint {
+
+bool line_allows(const FileContext& ctx, int line, const std::string& rule) {
+  auto it = ctx.inline_allows.find(line);
+  if (it == ctx.inline_allows.end()) return false;
+  return it->second.count("*") != 0 || it->second.count(rule) != 0;
+}
+
+void emit(Emit diags, const FileContext& ctx, int line, std::string rule,
+          std::string message) {
+  if (line_allows(ctx, line, rule)) return;
+  diags.push_back({ctx.rel_path, line, std::move(rule), std::move(message)});
+}
+
+}  // namespace dlion_lint

@@ -1,0 +1,61 @@
+// Shared data model for dlion-lint v2 (see dlion_lint.cpp for the tool's
+// contract). One FileContext per scanned file carries both analysis
+// representations: the v1 stripped-line view (text rules regex over it,
+// byte-compatible with the original single-TU linter) and the v2 token
+// stream + scope model (semantic rules walk those).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "scope_model.h"
+
+namespace dlion_lint {
+
+struct Diagnostic {
+  std::string file;  // path relative to --root (stable across machines)
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+};
+
+struct AllowEntry {
+  std::string rule;  // "*" matches every rule
+  std::string path_substring;
+  int line = 0;  // 1-based line in the allowlist file (stale reporting)
+};
+
+struct FileContext {
+  std::string rel_path;           // reported path
+  std::vector<std::string> raw;   // original lines (for suppressions)
+  std::vector<std::string> code;  // stripped lines (text rules scan these)
+  bool writes_artifacts = false;  // TU emits JSON/CSV/checksum output
+  bool in_tensor_lib = false;     // under src/tensor/
+  bool is_header = false;
+  // Line numbers (1-based) carrying `// dlion-lint: allow(rule)` markers,
+  // mapped to the set of rule ids allowed on that line ("*" = all).
+  std::map<int, std::set<std::string>> inline_allows;
+
+  // v2 semantic view.
+  std::vector<Token> tokens;  // lexed from the raw source
+  ScopeModel model;           // classes/members/locals built from tokens
+};
+
+bool line_allows(const FileContext& ctx, int line, const std::string& rule);
+
+using Emit = std::vector<Diagnostic>&;
+
+/// Append a diagnostic unless the line carries a matching inline allow.
+void emit(Emit diags, const FileContext& ctx, int line, std::string rule,
+          std::string message);
+
+}  // namespace dlion_lint

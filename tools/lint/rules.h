@@ -1,0 +1,34 @@
+// dlion-lint rule registry.
+//
+// Text rules are the original v1 set: regexes over the stripped-line view,
+// moved verbatim so their diagnostics stay byte-identical (guarded by the
+// golden-transcript equivalence test). Semantic rules are the v2 additions:
+// they walk the token stream and scope model, which lets them resolve a
+// receiver identifier to its declared type — something line regexes cannot.
+#pragma once
+
+#include "lint_types.h"
+
+namespace dlion_lint {
+
+// --- v1 text rules --------------------------------------------------------
+void rule_unordered_iteration(const FileContext& ctx, Emit diags);
+void rule_entropy(const FileContext& ctx, Emit diags);
+void rule_pointer_key(const FileContext& ctx, Emit diags);
+void rule_float_accumulate(const FileContext& ctx, Emit diags);
+void rule_missing_override(const FileContext& ctx, Emit diags);
+void rule_uninit_pod(const FileContext& ctx, Emit diags);
+void rule_owned_payload(const FileContext& ctx, Emit diags);
+
+// --- v2 semantic rules ----------------------------------------------------
+void rule_payload_escape(const FileContext& ctx, Emit diags);
+void rule_unannotated_mutex(const FileContext& ctx, Emit diags);
+void rule_atomic_rmw_order(const FileContext& ctx, Emit diags);
+void rule_raw_thread(const FileContext& ctx, Emit diags);
+void rule_lock_no_raii(const FileContext& ctx, Emit diags);
+
+/// Run every rule of the respective family over one file.
+void run_text_rules(const FileContext& ctx, Emit diags);
+void run_semantic_rules(const FileContext& ctx, Emit diags);
+
+}  // namespace dlion_lint

@@ -1,0 +1,277 @@
+// v2 semantic rules: concurrency and lifetime hazards that need type
+// resolution (receiver -> declared type) rather than line regexes. All of
+// them walk the token stream plus the scope model; all honor the same
+// inline-allow and allowlist escape hatches as the text rules.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "../rules.h"
+
+namespace dlion_lint {
+namespace {
+
+bool path_contains(const FileContext& ctx, const char* s) {
+  return ctx.rel_path.find(s) != std::string::npos;
+}
+
+bool is_ident(const Token& t) { return t.kind == TokenKind::kIdentifier; }
+
+/// Resolve the receiver of a member access: the identifier directly before
+/// the `.`/`->` at tokens[dot], walking back over one balanced `[...]` or
+/// `(...)` group (so `xs[i].f()` resolves `xs`). Empty when unresolvable.
+std::string receiver_before(const std::vector<Token>& toks,
+                            std::size_t dot) {
+  if (dot == 0) return std::string();
+  std::size_t j = dot - 1;
+  const std::string& t = toks[j].text;
+  if (t == "]" || t == ")") {
+    const std::string open = t == "]" ? "[" : "(";
+    int depth = 0;
+    while (true) {
+      if (toks[j].text == t) ++depth;
+      if (toks[j].text == open) {
+        if (--depth == 0) break;
+      }
+      if (j == 0) return std::string();
+      --j;
+    }
+    if (j == 0) return std::string();
+    --j;
+  }
+  if (!is_ident(toks[j])) return std::string();
+  // `a.b.c` / `ns::x.f`: only a plain identifier receiver resolves; a
+  // preceding `.`/`->` means b itself is a member — resolve b directly
+  // (member names are pooled in the model, so this still works).
+  return toks[j].text;
+}
+
+/// True when tokens[i..] begins the given member call: `.`/`->` NAME `(`.
+bool member_call_at(const std::vector<Token>& toks, std::size_t i,
+                    const char* name) {
+  if (i + 2 >= toks.size()) return false;
+  if (toks[i].text != "." && toks[i].text != "->") return false;
+  return is_ident(toks[i + 1]) && toks[i + 1].text == name &&
+         toks[i + 2].text == "(";
+}
+
+}  // namespace
+
+// Rule: dlion-payload-escape
+// Payload<T> objects are views into refcounted arena blocks; the zero-copy
+// contract (DESIGN.md "Zero-copy data plane") is that they live on the
+// stack or inside messages in flight, never in static storage (the arena
+// dies first at shutdown → dangling view) and never as a raw pointer
+// squirreled into a member (`p_ = payload.data()` outlives the refcount it
+// borrowed from).
+void rule_payload_escape(const FileContext& ctx, Emit diags) {
+  // (a) static-storage payload objects.
+  for (const VarDecl& g : ctx.model.globals) {
+    if (!is_payload_type(g.type)) continue;
+    emit(diags, ctx, g.line, "dlion-payload-escape",
+         "payload object '" + g.name +
+             "' has static storage duration; arena-backed views must not "
+             "outlive the PayloadArena - keep payloads on the stack or in "
+             "messages in flight");
+  }
+  // (b) a member-style lvalue capturing `payload.data()` / `payload.span()`.
+  const std::vector<Token>& toks = ctx.tokens;
+  for (std::size_t i = 0; i + 4 < toks.size(); ++i) {
+    if (toks[i].text != "=") continue;
+    // Right side: IDENT . (data|span) (
+    if (!is_ident(toks[i + 1])) continue;
+    const bool rhs_call = member_call_at(toks, i + 2, "data") ||
+                          member_call_at(toks, i + 2, "span");
+    if (!rhs_call) continue;
+    if (!is_payload_type(ctx.model.type_of(toks[i + 1].text))) continue;
+    // Left side: `name_` or `this->name` (member-style lvalue).
+    if (i == 0 || !is_ident(toks[i - 1])) continue;
+    const std::string& lhs = toks[i - 1].text;
+    const bool member_suffix = !lhs.empty() && lhs.back() == '_';
+    const bool via_this = i >= 3 && toks[i - 2].text == "->" &&
+                          toks[i - 3].text == "this";
+    if (!member_suffix && !via_this) continue;
+    emit(diags, ctx, toks[i].line, "dlion-payload-escape",
+         "member '" + lhs + "' captures " + toks[i + 1].text + "." +
+             toks[i + 3].text +
+             "(); the pointer borrows the payload's refcount and dangles "
+             "once the message is released - store the Payload itself");
+  }
+}
+
+// Rule: dlion-unannotated-mutex
+// (a) A std::mutex-family member/variable anywhere outside common/mutex.h:
+//     use common::Mutex so Clang's -Wthread-safety can see lock/unlock.
+// (b) A common::Mutex member/global with no sibling declaration annotated
+//     DLION_GUARDED_BY(that mutex): a mutex that guards nothing is either
+//     dead weight or — worse — guarding state the analysis cannot check.
+void rule_unannotated_mutex(const FileContext& ctx, Emit diags) {
+  if (path_contains(ctx, "common/mutex")) return;
+
+  auto check_std = [&](const VarDecl& v) {
+    if (!is_std_mutex_type(v.type)) return;
+    emit(diags, ctx, v.line, "dlion-unannotated-mutex",
+         "'" + v.name + "' is a " + v.type +
+             "; use common::Mutex (capability-annotated) so "
+             "-Wthread-safety can check every critical section");
+  };
+  auto guards_nothing = [](const std::vector<VarDecl>& siblings,
+                           const std::string& mutex_name) {
+    for (const VarDecl& s : siblings) {
+      for (const std::string& ann : s.annotations) {
+        if ((ann.rfind("DLION_GUARDED_BY(", 0) == 0 ||
+             ann.rfind("DLION_PT_GUARDED_BY(", 0) == 0) &&
+            ann.find("(" + mutex_name + ")") != std::string::npos) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  for (const ClassInfo& c : ctx.model.classes) {
+    for (const VarDecl& m : c.members) {
+      check_std(m);
+      if (is_mutex_type(m.type) && !is_std_mutex_type(m.type) &&
+          guards_nothing(c.members, m.name)) {
+        emit(diags, ctx, m.line, "dlion-unannotated-mutex",
+             "mutex member '" + m.name +
+                 "' guards nothing: no sibling member is annotated "
+                 "DLION_GUARDED_BY(" +
+                 m.name +
+                 ") - annotate the guarded state (or justify wait-only "
+                 "use inline)");
+      }
+    }
+  }
+  for (const VarDecl& g : ctx.model.globals) {
+    check_std(g);
+    if (is_mutex_type(g.type) && !is_std_mutex_type(g.type) &&
+        guards_nothing(ctx.model.globals, g.name)) {
+      emit(diags, ctx, g.line, "dlion-unannotated-mutex",
+           "mutex '" + g.name +
+               "' guards nothing: no variable in this file is annotated "
+               "DLION_GUARDED_BY(" +
+               g.name + ")");
+    }
+  }
+  for (const VarDecl& l : ctx.model.locals) check_std(l);
+}
+
+// Rule: dlion-atomic-rmw-order
+// The numeric substrate's determinism contract keeps atomics to counters
+// and flags; every read-modify-write should be memory_order_relaxed unless
+// a comment justifies the stronger order (and carries an inline allow).
+// Defaulted seq_cst is the usual accident: it hides the cost and reads as
+// "I didn't think about the ordering".
+void rule_atomic_rmw_order(const FileContext& ctx, Emit diags) {
+  static const char* kRmw[] = {
+      "fetch_add", "fetch_sub", "fetch_and",
+      "fetch_or",  "fetch_xor", "exchange",
+      "compare_exchange_weak",  "compare_exchange_strong"};
+  const std::vector<Token>& toks = ctx.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const char* rmw = nullptr;
+    for (const char* name : kRmw) {
+      if (member_call_at(toks, i, name)) {
+        rmw = name;
+        break;
+      }
+    }
+    if (rmw == nullptr) continue;
+    const std::string recv = receiver_before(toks, i);
+    if (recv.empty() || !is_atomic_type(ctx.model.type_of(recv))) continue;
+    // Scan the argument list for a memory_order token.
+    bool has_order = false;
+    bool non_relaxed = false;
+    int depth = 0;
+    for (std::size_t j = i + 2; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) break;
+      if (is_ident(toks[j]) &&
+          toks[j].text.rfind("memory_order", 0) == 0) {
+        has_order = true;
+        if (toks[j].text != "memory_order" &&
+            toks[j].text != "memory_order_relaxed") {
+          non_relaxed = true;
+        }
+        // `std::memory_order::relaxed` spelling: enum name then ::member.
+        if (toks[j].text == "memory_order" && j + 2 < toks.size() &&
+            toks[j + 1].text == "::" && is_ident(toks[j + 2]) &&
+            toks[j + 2].text != "relaxed") {
+          non_relaxed = true;
+        }
+      }
+    }
+    if (!has_order || non_relaxed) {
+      emit(diags, ctx, toks[i + 1].line, "dlion-atomic-rmw-order",
+           std::string("atomic '") + recv + "." + rmw + "' " +
+               (has_order ? "uses a non-relaxed memory order"
+                          : "defaults to seq_cst") +
+               "; counters/flags want memory_order_relaxed - justify a "
+               "stronger order with a comment + inline allow");
+    }
+  }
+}
+
+// Rule: dlion-raw-thread
+// Thread lifecycle belongs to common::ThreadPool (RAII-joined workers, no
+// detach — Core Guidelines CP.21 ff.). A raw std::thread/std::jthread
+// anywhere else forks execution outside the pool's join discipline; a
+// .detach() leaks a runaway thread past shutdown.
+void rule_raw_thread(const FileContext& ctx, Emit diags) {
+  const bool exempt = path_contains(ctx, "common/thread_pool");
+  const std::vector<Token>& toks = ctx.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!exempt && toks[i].text == "std" && toks[i + 1].text == "::" &&
+        is_ident(toks[i + 2]) &&
+        (toks[i + 2].text == "thread" || toks[i + 2].text == "jthread")) {
+      // `std::thread::id` etc. are types of the pool's own machinery, not
+      // thread construction; skip when a scope qualifier follows.
+      if (i + 3 < toks.size() && toks[i + 3].text == "::") continue;
+      emit(diags, ctx, toks[i + 2].line, "dlion-raw-thread",
+           "raw std::" + toks[i + 2].text +
+               " outside common/thread_pool; run work through "
+               "ThreadPool::parallel_for so every thread is RAII-joined");
+    }
+    if (member_call_at(toks, i, "detach")) {
+      const std::string recv = receiver_before(toks, i);
+      if (!recv.empty() && is_thread_type(ctx.model.type_of(recv))) {
+        emit(diags, ctx, toks[i + 1].line, "dlion-raw-thread",
+             "'" + recv +
+                 ".detach()' leaks a thread past scope exit; detached "
+                 "threads race shutdown - join via the pool instead");
+      }
+    }
+  }
+}
+
+// Rule: dlion-lock-no-raii
+// Bare lock()/unlock() calls on a mutex cannot be paired by review or by
+// the capability analysis (an early return or exception skips the unlock).
+// Critical sections must be scoped: MutexLock / std::scoped_lock.
+void rule_lock_no_raii(const FileContext& ctx, Emit diags) {
+  if (path_contains(ctx, "common/mutex")) return;
+  const std::vector<Token>& toks = ctx.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const bool is_lock = member_call_at(toks, i, "lock");
+    const bool is_unlock = member_call_at(toks, i, "unlock");
+    if (!is_lock && !is_unlock) continue;
+    const std::string recv = receiver_before(toks, i);
+    if (recv.empty() || !is_mutex_type(ctx.model.type_of(recv))) continue;
+    emit(diags, ctx, toks[i + 1].line, "dlion-lock-no-raii",
+         "bare '" + recv + "." + (is_lock ? "lock" : "unlock") +
+             "()'; an early return or exception breaks the pairing - "
+             "scope the critical section with MutexLock");
+  }
+}
+
+void run_semantic_rules(const FileContext& ctx, Emit diags) {
+  rule_payload_escape(ctx, diags);
+  rule_unannotated_mutex(ctx, diags);
+  rule_atomic_rmw_order(ctx, diags);
+  rule_raw_thread(ctx, diags);
+  rule_lock_no_raii(ctx, diags);
+}
+
+}  // namespace dlion_lint

@@ -1,0 +1,58 @@
+// dlion-lint v2 scope model.
+//
+// A lightweight symbol table built from the token stream: which classes a
+// file declares, their data members (with type text and any DLION_*
+// thread-safety annotations attached to the declarator), and the typed
+// local/global variables of each function. This is a heuristic declaration
+// scanner, not a parser — it segments statements at ; { } and access
+// specifiers, skips keyword-led statements, and reads "type tokens then
+// declarator" declarations. That is enough for the semantic rules (payload
+// escape, unannotated mutex, atomic RMW ordering, raw thread, lock RAII),
+// which only need to resolve an identifier to the declared type text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace dlion_lint {
+
+struct VarDecl {
+  std::string type;  // canonicalized type text, e.g. "std::atomic<int>"
+  std::string name;
+  int line = 0;
+  bool is_static = false;              // static storage (member or local)
+  std::vector<std::string> annotations;  // e.g. "DLION_GUARDED_BY(mu_)"
+};
+
+struct ClassInfo {
+  std::string name;
+  int line = 0;
+  std::vector<VarDecl> members;
+};
+
+struct ScopeModel {
+  std::vector<ClassInfo> classes;
+  // Variables declared at namespace scope (globals) and function-local
+  // variables, pooled: the rules only need name -> type resolution plus
+  // the static/global distinction carried on each VarDecl.
+  std::vector<VarDecl> globals;  // namespace-scope and static locals
+  std::vector<VarDecl> locals;   // automatic function-local variables
+
+  /// Resolve `name` to its declared type text; precedence locals, then
+  /// members of any class, then globals. Empty string when unknown.
+  std::string type_of(const std::string& name) const;
+};
+
+/// Build the model from a token stream.
+ScopeModel build_scope_model(const std::vector<Token>& tokens);
+
+// --- type classifiers shared by the semantic rules ------------------------
+bool is_mutex_type(const std::string& type);        // std or common::Mutex
+bool is_std_mutex_type(const std::string& type);    // std:: family only
+bool is_atomic_type(const std::string& type);
+bool is_payload_type(const std::string& type);
+bool is_thread_type(const std::string& type);
+
+}  // namespace dlion_lint
